@@ -1,0 +1,63 @@
+//! Whole-epoch wall-clock benchmarks: one training epoch per algorithm on
+//! a fixed scale-free instance. These time the *simulation* (real kernels
+//! + thread rendezvous) — modeled epoch times are the `figure2` binary's
+//! job; this guards the reproduction harness itself against performance
+//! regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cagnet_comm::CostModel;
+use cagnet_core::trainer::{train_distributed, Algorithm, TrainConfig};
+use cagnet_core::{GcnConfig, Problem, SerialTrainer};
+use cagnet_sparse::generate::{rmat_symmetric, RmatParams};
+
+fn instance() -> (Problem, GcnConfig) {
+    let g = rmat_symmetric(10, 8, RmatParams::default(), 55); // 1024 vertices
+    let p = Problem::synthetic(&g, 64, 8, 1.0, 56);
+    let cfg = GcnConfig::three_layer(64, 16, 8);
+    (p, cfg)
+}
+
+fn bench_serial_epoch(c: &mut Criterion) {
+    let (p, cfg) = instance();
+    c.bench_function("epoch_serial", |b| {
+        let mut t = SerialTrainer::new(&p, cfg.clone());
+        b.iter(|| t.epoch())
+    });
+}
+
+fn bench_distributed_epochs(c: &mut Criterion) {
+    let (p, cfg) = instance();
+    let mut g = c.benchmark_group("epoch_distributed");
+    g.sample_size(10);
+    let cases = [
+        (Algorithm::OneD, 4usize),
+        (Algorithm::One5D { c: 2 }, 4),
+        (Algorithm::TwoD, 4),
+        (Algorithm::ThreeD, 8),
+        (Algorithm::TwoD, 16),
+    ];
+    for (algo, ranks) in cases {
+        let tc = TrainConfig {
+            epochs: 1,
+            collect_outputs: false,
+            ..Default::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}_p{}", algo.name(), ranks)),
+            &(algo, ranks),
+            |b, &(algo, ranks)| {
+                b.iter(|| {
+                    train_distributed(&p, &cfg, algo, ranks, CostModel::summit_like(), &tc)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serial_epoch, bench_distributed_epochs
+}
+criterion_main!(benches);

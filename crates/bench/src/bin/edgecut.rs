@@ -1,0 +1,93 @@
+//! §IV-A.8: graph partitioning vs random block distribution, on a
+//! Reddit-like community-structured graph with 64 parts.
+//!
+//! Paper datum (METIS on Reddit, 64 processes): total edgecut −72%
+//! (3,258,385 vs 11,761,151), max-per-process cut only −29% (131,286 vs
+//! 185,823). The reproduction checks the *asymmetry*: total-cut reduction
+//! must far exceed max-cut reduction, because hub vertices cap what any
+//! balanced partitioner can do for the worst process.
+//!
+//! Run with: `cargo run --release -p cagnet-bench --bin edgecut`
+
+use cagnet_sparse::edgecut::{block_partition, evaluate_partition};
+use cagnet_sparse::generate::{permute_symmetric, planted_partition, PlantedPartitionParams};
+use cagnet_sparse::partitioner::{partition_greedy_bfs, PartitionConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    parts: usize,
+    random_total_cut: usize,
+    partitioned_total_cut: usize,
+    random_max_cut: usize,
+    partitioned_max_cut: usize,
+    total_reduction_pct: f64,
+    max_reduction_pct: f64,
+}
+
+fn main() {
+    let parts = 64;
+    let raw = planted_partition(
+        8192,
+        PlantedPartitionParams {
+            communities: 64,
+            degree_in: 14.0,
+            degree_out: 2.5,
+            hubs: 64,
+            hub_degree: 60,
+        },
+        3,
+    );
+    let (graph, _) = permute_symmetric(&raw, 17);
+    println!(
+        "EDGECUT (§IV-A.8) — {} vertices, {} edges, {} parts\n",
+        graph.rows(),
+        graph.nnz(),
+        parts
+    );
+    let random = evaluate_partition(&graph, &block_partition(graph.rows(), parts), parts);
+    let cfg = PartitionConfig {
+        num_parts: parts,
+        balance_factor: 1.03,
+        refinement_passes: 8,
+        seed: 5,
+        ..Default::default()
+    };
+    let smart = evaluate_partition(&graph, &partition_greedy_bfs(&graph, &cfg), parts);
+
+    let total_reduction =
+        100.0 * (1.0 - smart.total_cut_edges as f64 / random.total_cut_edges as f64);
+    let max_reduction =
+        100.0 * (1.0 - smart.cut_edges_max() as f64 / random.cut_edges_max() as f64);
+
+    println!("{:<16} {:>12} {:>12} {:>10}", "", "random", "partitioned", "reduction");
+    println!(
+        "{:<16} {:>12} {:>12} {:>9.0}%",
+        "total cut", random.total_cut_edges, smart.total_cut_edges, total_reduction
+    );
+    println!(
+        "{:<16} {:>12} {:>12} {:>9.0}%",
+        "max cut/process",
+        random.cut_edges_max(),
+        smart.cut_edges_max(),
+        max_reduction
+    );
+    println!(
+        "\npaper (METIS/Reddit/64): total −72% (3258385 vs 11761151),\n\
+         max −29% (131286 vs 185823). The reproduction's key property is\n\
+         total-reduction ≫ max-reduction: bulk-synchronous epochs follow\n\
+         the max, so partitioning buys much less than its total-cut\n\
+         numbers suggest (the paper's motivation for random 2D/3D\n\
+         distributions)."
+    );
+    let rows = vec![Row {
+        parts,
+        random_total_cut: random.total_cut_edges,
+        partitioned_total_cut: smart.total_cut_edges,
+        random_max_cut: random.cut_edges_max(),
+        partitioned_max_cut: smart.cut_edges_max(),
+        total_reduction_pct: total_reduction,
+        max_reduction_pct: max_reduction,
+    }];
+    cagnet_bench::emit_json(&rows);
+}

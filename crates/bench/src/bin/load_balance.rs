@@ -1,0 +1,108 @@
+//! Load balance across distributions — the paper's §I claim: "the 2D and
+//! 3D algorithms ... automatically address load balance through a
+//! combination of random vertex permutations and the implicit
+//! partitioning of the adjacencies of high-degree vertices."
+//!
+//! On a scale-free graph, a 1D row distribution gives whole hub rows to
+//! single ranks; a 2D distribution splits every row's adjacency across
+//! `√P` ranks. We measure the per-rank nonzero imbalance
+//! (`max / mean`) for 1D and 2D blocks, with and without the random
+//! vertex permutation.
+//!
+//! Run with: `cargo run --release -p cagnet-bench --bin load_balance`
+
+use cagnet_sparse::generate::{permute_symmetric, planted_partition, PlantedPartitionParams};
+use cagnet_sparse::partition::{block_ranges, grid_block_sparse};
+use cagnet_sparse::Csr;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    layout: String,
+    permuted: bool,
+    processes: usize,
+    max_nnz: usize,
+    mean_nnz: f64,
+    imbalance: f64,
+}
+
+fn imbalance_1d(a: &Csr, p: usize) -> (usize, f64) {
+    let nnzs: Vec<usize> = block_ranges(a.rows(), p)
+        .into_iter()
+        .map(|(r0, r1)| a.block(r0, r1, 0, a.cols()).nnz())
+        .collect();
+    let max = *nnzs.iter().max().unwrap();
+    let mean = nnzs.iter().sum::<usize>() as f64 / p as f64;
+    (max, mean)
+}
+
+fn imbalance_2d(a: &Csr, q: usize) -> (usize, f64) {
+    let mut nnzs = Vec::with_capacity(q * q);
+    for i in 0..q {
+        for j in 0..q {
+            nnzs.push(grid_block_sparse(a, q, q, i, j).nnz());
+        }
+    }
+    let max = *nnzs.iter().max().unwrap();
+    let mean = nnzs.iter().sum::<usize>() as f64 / (q * q) as f64;
+    (max, mean)
+}
+
+fn main() {
+    // A graph with locality AND hubs: contiguous communities make the
+    // unpermuted block distribution lumpy, hubs make whole-row ownership
+    // lumpy.
+    let raw = planted_partition(
+        8192,
+        PlantedPartitionParams {
+            communities: 16,
+            degree_in: 10.0,
+            degree_out: 2.0,
+            hubs: 12,
+            hub_degree: 800,
+        },
+        41,
+    );
+    let (permuted, _) = permute_symmetric(&raw, 42);
+    let p = 64;
+    let q = 8;
+    println!(
+        "LOAD BALANCE — n={}, nnz={}, max row degree={}, P={p}\n",
+        raw.rows(),
+        raw.nnz(),
+        (0..raw.rows()).map(|v| raw.row_nnz(v)).max().unwrap()
+    );
+    println!(
+        "{:<22} {:>10} {:>10} {:>12}",
+        "layout", "max nnz", "mean nnz", "max/mean"
+    );
+    let mut rows = Vec::new();
+    for (layout, graph, perm) in [
+        ("1D rows", &raw, false),
+        ("1D rows + permute", &permuted, true),
+        ("2D blocks", &raw, false),
+        ("2D blocks + permute", &permuted, true),
+    ] {
+        let (max, mean) = if layout.starts_with("1D") {
+            imbalance_1d(graph, p)
+        } else {
+            imbalance_2d(graph, q)
+        };
+        let imb = max as f64 / mean;
+        println!("{:<22} {:>10} {:>10.0} {:>12.2}", layout, max, mean, imb);
+        rows.push(Row {
+            layout: layout.to_string(),
+            permuted: perm,
+            processes: p,
+            max_nnz: max,
+            mean_nnz: mean,
+            imbalance: imb,
+        });
+    }
+    println!(
+        "\nThe paper's mechanism is visible twice: permutation removes the\n\
+         community lumpiness, and the 2D split divides each hub row's\n\
+         adjacency over √P ranks, so '2D + permute' lands closest to 1.0."
+    );
+    cagnet_bench::emit_json(&rows);
+}

@@ -1,0 +1,150 @@
+//! General-purpose experiment runner: train any dataset stand-in (or a
+//! fresh R-MAT) with any algorithm at any process count and print the full
+//! measurement row.
+//!
+//! ```text
+//! cargo run --release -p cagnet-bench --bin runner -- \
+//!     --dataset amazon --algo 2d --processes 16 --epochs 3
+//!
+//! options:
+//!   --dataset  reddit|amazon|protein|rmat:<scale>:<degree>   (default rmat:10:8)
+//!   --algo     1d|1d-row|1.5d:<c>|2d|2d:<pr>x<pc>|3d         (default 2d)
+//!   --processes <P>                                          (default 4)
+//!   --epochs    <E>                                          (default 3)
+//!   --alpha     <seconds>    network latency                 (default 15e-6)
+//!   --beta-gbps <GB/s>       network bandwidth               (default 10)
+//!   --hidden    <width>      hidden layer width              (default 16)
+//! ```
+
+use cagnet_bench::{bench_dataset, bench_gcn, measure_epochs};
+use cagnet_comm::CostModel;
+use cagnet_core::trainer::Algorithm;
+use cagnet_core::{GcnConfig, Problem};
+use cagnet_sparse::datasets;
+use cagnet_sparse::generate::{rmat_symmetric, RmatParams};
+use std::collections::HashMap;
+
+fn parse_args() -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(key) = args.next() {
+        let key = key.trim_start_matches("--").to_string();
+        match args.next() {
+            Some(val) => {
+                out.insert(key, val);
+            }
+            None => {
+                eprintln!("missing value for --{key}");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+fn parse_algo(s: &str) -> Algorithm {
+    if s == "1d" {
+        Algorithm::OneD
+    } else if s == "1d-row" {
+        Algorithm::OneDRow
+    } else if s == "2d" {
+        Algorithm::TwoD
+    } else if s == "3d" {
+        Algorithm::ThreeD
+    } else if let Some(c) = s.strip_prefix("1.5d:") {
+        Algorithm::One5D {
+            c: c.parse().expect("bad replication factor"),
+        }
+    } else if let Some(grid) = s.strip_prefix("2d:") {
+        let (pr, pc) = grid.split_once('x').expect("grid must be <pr>x<pc>");
+        Algorithm::TwoDRect {
+            pr: pr.parse().expect("bad pr"),
+            pc: pc.parse().expect("bad pc"),
+        }
+    } else {
+        eprintln!("unknown algorithm '{s}'");
+        std::process::exit(2);
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let get = |k: &str, d: &str| args.get(k).cloned().unwrap_or_else(|| d.to_string());
+
+    let dataset = get("dataset", "rmat:10:8");
+    let algo = parse_algo(&get("algo", "2d"));
+    let p: usize = get("processes", "4").parse().expect("bad process count");
+    let epochs: usize = get("epochs", "3").parse().expect("bad epoch count");
+    let alpha: f64 = get("alpha", "15e-6").parse().expect("bad alpha");
+    let gbps: f64 = get("beta-gbps", "10").parse().expect("bad bandwidth");
+    let hidden: usize = get("hidden", "16").parse().expect("bad hidden width");
+
+    let model = CostModel {
+        alpha,
+        beta: 8.0 / (gbps * 1e9),
+        ..CostModel::summit_like()
+    };
+
+    let (problem, gcn, name) = if let Some(spec) = dataset.strip_prefix("rmat:") {
+        let (scale, degree) = spec.split_once(':').expect("rmat:<scale>:<degree>");
+        let g = rmat_symmetric(
+            scale.parse().expect("bad scale"),
+            degree.parse().expect("bad degree"),
+            RmatParams::default(),
+            7,
+        );
+        let f = 64;
+        let classes = 16;
+        let problem = Problem::synthetic(&g, f, classes, 1.0, 8);
+        let mut gcn = GcnConfig::three_layer(f, hidden, classes);
+        gcn.dims[1] = hidden;
+        gcn.dims[2] = hidden;
+        (problem, gcn, dataset.clone())
+    } else {
+        let spec = datasets::ALL
+            .iter()
+            .find(|s| s.name == dataset)
+            .unwrap_or_else(|| {
+                eprintln!("unknown dataset '{dataset}'");
+                std::process::exit(2);
+            });
+        let ds = bench_dataset(spec);
+        let problem = Problem::from_dataset(&ds, 11);
+        let mut gcn = bench_gcn(&ds);
+        gcn.dims[1] = hidden;
+        gcn.dims[2] = hidden;
+        (problem, gcn, dataset.clone())
+    };
+
+    if !algo.supports(p) {
+        eprintln!("{} does not support P={p}", algo.name());
+        std::process::exit(2);
+    }
+    println!(
+        "{name}: n={}, nnz={}, dims={:?}, {} on P={p}, {epochs} epochs, α={alpha:.1e}, {gbps} GB/s",
+        problem.vertices(),
+        problem.adj.nnz(),
+        gcn.dims,
+        algo.name()
+    );
+    let row = measure_epochs(&problem, &gcn, &name, algo, p, epochs, model);
+    println!(
+        "epoch: {:.4} ms ({:.1} epochs/sec)",
+        row.epoch_seconds * 1e3,
+        row.epochs_per_second
+    );
+    println!(
+        "words/rank/epoch: {:.0} dense + {:.0} sparse",
+        row.dcomm_words, row.scomm_words
+    );
+    let b = row.breakdown;
+    println!(
+        "breakdown (ms): spmm {:.3} | dcomm {:.3} | scomm {:.3} | trpose {:.4} | misc {:.3}",
+        b.spmm * 1e3,
+        b.dcomm * 1e3,
+        b.scomm * 1e3,
+        b.trpose * 1e3,
+        b.misc * 1e3
+    );
+    cagnet_bench::emit_json(&[row]);
+}

@@ -1,0 +1,47 @@
+//! Emit a Chrome-trace (Perfetto) JSON of one 2D training epoch: a Gantt
+//! chart of SUMMA stages, reductions, kernels, and barrier waits per rank
+//! on the modeled clock.
+//!
+//! Run with:
+//! `cargo run --release -p cagnet-bench --bin trace [-- <out.json> [P]]`
+//! then open the file at <https://ui.perfetto.dev>.
+
+use cagnet_comm::{trace::to_chrome_json, Cluster, CostModel};
+use cagnet_core::dist::twodim::TwoDimTrainer;
+use cagnet_core::trainer::TwoDimConfig;
+use cagnet_core::{GcnConfig, Problem};
+use cagnet_sparse::generate::{rmat_symmetric, RmatParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args.first().cloned().unwrap_or_else(|| "trace.json".into());
+    let p: usize = args.get(1).map(|s| s.parse().expect("bad P")).unwrap_or(16);
+
+    const F: usize = 64;
+    let g = rmat_symmetric(10, 12, RmatParams::default(), 97);
+    let problem = Problem::synthetic(&g, F, 16, 1.0, 98);
+    let gcn = GcnConfig::three_layer(F, 16, 16);
+
+    let traces: Vec<Vec<cagnet_comm::trace::TraceEvent>> = Cluster::new(p)
+        .with_model(CostModel::summit_like())
+        .run(|ctx| {
+            let mut t = TwoDimTrainer::setup(ctx, &problem, &gcn, TwoDimConfig::default());
+            ctx.enable_tracing();
+            t.epoch(ctx);
+            ctx.take_trace()
+        })
+        .into_iter()
+        .map(|(tr, _)| tr)
+        .collect();
+
+    let events: usize = traces.iter().map(Vec::len).sum();
+    let json = to_chrome_json(&traces);
+    std::fs::write(&out_path, &json).expect("write trace file");
+    println!(
+        "wrote {} events from {} ranks ({} bytes) to {out_path}",
+        events,
+        p,
+        json.len()
+    );
+    println!("open it at https://ui.perfetto.dev or chrome://tracing");
+}

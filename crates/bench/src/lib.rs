@@ -1,0 +1,229 @@
+//! # cagnet-bench
+//!
+//! Benchmark harness reproducing every table and figure of the paper's
+//! evaluation (§V–§VI), plus the analysis-section comparisons:
+//!
+//! | binary        | reproduces                                        |
+//! |---------------|---------------------------------------------------|
+//! | `table6`      | Table VI — dataset characteristics                |
+//! | `figure2`     | Figure 2 — 2D epoch throughput vs device count    |
+//! | `figure3`     | Figure 3 — per-epoch time breakdown               |
+//! | `comm_volume` | §IV cost analysis — measured vs closed-form words |
+//! | `edgecut`     | §IV-A.8 — partitioner vs random distribution      |
+//!
+//! Criterion benches (`cargo bench`) cover the local kernels, the
+//! simulated collectives, whole training epochs, and the design-choice
+//! ablations called out in DESIGN.md.
+//!
+//! All binaries print human-readable tables and emit JSON rows (serde) so
+//! EXPERIMENTS.md can quote machine-checked numbers.
+
+use cagnet_comm::{Cat, CostModel, TimelineReport};
+use cagnet_core::trainer::{train_distributed, Algorithm, TrainConfig};
+use cagnet_core::{GcnConfig, Problem};
+use cagnet_sparse::datasets::{self, Dataset, DatasetSpec};
+use serde::Serialize;
+
+/// Laptop-scale instantiations of the paper's three datasets. The
+/// scale-down divisors land each instance at 4–8k vertices; degree caps
+/// keep the heavy graphs (Reddit d≈493, Protein d≈121) tractable while
+/// preserving their ordering (Reddit densest, Amazon sparsest).
+pub fn bench_dataset(spec: &DatasetSpec) -> Dataset {
+    let (scale_down, max_degree) = match spec.name {
+        "reddit" => (14, 96),  // ~16k vertices, heavy degree + wide f
+        "amazon" => (288, 25), // ~32k vertices, paper degree ~24.6
+        "protein" => (267, 48),
+        other => panic!("unknown dataset {other}"),
+    };
+    datasets::generate(spec, scale_down, max_degree, 0xBE7C)
+}
+
+/// Cost model for the Figure 2/3 reproductions.
+///
+/// Scaling the datasets down by 14–288x shrinks every per-broadcast
+/// payload by the same factor while α is a property of the network, which
+/// would artificially push *all* configurations into the latency-bound
+/// regime. To keep the latency:bandwidth balance of each collective at
+/// our scale comparable to the paper's at full scale, the figure harness
+/// uses a proportionally smaller α (7 µs — NVLink/NCCL-class) with the
+/// Summit-like bandwidth and kernel rates unchanged. EXPERIMENTS.md
+/// discusses this renormalization and shows the unscaled-α numbers too.
+pub fn figure_model() -> CostModel {
+    CostModel {
+        alpha: 7e-6,
+        ..CostModel::summit_like()
+    }
+}
+
+/// The GCN configuration the paper trains (3 layers, hidden width 16,
+/// dataset-specific feature/label widths).
+pub fn bench_gcn(ds: &Dataset) -> GcnConfig {
+    GcnConfig::three_layer(ds.spec.features, ds.spec.hidden, ds.spec.labels)
+}
+
+/// The device counts Figure 2/3 report per dataset. (Amazon and Protein
+/// skip small counts because the data does not fit device memory there —
+/// we keep the paper's x-axes.)
+pub fn figure_process_counts(name: &str) -> Vec<usize> {
+    match name {
+        "reddit" => vec![4, 16, 36, 64],
+        "amazon" => vec![16, 36, 64],
+        "protein" => vec![36, 64, 100],
+        other => panic!("unknown dataset {other}"),
+    }
+}
+
+/// One measured configuration of the 2D implementation.
+#[derive(Clone, Debug, Serialize)]
+pub struct EpochRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Simulated device count.
+    pub processes: usize,
+    /// Modeled seconds per epoch (BSP max over ranks).
+    pub epoch_seconds: f64,
+    /// Epochs per second — Figure 2's y-axis.
+    pub epochs_per_second: f64,
+    /// Mean per-rank words moved per epoch, dense payloads.
+    pub dcomm_words: f64,
+    /// Mean per-rank words moved per epoch, sparse payloads.
+    pub scomm_words: f64,
+    /// Per-category modeled seconds per epoch (mean over ranks):
+    /// Figure 3's stacked bars.
+    pub breakdown: Breakdown,
+}
+
+/// Figure 3's five stacked categories (gemm folded into misc exactly as
+/// the paper does).
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct Breakdown {
+    /// Local SpMM seconds.
+    pub spmm: f64,
+    /// Dense communication seconds.
+    pub dcomm: f64,
+    /// Sparse communication seconds.
+    pub scomm: f64,
+    /// Transpose seconds.
+    pub trpose: f64,
+    /// Everything else (GEMM, activations, waits).
+    pub misc: f64,
+}
+
+impl Breakdown {
+    /// Extract the Figure 3 categories from a per-epoch mean report.
+    pub fn from_report(r: &TimelineReport, epochs: usize) -> Breakdown {
+        let e = epochs.max(1) as f64;
+        Breakdown {
+            spmm: r.seconds(Cat::Spmm) / e,
+            dcomm: r.seconds(Cat::DenseComm) / e,
+            scomm: r.seconds(Cat::SparseComm) / e,
+            trpose: r.seconds(Cat::Transpose) / e,
+            misc: (r.seconds(Cat::Misc) + r.seconds(Cat::Gemm)) / e,
+        }
+    }
+
+    /// Sum of all categories.
+    pub fn total(&self) -> f64 {
+        self.spmm + self.dcomm + self.scomm + self.trpose + self.misc
+    }
+}
+
+/// Run `epochs` epochs of `algo` on `p` simulated devices and collect an
+/// [`EpochRow`].
+pub fn measure_epochs(
+    problem: &Problem,
+    gcn: &GcnConfig,
+    dataset: &str,
+    algo: Algorithm,
+    p: usize,
+    epochs: usize,
+    model: CostModel,
+) -> EpochRow {
+    let tc = TrainConfig {
+        epochs,
+        collect_outputs: false,
+        ..Default::default()
+    };
+    let r = train_distributed(problem, gcn, algo, p, model, &tc);
+    let mean = TimelineReport::mean_over(&r.reports);
+    let epoch_seconds = r.epoch_seconds(epochs);
+    EpochRow {
+        dataset: dataset.to_string(),
+        algorithm: algo.name(),
+        processes: p,
+        epoch_seconds,
+        epochs_per_second: 1.0 / epoch_seconds.max(1e-12),
+        dcomm_words: mean.words(Cat::DenseComm) as f64 / epochs as f64,
+        scomm_words: mean.words(Cat::SparseComm) as f64 / epochs as f64,
+        breakdown: Breakdown::from_report(&mean, epochs),
+    }
+}
+
+/// Print rows as a JSON array on the final line (machine-readable trailer
+/// after the human tables).
+pub fn emit_json<T: Serialize>(rows: &[T]) {
+    println!("\nJSON: {}", serde_json::to_string(rows).expect("serialize"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cagnet_core::trainer::Algorithm;
+    use cagnet_core::Problem;
+    use cagnet_sparse::datasets;
+
+    #[test]
+    fn breakdown_totals_and_mapping() {
+        let mut t = cagnet_comm::Timeline::new();
+        t.charge(Cat::Spmm, 2.0);
+        t.charge(Cat::Gemm, 1.0);
+        t.charge(Cat::Misc, 0.5);
+        t.charge(Cat::DenseComm, 3.0);
+        let b = Breakdown::from_report(&t.report(), 2);
+        assert!((b.spmm - 1.0).abs() < 1e-12);
+        // Gemm folds into misc, exactly as the paper reports Figure 3.
+        assert!((b.misc - 0.75).abs() < 1e-12);
+        assert!((b.dcomm - 1.5).abs() < 1e-12);
+        assert!((b.total() - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure_process_counts_match_paper_axes() {
+        assert_eq!(figure_process_counts("reddit"), vec![4, 16, 36, 64]);
+        assert_eq!(figure_process_counts("amazon"), vec![16, 36, 64]);
+        assert_eq!(figure_process_counts("protein"), vec![36, 64, 100]);
+    }
+
+    #[test]
+    fn bench_datasets_have_paper_widths() {
+        for spec in &datasets::ALL {
+            let ds = bench_dataset(spec);
+            let gcn = bench_gcn(&ds);
+            assert_eq!(gcn.dims[0], spec.features);
+            assert_eq!(*gcn.dims.last().unwrap(), spec.labels);
+            assert!(ds.vertices >= 4096);
+        }
+    }
+
+    #[test]
+    fn measure_epochs_smoke() {
+        let ds = datasets::generate(&datasets::AMAZON, 8192, 8, 1);
+        let problem = Problem::from_dataset(&ds, 2);
+        let gcn = bench_gcn(&ds);
+        let row = measure_epochs(
+            &problem,
+            &gcn,
+            "amazon",
+            Algorithm::TwoD,
+            4,
+            1,
+            CostModel::summit_like(),
+        );
+        assert!(row.epoch_seconds > 0.0);
+        assert!(row.dcomm_words > 0.0);
+        assert!(row.breakdown.total() > 0.0);
+        assert_eq!(row.processes, 4);
+    }
+}

@@ -1,0 +1,246 @@
+//! Simulated cluster driver: spawn `P` ranks as threads and run a closure
+//! on each, returning per-rank results plus timeline reports.
+//!
+//! This replaces the paper's `torch.distributed` process group: ranks are
+//! OS threads, "GPUs" are the rank-local kernels, and the interconnect is
+//! the α–β model. One rank per simulated GPU, exactly like the paper's one
+//! process per GPU on Summit.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::comm::{Communicator, Registry};
+use crate::cost::{Cat, CostModel};
+use crate::timeline::{Meter, Timeline, TimelineReport};
+
+/// Per-rank execution context handed to the rank closure.
+pub struct Ctx {
+    /// This rank's id in `0..size`.
+    pub rank: usize,
+    /// Total rank count.
+    pub size: usize,
+    /// World communicator over all ranks.
+    pub world: Communicator,
+    meter: Rc<RefCell<Meter>>,
+}
+
+impl Ctx {
+    /// Charge `dt` modeled seconds to `cat` on this rank.
+    pub fn charge(&self, cat: Cat, dt: f64) {
+        self.meter.borrow_mut().timeline.charge(cat, dt);
+    }
+
+    /// Charge a local SpMM (`nnz` entries over `rows` rows, dense operand
+    /// `width` columns wide) under [`Cat::Spmm`].
+    pub fn charge_spmm(&self, nnz: usize, rows: usize, width: usize) {
+        self.meter.borrow_mut().charge_spmm(nnz, rows, width);
+    }
+
+    /// Charge a local `m x k · k x n` GEMM under [`Cat::Gemm`].
+    pub fn charge_gemm(&self, m: usize, k: usize, n: usize) {
+        self.meter.borrow_mut().charge_gemm(m, k, n);
+    }
+
+    /// Charge a transpose of `nnz` entries under [`Cat::Transpose`].
+    pub fn charge_transpose(&self, nnz: usize) {
+        self.meter.borrow_mut().charge_transpose(nnz);
+    }
+
+    /// Charge elementwise work over `n` elements under [`Cat::Misc`].
+    pub fn charge_elementwise(&self, n: usize) {
+        self.meter.borrow_mut().charge_elementwise(n);
+    }
+
+    /// Current modeled clock of this rank.
+    pub fn clock(&self) -> f64 {
+        self.meter.borrow().timeline.clock()
+    }
+
+    /// Snapshot this rank's timeline.
+    pub fn report(&self) -> TimelineReport {
+        self.meter.borrow().timeline.report()
+    }
+
+    /// Reset this rank's timeline (e.g., after warm-up epochs). Callers
+    /// should barrier first so all ranks reset at a common point.
+    pub fn reset_timeline(&self) {
+        self.meter.borrow_mut().timeline.reset();
+    }
+
+    /// Start recording a per-rank execution trace (see
+    /// [`crate::trace::to_chrome_json`]).
+    pub fn enable_tracing(&self) {
+        self.meter.borrow_mut().timeline.enable_tracing();
+    }
+
+    /// Take the recorded trace events.
+    pub fn take_trace(&self) -> Vec<crate::trace::TraceEvent> {
+        self.meter.borrow_mut().timeline.take_trace()
+    }
+
+    /// The cost model in effect.
+    pub fn model(&self) -> Arc<CostModel> {
+        self.meter.borrow().model.clone()
+    }
+}
+
+/// Builder/driver for a simulated cluster run.
+///
+/// ```
+/// use cagnet_comm::{Cat, Cluster};
+/// // Sum each rank's id with an all-reduce on a 4-rank cluster.
+/// let results = Cluster::new(4).run(|ctx| {
+///     ctx.world.allreduce_scalar(ctx.rank as f64, Cat::DenseComm)
+/// });
+/// for (sum, report) in results {
+///     assert_eq!(sum, 6.0);
+///     assert!(report.clock > 0.0); // α–β time was charged
+/// }
+/// ```
+pub struct Cluster {
+    size: usize,
+    model: Arc<CostModel>,
+    timeout: Duration,
+}
+
+impl Cluster {
+    /// A cluster of `size` ranks with the default (Summit-like) cost model.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "cluster needs at least one rank");
+        Cluster {
+            size,
+            model: Arc::new(CostModel::summit_like()),
+            timeout: Duration::from_secs(120),
+        }
+    }
+
+    /// Use a specific cost model.
+    pub fn with_model(mut self, model: CostModel) -> Self {
+        self.model = Arc::new(model);
+        self
+    }
+
+    /// Override the collective-deadlock timeout (mainly for tests).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Run `f` on every rank; returns `(result, timeline report)` per rank,
+    /// indexed by rank.
+    ///
+    /// # Panics
+    /// Propagates the first rank panic (including collective-deadlock
+    /// detection panics).
+    pub fn run<R, F>(&self, f: F) -> Vec<(R, TimelineReport)>
+    where
+        R: Send,
+        F: Fn(&mut Ctx) -> R + Send + Sync,
+    {
+        let registry = Arc::new(Registry::new(self.timeout));
+        let world_inner = registry.fresh_world(self.size);
+        let size = self.size;
+        let model = self.model.clone();
+        let f = &f;
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(size);
+            for rank in 0..size {
+                let registry = registry.clone();
+                let world_inner = world_inner.clone();
+                let model = model.clone();
+                handles.push(scope.spawn(move || {
+                    let meter = Rc::new(RefCell::new(Meter {
+                        model,
+                        timeline: Timeline::new(),
+                    }));
+                    let world = Communicator::new_world(
+                        registry,
+                        world_inner,
+                        size,
+                        rank,
+                        meter.clone(),
+                    );
+                    let mut ctx = Ctx {
+                        rank,
+                        size,
+                        world,
+                        meter: meter.clone(),
+                    };
+                    let out = f(&mut ctx);
+                    let report = meter.borrow().timeline.report();
+                    (out, report)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(e) => std::panic::resume_unwind(e),
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_see_their_ids() {
+        let results = Cluster::new(5).run(|ctx| (ctx.rank, ctx.size));
+        for (rank, ((r, s), _)) in results.iter().enumerate() {
+            assert_eq!(*r, rank);
+            assert_eq!(*s, 5);
+        }
+    }
+
+    #[test]
+    fn reports_capture_charges() {
+        let results = Cluster::new(2).run(|ctx| {
+            ctx.charge(Cat::Spmm, 1.0);
+            ctx.charge_gemm(10, 10, 10);
+        });
+        for (_, rep) in results {
+            assert_eq!(rep.seconds(Cat::Spmm), 1.0);
+            assert!(rep.seconds(Cat::Gemm) > 0.0);
+            assert!(rep.clock > 1.0);
+        }
+    }
+
+    #[test]
+    fn reset_clears_timeline() {
+        let results = Cluster::new(2).run(|ctx| {
+            ctx.charge(Cat::Spmm, 2.0);
+            ctx.world.barrier();
+            ctx.reset_timeline();
+            ctx.charge(Cat::Gemm, 0.5);
+            ctx.report()
+        });
+        for (rep, _) in results {
+            assert_eq!(rep.seconds(Cat::Spmm), 0.0);
+            assert_eq!(rep.seconds(Cat::Gemm), 0.5);
+            assert_eq!(rep.clock, 0.5);
+        }
+    }
+
+    #[test]
+    fn charged_compute_is_modeled_not_wallclock() {
+        // A 1-flop charge must not cost wall time proportional to model
+        // time: just verify the modeled clock is tiny but nonzero.
+        let results = Cluster::new(1).run(|ctx| {
+            ctx.charge_gemm(1, 1, 1);
+            ctx.clock()
+        });
+        assert!(results[0].0 > 0.0 && results[0].0 < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Cluster::new(0);
+    }
+}

@@ -1,0 +1,733 @@
+//! MPI-style communicators over shared memory.
+//!
+//! Every rank of a simulated cluster holds a [`Communicator`] handle per
+//! process group (world, grid row, grid column, fiber, ...). Collectives
+//! are **bulk-synchronous**: all members must call the same collectives in
+//! the same order, exactly as the paper's NCCL-backed implementation
+//! requires. Payloads move as `Arc`s through a generation-keyed mailbox,
+//! so "communication" is a pointer copy — all *costs* are charged through
+//! the α–β model of [`crate::cost::CostModel`] onto each rank's
+//! [`crate::timeline::Timeline`].
+//!
+//! Collective time semantics (BSP): on completion every participant's
+//! clock becomes `max(entry clocks) + modeled collective cost`, and the
+//! bandwidth-term word count is recorded under the caller-supplied
+//! category ([`Cat::DenseComm`] or [`Cat::SparseComm`]).
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::cost::{Cat, CommWords, CostModel};
+use crate::timeline::Meter;
+use cagnet_dense::Mat;
+use cagnet_sparse::partition::block_range;
+
+type Payload = Arc<dyn Any + Send + Sync>;
+
+struct CallSlot {
+    deposits: Vec<Option<(f64, Payload)>>,
+    arrived: usize,
+    consumed: usize,
+}
+
+/// State shared by all member threads of one communicator.
+pub(crate) struct CommInner {
+    id: u64,
+    size: usize,
+    slots: Mutex<HashMap<u64, CallSlot>>,
+    cv: Condvar,
+}
+
+impl CommInner {
+    fn new(id: u64, size: usize) -> Self {
+        CommInner {
+            id,
+            size,
+            slots: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Global registry: creates communicator state on first touch so that
+/// `split` needs no out-of-band coordination.
+pub struct Registry {
+    comms: Mutex<HashMap<(u64, u64, u64), Arc<CommInner>>>,
+    next_id: AtomicU64,
+    /// How long a rank waits at a collective before declaring the program
+    /// deadlocked (collective order mismatch across ranks).
+    pub timeout: Duration,
+}
+
+impl Registry {
+    /// New registry; `timeout` bounds collective waits.
+    pub fn new(timeout: Duration) -> Self {
+        Registry {
+            comms: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            timeout,
+        }
+    }
+
+    pub(crate) fn fresh_world(&self, size: usize) -> Arc<CommInner> {
+        Arc::new(CommInner::new(self.next_id.fetch_add(1, Ordering::Relaxed), size))
+    }
+
+    fn get_or_create(&self, key: (u64, u64, u64), size: usize) -> Arc<CommInner> {
+        let mut comms = self.comms.lock();
+        comms
+            .entry(key)
+            .or_insert_with(|| {
+                Arc::new(CommInner::new(
+                    self.next_id.fetch_add(1, Ordering::Relaxed),
+                    size,
+                ))
+            })
+            .clone()
+    }
+}
+
+/// A per-thread handle to one process group.
+///
+/// Cloning is cheap; the handle is deliberately `!Send` (it carries the
+/// rank-local meter) — create communicators inside the rank closure.
+pub struct Communicator {
+    inner: Arc<CommInner>,
+    registry: Arc<Registry>,
+    /// World ranks of the members, ascending.
+    members: Arc<Vec<usize>>,
+    my_idx: usize,
+    meter: Rc<RefCell<Meter>>,
+    seq: Cell<u64>,
+}
+
+impl Communicator {
+    pub(crate) fn new_world(
+        registry: Arc<Registry>,
+        inner: Arc<CommInner>,
+        size: usize,
+        rank: usize,
+        meter: Rc<RefCell<Meter>>,
+    ) -> Self {
+        Communicator {
+            inner,
+            registry,
+            members: Arc::new((0..size).collect()),
+            my_idx: rank,
+            meter,
+            seq: Cell::new(0),
+        }
+    }
+
+    /// Number of member ranks.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// This rank's index within the communicator (0-based, dense).
+    pub fn my_idx(&self) -> usize {
+        self.my_idx
+    }
+
+    /// World ranks of all members.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// The cost model used for charging.
+    pub fn model(&self) -> Arc<CostModel> {
+        self.meter.borrow().model.clone()
+    }
+
+    fn next_seq(&self) -> u64 {
+        let s = self.seq.get();
+        self.seq.set(s + 1);
+        s
+    }
+
+    /// Core rendezvous: deposit `payload`, wait for all members, return all
+    /// deposits (in member order) and the maximum entry clock.
+    fn exchange_raw(&self, payload: Payload) -> (Vec<Payload>, f64) {
+        let size = self.size();
+        let entry = self.meter.borrow().timeline.clock();
+        if size == 1 {
+            return (vec![payload], entry);
+        }
+        let seq = self.next_seq();
+        let mut slots = self.inner.slots.lock();
+        {
+            let slot = slots.entry(seq).or_insert_with(|| CallSlot {
+                deposits: vec![None; size],
+                arrived: 0,
+                consumed: 0,
+            });
+            assert!(
+                slot.deposits[self.my_idx].is_none(),
+                "rank deposited twice at comm {} seq {seq} — collective misuse",
+                self.inner.id
+            );
+            slot.deposits[self.my_idx] = Some((entry, payload));
+            slot.arrived += 1;
+            if slot.arrived == size {
+                self.inner.cv.notify_all();
+            }
+        }
+        // Wait for the full group.
+        loop {
+            let ready = slots.get(&seq).map(|s| s.arrived == size).unwrap_or(false);
+            if ready {
+                break;
+            }
+            let timed_out = self
+                .inner
+                .cv
+                .wait_for(&mut slots, self.registry.timeout)
+                .timed_out();
+            if timed_out {
+                let arrived = slots.get(&seq).map(|s| s.arrived).unwrap_or(0);
+                panic!(
+                    "collective deadlock: comm {} seq {seq}: only {arrived}/{size} ranks \
+                     arrived within {:?} — ranks are calling collectives in different orders",
+                    self.inner.id, self.registry.timeout
+                );
+            }
+        }
+        let (out, tmax, done) = {
+            let slot = slots.get_mut(&seq).expect("slot vanished");
+            let mut out = Vec::with_capacity(size);
+            let mut tmax = f64::NEG_INFINITY;
+            for d in &slot.deposits {
+                let (t, p) = d.as_ref().expect("missing deposit");
+                tmax = tmax.max(*t);
+                out.push(p.clone());
+            }
+            slot.consumed += 1;
+            (out, tmax, slot.consumed == size)
+        };
+        if done {
+            slots.remove(&seq);
+        }
+        drop(slots);
+        (out, tmax)
+    }
+
+    fn downcast<T: Any + Send + Sync>(p: Payload) -> Arc<T> {
+        p.downcast::<T>()
+            .unwrap_or_else(|_| panic!("collective payload type mismatch across ranks"))
+    }
+
+    /// Settle a collective: align the clock to the group max, then charge
+    /// `cost` seconds and `words` bandwidth-term words under `cat`.
+    fn settle(&self, tmax: f64, cat: Cat, cost: f64, words: u64) {
+        let mut m = self.meter.borrow_mut();
+        m.timeline.sync_to(tmax);
+        m.timeline.charge(cat, cost);
+        if words > 0 || cost > 0.0 {
+            m.timeline.record_traffic(cat, words);
+        }
+    }
+
+    /// Barrier across the group.
+    pub fn barrier(&self) {
+        let (_, tmax) = self.exchange_raw(Arc::new(()));
+        let cost = self.model().barrier_time(self.size());
+        self.settle(tmax, Cat::Misc, cost, 0);
+    }
+
+    /// Broadcast from member `root_idx`. The root passes `Some(data)`;
+    /// everyone receives the root's payload.
+    ///
+    /// Charged `α + β·w` (pipelined) or `α·lg p + β·w` per the model.
+    pub fn bcast<T: Any + Send + Sync + CommWords>(
+        &self,
+        root_idx: usize,
+        data: Option<T>,
+        cat: Cat,
+    ) -> Arc<T> {
+        assert!(root_idx < self.size(), "bcast root out of range");
+        assert_eq!(
+            data.is_some(),
+            root_idx == self.my_idx,
+            "bcast: exactly the root must supply data"
+        );
+        let payload: Payload = match data {
+            Some(d) => Arc::new(d),
+            None => Arc::new(()),
+        };
+        let (items, tmax) = self.exchange_raw(payload);
+        let out = Self::downcast::<T>(items[root_idx].clone());
+        let words = out.comm_words();
+        let cost = self.model().bcast_time(self.size(), words);
+        self.settle(tmax, cat, cost, if self.size() > 1 { words } else { 0 });
+        out
+    }
+
+    /// All-gather: every member contributes `data`; returns all
+    /// contributions in member order.
+    pub fn allgather<T: Any + Send + Sync + CommWords>(&self, data: T, cat: Cat) -> Vec<Arc<T>> {
+        let (items, tmax) = self.exchange_raw(Arc::new(data));
+        let out: Vec<Arc<T>> = items.into_iter().map(Self::downcast::<T>).collect();
+        let p = self.size();
+        let total: u64 = out.iter().map(|x| x.comm_words()).sum();
+        let cost = self.model().allgather_time(p, total);
+        let words = if p > 1 { total * (p as u64 - 1) / p as u64 } else { 0 };
+        self.settle(tmax, cat, cost, words);
+        out
+    }
+
+    /// All-reduce (sum) of equally-shaped matrices; every rank returns the
+    /// same sum, accumulated in member order (deterministic).
+    pub fn allreduce_mat(&self, m: &Mat, cat: Cat) -> Mat {
+        let (items, tmax) = self.exchange_raw(Arc::new(m.clone()));
+        let mut acc: Option<Mat> = None;
+        for p in items {
+            let part = Self::downcast::<Mat>(p);
+            match &mut acc {
+                None => acc = Some((*part).clone()),
+                Some(a) => cagnet_dense::ops::add_assign(a, &part),
+            }
+        }
+        let out = acc.expect("empty allreduce");
+        let p = self.size();
+        let w = out.len() as u64;
+        let cost = self.model().allreduce_time(p, w);
+        let words = if p > 1 { 2 * w * (p as u64 - 1) / p as u64 } else { 0 };
+        self.settle(tmax, cat, cost, words);
+        out
+    }
+
+    /// All-reduce (sum) of scalars.
+    pub fn allreduce_scalar(&self, x: f64, cat: Cat) -> f64 {
+        let (items, tmax) = self.exchange_raw(Arc::new(x));
+        let sum: f64 = items.into_iter().map(|p| *Self::downcast::<f64>(p)).sum();
+        let cost = self.model().allreduce_time(self.size(), 1);
+        self.settle(tmax, cat, cost, if self.size() > 1 { 2 } else { 0 });
+        sum
+    }
+
+    /// Reduce-scatter over block rows: every member contributes an equally
+    /// shaped `n x f` matrix; member `i` receives row block `i` (balanced
+    /// block distribution) of the elementwise sum.
+    ///
+    /// This is the primitive of the 1D backward pass (§IV-A.3): the
+    /// low-rank outer products `A_i G_i` are reduce-scattered into block
+    /// rows.
+    pub fn reduce_scatter_rows(&self, m: &Mat, cat: Cat) -> Mat {
+        let p = self.size();
+        let (items, tmax) = self.exchange_raw(Arc::new(m.clone()));
+        let mats: Vec<Arc<Mat>> = items.into_iter().map(Self::downcast::<Mat>).collect();
+        let (r0, r1) = block_range(m.rows(), p, self.my_idx);
+        let mut out = Mat::zeros(r1 - r0, m.cols());
+        for part in &mats {
+            assert_eq!(part.shape(), m.shape(), "reduce_scatter shape mismatch");
+            for (oi, gi) in (r0..r1).enumerate() {
+                let dst = out.row_mut(oi);
+                for (d, s) in dst.iter_mut().zip(part.row(gi)) {
+                    *d += s;
+                }
+            }
+        }
+        let w = m.len() as u64;
+        let cost = self.model().reduce_scatter_time(p, w);
+        let words = if p > 1 { w * (p as u64 - 1) / p as u64 } else { 0 };
+        self.settle(tmax, cat, cost, words);
+        out
+    }
+
+    /// All-to-all personalized exchange: `parts[j]` is sent to member `j`;
+    /// returns what each member sent to me, in member order. `parts` must
+    /// have exactly `size` entries.
+    pub fn alltoall<T: Any + Send + Sync + CommWords + Clone>(
+        &self,
+        parts: Vec<T>,
+        cat: Cat,
+    ) -> Vec<T> {
+        assert_eq!(parts.len(), self.size(), "alltoall needs one part per member");
+        let (items, tmax) = self.exchange_raw(Arc::new(parts));
+        let all: Vec<Arc<Vec<T>>> = items.into_iter().map(Self::downcast::<Vec<T>>).collect();
+        let out: Vec<T> = all.iter().map(|v| v[self.my_idx].clone()).collect();
+        let p = self.size();
+        let recv_words: u64 = out
+            .iter()
+            .enumerate()
+            .filter(|(src, _)| *src != self.my_idx)
+            .map(|(_, x)| x.comm_words())
+            .sum();
+        let cost = if p > 1 {
+            self.model().alpha * (p - 1) as f64 + self.model().beta * recv_words as f64
+        } else {
+            0.0
+        };
+        self.settle(tmax, cat, cost, recv_words);
+        out
+    }
+
+    /// Gather: every member contributes; only `root_idx` receives the
+    /// full vector (others get `None`). Charged like an all-gather's
+    /// bandwidth at the root, `α + β·w` at leaves.
+    pub fn gather<T: Any + Send + Sync + CommWords>(
+        &self,
+        root_idx: usize,
+        data: T,
+        cat: Cat,
+    ) -> Option<Vec<Arc<T>>> {
+        assert!(root_idx < self.size(), "gather root out of range");
+        let (items, tmax) = self.exchange_raw(Arc::new(data));
+        let out: Vec<Arc<T>> = items.into_iter().map(Self::downcast::<T>).collect();
+        let p = self.size();
+        let total: u64 = out.iter().map(|x| x.comm_words()).sum();
+        let mine = out[self.my_idx].comm_words();
+        let (cost, words) = if p <= 1 {
+            (0.0, 0)
+        } else if self.my_idx == root_idx {
+            (
+                self.model().allgather_time(p, total),
+                total - mine,
+            )
+        } else {
+            (self.model().p2p_time(mine), mine)
+        };
+        self.settle(tmax, cat, cost, words);
+        (self.my_idx == root_idx).then_some(out)
+    }
+
+    /// Scatter: `root_idx` supplies one part per member (`Some(parts)` of
+    /// length `size`); every member receives its part.
+    pub fn scatter<T: Any + Send + Sync + CommWords + Clone>(
+        &self,
+        root_idx: usize,
+        parts: Option<Vec<T>>,
+        cat: Cat,
+    ) -> T {
+        assert!(root_idx < self.size(), "scatter root out of range");
+        assert_eq!(
+            parts.is_some(),
+            root_idx == self.my_idx,
+            "scatter: exactly the root must supply parts"
+        );
+        if let Some(p) = &parts {
+            assert_eq!(p.len(), self.size(), "scatter needs one part per member");
+        }
+        let payload: Payload = match parts {
+            Some(p) => Arc::new(p),
+            None => Arc::new(()),
+        };
+        let (items, tmax) = self.exchange_raw(payload);
+        let all = Self::downcast::<Vec<T>>(items[root_idx].clone());
+        let mine = all[self.my_idx].clone();
+        let p = self.size();
+        let (cost, words) = if p <= 1 {
+            (0.0, 0)
+        } else if self.my_idx == root_idx {
+            let total: u64 = all
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != root_idx)
+                .map(|(_, x)| x.comm_words())
+                .sum();
+            (self.model().allgather_time(p, total), total)
+        } else {
+            let w = mine.comm_words();
+            (self.model().p2p_time(w), w)
+        };
+        self.settle(tmax, cat, cost, words);
+        mine
+    }
+
+    /// Paired point-to-point exchange: send `outgoing` to `partner_idx`
+    /// and receive its message. Both partners must call this at the same
+    /// collective step; the rest of the group passes `None` as partner
+    /// and participates only in the rendezvous (zero payload, zero
+    /// charge).
+    ///
+    /// This is the bulk-synchronous send/recv used e.g. for pairwise
+    /// block swaps in a distributed transpose (§IV-A.7).
+    pub fn sendrecv<T: Any + Send + Sync + CommWords>(
+        &self,
+        partner_idx: Option<usize>,
+        outgoing: Option<T>,
+        cat: Cat,
+    ) -> Option<Arc<T>> {
+        assert_eq!(
+            partner_idx.is_some(),
+            outgoing.is_some(),
+            "sendrecv: payload must accompany a partner"
+        );
+        let payload: Payload = match outgoing {
+            Some(d) => Arc::new(d),
+            None => Arc::new(()),
+        };
+        let (items, tmax) = self.exchange_raw(payload);
+        match partner_idx {
+            Some(partner) => {
+                assert!(partner < self.size(), "sendrecv partner out of range");
+                let msg = Self::downcast::<T>(items[partner].clone());
+                let words = msg.comm_words();
+                let cost = self.model().p2p_time(words);
+                self.settle(tmax, cat, cost, words);
+                Some(msg)
+            }
+            None => {
+                self.settle(tmax, cat, 0.0, 0);
+                None
+            }
+        }
+    }
+
+    /// Split into sub-communicators by color (MPI `comm_split` without the
+    /// key argument: member order within a color follows parent order).
+    pub fn split(&self, color: u64) -> Communicator {
+        let seq_for_key = self.seq.get(); // same at every member pre-exchange
+        let (items, _tmax) = self.exchange_raw(Arc::new(color));
+        let colors: Vec<u64> = items.into_iter().map(|p| *Self::downcast::<u64>(p)).collect();
+        let group: Vec<usize> = (0..self.size())
+            .filter(|&i| colors[i] == color)
+            .map(|i| self.members[i])
+            .collect();
+        let my_pos = group
+            .iter()
+            .position(|&w| w == self.members[self.my_idx])
+            .expect("self not in own split group");
+        let inner = self
+            .registry
+            .get_or_create((self.inner.id, seq_for_key, color), group.len());
+        assert_eq!(inner.size, group.len(), "split group size disagreement");
+        Communicator {
+            inner,
+            registry: self.registry.clone(),
+            members: Arc::new(group),
+            my_idx: my_pos,
+            meter: self.meter.clone(),
+            seq: Cell::new(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+
+    #[test]
+    fn bcast_delivers_root_payload() {
+        let results = Cluster::new(4).run(|ctx| {
+            let data = if ctx.world.my_idx() == 2 {
+                Some(vec![1.0, 2.0, 3.0])
+            } else {
+                None
+            };
+            let got = ctx.world.bcast(2, data, Cat::DenseComm);
+            got.as_ref().clone()
+        });
+        for (r, _) in results {
+            assert_eq!(r, vec![1.0, 2.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn allgather_orders_by_member() {
+        let results = Cluster::new(3).run(|ctx| {
+            let got = ctx
+                .world
+                .allgather(vec![ctx.rank as f64], Cat::DenseComm);
+            got.iter().map(|v| v[0]).collect::<Vec<f64>>()
+        });
+        for (r, _) in results {
+            assert_eq!(r, vec![0.0, 1.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_mat_sums() {
+        let results = Cluster::new(4).run(|ctx| {
+            let m = Mat::filled(2, 2, (ctx.rank + 1) as f64);
+            ctx.world.allreduce_mat(&m, Cat::DenseComm)
+        });
+        for (r, _) in results {
+            assert!(r.approx_eq(&Mat::filled(2, 2, 10.0), 1e-12));
+        }
+    }
+
+    #[test]
+    fn allreduce_scalar_sums() {
+        let results = Cluster::new(5).run(|ctx| {
+            ctx.world.allreduce_scalar(ctx.rank as f64, Cat::DenseComm)
+        });
+        for (r, _) in results {
+            assert_eq!(r, 10.0);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_rows_gives_block_of_sum() {
+        let results = Cluster::new(2).run(|ctx| {
+            // Both ranks contribute a 4x1 matrix of their rank+1.
+            let m = Mat::filled(4, 1, (ctx.rank + 1) as f64);
+            ctx.world.reduce_scatter_rows(&m, Cat::DenseComm)
+        });
+        // Sum is all-3s; rank 0 gets rows 0..2, rank 1 rows 2..4.
+        for (r, _) in &results {
+            assert_eq!(r.shape(), (2, 1));
+            assert!(r.approx_eq(&Mat::filled(2, 1, 3.0), 1e-12));
+        }
+    }
+
+    #[test]
+    fn alltoall_routes_parts() {
+        let results = Cluster::new(3).run(|ctx| {
+            let parts: Vec<f64> = (0..3).map(|j| (ctx.rank * 10 + j) as f64).collect();
+            ctx.world.alltoall(parts, Cat::DenseComm)
+        });
+        for (rank, (r, _)) in results.iter().enumerate() {
+            // From src j I receive j*10 + my_rank.
+            let expect: Vec<f64> = (0..3).map(|j| (j * 10 + rank) as f64).collect();
+            assert_eq!(*r, expect);
+        }
+    }
+
+    #[test]
+    fn split_forms_correct_groups() {
+        let results = Cluster::new(6).run(|ctx| {
+            let color = (ctx.rank % 2) as u64;
+            let sub = ctx.world.split(color);
+            // Members of my subgroup, via allgather on the subgroup.
+            let got = sub.allgather(vec![ctx.rank as f64], Cat::DenseComm);
+            (
+                sub.size(),
+                sub.my_idx(),
+                got.iter().map(|v| v[0] as usize).collect::<Vec<_>>(),
+            )
+        });
+        for (rank, ((size, idx, members), _)) in results.iter().enumerate() {
+            assert_eq!(*size, 3);
+            let expect: Vec<usize> = (0..6).filter(|r| r % 2 == rank % 2).collect();
+            assert_eq!(*members, expect);
+            assert_eq!(expect[*idx], rank);
+        }
+    }
+
+    #[test]
+    fn gather_collects_at_root_only() {
+        let results = Cluster::new(4).run(|ctx| {
+            let got = ctx.world.gather(1, vec![ctx.rank as f64], Cat::DenseComm);
+            got.map(|v| v.iter().map(|x| x[0]).collect::<Vec<f64>>())
+        });
+        for (rank, (r, _)) in results.iter().enumerate() {
+            if rank == 1 {
+                assert_eq!(r.as_deref(), Some(&[0.0, 1.0, 2.0, 3.0][..]));
+            } else {
+                assert!(r.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_distributes_parts() {
+        let results = Cluster::new(3).run(|ctx| {
+            let parts = (ctx.rank == 2).then(|| vec![10.0f64, 20.0, 30.0]);
+            ctx.world.scatter(2, parts, Cat::DenseComm)
+        });
+        assert_eq!(results[0].0, 10.0);
+        assert_eq!(results[1].0, 20.0);
+        assert_eq!(results[2].0, 30.0);
+    }
+
+    #[test]
+    fn sendrecv_pairs_exchange() {
+        let results = Cluster::new(4).run(|ctx| {
+            // 0<->1 swap; 2 and 3 sit out.
+            let partner = match ctx.rank {
+                0 => Some(1),
+                1 => Some(0),
+                _ => None,
+            };
+            let payload = partner.map(|_| vec![ctx.rank as f64 * 100.0]);
+            ctx.world
+                .sendrecv(partner, payload, Cat::DenseComm)
+                .map(|m| m[0])
+        });
+        assert_eq!(results[0].0, Some(100.0));
+        assert_eq!(results[1].0, Some(0.0));
+        assert_eq!(results[2].0, None);
+        assert_eq!(results[3].0, None);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let results = Cluster::new(4).run(|ctx| {
+            let gathered = ctx.world.gather(0, vec![(ctx.rank + 1) as f64], Cat::DenseComm);
+            let parts = gathered.map(|g| g.iter().map(|v| v.as_ref().clone()).collect::<Vec<_>>());
+            let back = ctx.world.scatter(0, parts, Cat::DenseComm);
+            back[0]
+        });
+        for (rank, (r, _)) in results.iter().enumerate() {
+            assert_eq!(*r, (rank + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn bsp_clock_takes_group_max() {
+        let results = Cluster::new(2).run(|ctx| {
+            // Rank 1 does more local work before the barrier.
+            if ctx.rank == 1 {
+                ctx.charge(Cat::Misc, 5.0);
+            }
+            ctx.world.barrier();
+            ctx.clock()
+        });
+        let barrier_cost = CostModel::summit_like().barrier_time(2);
+        for (clock, _) in results {
+            assert!((clock - (5.0 + barrier_cost)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn traffic_words_match_formulas() {
+        let results = Cluster::new(4).run(|ctx| {
+            let data = if ctx.rank == 0 {
+                Some(Mat::zeros(10, 10))
+            } else {
+                None
+            };
+            ctx.world.bcast(0, data, Cat::DenseComm);
+            ctx.report()
+        });
+        for (rep, _) in results {
+            assert_eq!(rep.words(Cat::DenseComm), 100);
+            assert_eq!(rep.messages(Cat::DenseComm), 1);
+        }
+    }
+
+    #[test]
+    fn single_rank_runs_without_cost() {
+        let results = Cluster::new(1).run(|ctx| {
+            ctx.world.barrier();
+            let m = ctx.world.allreduce_mat(&Mat::filled(2, 2, 3.0), Cat::DenseComm);
+            (m, ctx.clock())
+        });
+        let ((m, clock), rep) = &results[0];
+        assert!(m.approx_eq(&Mat::filled(2, 2, 3.0), 0.0));
+        assert_eq!(*clock, 0.0);
+        assert_eq!(rep.comm_words(), 0);
+    }
+
+    #[test]
+    fn deadlock_detection_panics() {
+        let cluster = Cluster::new(2).with_timeout(Duration::from_millis(100));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cluster.run(|ctx| {
+                if ctx.rank == 0 {
+                    ctx.world.barrier(); // rank 1 never joins
+                }
+            })
+        }));
+        assert!(result.is_err(), "mismatched collectives must panic");
+    }
+}

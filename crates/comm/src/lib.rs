@@ -1,0 +1,29 @@
+//! # cagnet-comm
+//!
+//! A deterministic simulated distributed runtime: `P` ranks as threads,
+//! MPI-style communicators with split, bulk-synchronous collectives
+//! (broadcast, all-gather, all-reduce, reduce-scatter, all-to-all,
+//! barrier), 2D/3D process grids, and an α–β + local-kernel cost model
+//! that meters every operation onto per-rank timelines.
+//!
+//! This substrate replaces the paper's Summit + NCCL + torch.distributed
+//! stack (see DESIGN.md §1 for the substitution argument): the algorithms
+//! execute their real data movement through shared memory, while modeled
+//! time and word counters reproduce the quantities the paper analyzes and
+//! plots.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod comm;
+pub mod cost;
+pub mod grid;
+pub mod timeline;
+pub mod trace;
+
+pub use cluster::{Cluster, Ctx};
+pub use comm::Communicator;
+pub use cost::{Cat, CommWords, CostModel};
+pub use grid::{Grid2D, Grid3D};
+pub use timeline::{Timeline, TimelineReport};

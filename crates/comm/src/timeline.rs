@@ -1,0 +1,320 @@
+//! Per-rank modeled-time accounting.
+//!
+//! Every rank carries a [`Timeline`]: a bulk-synchronous-parallel clock
+//! plus per-category accumulators of modeled seconds, words moved, and
+//! message counts. Collectives synchronize the clock to the maximum entry
+//! time across participants before adding the collective's modeled cost —
+//! which makes an epoch's final clock exactly the BSP bound
+//! `Σ_phases max_ranks (compute + comm)` that governs the runtime of the
+//! paper's bulk-synchronous implementation (§IV-A.8 discusses precisely
+//! this max-vs-total distinction).
+
+use crate::cost::{Cat, CostModel, ALL_CATS};
+use crate::trace::TraceEvent;
+
+/// Modeled-time ledger for one rank.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    clock: f64,
+    seconds: [f64; 6],
+    words: [u64; 6],
+    messages: [u64; 6],
+    /// When `Some`, every charge/wait is recorded as a trace event.
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl Timeline {
+    /// Fresh timeline at clock 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current BSP clock (seconds).
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Advance the clock by `dt` seconds, attributing them to `cat`.
+    pub fn charge(&mut self, cat: Cat, dt: f64) {
+        debug_assert!(dt >= 0.0, "negative charge");
+        if let Some(tr) = &mut self.trace {
+            if dt > 0.0 {
+                tr.push(TraceEvent {
+                    name: cat.label(),
+                    cat,
+                    start: self.clock,
+                    end: self.clock + dt,
+                });
+            }
+        }
+        self.clock += dt;
+        self.seconds[cat.index()] += dt;
+    }
+
+    /// Start recording trace events (see [`crate::trace`]).
+    pub fn enable_tracing(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// Take the recorded trace (empty if tracing was never enabled).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Record `w` words moved and one message under `cat` (bookkeeping
+    /// only; time is charged separately via [`Timeline::charge`]).
+    pub fn record_traffic(&mut self, cat: Cat, w: u64) {
+        self.words[cat.index()] += w;
+        self.messages[cat.index()] += 1;
+    }
+
+    /// Synchronize the clock up to `t` (BSP max at a collective); no-op if
+    /// already past `t`.
+    pub fn sync_to(&mut self, t: f64) {
+        if t > self.clock {
+            // Waiting-at-barrier time is attributed to Misc: it is load
+            // imbalance, not any kernel.
+            if let Some(tr) = &mut self.trace {
+                tr.push(TraceEvent {
+                    name: "wait",
+                    cat: Cat::Misc,
+                    start: self.clock,
+                    end: t,
+                });
+            }
+            self.seconds[Cat::Misc.index()] += t - self.clock;
+            self.clock = t;
+        }
+    }
+
+    /// Seconds attributed to a category.
+    pub fn seconds(&self, cat: Cat) -> f64 {
+        self.seconds[cat.index()]
+    }
+
+    /// Words moved under a category.
+    pub fn words(&self, cat: Cat) -> u64 {
+        self.words[cat.index()]
+    }
+
+    /// Messages counted under a category.
+    pub fn messages(&self, cat: Cat) -> u64 {
+        self.messages[cat.index()]
+    }
+
+    /// Total communication words (dense + sparse).
+    pub fn comm_words(&self) -> u64 {
+        self.words(Cat::DenseComm) + self.words(Cat::SparseComm)
+    }
+
+    /// Immutable snapshot for reporting.
+    pub fn report(&self) -> TimelineReport {
+        TimelineReport {
+            clock: self.clock,
+            seconds: self.seconds,
+            words: self.words,
+            messages: self.messages,
+        }
+    }
+
+    /// Reset all accumulators (used between warmup and measured epochs).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Plain-data snapshot of a [`Timeline`], returned from cluster runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TimelineReport {
+    /// Final BSP clock.
+    pub clock: f64,
+    seconds: [f64; 6],
+    words: [u64; 6],
+    messages: [u64; 6],
+}
+
+impl TimelineReport {
+    /// Seconds attributed to a category.
+    pub fn seconds(&self, cat: Cat) -> f64 {
+        self.seconds[cat.index()]
+    }
+
+    /// Words moved under a category.
+    pub fn words(&self, cat: Cat) -> u64 {
+        self.words[cat.index()]
+    }
+
+    /// Messages counted under a category.
+    pub fn messages(&self, cat: Cat) -> u64 {
+        self.messages[cat.index()]
+    }
+
+    /// Total communication words (dense + sparse).
+    pub fn comm_words(&self) -> u64 {
+        self.words(Cat::DenseComm) + self.words(Cat::SparseComm)
+    }
+
+    /// Elementwise-maximum reduction over per-rank reports: max clock and
+    /// per-category maxima — the "slowest rank" view.
+    pub fn max_over(reports: &[TimelineReport]) -> TimelineReport {
+        let mut out = TimelineReport::default();
+        for r in reports {
+            out.clock = out.clock.max(r.clock);
+            for c in ALL_CATS {
+                let i = c.index();
+                out.seconds[i] = out.seconds[i].max(r.seconds[i]);
+                out.words[i] = out.words[i].max(r.words[i]);
+                out.messages[i] = out.messages[i].max(r.messages[i]);
+            }
+        }
+        out
+    }
+
+    /// Mean over per-rank reports (per-category arithmetic means).
+    pub fn mean_over(reports: &[TimelineReport]) -> TimelineReport {
+        let n = reports.len().max(1) as f64;
+        let mut out = TimelineReport::default();
+        for r in reports {
+            out.clock += r.clock / n;
+            for c in ALL_CATS {
+                let i = c.index();
+                out.seconds[i] += r.seconds[i] / n;
+                out.words[i] += r.words[i] / (n as u64).max(1);
+                out.messages[i] += r.messages[i] / (n as u64).max(1);
+            }
+        }
+        out
+    }
+
+    /// Sum over per-rank reports (aggregate traffic view).
+    pub fn sum_over(reports: &[TimelineReport]) -> TimelineReport {
+        let mut out = TimelineReport::default();
+        for r in reports {
+            out.clock += r.clock;
+            for c in ALL_CATS {
+                let i = c.index();
+                out.seconds[i] += r.seconds[i];
+                out.words[i] += r.words[i];
+                out.messages[i] += r.messages[i];
+            }
+        }
+        out
+    }
+}
+
+/// Convenience bundle of a timeline and the model that prices its charges.
+#[derive(Clone, Debug)]
+pub struct Meter {
+    /// Cost model for pricing.
+    pub model: std::sync::Arc<CostModel>,
+    /// The ledger.
+    pub timeline: Timeline,
+}
+
+impl Meter {
+    /// New meter over a model.
+    pub fn new(model: std::sync::Arc<CostModel>) -> Self {
+        Meter {
+            model,
+            timeline: Timeline::new(),
+        }
+    }
+
+    /// Charge a local SpMM (`nnz` stored entries, `rows` rows, dense
+    /// operand `width` columns) under [`Cat::Spmm`].
+    pub fn charge_spmm(&mut self, nnz: usize, rows: usize, width: usize) {
+        let dt = self.model.spmm_time(nnz, rows, width);
+        self.timeline.charge(Cat::Spmm, dt);
+    }
+
+    /// Charge a local GEMM under [`Cat::Gemm`].
+    pub fn charge_gemm(&mut self, m: usize, k: usize, n: usize) {
+        let dt = self.model.gemm_time(m, k, n);
+        self.timeline.charge(Cat::Gemm, dt);
+    }
+
+    /// Charge a transpose of `nnz` entries under [`Cat::Transpose`].
+    pub fn charge_transpose(&mut self, nnz: usize) {
+        let dt = self.model.transpose_time(nnz);
+        self.timeline.charge(Cat::Transpose, dt);
+    }
+
+    /// Charge elementwise work over `n` elements under [`Cat::Misc`].
+    pub fn charge_elementwise(&mut self, n: usize) {
+        let dt = self.model.elementwise_time(n);
+        self.timeline.charge(Cat::Misc, dt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates_clock_and_category() {
+        let mut t = Timeline::new();
+        t.charge(Cat::Spmm, 1.5);
+        t.charge(Cat::DenseComm, 0.5);
+        t.charge(Cat::Spmm, 1.0);
+        assert_eq!(t.clock(), 3.0);
+        assert_eq!(t.seconds(Cat::Spmm), 2.5);
+        assert_eq!(t.seconds(Cat::DenseComm), 0.5);
+    }
+
+    #[test]
+    fn sync_to_only_moves_forward() {
+        let mut t = Timeline::new();
+        t.charge(Cat::Misc, 2.0);
+        t.sync_to(1.0);
+        assert_eq!(t.clock(), 2.0);
+        t.sync_to(5.0);
+        assert_eq!(t.clock(), 5.0);
+        // Wait time lands in Misc.
+        assert_eq!(t.seconds(Cat::Misc), 5.0);
+    }
+
+    #[test]
+    fn traffic_recording() {
+        let mut t = Timeline::new();
+        t.record_traffic(Cat::SparseComm, 100);
+        t.record_traffic(Cat::SparseComm, 50);
+        t.record_traffic(Cat::DenseComm, 10);
+        assert_eq!(t.words(Cat::SparseComm), 150);
+        assert_eq!(t.messages(Cat::SparseComm), 2);
+        assert_eq!(t.comm_words(), 160);
+        // Traffic does not advance the clock.
+        assert_eq!(t.clock(), 0.0);
+    }
+
+    #[test]
+    fn report_reductions() {
+        let mut a = Timeline::new();
+        a.charge(Cat::Spmm, 1.0);
+        a.record_traffic(Cat::DenseComm, 10);
+        let mut b = Timeline::new();
+        b.charge(Cat::Spmm, 3.0);
+        b.record_traffic(Cat::DenseComm, 30);
+        let reports = [a.report(), b.report()];
+        let mx = TimelineReport::max_over(&reports);
+        assert_eq!(mx.clock, 3.0);
+        assert_eq!(mx.words(Cat::DenseComm), 30);
+        let sm = TimelineReport::sum_over(&reports);
+        assert_eq!(sm.words(Cat::DenseComm), 40);
+        assert_eq!(sm.seconds(Cat::Spmm), 4.0);
+        let mean = TimelineReport::mean_over(&reports);
+        assert!((mean.clock - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meter_charges_via_model() {
+        let model = std::sync::Arc::new(CostModel::summit_like());
+        let mut m = Meter::new(model.clone());
+        m.charge_gemm(10, 20, 30);
+        let expect = model.gemm_time(10, 20, 30);
+        assert!((m.timeline.seconds(Cat::Gemm) - expect).abs() < 1e-18);
+        m.charge_spmm(100, 10, 8);
+        assert!(m.timeline.seconds(Cat::Spmm) > 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Execution tracing: per-rank event logs over the modeled clock,
+//! exportable as Chrome trace JSON (`chrome://tracing` /
+//! [Perfetto](https://ui.perfetto.dev)) — a Gantt view of how SUMMA
+//! stages, reductions, and waits interleave across ranks, in model time.
+
+use crate::cost::Cat;
+
+/// One traced interval on a rank's modeled clock.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Event label (category label, or `"wait"` for barrier imbalance).
+    pub name: &'static str,
+    /// Cost category the interval was charged to.
+    pub cat: Cat,
+    /// Start clock (seconds).
+    pub start: f64,
+    /// End clock (seconds).
+    pub end: f64,
+}
+
+impl TraceEvent {
+    /// Interval duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Serialize per-rank event logs into the Chrome trace-event JSON format
+/// (array-of-objects flavor): `pid` 0, one `tid` per rank, timestamps in
+/// microseconds of the modeled clock.
+pub fn to_chrome_json(per_rank: &[Vec<TraceEvent>]) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    for (rank, events) in per_rank.iter().enumerate() {
+        for e in events {
+            if e.duration() <= 0.0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\
+                 \"ts\":{:.3},\"dur\":{:.3}}}",
+                e.name,
+                e.cat.label(),
+                rank,
+                e.start * 1e6,
+                e.duration() * 1e6
+            ));
+        }
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_json_shape() {
+        let events = vec![vec![
+            TraceEvent {
+                name: "spmm",
+                cat: Cat::Spmm,
+                start: 0.0,
+                end: 1e-3,
+            },
+            TraceEvent {
+                name: "wait",
+                cat: Cat::Misc,
+                start: 1e-3,
+                end: 1e-3, // zero-length: skipped
+            },
+        ]];
+        let json = to_chrome_json(&events);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"name\":\"spmm\""));
+        assert!(json.contains("\"dur\":1000.000"));
+        assert!(!json.contains("wait"), "zero-length events are dropped");
+        // Valid JSON (no trailing commas).
+        assert!(!json.contains(",]"));
+    }
+
+    #[test]
+    fn multi_rank_tids() {
+        let ev = |s: f64| TraceEvent {
+            name: "dcomm",
+            cat: Cat::DenseComm,
+            start: s,
+            end: s + 0.5,
+        };
+        let json = to_chrome_json(&[vec![ev(0.0)], vec![ev(1.0)]]);
+        assert!(json.contains("\"tid\":0"));
+        assert!(json.contains("\"tid\":1"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Model checkpointing: save/load a weight stack to a compact binary
+//! file, so a model trained under one geometry can be served later (see
+//! [`crate::trainer::infer_distributed`]) or training can resume.
+//!
+//! Format (all little-endian):
+//!
+//! ```text
+//! magic   8 bytes  "CAGNETW1"
+//! count   u64      number of matrices
+//! per matrix:
+//!   rows  u64
+//!   cols  u64
+//!   data  rows*cols f64
+//! ```
+
+use cagnet_dense::Mat;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"CAGNETW1";
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural failure (bad magic, truncated file, absurd sizes).
+    Format(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "io error: {e}"),
+            CheckpointError::Format(m) => write!(f, "bad checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Write a weight stack to any writer.
+pub fn save_weights<W: Write>(writer: W, weights: &[Mat]) -> Result<(), CheckpointError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    w.write_all(&(weights.len() as u64).to_le_bytes())?;
+    for m in weights {
+        w.write_all(&(m.rows() as u64).to_le_bytes())?;
+        w.write_all(&(m.cols() as u64).to_le_bytes())?;
+        for &x in m.as_slice() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a weight stack from any reader.
+pub fn load_weights<R: Read>(reader: R) -> Result<Vec<Mat>, CheckpointError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)
+        .map_err(|_| CheckpointError::Format("file too short for header".into()))?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::Format("wrong magic bytes".into()));
+    }
+    let count = read_u64(&mut r)? as usize;
+    if count > 1 << 20 {
+        return Err(CheckpointError::Format(format!(
+            "implausible matrix count {count}"
+        )));
+    }
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let rows = read_u64(&mut r)? as usize;
+        let cols = read_u64(&mut r)? as usize;
+        let elems = rows.checked_mul(cols).ok_or_else(|| {
+            CheckpointError::Format(format!("matrix {i}: size overflow"))
+        })?;
+        if elems > 1 << 32 {
+            return Err(CheckpointError::Format(format!(
+                "matrix {i}: implausible size {rows}x{cols}"
+            )));
+        }
+        let mut data = Vec::with_capacity(elems);
+        let mut buf = [0u8; 8];
+        for _ in 0..elems {
+            r.read_exact(&mut buf).map_err(|_| {
+                CheckpointError::Format(format!("matrix {i}: truncated data"))
+            })?;
+            data.push(f64::from_le_bytes(buf));
+        }
+        out.push(Mat::from_vec(rows, cols, data));
+    }
+    // Trailing garbage is a corruption signal.
+    let mut extra = [0u8; 1];
+    if r.read(&mut extra)? != 0 {
+        return Err(CheckpointError::Format("trailing bytes after data".into()));
+    }
+    Ok(out)
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, CheckpointError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)
+        .map_err(|_| CheckpointError::Format("truncated integer".into()))?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Save a weight stack to a file path.
+pub fn save_weights_file<P: AsRef<Path>>(path: P, weights: &[Mat]) -> Result<(), CheckpointError> {
+    save_weights(std::fs::File::create(path)?, weights)
+}
+
+/// Load a weight stack from a file path.
+pub fn load_weights_file<P: AsRef<Path>>(path: P) -> Result<Vec<Mat>, CheckpointError> {
+    load_weights(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cagnet_dense::init::glorot_uniform;
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let weights = vec![
+            glorot_uniform(10, 4, 1),
+            glorot_uniform(4, 4, 2),
+            glorot_uniform(4, 3, 3),
+        ];
+        let mut buf = Vec::new();
+        save_weights(&mut buf, &weights).unwrap();
+        let back = load_weights(&buf[..]).unwrap();
+        assert_eq!(weights.len(), back.len());
+        for (a, b) in weights.iter().zip(&back) {
+            assert_eq!(a, b, "bitwise roundtrip");
+        }
+    }
+
+    #[test]
+    fn roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join("cagnet_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.bin");
+        let weights = vec![glorot_uniform(7, 5, 4)];
+        save_weights_file(&path, &weights).unwrap();
+        let back = load_weights_file(&path).unwrap();
+        assert_eq!(weights[0], back[0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_stack_and_empty_matrix() {
+        let mut buf = Vec::new();
+        save_weights(&mut buf, &[]).unwrap();
+        assert!(load_weights(&buf[..]).unwrap().is_empty());
+        let mut buf = Vec::new();
+        save_weights(&mut buf, &[Mat::zeros(0, 5)]).unwrap();
+        let back = load_weights(&buf[..]).unwrap();
+        assert_eq!(back[0].shape(), (0, 5));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let weights = vec![glorot_uniform(3, 3, 5)];
+        let mut buf = Vec::new();
+        save_weights(&mut buf, &weights).unwrap();
+        // Wrong magic.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(load_weights(&bad[..]).is_err());
+        // Truncated.
+        let short = &buf[..buf.len() - 5];
+        assert!(load_weights(short).is_err());
+        // Trailing garbage.
+        let mut long = buf.clone();
+        long.push(0xFF);
+        assert!(load_weights(&long[..]).is_err());
+        // Implausible header.
+        let mut huge = MAGIC.to_vec();
+        huge.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(load_weights(&huge[..]).is_err());
+    }
+
+    #[test]
+    fn trained_model_roundtrips_through_checkpoint() {
+        use crate::{GcnConfig, Problem, SerialTrainer};
+        use cagnet_sparse::generate::erdos_renyi;
+        let g = erdos_renyi(30, 3.0, 6);
+        let problem = Problem::synthetic(&g, 6, 3, 1.0, 7);
+        let cfg = GcnConfig::three_layer(6, 5, 3);
+        let mut t = SerialTrainer::new(&problem, cfg.clone());
+        t.train(10);
+        let loss_before = t.forward();
+        let mut buf = Vec::new();
+        save_weights(&mut buf, t.weights()).unwrap();
+        // Fresh trainer, loaded weights: identical loss.
+        let mut t2 = SerialTrainer::new(&problem, cfg);
+        t2.set_weights(load_weights(&buf[..]).unwrap());
+        let loss_after = t2.forward();
+        assert_eq!(loss_before, loss_after);
+    }
+}

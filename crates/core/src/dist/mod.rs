@@ -1,0 +1,89 @@
+//! Distributed GCN training algorithms — the paper's §IV.
+//!
+//! Four algorithms, one module each:
+//!
+//! * [`onedim`] — 1D block-row (Algorithm 1): `A` by block columns, `H`/`G`
+//!   by block rows, `W` replicated. Forward is a block-row SpMM over `P`
+//!   broadcasts; backward is a large 1D outer product reduce-scattered into
+//!   block rows plus a small `f x f` all-reduce.
+//! * [`onedim_row`] — the §IV-A.7 mirror: `A` by block rows, swapping the
+//!   outer-product and block-row roles of forward and backward at equal
+//!   total communication.
+//! * [`one5d`] — 1.5D replicated block-row (§IV-B): interpolates between
+//!   1D and 2D with a replication factor `c`, trading `c`-fold replication
+//!   of `A` for a `c`-fold reduction of the dense broadcast volume.
+//! * [`twodim`] — 2D SUMMA (Algorithm 2): everything on a `√P x √P` grid;
+//!   SUMMA SpMM stages plus "partial SUMMA" against the replicated `W`,
+//!   with a row all-gather for the non-elementwise `log_softmax`.
+//! * [`threedim`] — Split-3D-SpMM (§IV-D): a `∛P`-sided mesh; independent
+//!   2D SUMMAs per layer followed by fiber reduce-scatters. The paper
+//!   analyzes but does not implement this algorithm; here it is
+//!   implemented and verified.
+//!
+//! All four produce the same weights and embeddings as the serial
+//! reference up to floating-point accumulation order, for any process
+//! count that fits their geometry.
+
+pub mod one5d;
+pub mod onedim;
+pub mod onedim_row;
+pub mod threedim;
+pub mod transpose;
+pub mod twodim;
+
+use cagnet_comm::{Cat, Ctx};
+use cagnet_dense::Mat;
+
+/// Per-rank storage footprint, in 8-byte words — the quantity behind the
+/// paper's memory arguments: 2D "consumes optimal memory" (§I), 1.5D pays
+/// `c`-fold replication (§IV-B), the 1D backward materializes `O(nf)`
+/// low-rank intermediates (§IV-A.3), and 3D replicates intermediates by
+/// `∛P` (§IV-D).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StorageReport {
+    /// Sparse adjacency blocks held by this rank (2 words per stored
+    /// nonzero + row pointers), counting replicas.
+    pub adjacency: usize,
+    /// Persistent dense state after a forward pass: feature block plus
+    /// stored activations `H^l` and pre-activations `Z^l` for backprop.
+    pub dense_state: usize,
+    /// Largest transient buffer the algorithm materializes during an
+    /// epoch (outer-product contributions, SUMMA partial sums,
+    /// all-gathered row slabs).
+    pub intermediate: usize,
+}
+
+impl StorageReport {
+    /// Total words.
+    pub fn total(&self) -> usize {
+        self.adjacency + self.dense_state + self.intermediate
+    }
+}
+
+/// Storage words of a CSR block: values + column indices + row pointers.
+pub(crate) fn csr_words(a: &cagnet_sparse::Csr) -> usize {
+    2 * a.nnz() + a.rows() + 1
+}
+
+/// Total elements across a stack of dense matrices.
+pub(crate) fn mats_words(ms: &[Mat]) -> usize {
+    ms.iter().map(Mat::len).sum()
+}
+
+/// All-gather per-rank `(correct, total)` accuracy counts and return the
+/// global accuracy fraction. Shared by every distributed trainer.
+pub(crate) fn global_accuracy(ctx: &Ctx, correct: usize, total: usize) -> f64 {
+    let c = ctx.world.allreduce_scalar(correct as f64, Cat::DenseComm);
+    let t = ctx.world.allreduce_scalar(total as f64, Cat::DenseComm);
+    if t == 0.0 {
+        0.0
+    } else {
+        c / t
+    }
+}
+
+/// Assemble row blocks gathered in rank order into a full matrix.
+pub(crate) fn assemble_row_blocks(blocks: &[std::sync::Arc<Mat>]) -> Mat {
+    let parts: Vec<Mat> = blocks.iter().map(|b| (**b).clone()).collect();
+    Mat::vstack(&parts)
+}

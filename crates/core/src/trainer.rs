@@ -1,0 +1,327 @@
+//! Uniform driver: train a GCN with any of the four distributed
+//! algorithms on a simulated cluster and collect losses, accuracy,
+//! weights, embeddings, and per-rank timeline reports.
+
+use crate::dist::{
+    one5d::One5DTrainer, onedim::OneDimTrainer, onedim_row::OneDimRowTrainer,
+    threedim::ThreeDimTrainer, twodim::TwoDimTrainer,
+};
+use crate::model::GcnConfig;
+use crate::optimizer::OptimizerKind;
+use crate::problem::Problem;
+use cagnet_comm::{Cluster, CostModel, TimelineReport};
+use cagnet_dense::activation::Activation;
+use cagnet_dense::Mat;
+
+pub use crate::dist::twodim::TwoDimConfig;
+
+/// Which parallel algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// 1D block row (Algorithm 1).
+    OneD,
+    /// 1D with `A` partitioned by block rows instead (§IV-A.7) — same
+    /// total communication, mirrored forward/backward patterns.
+    OneDRow,
+    /// 1.5D replicated block row with replication factor `c` (§IV-B).
+    One5D {
+        /// Replication factor; must divide the process count.
+        c: usize,
+    },
+    /// 2D SUMMA on a square grid (Algorithm 2) — the paper's implemented
+    /// variant.
+    TwoD,
+    /// 2D SUMMA on a rectangular `pr x pc` grid (§IV-C.6): taller grids
+    /// shrink sparse traffic (`nnz/pr`) at the cost of the dense terms.
+    TwoDRect {
+        /// Grid rows.
+        pr: usize,
+        /// Grid columns.
+        pc: usize,
+    },
+    /// Split-3D-SpMM on a cubic mesh (§IV-D).
+    ThreeD,
+}
+
+impl Algorithm {
+    /// Short name used in bench output.
+    pub fn name(&self) -> String {
+        match self {
+            Algorithm::OneD => "1d".into(),
+            Algorithm::OneDRow => "1d-row".into(),
+            Algorithm::One5D { c } => format!("1.5d(c={c})"),
+            Algorithm::TwoD => "2d".into(),
+            Algorithm::TwoDRect { pr, pc } => format!("2d({pr}x{pc})"),
+            Algorithm::ThreeD => "3d".into(),
+        }
+    }
+
+    /// Whether `p` ranks fit this algorithm's process geometry.
+    pub fn supports(&self, p: usize) -> bool {
+        match self {
+            Algorithm::OneD | Algorithm::OneDRow => p >= 1,
+            Algorithm::One5D { c } => *c >= 1 && p % c == 0,
+            Algorithm::TwoD => cagnet_comm::grid::int_sqrt(p).is_some(),
+            Algorithm::TwoDRect { pr, pc } => pr * pc == p,
+            Algorithm::ThreeD => cagnet_comm::grid::int_cbrt(p).is_some(),
+        }
+    }
+}
+
+/// Run-level options.
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Epochs to run (timed).
+    pub epochs: usize,
+    /// 2D tuning knobs (ignored by the other algorithms).
+    pub twod: TwoDimConfig,
+    /// Gather final embeddings/weights (skip for pure benchmarking runs).
+    pub collect_outputs: bool,
+    /// Update rule for the replicated weight step (default: the paper's
+    /// plain gradient descent).
+    pub optimizer: OptimizerKind,
+    /// Hidden-layer activation (default ReLU, the paper's σ).
+    pub activation: Activation,
+    /// Hidden-layer dropout rate (inverted dropout, deterministic and
+    /// layout-independent; 0 disables).
+    pub dropout: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            twod: TwoDimConfig::default(),
+            collect_outputs: true,
+            optimizer: OptimizerKind::Sgd,
+            activation: Activation::Relu,
+            dropout: 0.0,
+        }
+    }
+}
+
+/// Result of a distributed training run.
+#[derive(Clone, Debug)]
+pub struct DistTrainResult {
+    /// Pre-update loss per epoch (identical on every rank).
+    pub losses: Vec<f64>,
+    /// Final global training accuracy.
+    pub accuracy: f64,
+    /// Per-rank timeline reports covering exactly the timed epochs.
+    pub reports: Vec<TimelineReport>,
+    /// Final replicated weights (empty if `collect_outputs` is false).
+    pub weights: Vec<Mat>,
+    /// Final output embeddings `H^L` (empty if `collect_outputs` is
+    /// false).
+    pub embeddings: Mat,
+    /// Process count used.
+    pub world: usize,
+}
+
+impl DistTrainResult {
+    /// Modeled seconds per epoch: max final clock over ranks divided by
+    /// the epoch count (the BSP epoch time of the paper's Figure 2, whose
+    /// y-axis is its reciprocal, epochs/second).
+    pub fn epoch_seconds(&self, epochs: usize) -> f64 {
+        let max_clock = self
+            .reports
+            .iter()
+            .map(|r| r.clock)
+            .fold(0.0f64, f64::max);
+        max_clock / epochs.max(1) as f64
+    }
+}
+
+/// Result of a distributed inference run.
+#[derive(Clone, Debug)]
+pub struct InferResult {
+    /// Output embeddings `H^L` (log-probabilities), assembled on every
+    /// rank and returned once.
+    pub embeddings: Mat,
+    /// Global mean masked NLL of the supplied model.
+    pub loss: f64,
+    /// Global accuracy of the supplied model.
+    pub accuracy: f64,
+    /// Per-rank timeline reports for the single forward pass.
+    pub reports: Vec<TimelineReport>,
+}
+
+/// Distributed inference: one forward pass of `algo` on `p` ranks with a
+/// *given* weight stack (e.g. from a prior training run). The paper notes
+/// all of its algorithms apply unchanged to inference (§I); this is that
+/// path, with the same communication accounting as training forward
+/// passes.
+pub fn infer_distributed(
+    problem: &Problem,
+    gcn: &GcnConfig,
+    weights: &[Mat],
+    algo: Algorithm,
+    p: usize,
+    model: CostModel,
+    tc: &TrainConfig,
+) -> InferResult {
+    assert!(algo.supports(p), "{} does not support P={p}", algo.name());
+    let per_rank = Cluster::new(p).with_model(model).run(|ctx| {
+        macro_rules! run_forward {
+            ($t:expr) => {{
+                let mut t = $t;
+                t.set_weights(weights.to_vec());
+                let loss = t.forward(ctx);
+                let report = ctx.report();
+                let accuracy = t.accuracy(ctx);
+                let embeddings = t.gather_embeddings(ctx);
+                (loss, accuracy, report, embeddings)
+            }};
+        }
+        match algo {
+            Algorithm::OneD => run_forward!(OneDimTrainer::setup(ctx, problem, gcn)),
+            Algorithm::OneDRow => run_forward!(OneDimRowTrainer::setup(ctx, problem, gcn)),
+            Algorithm::One5D { c } => run_forward!(One5DTrainer::setup(ctx, problem, gcn, c)),
+            Algorithm::TwoD => {
+                run_forward!(TwoDimTrainer::setup(ctx, problem, gcn, tc.twod))
+            }
+            Algorithm::TwoDRect { pr, pc } => {
+                run_forward!(TwoDimTrainer::setup_rect(ctx, problem, gcn, tc.twod, pr, pc))
+            }
+            Algorithm::ThreeD => run_forward!(ThreeDimTrainer::setup(ctx, problem, gcn)),
+        }
+    });
+    let (loss, accuracy, _, embeddings) = per_rank[0].0.clone();
+    InferResult {
+        embeddings,
+        loss,
+        accuracy,
+        reports: per_rank.iter().map(|((_, _, r, _), _)| *r).collect(),
+    }
+}
+
+/// Train `problem` with `algo` on `p` simulated ranks.
+///
+/// # Panics
+/// Panics if `p` does not fit the algorithm's geometry (see
+/// [`Algorithm::supports`]).
+pub fn train_distributed(
+    problem: &Problem,
+    gcn: &GcnConfig,
+    algo: Algorithm,
+    p: usize,
+    model: CostModel,
+    tc: &TrainConfig,
+) -> DistTrainResult {
+    assert!(
+        algo.supports(p),
+        "{} does not support P={p}",
+        algo.name()
+    );
+    enum AnyTrainer {
+        OneD(OneDimTrainer),
+        OneDRow(OneDimRowTrainer),
+        One5D(One5DTrainer),
+        TwoD(Box<TwoDimTrainer>),
+        ThreeD(Box<ThreeDimTrainer>),
+    }
+
+    let per_rank = Cluster::new(p).with_model(model).run(|ctx| {
+        let mut tr = match algo {
+            Algorithm::OneD => AnyTrainer::OneD(OneDimTrainer::setup(ctx, problem, gcn)),
+            Algorithm::OneDRow => {
+                AnyTrainer::OneDRow(OneDimRowTrainer::setup(ctx, problem, gcn))
+            }
+            Algorithm::One5D { c } => {
+                AnyTrainer::One5D(One5DTrainer::setup(ctx, problem, gcn, c))
+            }
+            Algorithm::TwoD => {
+                AnyTrainer::TwoD(Box::new(TwoDimTrainer::setup(ctx, problem, gcn, tc.twod)))
+            }
+            Algorithm::TwoDRect { pr, pc } => AnyTrainer::TwoD(Box::new(
+                TwoDimTrainer::setup_rect(ctx, problem, gcn, tc.twod, pr, pc),
+            )),
+            Algorithm::ThreeD => {
+                AnyTrainer::ThreeD(Box::new(ThreeDimTrainer::setup(ctx, problem, gcn)))
+            }
+        };
+        match &mut tr {
+            AnyTrainer::OneD(t) => {
+                t.set_optimizer(tc.optimizer);
+                t.set_hidden_activation(tc.activation);
+                t.set_dropout(tc.dropout);
+            }
+            AnyTrainer::OneDRow(t) => {
+                t.set_optimizer(tc.optimizer);
+                t.set_hidden_activation(tc.activation);
+                t.set_dropout(tc.dropout);
+            }
+            AnyTrainer::One5D(t) => {
+                t.set_optimizer(tc.optimizer);
+                t.set_hidden_activation(tc.activation);
+                t.set_dropout(tc.dropout);
+            }
+            AnyTrainer::TwoD(t) => {
+                t.set_optimizer(tc.optimizer);
+                t.set_hidden_activation(tc.activation);
+                t.set_dropout(tc.dropout);
+            }
+            AnyTrainer::ThreeD(t) => {
+                t.set_optimizer(tc.optimizer);
+                t.set_hidden_activation(tc.activation);
+                t.set_dropout(tc.dropout);
+            }
+        }
+        let mut losses = Vec::with_capacity(tc.epochs);
+        for _ in 0..tc.epochs {
+            let loss = match &mut tr {
+                AnyTrainer::OneD(t) => t.epoch(ctx),
+                AnyTrainer::OneDRow(t) => t.epoch(ctx),
+                AnyTrainer::One5D(t) => t.epoch(ctx),
+                AnyTrainer::TwoD(t) => t.epoch(ctx),
+                AnyTrainer::ThreeD(t) => t.epoch(ctx),
+            };
+            losses.push(loss);
+        }
+        // Snapshot the timed-epoch ledger before the (untimed-in-spirit)
+        // evaluation pass.
+        let report = ctx.report();
+        let accuracy = match &mut tr {
+            AnyTrainer::OneD(t) => t.accuracy(ctx),
+            AnyTrainer::OneDRow(t) => t.accuracy(ctx),
+            AnyTrainer::One5D(t) => t.accuracy(ctx),
+            AnyTrainer::TwoD(t) => t.accuracy(ctx),
+            AnyTrainer::ThreeD(t) => t.accuracy(ctx),
+        };
+        let outputs = if tc.collect_outputs {
+            let weights = match &tr {
+                AnyTrainer::OneD(t) => t.weights().to_vec(),
+                AnyTrainer::OneDRow(t) => t.weights().to_vec(),
+                AnyTrainer::One5D(t) => t.weights().to_vec(),
+                AnyTrainer::TwoD(t) => t.weights().to_vec(),
+                AnyTrainer::ThreeD(t) => t.weights().to_vec(),
+            };
+            let embeddings = match &tr {
+                AnyTrainer::OneD(t) => t.gather_embeddings(ctx),
+                AnyTrainer::OneDRow(t) => t.gather_embeddings(ctx),
+                AnyTrainer::One5D(t) => t.gather_embeddings(ctx),
+                AnyTrainer::TwoD(t) => t.gather_embeddings(ctx),
+                AnyTrainer::ThreeD(t) => t.gather_embeddings(ctx),
+            };
+            Some((weights, embeddings))
+        } else {
+            None
+        };
+        (losses, accuracy, report, outputs)
+    });
+
+    let ((losses0, accuracy, _, _), _) = &per_rank[0];
+    let reports: Vec<TimelineReport> = per_rank.iter().map(|((_, _, r, _), _)| *r).collect();
+    let (weights, embeddings) = match &per_rank[0].0 .3 {
+        Some((w, e)) => (w.clone(), e.clone()),
+        None => (Vec::new(), Mat::zeros(0, 0)),
+    };
+    DistTrainResult {
+        losses: losses0.clone(),
+        accuracy: *accuracy,
+        reports,
+        weights,
+        embeddings,
+        world: p,
+    }
+}

@@ -1,0 +1,251 @@
+//! Dense matrix multiplication kernels.
+//!
+//! These are the local GEMM kernels called by every training algorithm for
+//! the `T·W`, `G·Wᵀ`, and `Hᵀ·(AG)` products of the paper's §III-C/D
+//! equations. The implementation is a cache-blocked i-k-j loop with a
+//! column-panel micro-kernel; no BLAS is linked, per the project's
+//! build-everything rule.
+
+use crate::matrix::Mat;
+
+/// Loop blocking sizes. `MC x KC` panels of `a` are streamed against `KC x
+/// NC` panels of `b`; values chosen so the working set fits comfortably in
+/// L2 for f64.
+const MC: usize = 64;
+const KC: usize = 128;
+const NC: usize = 256;
+
+/// `C = A · B`.
+///
+/// # Panics
+/// Panics on inner-dimension mismatch.
+pub fn matmul(a: &Mat, b: &Mat) -> Mat {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dims {}x{} · {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let mut c = Mat::zeros(a.rows(), b.cols());
+    matmul_acc(a, b, &mut c);
+    c
+}
+
+/// `C += A · B` with accumulation into an existing output.
+///
+/// This is the primitive used by the SUMMA stages, where every stage adds a
+/// rank-`b` update into the running local block.
+pub fn matmul_acc(a: &Mat, b: &Mat, c: &mut Mat) {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "matmul_acc: inner dimension mismatch");
+    assert_eq!(c.shape(), (m, n), "matmul_acc: output shape mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let cv = c.as_mut_slice();
+
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                // Micro kernel: for each row of the A panel, stream the
+                // B panel rows, accumulating into one C row (i-k-j order
+                // keeps the C row hot and B access unit-stride).
+                for i in ic..ic + mc {
+                    let arow = &av[i * k + pc..i * k + pc + kc];
+                    let crow = &mut cv[i * n + jc..i * n + jc + nc];
+                    for (p, &aval) in arow.iter().enumerate() {
+                        if aval == 0.0 {
+                            continue;
+                        }
+                        let brow = &bv[(pc + p) * n + jc..(pc + p) * n + jc + nc];
+                        for (cj, &bval) in crow.iter_mut().zip(brow) {
+                            *cj += aval * bval;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C = Aᵀ · B` without materializing `Aᵀ`.
+///
+/// Used for the weight-gradient product `Y = (H^{l-1})ᵀ (A G^l)` (paper
+/// Eq. 3), where `H` is tall-skinny and the output is a small `f x f`
+/// matrix.
+pub fn matmul_tn(a: &Mat, b: &Mat) -> Mat {
+    let (k, m) = a.shape(); // logical op is (m x k) = (a.cols x a.rows)
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "matmul_tn: inner dimension mismatch");
+    let mut c = Mat::zeros(m, n);
+    matmul_tn_acc(a, b, &mut c);
+    c
+}
+
+/// `C += Aᵀ · B` with accumulation.
+pub fn matmul_tn_acc(a: &Mat, b: &Mat, c: &mut Mat) {
+    let (k, m) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "matmul_tn_acc: inner dimension mismatch");
+    assert_eq!(c.shape(), (m, n), "matmul_tn_acc: output shape mismatch");
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let cv = c.as_mut_slice();
+    // Outer-product accumulation over the shared dimension: each row p of A
+    // scatters into all C rows, with both A and B rows read unit-stride.
+    for p in 0..k {
+        let arow = &av[p * m..(p + 1) * m];
+        let brow = &bv[p * n..(p + 1) * n];
+        for (i, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let crow = &mut cv[i * n..(i + 1) * n];
+            for (cj, &bval) in crow.iter_mut().zip(brow) {
+                *cj += aval * bval;
+            }
+        }
+    }
+}
+
+/// `C = A · Bᵀ` without materializing `Bᵀ`.
+///
+/// Used for the backpropagation product `G^l (W^l)ᵀ` (paper Eq. 2).
+pub fn matmul_nt(a: &Mat, b: &Mat) -> Mat {
+    let (m, k) = a.shape();
+    let (n, kb) = b.shape();
+    assert_eq!(k, kb, "matmul_nt: inner dimension mismatch");
+    let mut c = Mat::zeros(m, n);
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let cv = c.as_mut_slice();
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let crow = &mut cv[i * n..(i + 1) * n];
+        for (j, cval) in crow.iter_mut().enumerate() {
+            let brow = &bv[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *cval += acc;
+        }
+    }
+    c
+}
+
+/// Reference triple-loop GEMM used only to validate the blocked kernels.
+pub fn matmul_naive(a: &Mat, b: &Mat) -> Mat {
+    assert_eq!(a.cols(), b.rows(), "matmul_naive: inner dims");
+    let mut c = Mat::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0;
+            for p in 0..a.cols() {
+                acc += a[(i, p)] * b[(p, j)];
+            }
+            c[(i, j)] = acc;
+        }
+    }
+    c
+}
+
+/// Flop count of an `m x k · k x n` GEMM (multiply-adds counted as 2 flops).
+pub fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * (m as u64) * (k as u64) * (n as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_mat(r: usize, c: usize, seed: u64) -> Mat {
+        // Small deterministic LCG keeps this test free of external deps.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Mat::from_fn(r, c, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        })
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (64, 64, 64), (65, 130, 33), (100, 1, 100)] {
+            let a = rand_mat(m, k, 1);
+            let b = rand_mat(k, n, 2);
+            let fast = matmul(&a, &b);
+            let slow = matmul_naive(&a, &b);
+            assert!(
+                fast.approx_eq(&slow, 1e-10),
+                "mismatch at {m}x{k}x{n}: {}",
+                fast.max_abs_diff(&slow)
+            );
+        }
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let a = rand_mat(40, 17, 3);
+        let b = rand_mat(40, 23, 4);
+        let direct = matmul_tn(&a, &b);
+        let explicit = matmul(&a.transpose(), &b);
+        assert!(direct.approx_eq(&explicit, 1e-10));
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let a = rand_mat(21, 34, 5);
+        let b = rand_mat(19, 34, 6);
+        let direct = matmul_nt(&a, &b);
+        let explicit = matmul(&a, &b.transpose());
+        assert!(direct.approx_eq(&explicit, 1e-10));
+    }
+
+    #[test]
+    fn acc_accumulates() {
+        let a = rand_mat(8, 8, 7);
+        let b = rand_mat(8, 8, 8);
+        let mut c = matmul(&a, &b);
+        matmul_acc(&a, &b, &mut c);
+        let doubled = matmul(&a, &b).map(|x| 2.0 * x);
+        assert!(c.approx_eq(&doubled, 1e-10));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = rand_mat(12, 12, 9);
+        assert!(matmul(&a, &Mat::eye(12)).approx_eq(&a, 1e-12));
+        assert!(matmul(&Mat::eye(12), &a).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn empty_dims_ok() {
+        let a = Mat::zeros(0, 5);
+        let b = Mat::zeros(5, 3);
+        assert_eq!(matmul(&a, &b).shape(), (0, 3));
+        let a = Mat::zeros(4, 0);
+        let b = Mat::zeros(0, 3);
+        assert_eq!(matmul(&a, &b).shape(), (4, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn dim_mismatch_panics() {
+        let _ = matmul(&Mat::zeros(2, 3), &Mat::zeros(4, 2));
+    }
+
+    #[test]
+    fn flop_count() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+    }
+}

@@ -1,0 +1,117 @@
+//! Elementwise and BLAS-1-style operations on [`Mat`].
+
+use crate::matrix::Mat;
+
+/// `a + b`, elementwise.
+pub fn add(a: &Mat, b: &Mat) -> Mat {
+    assert_eq!(a.shape(), b.shape(), "add: shape mismatch");
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| x + y)
+        .collect();
+    Mat::from_vec(a.rows(), a.cols(), data)
+}
+
+/// `a += b` in place.
+pub fn add_assign(a: &mut Mat, b: &Mat) {
+    assert_eq!(a.shape(), b.shape(), "add_assign: shape mismatch");
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += y;
+    }
+}
+
+/// `a - b`, elementwise.
+pub fn sub(a: &Mat, b: &Mat) -> Mat {
+    assert_eq!(a.shape(), b.shape(), "sub: shape mismatch");
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| x - y)
+        .collect();
+    Mat::from_vec(a.rows(), a.cols(), data)
+}
+
+/// `a -= alpha * b` in place — the gradient-descent update
+/// `W ← W − η·Y` of the paper's Eq. 3 (the step the paper notes requires
+/// no communication).
+pub fn axpy_neg(a: &mut Mat, alpha: f64, b: &Mat) {
+    assert_eq!(a.shape(), b.shape(), "axpy_neg: shape mismatch");
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x -= alpha * y;
+    }
+}
+
+/// Hadamard (elementwise) product `a ⊙ b` — the `⊙ σ'(Z)` factor in the
+/// paper's backpropagation Eq. 1 and Eq. 2.
+pub fn hadamard(a: &Mat, b: &Mat) -> Mat {
+    assert_eq!(a.shape(), b.shape(), "hadamard: shape mismatch");
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| x * y)
+        .collect();
+    Mat::from_vec(a.rows(), a.cols(), data)
+}
+
+/// `a ⊙= b` in place.
+pub fn hadamard_assign(a: &mut Mat, b: &Mat) {
+    assert_eq!(a.shape(), b.shape(), "hadamard_assign: shape mismatch");
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x *= y;
+    }
+}
+
+/// `alpha * a`, elementwise scale.
+pub fn scale(a: &Mat, alpha: f64) -> Mat {
+    a.map(|x| alpha * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_inverse() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[0.5, -1.0], &[2.0, 0.0]]);
+        let s = add(&a, &b);
+        assert!(sub(&s, &b).approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn hadamard_with_ones_is_identity() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let ones = Mat::filled(2, 2, 1.0);
+        assert!(hadamard(&a, &ones).approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn axpy_neg_is_gradient_step() {
+        let mut w = Mat::filled(2, 2, 1.0);
+        let y = Mat::filled(2, 2, 0.5);
+        axpy_neg(&mut w, 0.2, &y);
+        assert!(w.approx_eq(&Mat::filled(2, 2, 0.9), 1e-15));
+    }
+
+    #[test]
+    fn scale_and_assign_variants() {
+        let a = Mat::from_rows(&[&[2.0, -2.0]]);
+        assert_eq!(scale(&a, 0.5)[(0, 0)], 1.0);
+        let mut b = a.clone();
+        add_assign(&mut b, &a);
+        assert_eq!(b[(0, 1)], -4.0);
+        let mut c = a.clone();
+        hadamard_assign(&mut c, &a);
+        assert_eq!(c[(0, 1)], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_shapes_panic() {
+        let _ = add(&Mat::zeros(1, 2), &Mat::zeros(2, 1));
+    }
+}

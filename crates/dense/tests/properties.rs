@@ -1,0 +1,117 @@
+//! Property-based tests of the dense kernels: algebraic identities that
+//! must hold for arbitrary shapes and contents.
+
+use cagnet_dense::activation::{log_softmax_rows, softmax_rows};
+use cagnet_dense::ops::{add, hadamard, scale, sub};
+use cagnet_dense::{matmul, matmul_nt, matmul_tn, Mat};
+use proptest::prelude::*;
+
+/// A random matrix of the given shape with entries in ±10.
+fn mat(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |v| Mat::from_vec(rows, cols, v))
+}
+
+/// Three chained random matrices `(m x k, k x n, n x j)`.
+fn chain3() -> impl Strategy<Value = (Mat, Mat, Mat)> {
+    (1usize..10, 1usize..10, 1usize..10, 1usize..8)
+        .prop_flat_map(|(m, k, n, j)| (mat(m, k), mat(k, n), mat(n, j)))
+}
+
+/// A pair of equal-shape random matrices.
+fn pair() -> impl Strategy<Value = (Mat, Mat)> {
+    (1usize..10, 1usize..10).prop_flat_map(|(r, c)| (mat(r, c), mat(r, c)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        (a, b, c2) in (1usize..10, 1usize..10, 1usize..10)
+            .prop_flat_map(|(m, k, n)| (mat(m, k), mat(k, n), mat(k, n)))
+    ) {
+        let lhs = matmul(&a, &add(&b, &c2));
+        let rhs = add(&matmul(&a, &b), &matmul(&a, &c2));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-8), "distributivity failed");
+    }
+
+    #[test]
+    fn transpose_reverses_products((a, b, _c) in chain3()) {
+        let lhs = matmul(&a, &b).transpose();
+        let rhs = matmul(&b.transpose(), &a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn matmul_is_associative((a, b, c) in chain3()) {
+        let lhs = matmul(&matmul(&a, &b), &c);
+        let rhs = matmul(&a, &matmul(&b, &c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-6 * (1.0 + lhs.frobenius())));
+    }
+
+    #[test]
+    fn tn_agrees_with_explicit_transpose(
+        (a, b) in (1usize..10, 1usize..10, 1usize..10)
+            .prop_flat_map(|(k, m, n)| (mat(k, m), mat(k, n)))
+    ) {
+        prop_assert!(matmul_tn(&a, &b).approx_eq(&matmul(&a.transpose(), &b), 1e-9));
+    }
+
+    #[test]
+    fn nt_agrees_with_explicit_transpose(
+        (c, d) in (1usize..10, 1usize..10, 1usize..10)
+            .prop_flat_map(|(m, k, n)| (mat(m, k), mat(n, k)))
+    ) {
+        prop_assert!(matmul_nt(&c, &d).approx_eq(&matmul(&c, &d.transpose()), 1e-9));
+    }
+
+    #[test]
+    fn elementwise_algebra((a, b) in pair()) {
+        // a + b - b == a
+        prop_assert!(sub(&add(&a, &b), &b).approx_eq(&a, 1e-10));
+        // hadamard commutes
+        prop_assert!(hadamard(&a, &b).approx_eq(&hadamard(&b, &a), 0.0));
+        // scale(2a) == a + a
+        prop_assert!(scale(&a, 2.0).approx_eq(&add(&a, &a), 0.0));
+    }
+
+    #[test]
+    fn transpose_involution(m in (1usize..16, 1usize..16).prop_flat_map(|(r, c)| mat(r, c))) {
+        prop_assert!(m.transpose().transpose().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn log_softmax_properties(
+        z in (1usize..8, 2usize..8).prop_flat_map(|(r, c)| mat(r, c)),
+        shift in -50.0f64..50.0,
+    ) {
+        let ls = log_softmax_rows(&z);
+        // exp-rows sum to one.
+        for i in 0..z.rows() {
+            let s: f64 = ls.row(i).iter().map(|&x| x.exp()).sum();
+            prop_assert!((s - 1.0).abs() < 1e-9, "row {i} sums to {s}");
+        }
+        // shift invariance.
+        let shifted = log_softmax_rows(&z.map(|x| x + shift));
+        prop_assert!(ls.approx_eq(&shifted, 1e-8));
+        // consistency with softmax.
+        let sm = softmax_rows(&z);
+        prop_assert!(ls.map(f64::exp).approx_eq(&sm, 1e-9));
+    }
+
+    #[test]
+    fn block_quadrant_roundtrip(
+        (m, rsplit, csplit) in (2usize..12, 2usize..12)
+            .prop_flat_map(|(r, c)| (mat(r, c), 1..r.max(2), 1..c.max(2)))
+    ) {
+        let (rows, cols) = m.shape();
+        let tl = m.block(0, rsplit, 0, csplit);
+        let tr = m.block(0, rsplit, csplit, cols);
+        let bl = m.block(rsplit, rows, 0, csplit);
+        let br = m.block(rsplit, rows, csplit, cols);
+        let top = Mat::hstack(&[tl, tr]);
+        let bottom = Mat::hstack(&[bl, br]);
+        prop_assert!(Mat::vstack(&[top, bottom]).approx_eq(&m, 0.0));
+    }
+}

@@ -1,0 +1,156 @@
+//! Coordinate-format (triplet) sparse matrix.
+//!
+//! COO is the assembly format: graph generators and file readers emit
+//! triplets, duplicates are merged, and the result is converted to
+//! [`crate::csr::Csr`] for computation.
+
+/// A sparse matrix stored as `(row, col, value)` triplets.
+#[derive(Clone, Debug)]
+pub struct Coo {
+    rows: usize,
+    cols: usize,
+    /// Unsorted, possibly-duplicated triplets.
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl Coo {
+    /// New empty COO matrix with the given logical dimensions.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Coo {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Build from a triplet list.
+    ///
+    /// # Panics
+    /// Panics if any coordinate is out of bounds.
+    pub fn from_entries(rows: usize, cols: usize, entries: Vec<(usize, usize, f64)>) -> Self {
+        for &(r, c, _) in &entries {
+            assert!(r < rows && c < cols, "entry ({r},{c}) out of {rows}x{cols}");
+        }
+        Coo {
+            rows,
+            cols,
+            entries,
+        }
+    }
+
+    /// Append one entry.
+    ///
+    /// # Panics
+    /// Panics if the coordinate is out of bounds.
+    pub fn push(&mut self, r: usize, c: usize, v: f64) {
+        assert!(
+            r < self.rows && c < self.cols,
+            "entry ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
+        self.entries.push((r, c, v));
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw triplets (unsorted, may contain duplicates until
+    /// [`Coo::sum_duplicates`] is called).
+    pub fn entries(&self) -> &[(usize, usize, f64)] {
+        &self.entries
+    }
+
+    /// Number of stored triplets (including duplicates).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Sort triplets row-major and sum duplicate coordinates.
+    pub fn sum_duplicates(&mut self) {
+        self.entries
+            .sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut out: Vec<(usize, usize, f64)> = Vec::with_capacity(self.entries.len());
+        for &(r, c, v) in &self.entries {
+            match out.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => out.push((r, c, v)),
+            }
+        }
+        self.entries = out;
+    }
+
+    /// Make the matrix pattern-symmetric by adding the transpose of every
+    /// entry (duplicates merged, values of mirrored pairs summed). Requires
+    /// a square matrix. This mirrors the undirected-graph case of the paper
+    /// where `A = Aᵀ`.
+    pub fn symmetrize(&mut self) {
+        assert_eq!(self.rows, self.cols, "symmetrize requires square");
+        let mirrored: Vec<(usize, usize, f64)> = self
+            .entries
+            .iter()
+            .filter(|&&(r, c, _)| r != c)
+            .map(|&(r, c, v)| (c, r, v))
+            .collect();
+        self.entries.extend(mirrored);
+        self.sum_duplicates();
+        // Collapse any value differences by keeping the max magnitude is not
+        // needed: summation already makes (i,j) and (j,i) equal because both
+        // received the same pair of contributions.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_count() {
+        let mut c = Coo::new(3, 3);
+        c.push(0, 1, 1.0);
+        c.push(2, 2, 2.0);
+        assert_eq!(c.nnz(), 2);
+    }
+
+    #[test]
+    fn sum_duplicates_merges() {
+        let mut c = Coo::from_entries(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0), (1, 1, 3.0)]);
+        c.sum_duplicates();
+        assert_eq!(c.nnz(), 2);
+        assert_eq!(c.entries()[0], (0, 0, 3.0));
+    }
+
+    #[test]
+    fn symmetrize_mirrors_offdiagonal() {
+        let mut c = Coo::from_entries(3, 3, vec![(0, 1, 1.0), (2, 2, 5.0)]);
+        c.symmetrize();
+        let e = c.entries();
+        assert!(e.contains(&(0, 1, 1.0)));
+        assert!(e.contains(&(1, 0, 1.0)));
+        assert!(e.contains(&(2, 2, 5.0)));
+        assert_eq!(c.nnz(), 3);
+    }
+
+    #[test]
+    fn symmetrize_sums_existing_pairs() {
+        let mut c = Coo::from_entries(2, 2, vec![(0, 1, 1.0), (1, 0, 2.0)]);
+        c.symmetrize();
+        // Each direction receives 1.0 + 2.0.
+        assert!(c.entries().contains(&(0, 1, 3.0)));
+        assert!(c.entries().contains(&(1, 0, 3.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_bounds_push_panics() {
+        let mut c = Coo::new(2, 2);
+        c.push(2, 0, 1.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Doubly-Compressed Sparse Rows (DCSR) — the hypersparse format of
+//! Buluç & Gilbert, cited by the paper (§VI, \[8\]) when explaining why
+//! local SpMM degrades under 2D partitioning: a `√P x √P` split divides
+//! each block's average degree by `√P`, so at scale most block rows are
+//! empty and a CSR row pointer of length `n/√P + 1` dwarfs the nonzeros.
+//!
+//! DCSR stores only the non-empty rows (`row_ids` + a compressed pointer
+//! array), making storage `O(nnz + nzr)` instead of `O(nnz + rows)` and
+//! letting SpMM skip empty rows entirely instead of scanning them.
+
+use crate::csr::Csr;
+use cagnet_dense::Mat;
+
+/// A hypersparse matrix: CSR over its non-empty rows only.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dcsr {
+    rows: usize,
+    cols: usize,
+    /// Global indices of non-empty rows, ascending.
+    row_ids: Vec<usize>,
+    /// Compressed row pointers, parallel to `row_ids` (length
+    /// `row_ids.len() + 1`).
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl Dcsr {
+    /// Compress a CSR matrix (drops the empty-row pointer entries).
+    pub fn from_csr(a: &Csr) -> Self {
+        let mut row_ids = Vec::new();
+        let mut row_ptr = vec![0usize];
+        let mut col_idx = Vec::with_capacity(a.nnz());
+        let mut vals = Vec::with_capacity(a.nnz());
+        for i in 0..a.rows() {
+            if a.row_nnz(i) == 0 {
+                continue;
+            }
+            row_ids.push(i);
+            for (c, v) in a.row_entries(i) {
+                col_idx.push(c);
+                vals.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Dcsr {
+            rows: a.rows(),
+            cols: a.cols(),
+            row_ids,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Expand back to CSR.
+    pub fn to_csr(&self) -> Csr {
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        for (k, &r) in self.row_ids.iter().enumerate() {
+            row_ptr[r + 1] = self.row_ptr[k + 1] - self.row_ptr[k];
+        }
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        Csr::from_raw(
+            self.rows,
+            self.cols,
+            row_ptr,
+            self.col_idx.clone(),
+            self.vals.clone(),
+        )
+    }
+
+    /// Logical row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Number of non-empty rows (`nzr`).
+    pub fn non_empty_rows(&self) -> usize {
+        self.row_ids.len()
+    }
+
+    /// Storage footprint in 8-byte words: values + column indices +
+    /// compressed pointers + row ids.
+    pub fn storage_words(&self) -> usize {
+        2 * self.nnz() + self.row_ptr.len() + self.row_ids.len()
+    }
+
+    /// CSR storage footprint in words for comparison: values + column
+    /// indices + full row pointer.
+    pub fn csr_storage_words(&self) -> usize {
+        2 * self.nnz() + self.rows + 1
+    }
+
+    /// Iterate `(global_row, col, value)` over stored entries.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.row_ids.iter().enumerate().flat_map(move |(k, &r)| {
+            (self.row_ptr[k]..self.row_ptr[k + 1])
+                .map(move |j| (r, self.col_idx[j], self.vals[j]))
+        })
+    }
+}
+
+/// `C = A · B` with hypersparse `A`: iterates only non-empty rows, so the
+/// cost is `O(nnz·f + nzr)` independent of the logical row count.
+pub fn spmm_dcsr(a: &Dcsr, b: &Mat) -> Mat {
+    assert_eq!(a.cols(), b.rows(), "spmm_dcsr: inner dims");
+    let f = b.cols();
+    let mut c = Mat::zeros(a.rows(), f);
+    if f == 0 {
+        return c;
+    }
+    let bv = b.as_slice();
+    let cv = c.as_mut_slice();
+    for k in 0..a.row_ids.len() {
+        let r = a.row_ids[k];
+        let crow = &mut cv[r * f..(r + 1) * f];
+        for j in a.row_ptr[k]..a.row_ptr[k + 1] {
+            let aval = a.vals[j];
+            let brow = &bv[a.col_idx[j] * f..(a.col_idx[j] + 1) * f];
+            for (cj, &bval) in crow.iter_mut().zip(brow) {
+                *cj += aval * bval;
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::generate::erdos_renyi;
+    use crate::spmm::spmm;
+    use cagnet_dense::init::uniform;
+
+    fn hypersparse() -> Csr {
+        // 1000 rows, only 3 non-empty.
+        Csr::from_coo(Coo::from_entries(
+            1000,
+            50,
+            vec![(3, 10, 1.0), (3, 20, 2.0), (500, 0, -1.0), (999, 49, 4.0)],
+        ))
+    }
+
+    #[test]
+    fn roundtrip_csr_dcsr_csr() {
+        let a = hypersparse();
+        let d = Dcsr::from_csr(&a);
+        assert_eq!(d.to_csr(), a);
+        assert_eq!(d.nnz(), 4);
+        assert_eq!(d.non_empty_rows(), 3);
+    }
+
+    #[test]
+    fn storage_savings_on_hypersparse() {
+        let d = Dcsr::from_csr(&hypersparse());
+        // DCSR: 8 + 4 + 3 = 15 words; CSR: 8 + 1001 words.
+        assert!(d.storage_words() < d.csr_storage_words() / 10);
+    }
+
+    #[test]
+    fn no_savings_when_dense_rows() {
+        // Every row non-empty: DCSR pays the extra row_ids array.
+        let a = Csr::identity(100);
+        let d = Dcsr::from_csr(&a);
+        assert!(d.storage_words() >= d.csr_storage_words());
+    }
+
+    #[test]
+    fn spmm_matches_csr() {
+        let a = hypersparse();
+        let d = Dcsr::from_csr(&a);
+        let b = uniform(50, 7, -1.0, 1.0, 3);
+        let dense = spmm(&a, &b);
+        let hyper = spmm_dcsr(&d, &b);
+        assert!(dense.approx_eq(&hyper, 1e-14));
+    }
+
+    #[test]
+    fn spmm_matches_on_random_graph_blocks() {
+        // The actual use case: 2D blocks of a sparse graph at high P.
+        let g = erdos_renyi(512, 3.0, 9);
+        let block = g.block(0, 64, 128, 256); // hypersparse sub-block
+        let d = Dcsr::from_csr(&block);
+        assert!(d.non_empty_rows() <= block.rows());
+        let b = uniform(block.cols(), 5, -1.0, 1.0, 4);
+        assert!(spmm(&block, &b).approx_eq(&spmm_dcsr(&d, &b), 1e-12));
+    }
+
+    #[test]
+    fn entries_iterator_is_complete() {
+        let d = Dcsr::from_csr(&hypersparse());
+        let got: Vec<_> = d.entries().collect();
+        assert_eq!(
+            got,
+            vec![
+                (3, 10, 1.0),
+                (3, 20, 2.0),
+                (500, 0, -1.0),
+                (999, 49, 4.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let d = Dcsr::from_csr(&Csr::empty(10, 10));
+        assert_eq!(d.nnz(), 0);
+        assert_eq!(d.non_empty_rows(), 0);
+        let b = uniform(10, 3, -1.0, 1.0, 5);
+        assert!(spmm_dcsr(&d, &b)
+            .as_slice()
+            .iter()
+            .all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,159 @@
+//! Edge-cut metrics for vertex partitions.
+//!
+//! The paper's 1D communication bound is written in terms of
+//! `edgecut_P(A) = max(r_1, ..., r_P)` where `r_i` is the number of dense
+//! matrix rows process `i` must receive from other processes (§IV-A.1,
+//! Figure 1). Its §IV-A.8 experiment compares METIS partitions against
+//! random block distribution on both the *total* cut and the
+//! *max-per-process* cut, observing that bulk-synchronous runtime follows
+//! the max, not the total.
+
+use crate::csr::Csr;
+
+/// Summary of communication requirements induced by a vertex partition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CutReport {
+    /// Total number of cut edges (endpoints in different parts), counting
+    /// each directed edge once.
+    pub total_cut_edges: usize,
+    /// Cut edges incident (as destination side) to each part — the
+    /// per-process communication load in edge terms.
+    pub cut_edges_per_part: Vec<usize>,
+    /// Number of *distinct remote vertices* each part must receive — the
+    /// `r_i` of the paper (each remote vertex carries one length-`f`
+    /// feature-vector row).
+    pub remote_rows_per_part: Vec<usize>,
+}
+
+impl CutReport {
+    /// `max_i r_i` — the paper's `edgecut_P(A)` metric.
+    pub fn edgecut_max(&self) -> usize {
+        self.remote_rows_per_part.iter().copied().max().unwrap_or(0)
+    }
+
+    /// `Σ_i r_i` — total remote rows fetched per epoch phase.
+    pub fn remote_rows_total(&self) -> usize {
+        self.remote_rows_per_part.iter().sum()
+    }
+
+    /// Max cut edges over parts (the §IV-A.8 "max communication per
+    /// process" number).
+    pub fn cut_edges_max(&self) -> usize {
+        self.cut_edges_per_part.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Evaluate a vertex partition: `part[v]` gives the owning part of vertex
+/// `v`; `num_parts` is the part count. An edge `(u, v)` of `A` means the
+/// owner of row `u` needs vertex `v`'s feature row; it is *cut* when
+/// `part[u] != part[v]`.
+pub fn evaluate_partition(a: &Csr, part: &[usize], num_parts: usize) -> CutReport {
+    assert_eq!(a.rows(), part.len(), "partition length mismatch");
+    assert_eq!(a.rows(), a.cols(), "edgecut requires square adjacency");
+    let mut total = 0usize;
+    let mut per_part = vec![0usize; num_parts];
+    // A vertex can be remote to several parts, so distinctness is per
+    // (part, vertex): one hash set per part.
+    let mut remote_sets = vec![std::collections::HashSet::new(); num_parts];
+    for u in 0..a.rows() {
+        let pu = part[u];
+        assert!(pu < num_parts, "part id {pu} out of range");
+        for (v, _) in a.row_entries(u) {
+            if part[v] != pu {
+                total += 1;
+                per_part[pu] += 1;
+                remote_sets[pu].insert(v);
+            }
+        }
+    }
+    let remote: Vec<usize> = remote_sets.iter().map(|s| s.len()).collect();
+    CutReport {
+        total_cut_edges: total,
+        cut_edges_per_part: per_part,
+        remote_rows_per_part: remote,
+    }
+}
+
+/// The trivial contiguous block partition of `n` vertices into `p` parts —
+/// the "random block row distribution" baseline of §IV-A.8 when the vertex
+/// ids have been randomly permuted first.
+pub fn block_partition(n: usize, p: usize) -> Vec<usize> {
+    let ranges = crate::partition::block_ranges(n, p);
+    let mut part = vec![0usize; n];
+    for (pid, (r0, r1)) in ranges.into_iter().enumerate() {
+        for v in r0..r1 {
+            part[v] = pid;
+        }
+    }
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::generate::{erdos_renyi, permute_symmetric};
+
+    fn ring(n: usize) -> Csr {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, (i + 1) % n, 1.0);
+            coo.push((i + 1) % n, i, 1.0);
+        }
+        Csr::from_coo(coo)
+    }
+
+    #[test]
+    fn single_part_has_zero_cut() {
+        let a = ring(10);
+        let r = evaluate_partition(&a, &block_partition(10, 1), 1);
+        assert_eq!(r.total_cut_edges, 0);
+        assert_eq!(r.edgecut_max(), 0);
+    }
+
+    #[test]
+    fn ring_block_partition_cut() {
+        // Ring of 8 split into 2 halves: 2 undirected cut edges = 4
+        // directed; each part needs 2 remote vertices.
+        let a = ring(8);
+        let r = evaluate_partition(&a, &block_partition(8, 2), 2);
+        assert_eq!(r.total_cut_edges, 4);
+        assert_eq!(r.remote_rows_per_part, vec![2, 2]);
+        assert_eq!(r.edgecut_max(), 2);
+    }
+
+    #[test]
+    fn remote_rows_are_distinct_vertices() {
+        // Star: vertex 0 in part 0, leaves in part 1. Every leaf needs only
+        // vertex 0 (1 distinct remote row), part 0 needs all leaves.
+        let mut coo = Coo::new(5, 5);
+        for leaf in 1..5 {
+            coo.push(0, leaf, 1.0);
+            coo.push(leaf, 0, 1.0);
+        }
+        let a = Csr::from_coo(coo);
+        let part = vec![0, 1, 1, 1, 1];
+        let r = evaluate_partition(&a, &part, 2);
+        assert_eq!(r.remote_rows_per_part, vec![4, 1]);
+        assert_eq!(r.total_cut_edges, 8);
+    }
+
+    #[test]
+    fn permutation_preserves_total_cut_distribution_shape() {
+        // Total directed edges is invariant; cut under block partition of a
+        // permuted graph stays bounded by nnz.
+        let a = erdos_renyi(100, 5.0, 8);
+        let (pa, _) = permute_symmetric(&a, 3);
+        let r = evaluate_partition(&pa, &block_partition(100, 4), 4);
+        assert!(r.total_cut_edges <= pa.nnz());
+        // Non-adversarial bound from the paper: r_i <= n(P-1)/P.
+        assert!(r.edgecut_max() <= 100 * 3 / 4 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition length")]
+    fn wrong_partition_length_panics() {
+        let a = ring(4);
+        let _ = evaluate_partition(&a, &[0, 0], 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! Block partitioning of matrices onto 1D / 2D / 3D process geometries.
+//!
+//! These functions realize Tables III–V of the paper: the 1D algorithm
+//! stores `A` by block columns and `H` by block rows; the 2D algorithm
+//! stores both on a `√P x √P` grid; the 3D algorithm splits each 2D block
+//! of `A` along columns across layers and `H` along rows across layers
+//! (§IV-D). Uneven dimensions are handled by giving the first
+//! `n mod P` parts one extra row/column (balanced block distribution).
+
+use crate::csr::Csr;
+use cagnet_dense::Mat;
+
+/// Balanced 1D block ranges: splits `0..n` into `p` contiguous ranges whose
+/// sizes differ by at most one (first `n % p` ranges get the extra item).
+pub fn block_ranges(n: usize, p: usize) -> Vec<(usize, usize)> {
+    assert!(p > 0, "cannot partition into zero parts");
+    let base = n / p;
+    let extra = n % p;
+    let mut out = Vec::with_capacity(p);
+    let mut start = 0;
+    for i in 0..p {
+        let len = base + usize::from(i < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// The range owned by part `i` of `p` (convenience for `block_ranges`).
+pub fn block_range(n: usize, p: usize, i: usize) -> (usize, usize) {
+    assert!(i < p, "part index out of range");
+    let base = n / p;
+    let extra = n % p;
+    let start = i * base + i.min(extra);
+    let len = base + usize::from(i < extra);
+    (start, start + len)
+}
+
+/// Which part owns global index `g` under the balanced block distribution.
+pub fn owner_of(n: usize, p: usize, g: usize) -> usize {
+    debug_assert!(g < n);
+    let base = n / p;
+    let extra = n % p;
+    let boundary = extra * (base + 1);
+    if g < boundary {
+        g / (base + 1)
+    } else {
+        extra + (g - boundary) / base.max(1)
+    }
+}
+
+/// Split a sparse matrix into `p` block rows.
+pub fn split_rows_sparse(a: &Csr, p: usize) -> Vec<Csr> {
+    block_ranges(a.rows(), p)
+        .into_iter()
+        .map(|(r0, r1)| a.block(r0, r1, 0, a.cols()))
+        .collect()
+}
+
+/// Split a sparse matrix into `p` block columns.
+pub fn split_cols_sparse(a: &Csr, p: usize) -> Vec<Csr> {
+    block_ranges(a.cols(), p)
+        .into_iter()
+        .map(|(c0, c1)| a.block(0, a.rows(), c0, c1))
+        .collect()
+}
+
+/// Split a dense matrix into `p` block rows.
+pub fn split_rows_dense(h: &Mat, p: usize) -> Vec<Mat> {
+    block_ranges(h.rows(), p)
+        .into_iter()
+        .map(|(r0, r1)| h.block(r0, r1, 0, h.cols()))
+        .collect()
+}
+
+/// Reassemble block rows into the full dense matrix.
+pub fn join_rows_dense(parts: &[Mat]) -> Mat {
+    Mat::vstack(parts)
+}
+
+/// 2D block of a sparse matrix for grid position `(i, j)` on a `pr x pc`
+/// grid.
+pub fn grid_block_sparse(a: &Csr, pr: usize, pc: usize, i: usize, j: usize) -> Csr {
+    let (r0, r1) = block_range(a.rows(), pr, i);
+    let (c0, c1) = block_range(a.cols(), pc, j);
+    a.block(r0, r1, c0, c1)
+}
+
+/// 2D block of a dense matrix for grid position `(i, j)` on a `pr x pc`
+/// grid.
+pub fn grid_block_dense(h: &Mat, pr: usize, pc: usize, i: usize, j: usize) -> Mat {
+    let (r0, r1) = block_range(h.rows(), pr, i);
+    let (c0, c1) = block_range(h.cols(), pc, j);
+    h.block(r0, r1, c0, c1)
+}
+
+/// Reassemble a full dense matrix from its `pr x pc` grid blocks (row-major
+/// block order: `blocks[i * pc + j]`).
+pub fn join_grid_dense(blocks: &[Mat], pr: usize, pc: usize) -> Mat {
+    assert_eq!(blocks.len(), pr * pc, "block count mismatch");
+    let rows: Vec<Mat> = (0..pr)
+        .map(|i| Mat::hstack(&blocks[i * pc..(i + 1) * pc]))
+        .collect();
+    Mat::vstack(&rows)
+}
+
+/// The 3D "Block Split" piece of `A` for mesh position `(i, j, k)` on a
+/// `q x q x q` mesh (`P = q³`): the 2D block `(i, j)` on the `q x q` grid,
+/// further split along *columns* into `q` slices, of which slice `k` is
+/// returned. Its shape is `n/q x n/q²` as in §IV-D.
+pub fn split3d_block_sparse(a: &Csr, q: usize, i: usize, j: usize, k: usize) -> Csr {
+    let (r0, r1) = block_range(a.rows(), q, i);
+    let (c0, c1) = block_range(a.cols(), q, j);
+    let sub = block_range(c1 - c0, q, k);
+    a.block(r0, r1, c0 + sub.0, c0 + sub.1)
+}
+
+/// The 3D "Block Split" piece of a dense matrix for mesh position
+/// `(i, j, k)`: the 2D block `(i, j)` split along *rows* into `q` slices,
+/// slice `k` returned; shape `n/q² x f/q` as in §IV-D.
+pub fn split3d_block_dense(h: &Mat, q: usize, i: usize, j: usize, k: usize) -> Mat {
+    let (r0, r1) = block_range(h.rows(), q, i);
+    let (c0, c1) = block_range(h.cols(), q, j);
+    let sub = block_range(r1 - r0, q, k);
+    h.block(r0 + sub.0, r0 + sub.1, c0, c1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::erdos_renyi;
+
+    #[test]
+    fn ranges_cover_and_balance() {
+        for &(n, p) in &[(10usize, 3usize), (7, 7), (5, 8), (100, 6), (0, 4)] {
+            let ranges = block_ranges(n, p);
+            assert_eq!(ranges.len(), p);
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges[p - 1].1, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "ranges not contiguous");
+            }
+            let sizes: Vec<usize> = ranges.iter().map(|&(a, b)| b - a).collect();
+            let min = *sizes.iter().min().unwrap();
+            let max = *sizes.iter().max().unwrap();
+            assert!(max - min <= 1, "imbalanced: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn block_range_matches_block_ranges() {
+        for &(n, p) in &[(13usize, 4usize), (9, 2), (6, 6)] {
+            let all = block_ranges(n, p);
+            for i in 0..p {
+                assert_eq!(block_range(n, p, i), all[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn owner_of_consistent() {
+        for &(n, p) in &[(13usize, 4usize), (10, 3), (5, 5), (100, 7)] {
+            let ranges = block_ranges(n, p);
+            for g in 0..n {
+                let o = owner_of(n, p, g);
+                assert!(ranges[o].0 <= g && g < ranges[o].1, "owner wrong for {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_row_split_reassembles() {
+        let a = erdos_renyi(50, 4.0, 1);
+        let parts = split_rows_sparse(&a, 4);
+        let total: usize = parts.iter().map(Csr::nnz).sum();
+        assert_eq!(total, a.nnz());
+        // Dense reassembly matches.
+        let dense_parts: Vec<Mat> = parts.iter().map(Csr::to_dense).collect();
+        assert!(Mat::vstack(&dense_parts).approx_eq(&a.to_dense(), 0.0));
+    }
+
+    #[test]
+    fn sparse_col_split_reassembles() {
+        let a = erdos_renyi(50, 4.0, 2);
+        let parts = split_cols_sparse(&a, 3);
+        let total: usize = parts.iter().map(Csr::nnz).sum();
+        assert_eq!(total, a.nnz());
+        let dense_parts: Vec<Mat> = parts.iter().map(Csr::to_dense).collect();
+        assert!(Mat::hstack(&dense_parts).approx_eq(&a.to_dense(), 0.0));
+    }
+
+    #[test]
+    fn dense_grid_split_reassembles() {
+        let h = Mat::from_fn(11, 7, |i, j| (i * 7 + j) as f64);
+        let (pr, pc) = (3, 2);
+        let blocks: Vec<Mat> = (0..pr)
+            .flat_map(|i| (0..pc).map(move |j| (i, j)))
+            .map(|(i, j)| grid_block_dense(&h, pr, pc, i, j))
+            .collect();
+        assert!(join_grid_dense(&blocks, pr, pc).approx_eq(&h, 0.0));
+    }
+
+    #[test]
+    fn sparse_grid_blocks_conserve_nnz() {
+        let a = erdos_renyi(40, 5.0, 3);
+        let (pr, pc) = (4, 4);
+        let total: usize = (0..pr)
+            .flat_map(|i| (0..pc).map(move |j| (i, j)))
+            .map(|(i, j)| grid_block_sparse(&a, pr, pc, i, j).nnz())
+            .sum();
+        assert_eq!(total, a.nnz());
+    }
+
+    #[test]
+    fn split3d_shapes_and_conservation() {
+        let q = 2; // P = 8
+        let a = erdos_renyi(16, 3.0, 4);
+        let h = Mat::from_fn(16, 8, |i, j| (i * 8 + j) as f64);
+        let mut nnz_total = 0;
+        let mut h_total = 0;
+        for i in 0..q {
+            for j in 0..q {
+                for k in 0..q {
+                    let ab = split3d_block_sparse(&a, q, i, j, k);
+                    assert_eq!(ab.rows(), 8); // n/q
+                    assert_eq!(ab.cols(), 4); // n/q²
+                    nnz_total += ab.nnz();
+                    let hb = split3d_block_dense(&h, q, i, j, k);
+                    assert_eq!(hb.shape(), (4, 4)); // n/q² x f/q
+                    h_total += hb.len();
+                }
+            }
+        }
+        assert_eq!(nnz_total, a.nnz());
+        assert_eq!(h_total, h.len());
+    }
+}

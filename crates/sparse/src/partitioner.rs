@@ -1,0 +1,317 @@
+//! A from-scratch graph partitioner — the METIS stand-in for §IV-A.8.
+//!
+//! The paper ran METIS on Reddit with 64 parts and found a 72% reduction in
+//! *total* edgecut over random block distribution, but only a 29% reduction
+//! in the *max-per-process* cut that actually governs bulk-synchronous
+//! runtime. Reproducing that qualitative asymmetry does not need METIS
+//! itself; this module provides a greedy BFS-grown partitioner with a
+//! boundary-refinement pass (Kernighan–Lin flavored), which on scale-free
+//! graphs lands in the same regime: large total-cut wins, much smaller
+//! max-cut wins.
+
+use crate::csr::Csr;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration for [`partition_greedy_bfs`].
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionConfig {
+    /// Number of parts.
+    pub num_parts: usize,
+    /// Maximum allowed part size as a multiple of the ideal `n/p`
+    /// (1.03 = 3% imbalance, the METIS default ballpark).
+    pub balance_factor: f64,
+    /// Boundary-refinement sweeps after the initial growth.
+    pub refinement_passes: usize,
+    /// Spread-and-pin threshold for high-degree vertices, as a multiple
+    /// of the average degree: vertices above it are distributed
+    /// round-robin across parts *before* BFS growth and never moved by
+    /// refinement. This mirrors what balanced multilevel partitioners
+    /// (METIS) achieve implicitly — without it, BFS growth pulls hub
+    /// vertices into one part and the max-per-part cut explodes. `None`
+    /// disables pinning.
+    pub pin_high_degree: Option<f64>,
+    /// Seed for tie-breaking and seed-vertex selection.
+    pub seed: u64,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            num_parts: 2,
+            balance_factor: 1.03,
+            refinement_passes: 4,
+            pin_high_degree: Some(4.0),
+            seed: 0,
+        }
+    }
+}
+
+/// Grow `num_parts` parts by seeded BFS, then refine boundaries by greedy
+/// gain moves. Returns `part[v]` assignments.
+///
+/// The undirected structure of `a` is used (both in- and out-neighbors).
+pub fn partition_greedy_bfs(a: &Csr, cfg: &PartitionConfig) -> Vec<usize> {
+    assert_eq!(a.rows(), a.cols(), "partitioner requires square adjacency");
+    let n = a.rows();
+    let p = cfg.num_parts;
+    assert!(p > 0 && p <= n.max(1), "bad part count");
+    let at = a.transpose();
+    let max_size = (((n as f64 / p as f64) * cfg.balance_factor).ceil() as usize).max(1);
+
+    let mut part = vec![usize::MAX; n];
+    let mut pinned = vec![false; n];
+    let mut sizes = vec![0usize; p];
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut unassigned = n;
+
+    // Multi-source BFS: each part grows one frontier in round-robin, so
+    // parts stay contiguous regions of the graph where possible.
+    let mut frontiers: Vec<Vec<usize>> = vec![Vec::new(); p];
+
+    // Spread-and-pin hubs before growth.
+    if let Some(mult) = cfg.pin_high_degree {
+        let deg = |v: usize| a.row_nnz(v) + at.row_nnz(v);
+        let avg = (a.nnz() + at.nnz()) as f64 / n.max(1) as f64;
+        let mut hubs: Vec<usize> = (0..n).filter(|&v| deg(v) as f64 > mult * avg).collect();
+        hubs.sort_unstable_by_key(|&v| std::cmp::Reverse(deg(v)));
+        for (idx, &v) in hubs.iter().enumerate() {
+            let pid = idx % p;
+            part[v] = pid;
+            pinned[v] = true;
+            sizes[pid] += 1;
+            frontiers[pid].push(v);
+            unassigned -= 1;
+        }
+    }
+    for pid in 0..p {
+        if !frontiers[pid].is_empty() {
+            continue; // already seeded by a pinned hub
+        }
+        // Pick a random unassigned seed.
+        let mut v = rng.gen_range(0..n);
+        let mut tries = 0;
+        while part[v] != usize::MAX && tries < 4 * n {
+            v = rng.gen_range(0..n);
+            tries += 1;
+        }
+        if part[v] != usize::MAX {
+            match (0..n).find(|&u| part[u] == usize::MAX) {
+                Some(u) => v = u,
+                None => continue,
+            }
+        }
+        part[v] = pid;
+        sizes[pid] += 1;
+        unassigned -= 1;
+        frontiers[pid].push(v);
+    }
+
+    while unassigned > 0 {
+        let mut progressed = false;
+        for pid in 0..p {
+            if sizes[pid] >= max_size {
+                continue;
+            }
+            // Pop until a vertex with an unassigned neighbor is found.
+            let mut claimed = None;
+            while let Some(u) = frontiers[pid].pop() {
+                let mut next = None;
+                for (w, _) in a.row_entries(u).chain(at.row_entries(u)) {
+                    if part[w] == usize::MAX {
+                        next = Some(w);
+                        break;
+                    }
+                }
+                if let Some(w) = next {
+                    // u may have more unassigned neighbors; keep it.
+                    frontiers[pid].push(u);
+                    claimed = Some(w);
+                    break;
+                }
+            }
+            let w = match claimed {
+                Some(w) => w,
+                None => continue,
+            };
+            part[w] = pid;
+            sizes[pid] += 1;
+            unassigned -= 1;
+            frontiers[pid].push(w);
+            progressed = true;
+            if unassigned == 0 {
+                break;
+            }
+        }
+        if !progressed {
+            // Disconnected remainder: assign leftovers to the smallest
+            // parts and restart their frontiers there.
+            for v in 0..n {
+                if part[v] == usize::MAX {
+                    let pid = (0..p).min_by_key(|&q| sizes[q]).unwrap();
+                    part[v] = pid;
+                    sizes[pid] += 1;
+                    unassigned -= 1;
+                    frontiers[pid].push(v);
+                }
+            }
+        }
+    }
+
+    refine(
+        a,
+        &at,
+        &mut part,
+        &pinned,
+        &mut sizes,
+        max_size,
+        cfg.refinement_passes,
+    );
+    part
+}
+
+/// Greedy boundary refinement: move a vertex to the neighboring part with
+/// the highest connectivity gain, respecting the balance cap. Pinned
+/// vertices never move.
+fn refine(
+    a: &Csr,
+    at: &Csr,
+    part: &mut [usize],
+    pinned: &[bool],
+    sizes: &mut [usize],
+    max_size: usize,
+    passes: usize,
+) {
+    let n = a.rows();
+    let p = sizes.len();
+    let mut conn = vec![0usize; p];
+    for _ in 0..passes {
+        let mut moved = 0usize;
+        for v in 0..n {
+            if pinned[v] {
+                continue;
+            }
+            conn.iter_mut().for_each(|c| *c = 0);
+            for (w, _) in a.row_entries(v).chain(at.row_entries(v)) {
+                if w != v {
+                    conn[part[w]] += 1;
+                }
+            }
+            let cur = part[v];
+            if sizes[cur] <= 1 {
+                continue;
+            }
+            // Best alternative part by connectivity.
+            let mut best = cur;
+            let mut best_conn = conn[cur];
+            for q in 0..p {
+                if q != cur && sizes[q] < max_size && conn[q] > best_conn {
+                    best = q;
+                    best_conn = conn[q];
+                }
+            }
+            if best != cur {
+                part[v] = best;
+                sizes[cur] -= 1;
+                sizes[best] += 1;
+                moved += 1;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edgecut::{block_partition, evaluate_partition};
+    use crate::generate::{rmat_symmetric, RmatParams};
+
+    #[test]
+    fn produces_valid_assignment() {
+        let g = rmat_symmetric(8, 4, RmatParams::default(), 1);
+        let cfg = PartitionConfig {
+            num_parts: 8,
+            ..Default::default()
+        };
+        let part = partition_greedy_bfs(&g, &cfg);
+        assert_eq!(part.len(), g.rows());
+        assert!(part.iter().all(|&q| q < 8));
+        // Every part nonempty.
+        for q in 0..8 {
+            assert!(part.iter().any(|&x| x == q), "part {q} empty");
+        }
+    }
+
+    #[test]
+    fn respects_balance_cap() {
+        let g = rmat_symmetric(8, 4, RmatParams::default(), 2);
+        let cfg = PartitionConfig {
+            num_parts: 4,
+            balance_factor: 1.05,
+            ..Default::default()
+        };
+        let part = partition_greedy_bfs(&g, &cfg);
+        let n = g.rows();
+        let cap = ((n as f64 / 4.0) * 1.05).ceil() as usize;
+        let mut sizes = vec![0usize; 4];
+        for &q in &part {
+            sizes[q] += 1;
+        }
+        for (q, &s) in sizes.iter().enumerate() {
+            assert!(s <= cap, "part {q} size {s} exceeds cap {cap}");
+        }
+    }
+
+    #[test]
+    fn beats_random_blocks_on_total_cut() {
+        // The §IV-A.8 qualitative claim: partitioning cuts total edges a
+        // lot. Use a graph with strong community structure (ring of
+        // cliques) where a good partitioner must win decisively.
+        let mut coo = crate::coo::Coo::new(64, 64);
+        // 8 cliques of 8 vertices, ring-connected. Scatter clique members
+        // across the id space so the block baseline is bad.
+        let member = |c: usize, k: usize| (k * 8 + c) % 64;
+        for c in 0..8 {
+            for i in 0..8 {
+                for j in 0..8 {
+                    if i != j {
+                        coo.push(member(c, i), member(c, j), 1.0);
+                    }
+                }
+            }
+            let next = (c + 1) % 8;
+            coo.push(member(c, 0), member(next, 0), 1.0);
+            coo.push(member(next, 0), member(c, 0), 1.0);
+        }
+        let g = crate::csr::Csr::from_coo(coo);
+        let cfg = PartitionConfig {
+            num_parts: 8,
+            balance_factor: 1.01,
+            refinement_passes: 8,
+            seed: 5,
+            ..Default::default()
+        };
+        let smart = evaluate_partition(&g, &partition_greedy_bfs(&g, &cfg), 8);
+        let random = evaluate_partition(&g, &block_partition(64, 8), 8);
+        assert!(
+            smart.total_cut_edges < random.total_cut_edges,
+            "partitioner ({}) did not beat block baseline ({})",
+            smart.total_cut_edges,
+            random.total_cut_edges
+        );
+    }
+
+    #[test]
+    fn single_part_trivial() {
+        let g = rmat_symmetric(5, 3, RmatParams::default(), 3);
+        let cfg = PartitionConfig {
+            num_parts: 1,
+            ..Default::default()
+        };
+        let part = partition_greedy_bfs(&g, &cfg);
+        assert!(part.iter().all(|&q| q == 0));
+    }
+}

@@ -1,0 +1,199 @@
+//! Sparse × sparse matrix multiplication (SpGEMM), Gustavson row-wise
+//! with a dense accumulator.
+//!
+//! The paper's 3D algorithm descends from Split-3D-SpGEMM (Azad et al.
+//! \[3\], §IV-D); SpGEMM itself is the substrate for multi-hop
+//! neighborhoods: `A²` is the 2-hop adjacency, so a "2-hop GCN" layer
+//! aggregates over `gcn_normalize(A ⊕ A²)` — one way around shallow
+//! receptive fields without extra layers.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+
+/// `C = A · B`, both sparse. Gustavson's algorithm: for each row of `A`,
+/// merge the scaled rows of `B` through a dense accumulator (O(cols)
+/// scratch reused across rows).
+///
+/// # Panics
+/// Panics on inner-dimension mismatch.
+pub fn spgemm(a: &Csr, b: &Csr) -> Csr {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "spgemm: inner dims {}x{} · {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let n = b.cols();
+    let mut acc = vec![0.0f64; n];
+    let mut mark = vec![false; n];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut row_ptr = Vec::with_capacity(a.rows() + 1);
+    row_ptr.push(0usize);
+    let mut col_idx: Vec<usize> = Vec::new();
+    let mut vals: Vec<f64> = Vec::new();
+    for i in 0..a.rows() {
+        for (k, av) in a.row_entries(i) {
+            for (j, bv) in b.row_entries(k) {
+                if !mark[j] {
+                    mark[j] = true;
+                    touched.push(j);
+                }
+                acc[j] += av * bv;
+            }
+        }
+        touched.sort_unstable();
+        for &j in &touched {
+            // Keep numerical zeros out of the pattern only when exactly
+            // cancelled.
+            if acc[j] != 0.0 {
+                col_idx.push(j);
+                vals.push(acc[j]);
+            }
+            acc[j] = 0.0;
+            mark[j] = false;
+        }
+        touched.clear();
+        row_ptr.push(col_idx.len());
+    }
+    Csr::from_raw(a.rows(), n, row_ptr, col_idx, vals)
+}
+
+/// Boolean-pattern SpGEMM: `C = pattern(A · B)` with all stored values
+/// 1.0 — reachability composition without value growth.
+pub fn spgemm_pattern(a: &Csr, b: &Csr) -> Csr {
+    let mut c = spgemm(a, b);
+    for v in c.vals_mut() {
+        *v = 1.0;
+    }
+    c
+}
+
+/// `A ⊕ A² ⊕ ... ⊕ A^k` as a pattern (all weights 1.0): the `k`-hop
+/// neighborhood adjacency. `k = 1` returns `pattern(A)`.
+pub fn k_hop_pattern(a: &Csr, k: usize) -> Csr {
+    assert!(k >= 1, "need at least one hop");
+    assert_eq!(a.rows(), a.cols(), "k-hop needs a square adjacency");
+    let base = {
+        let mut p = a.clone();
+        for v in p.vals_mut() {
+            *v = 1.0;
+        }
+        p
+    };
+    let mut acc = base.clone();
+    let mut power = base.clone();
+    for _ in 1..k {
+        power = spgemm_pattern(&power, &base);
+        // Union of patterns via COO merge.
+        let mut coo = Coo::new(a.rows(), a.cols());
+        for i in 0..acc.rows() {
+            for (j, _) in acc.row_entries(i) {
+                coo.push(i, j, 1.0);
+            }
+            for (j, _) in power.row_entries(i) {
+                coo.push(i, j, 1.0);
+            }
+        }
+        acc = Csr::from_coo(coo);
+        // Clamp merged duplicates back to 1.0.
+        for v in acc.vals_mut() {
+            *v = 1.0;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::erdos_renyi;
+
+    #[test]
+    fn matches_densified_matmul() {
+        for seed in 0..3 {
+            let a = erdos_renyi(20, 3.0, seed);
+            let b = erdos_renyi(20, 3.0, seed + 10);
+            let c = spgemm(&a, &b);
+            let dense = cagnet_dense::matmul(&a.to_dense(), &b.to_dense());
+            assert!(c.to_dense().approx_eq(&dense, 1e-12), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = erdos_renyi(15, 2.0, 4);
+        let i = Csr::identity(15);
+        assert_eq!(spgemm(&a, &i), a);
+        assert_eq!(spgemm(&i, &a), a);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = erdos_renyi(12, 2.0, 5).block(0, 8, 0, 12); // 8x12
+        let b = erdos_renyi(12, 2.0, 6).block(0, 12, 0, 5); // 12x5
+        let c = spgemm(&a, &b);
+        assert_eq!(c.rows(), 8);
+        assert_eq!(c.cols(), 5);
+        let dense = cagnet_dense::matmul(&a.to_dense(), &b.to_dense());
+        assert!(c.to_dense().approx_eq(&dense, 1e-12));
+    }
+
+    #[test]
+    fn associativity_on_small_matrices() {
+        let a = erdos_renyi(10, 2.0, 7);
+        let b = erdos_renyi(10, 2.0, 8);
+        let c = erdos_renyi(10, 2.0, 9);
+        let left = spgemm(&spgemm(&a, &b), &c);
+        let right = spgemm(&a, &spgemm(&b, &c));
+        assert!(left.to_dense().approx_eq(&right.to_dense(), 1e-10));
+    }
+
+    #[test]
+    fn two_hop_pattern_is_path_reachability() {
+        // Path 0 -> 1 -> 2 -> 3: 2-hop closure adds 0->2 and 1->3.
+        let mut coo = Coo::new(4, 4);
+        for i in 0..3 {
+            coo.push(i, i + 1, 1.0);
+        }
+        let a = Csr::from_coo(coo);
+        let h2 = k_hop_pattern(&a, 2);
+        assert_eq!(h2.get(0, 1), 1.0);
+        assert_eq!(h2.get(0, 2), 1.0);
+        assert_eq!(h2.get(1, 3), 1.0);
+        assert_eq!(h2.get(0, 3), 0.0); // 3 hops away
+        let h3 = k_hop_pattern(&a, 3);
+        assert_eq!(h3.get(0, 3), 1.0);
+    }
+
+    #[test]
+    fn k_hop_saturates_on_connected_components() {
+        // A ring: with enough hops, every vertex reaches every other.
+        let mut coo = Coo::new(6, 6);
+        for i in 0..6 {
+            coo.push(i, (i + 1) % 6, 1.0);
+            coo.push((i + 1) % 6, i, 1.0);
+        }
+        let a = Csr::from_coo(coo);
+        let h = k_hop_pattern(&a, 5);
+        for i in 0..6 {
+            for j in 0..6 {
+                if i != j {
+                    assert_eq!(h.get(i, j), 1.0, "({i},{j}) unreachable");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_operands() {
+        let a = Csr::empty(4, 6);
+        let b = Csr::empty(6, 3);
+        let c = spgemm(&a, &b);
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.rows(), 4);
+        assert_eq!(c.cols(), 3);
+    }
+}

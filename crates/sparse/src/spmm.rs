@@ -1,0 +1,315 @@
+//! Sparse matrix × tall-skinny dense matrix multiplication (SpMM).
+//!
+//! This is the paper's dominant computational primitive: "the most time
+//! consuming operations are the multiplication of a sparse matrix with a
+//! dense matrix (SpMM) and dense matrix multiply" (§III-B). The paper uses
+//! cuSPARSE `csrmm2`; this module is the from-scratch CPU equivalent, plus
+//! a semiring-generic variant realizing the paper's §I note that the
+//! algorithms "can be trivially extended to support arbitrary aggregate
+//! operations" via an overloadable (⊕, ⊗) pair.
+
+use crate::csr::Csr;
+use cagnet_dense::Mat;
+
+/// `C = A · B` where `A` is CSR and `B` dense.
+///
+/// ```
+/// use cagnet_dense::Mat;
+/// use cagnet_sparse::{spmm, Csr};
+/// let a = Csr::identity(3);
+/// let b = Mat::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
+/// assert_eq!(spmm(&a, &b), b);
+/// ```
+///
+/// # Panics
+/// Panics on inner-dimension mismatch.
+pub fn spmm(a: &Csr, b: &Mat) -> Mat {
+    let mut c = Mat::zeros(a.rows(), b.cols());
+    spmm_acc(a, b, &mut c);
+    c
+}
+
+/// `C += A · B` with accumulation — the SUMMA-stage primitive.
+pub fn spmm_acc(a: &Csr, b: &Mat, c: &mut Mat) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "spmm: inner dims {}x{} · {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    assert_eq!(c.shape(), (a.rows(), b.cols()), "spmm: output shape");
+    let f = b.cols();
+    if f == 0 {
+        return;
+    }
+    let bv = b.as_slice();
+    let cv = c.as_mut_slice();
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let vals = a.vals();
+    for i in 0..a.rows() {
+        let crow = &mut cv[i * f..(i + 1) * f];
+        for k in row_ptr[i]..row_ptr[i + 1] {
+            let col = col_idx[k];
+            let aval = vals[k];
+            let brow = &bv[col * f..(col + 1) * f];
+            // Row-of-B streaming: unit-stride on both B and C.
+            for (cj, &bval) in crow.iter_mut().zip(brow) {
+                *cj += aval * bval;
+            }
+        }
+    }
+}
+
+/// A semiring over `f64`: an additive monoid (`add`, `zero`) and a
+/// multiplicative operation. `spmm` over the standard `(+, ×, 0)` semiring
+/// recovers ordinary SpMM; `(min, +, ∞)` gives shortest-path relaxation,
+/// `(max, ×, 0)` a max-pooling aggregation, etc.
+pub trait Semiring {
+    /// Additive identity of the aggregation.
+    fn zero(&self) -> f64;
+    /// The aggregation ⊕.
+    fn add(&self, a: f64, b: f64) -> f64;
+    /// The combination ⊗.
+    fn mul(&self, a: f64, b: f64) -> f64;
+}
+
+/// The standard arithmetic `(+, ×, 0)` semiring.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlusTimes;
+
+impl Semiring for PlusTimes {
+    fn zero(&self) -> f64 {
+        0.0
+    }
+    fn add(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+    fn mul(&self, a: f64, b: f64) -> f64 {
+        a * b
+    }
+}
+
+/// The tropical `(min, +, +∞)` semiring.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MinPlus;
+
+impl Semiring for MinPlus {
+    fn zero(&self) -> f64 {
+        f64::INFINITY
+    }
+    fn add(&self, a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+    fn mul(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+/// The `(max, ×, 0)` semiring — max-aggregation over weighted neighbors
+/// (assumes non-negative values, as in normalized adjacency matrices).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxTimes;
+
+impl Semiring for MaxTimes {
+    fn zero(&self) -> f64 {
+        0.0
+    }
+    fn add(&self, a: f64, b: f64) -> f64 {
+        a.max(b)
+    }
+    fn mul(&self, a: f64, b: f64) -> f64 {
+        a * b
+    }
+}
+
+/// SpMM over an arbitrary semiring: `C[i,j] = ⊕_k A[i,k] ⊗ B[k,j]`, where
+/// the ⊕ ranges over the *stored* entries of row `i` (implicit zeros do
+/// not participate, matching GraphBLAS semantics).
+pub fn spmm_semiring<S: Semiring>(a: &Csr, b: &Mat, s: &S) -> Mat {
+    let mut c = Mat::filled(a.rows(), b.cols(), s.zero());
+    spmm_semiring_acc(a, b, s, &mut c);
+    c
+}
+
+/// `C ⊕= A ⊗ B` over a semiring — the accumulating form used by block
+/// algorithms (the distributed stages of `cagnet_core::propagate`). `c`
+/// must have been initialized with `s.zero()` (or hold a previous
+/// partial).
+pub fn spmm_semiring_acc<S: Semiring>(a: &Csr, b: &Mat, s: &S, c: &mut Mat) {
+    assert_eq!(a.cols(), b.rows(), "spmm_semiring: inner dims");
+    assert_eq!(c.shape(), (a.rows(), b.cols()), "spmm_semiring: output shape");
+    let f = b.cols();
+    if f == 0 {
+        return;
+    }
+    let bv = b.as_slice();
+    let cv = c.as_mut_slice();
+    for i in 0..a.rows() {
+        let crow = &mut cv[i * f..(i + 1) * f];
+        for (col, aval) in a.row_entries(i) {
+            let brow = &bv[col * f..(col + 1) * f];
+            for (cj, &bval) in crow.iter_mut().zip(brow) {
+                *cj = s.add(*cj, s.mul(aval, bval));
+            }
+        }
+    }
+}
+
+/// Sparse × dense outer-product style product used by the 1D backward pass:
+/// `C = A(:, c0..c1) · B` where the caller holds only a *column block* of
+/// `A` stored as the CSR of its transpose (`At_block`, shaped
+/// `block_cols x n_rows_of_A`), and `B` has `block_cols` rows. The result is
+/// the full-height `n x f` low-rank contribution that is then
+/// reduce-scattered (paper §IV-A.3).
+pub fn outer_product_from_transposed(at_block: &Csr, b: &Mat) -> Mat {
+    assert_eq!(at_block.rows(), b.rows(), "outer product: inner dims");
+    let n = at_block.cols();
+    let f = b.cols();
+    let mut c = Mat::zeros(n, f);
+    let cv = c.as_mut_slice();
+    let bv = b.as_slice();
+    for k in 0..at_block.rows() {
+        let brow = &bv[k * f..(k + 1) * f];
+        for (dst_row, aval) in at_block.row_entries(k) {
+            let crow = &mut cv[dst_row * f..(dst_row + 1) * f];
+            for (cj, &bval) in crow.iter_mut().zip(brow) {
+                *cj += aval * bval;
+            }
+        }
+    }
+    c
+}
+
+/// Flop count of `spmm` on this operand pair (2 flops per stored
+/// multiply-add).
+pub fn spmm_flops(a: &Csr, dense_cols: usize) -> u64 {
+    2 * a.nnz() as u64 * dense_cols as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn sample_csr() -> Csr {
+        Csr::from_coo(Coo::from_entries(
+            3,
+            4,
+            vec![
+                (0, 0, 1.0),
+                (0, 3, 2.0),
+                (1, 1, -1.0),
+                (2, 0, 0.5),
+                (2, 2, 4.0),
+            ],
+        ))
+    }
+
+    fn sample_dense() -> Mat {
+        Mat::from_fn(4, 3, |i, j| (i * 3 + j) as f64 - 4.0)
+    }
+
+    #[test]
+    fn spmm_matches_densified_gemm() {
+        let a = sample_csr();
+        let b = sample_dense();
+        let sparse = spmm(&a, &b);
+        let dense = cagnet_dense::matmul(&a.to_dense(), &b);
+        assert!(sparse.approx_eq(&dense, 1e-12));
+    }
+
+    #[test]
+    fn spmm_acc_accumulates() {
+        let a = sample_csr();
+        let b = sample_dense();
+        let mut c = spmm(&a, &b);
+        spmm_acc(&a, &b, &mut c);
+        let doubled = spmm(&a, &b).map(|x| 2.0 * x);
+        assert!(c.approx_eq(&doubled, 1e-12));
+    }
+
+    #[test]
+    fn empty_rows_produce_zero_rows() {
+        let a = Csr::empty(3, 3);
+        let b = Mat::filled(3, 2, 7.0);
+        let c = spmm(&a, &b);
+        assert!(c.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn plus_times_semiring_matches_plain_spmm() {
+        let a = sample_csr();
+        let b = sample_dense();
+        let plain = spmm(&a, &b);
+        let semi = spmm_semiring(&a, &b, &PlusTimes);
+        assert!(plain.approx_eq(&semi, 1e-12));
+    }
+
+    #[test]
+    fn min_plus_semiring_relaxation() {
+        // One-step min-plus relaxation from a distance vector.
+        let a = Csr::from_coo(Coo::from_entries(
+            2,
+            2,
+            vec![(0, 1, 1.0), (1, 0, 2.0)],
+        ));
+        let d = Mat::from_rows(&[&[0.0], &[10.0]]);
+        let r = spmm_semiring(&a, &d, &MinPlus);
+        // r[0] = min over stored entries: a[0][1] + d[1] = 11
+        // r[1] = a[1][0] + d[0] = 2
+        assert_eq!(r[(0, 0)], 11.0);
+        assert_eq!(r[(1, 0)], 2.0);
+    }
+
+    #[test]
+    fn max_times_picks_largest_contribution() {
+        let a = Csr::from_coo(Coo::from_entries(
+            1,
+            3,
+            vec![(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0)],
+        ));
+        let b = Mat::from_rows(&[&[3.0], &[9.0], &[5.0]]);
+        let r = spmm_semiring(&a, &b, &MaxTimes);
+        assert_eq!(r[(0, 0)], 9.0);
+    }
+
+    #[test]
+    fn outer_product_matches_dense() {
+        // A is 4x3; we hold the column block A(:, 1..3) as CSR of its
+        // transpose, shaped 2x4.
+        let a_full = Csr::from_coo(Coo::from_entries(
+            4,
+            3,
+            vec![
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 1, 3.0),
+                (3, 0, 4.0),
+                (3, 2, 5.0),
+            ],
+        ));
+        let at = a_full.transpose(); // 3x4
+        let at_block = at.block(1, 3, 0, 4); // rows 1..3 of Aᵀ = cols 1..3 of A
+        let b = Mat::from_fn(2, 2, |i, j| (i + j) as f64 + 1.0);
+        let got = outer_product_from_transposed(&at_block, &b);
+        let a_cols = a_full.to_dense().block(0, 4, 1, 3);
+        let expect = cagnet_dense::matmul(&a_cols, &b);
+        assert!(got.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn flops_counting() {
+        let a = sample_csr();
+        assert_eq!(spmm_flops(&a, 3), 2 * 5 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn spmm_dim_mismatch_panics() {
+        let _ = spmm(&sample_csr(), &Mat::zeros(3, 2));
+    }
+}

@@ -1,0 +1,87 @@
+//! Graph partitioning vs random block distribution — the paper's §IV-A.8
+//! experiment, reproduced with the built-in partitioner in place of METIS.
+//!
+//! The paper ran METIS on Reddit with 64 parts: total edgecut dropped 72%
+//! versus random distribution, but the max-per-process cut — which is what
+//! bounds bulk-synchronous runtime — dropped only 29%. This example shows
+//! the same asymmetry on a scale-free synthetic graph.
+//!
+//! Run with: `cargo run --release --example graph_partitioning`
+
+use cagnet::sparse::edgecut::{block_partition, evaluate_partition};
+use cagnet::sparse::generate::{permute_symmetric, planted_partition, PlantedPartitionParams};
+use cagnet::sparse::partitioner::{partition_greedy_bfs, PartitionConfig};
+
+fn main() {
+    let parts = 64;
+    // Reddit-like structure: strong communities (subreddits) plus a few
+    // global hub vertices, randomly permuted so the block baseline sees
+    // nothing. Communities make a partitioner's *total*-cut win large;
+    // hubs keep the *max*-per-process cut high — the paper's §IV-A.8
+    // asymmetry, and its reason to prefer random 2D distribution over
+    // partitioning for scale-free graphs.
+    let raw = planted_partition(
+        8192,
+        PlantedPartitionParams {
+            communities: 64,
+            degree_in: 14.0,
+            degree_out: 2.5,
+            hubs: 64,
+            hub_degree: 60,
+        },
+        3,
+    );
+    let (graph, _) = permute_symmetric(&raw, 17);
+    println!(
+        "graph: {} vertices, {} edges, {} parts\n",
+        graph.rows(),
+        graph.nnz(),
+        parts
+    );
+
+    let random = evaluate_partition(&graph, &block_partition(graph.rows(), parts), parts);
+    let cfg = PartitionConfig {
+        num_parts: parts,
+        balance_factor: 1.03,
+        refinement_passes: 6,
+        seed: 5,
+        ..Default::default()
+    };
+    let smart = evaluate_partition(&graph, &partition_greedy_bfs(&graph, &cfg), parts);
+
+    let total_reduction =
+        100.0 * (1.0 - smart.total_cut_edges as f64 / random.total_cut_edges as f64);
+    let max_reduction = 100.0 * (1.0 - smart.cut_edges_max() as f64 / random.cut_edges_max() as f64);
+
+    println!("{:<28} {:>12} {:>12}", "", "random", "partitioned");
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "total cut edges", random.total_cut_edges, smart.total_cut_edges
+    );
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "max cut edges per process",
+        random.cut_edges_max(),
+        smart.cut_edges_max()
+    );
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "max remote rows (edgecut_P)",
+        random.edgecut_max(),
+        smart.edgecut_max()
+    );
+    println!(
+        "\ntotal-cut reduction: {total_reduction:.0}%   max-cut reduction: {max_reduction:.0}%"
+    );
+    println!(
+        "\nAs in the paper (§IV-A.8: 72% total vs 29% max on Reddit/METIS),\n\
+         the total-communication win far exceeds the max-per-process win,\n\
+         and bulk-synchronous runtime follows the max — which is why the\n\
+         paper's 2D/3D algorithms rely on random permutation + block\n\
+         distribution rather than graph partitioning."
+    );
+    assert!(
+        total_reduction > max_reduction + 10.0,
+        "expected the paper's asymmetry (total {total_reduction:.0}% vs max {max_reduction:.0}%)"
+    );
+}

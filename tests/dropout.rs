@@ -1,0 +1,114 @@
+//! Deterministic distributed dropout: the hard requirement is that every
+//! geometry draws exactly the serial model's mask from its own local
+//! window — otherwise §V-A's parallel == serial property dies the moment
+//! regularization is turned on.
+
+use cagnet::comm::CostModel;
+use cagnet::core::trainer::{train_distributed, Algorithm, TrainConfig};
+use cagnet::core::{GcnConfig, Problem, SerialTrainer};
+use cagnet::sparse::generate::erdos_renyi;
+
+fn problem(seed: u64) -> Problem {
+    let g = erdos_renyi(52, 4.0, seed);
+    Problem::synthetic(&g, 10, 4, 1.0, seed + 1)
+}
+
+fn gcn() -> GcnConfig {
+    GcnConfig {
+        dims: vec![10, 8, 6, 4],
+        lr: 0.05,
+        seed: 61,
+    }
+}
+
+#[test]
+fn distributed_dropout_matches_serial_on_every_geometry() {
+    let p = problem(71);
+    let rate = 0.4;
+    let mut s = SerialTrainer::new(&p, gcn());
+    s.set_dropout(rate);
+    let s_losses = s.train(4);
+    let tc = TrainConfig {
+        epochs: 4,
+        dropout: rate,
+        ..Default::default()
+    };
+    for (algo, ranks) in [
+        (Algorithm::OneD, 5),
+        (Algorithm::OneDRow, 3),
+        (Algorithm::One5D { c: 2 }, 6),
+        (Algorithm::TwoD, 9),
+        (Algorithm::TwoDRect { pr: 2, pc: 3 }, 6),
+        (Algorithm::ThreeD, 8),
+    ] {
+        let r = train_distributed(&p, &gcn(), algo, ranks, CostModel::summit_like(), &tc);
+        for (e, (a, b)) in s_losses.iter().zip(&r.losses).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-8,
+                "{} P={ranks} epoch {e} with dropout: {a} vs {b}",
+                algo.name()
+            );
+        }
+        for (sw, dw) in s.weights().iter().zip(&r.weights) {
+            assert!(
+                sw.max_abs_diff(dw) < 1e-8,
+                "{} P={ranks}: weights differ under dropout",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn dropout_changes_training_but_not_evaluation_path() {
+    let p = problem(72);
+    // Same seeds, dropout on vs off: different trajectories.
+    let mut a = SerialTrainer::new(&p, gcn());
+    let la = a.train(3);
+    let mut b = SerialTrainer::new(&p, gcn());
+    b.set_dropout(0.5);
+    let lb = b.train(3);
+    assert_ne!(la, lb, "dropout must perturb training");
+    // Evaluation forward ignores dropout: calling forward twice in a row
+    // (eval mode) is deterministic and mask-free.
+    let e1 = b.forward();
+    let e2 = b.forward();
+    assert_eq!(e1, e2);
+}
+
+#[test]
+fn dropout_zero_is_exactly_baseline() {
+    let p = problem(73);
+    let mut a = SerialTrainer::new(&p, gcn());
+    let la = a.train(3);
+    let mut b = SerialTrainer::new(&p, gcn());
+    b.set_dropout(0.0);
+    let lb = b.train(3);
+    assert_eq!(la, lb);
+}
+
+#[test]
+fn dropout_masks_refresh_every_epoch() {
+    // With a 1-layer hidden model and a huge rate, two consecutive epochs
+    // almost surely see different masks: losses at equal weights would
+    // only coincide if the masks matched.
+    let p = problem(74);
+    let tc = TrainConfig {
+        epochs: 6,
+        dropout: 0.6,
+        ..Default::default()
+    };
+    let r = train_distributed(&p, &gcn(), Algorithm::OneD, 4, CostModel::summit_like(), &tc);
+    // No two consecutive losses identical (mask noise).
+    for w in r.losses.windows(2) {
+        assert_ne!(w[0], w[1]);
+    }
+}
+
+#[test]
+#[should_panic(expected = "rate must be in")]
+fn invalid_rate_rejected() {
+    let p = problem(75);
+    let mut t = SerialTrainer::new(&p, gcn());
+    t.set_dropout(1.0);
+}

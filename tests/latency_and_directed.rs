@@ -1,0 +1,179 @@
+//! Two more §IV claims made checkable:
+//!
+//! 1. **Latency units.** The paper's α coefficients count collectives per
+//!    epoch: 1D pays `O(P)` broadcast rounds per layer while 2D pays
+//!    `O(√P)` — "the latency cost of the 2D algorithm is higher by a
+//!    factor of O(√P / lg P)" relative to its own bandwidth advantage
+//!    (§IV-C.5). We count actual messages from the runtime.
+//!
+//! 2. **Directed graphs.** The paper "distinguish[es] between A and Aᵀ
+//!    explicitly in order to present a general training algorithm that
+//!    works for both directed and undirected graphs" (§III-B). Every
+//!    trainer here slices `A` and `Aᵀ` independently, so training on a
+//!    *directed* (asymmetric) adjacency must still match serial.
+
+use cagnet::comm::{Cat, CostModel};
+use cagnet::core::trainer::{train_distributed, Algorithm, TrainConfig};
+use cagnet::core::{GcnConfig, Problem, SerialTrainer};
+use cagnet::dense::init::{random_labels, uniform};
+use cagnet::sparse::generate::{erdos_renyi, rmat_symmetric, RmatParams};
+use cagnet::sparse::normalize::add_self_loops;
+use cagnet::sparse::Csr;
+
+const F: usize = 16;
+
+fn gcn() -> GcnConfig {
+    GcnConfig {
+        dims: vec![F, F, F],
+        lr: 0.01,
+        seed: 31,
+    }
+}
+
+fn messages_per_epoch(algo: Algorithm, p: usize) -> f64 {
+    let g = rmat_symmetric(8, 6, RmatParams::default(), 83);
+    let problem = Problem::synthetic(&g, F, F, 1.0, 84);
+    let tc = TrainConfig {
+        epochs: 1,
+        collect_outputs: false,
+        ..Default::default()
+    };
+    let r = train_distributed(&problem, &gcn(), algo, p, CostModel::summit_like(), &tc);
+    let total: u64 = r
+        .reports
+        .iter()
+        .map(|rep| rep.messages(Cat::DenseComm) + rep.messages(Cat::SparseComm))
+        .sum();
+    total as f64 / p as f64
+}
+
+#[test]
+fn one_d_message_count_scales_linearly_with_p() {
+    // 1D forward does P broadcasts per layer: messages/rank/epoch grow
+    // ~linearly in P.
+    let m4 = messages_per_epoch(Algorithm::OneD, 4);
+    let m16 = messages_per_epoch(Algorithm::OneD, 16);
+    let ratio = m16 / m4;
+    assert!(
+        (2.5..4.5).contains(&ratio),
+        "1D messages should grow ~4x for 4x ranks: {m4} -> {m16}"
+    );
+}
+
+#[test]
+fn two_d_message_count_scales_with_sqrt_p() {
+    // 2D pays O(√P) stages per layer.
+    let m4 = messages_per_epoch(Algorithm::TwoD, 4);
+    let m16 = messages_per_epoch(Algorithm::TwoD, 16);
+    let m64 = messages_per_epoch(Algorithm::TwoD, 64);
+    let r1 = m16 / m4;
+    let r2 = m64 / m16;
+    assert!(
+        (1.5..2.6).contains(&r1) && (1.5..2.6).contains(&r2),
+        "2D messages should grow ~2x per 4x ranks: {m4} -> {m16} -> {m64}"
+    );
+}
+
+#[test]
+fn two_d_beats_1d_on_both_words_and_measured_messages_at_scale() {
+    // A measured nuance the paper's formulas gloss over: the paper
+    // charges 1D only α·3·lg P per layer, but Algorithm 1 as written is a
+    // bulk-synchronous loop of P broadcast rounds — every rank
+    // *participates* in P collectives per layer. Counting actual
+    // collective participations, 1D's message count grows like P while
+    // 2D's grows like √P, so at P = 64 the executed 2D algorithm wins on
+    // *both* words (the paper's O(√P) claim) and rounds. The paper's
+    // smaller 1D latency term corresponds to the edgecut-based
+    // request/send alternative it discusses (and rejects) in §IV-A.8.
+    let g = rmat_symmetric(8, 6, RmatParams::default(), 83);
+    let problem = Problem::synthetic(&g, F, F, 1.0, 84);
+    let tc = TrainConfig {
+        epochs: 1,
+        collect_outputs: false,
+        ..Default::default()
+    };
+    let run = |algo| {
+        let r = train_distributed(&problem, &gcn(), algo, 64, CostModel::summit_like(), &tc);
+        let words: u64 = r.reports.iter().map(|rep| rep.comm_words()).sum();
+        let msgs: u64 = r
+            .reports
+            .iter()
+            .map(|rep| rep.messages(Cat::DenseComm) + rep.messages(Cat::SparseComm))
+            .sum();
+        (words, msgs)
+    };
+    let (w1, m1) = run(Algorithm::OneD);
+    let (w2, m2) = run(Algorithm::TwoD);
+    assert!(w2 < w1, "2D should move fewer words: {w2} vs {w1}");
+    assert!(
+        m2 < m1,
+        "executed 2D participates in fewer rounds at P=64: {m2} vs {m1}"
+    );
+    // At small P the order flips: 1D's P rounds are cheap, 2D's stage
+    // structure is relatively heavier.
+    let run4 = |algo| {
+        let r = train_distributed(&problem, &gcn(), algo, 4, CostModel::summit_like(), &tc);
+        r.reports
+            .iter()
+            .map(|rep| rep.messages(Cat::DenseComm) + rep.messages(Cat::SparseComm))
+            .sum::<u64>()
+    };
+    assert!(
+        run4(Algorithm::TwoD) > run4(Algorithm::OneD),
+        "at P=4 the 2D stage machinery costs more rounds"
+    );
+}
+
+fn directed_problem(n: usize, seed: u64) -> Problem {
+    // A genuinely asymmetric adjacency: directed Erdős–Rényi with self
+    // loops and out-degree row normalization (D_out⁻¹ (A + I)).
+    let raw = erdos_renyi(n, 4.0, seed);
+    let with_loops = add_self_loops(&raw);
+    let mut coo = cagnet::sparse::Coo::new(n, n);
+    for i in 0..n {
+        let deg: f64 = with_loops.row_entries(i).map(|(_, v)| v).sum();
+        for (j, v) in with_loops.row_entries(i) {
+            coo.push(i, j, v / deg);
+        }
+    }
+    let adj = Csr::from_coo(coo);
+    assert_ne!(adj, adj.transpose(), "test graph must be directed");
+    let features = uniform(n, F, -1.0, 1.0, seed + 1);
+    let labels = random_labels(n, F, seed + 2);
+    Problem::new(adj, features, labels, vec![true; n], F)
+}
+
+#[test]
+fn directed_graphs_train_identically_to_serial_on_all_algorithms() {
+    let problem = directed_problem(48, 85);
+    let mut s = SerialTrainer::new(&problem, gcn());
+    let s_losses = s.train(3);
+    let tc = TrainConfig {
+        epochs: 3,
+        ..Default::default()
+    };
+    for (algo, p) in [
+        (Algorithm::OneD, 5),
+        (Algorithm::OneDRow, 4),
+        (Algorithm::One5D { c: 2 }, 6),
+        (Algorithm::TwoD, 9),
+        (Algorithm::TwoDRect { pr: 2, pc: 3 }, 6),
+        (Algorithm::ThreeD, 8),
+    ] {
+        let r = train_distributed(&problem, &gcn(), algo, p, CostModel::summit_like(), &tc);
+        for (e, (a, b)) in s_losses.iter().zip(&r.losses).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-8,
+                "{} P={p} epoch {e} on directed graph: {a} vs {b}",
+                algo.name()
+            );
+        }
+        for (sw, dw) in s.weights().iter().zip(&r.weights) {
+            assert!(
+                sw.max_abs_diff(dw) < 1e-8,
+                "{} P={p}: weights differ on directed graph",
+                algo.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! §I load-balance claim as a regression test: random vertex permutation
+//! plus 2D blocking flattens per-rank nonzero imbalance on scale-free
+//! graphs with hubs and community locality.
+
+use cagnet::sparse::generate::{permute_symmetric, planted_partition, PlantedPartitionParams};
+use cagnet::sparse::partition::{block_ranges, grid_block_sparse};
+use cagnet::sparse::Csr;
+
+fn imbalance_1d(a: &Csr, p: usize) -> f64 {
+    let nnzs: Vec<usize> = block_ranges(a.rows(), p)
+        .into_iter()
+        .map(|(r0, r1)| a.block(r0, r1, 0, a.cols()).nnz())
+        .collect();
+    let max = *nnzs.iter().max().unwrap() as f64;
+    let mean = nnzs.iter().sum::<usize>() as f64 / p as f64;
+    max / mean
+}
+
+fn imbalance_2d(a: &Csr, q: usize) -> f64 {
+    let mut nnzs = Vec::with_capacity(q * q);
+    for i in 0..q {
+        for j in 0..q {
+            nnzs.push(grid_block_sparse(a, q, q, i, j).nnz());
+        }
+    }
+    let max = *nnzs.iter().max().unwrap() as f64;
+    let mean = nnzs.iter().sum::<usize>() as f64 / (q * q) as f64;
+    max / mean
+}
+
+fn hubby_graph(seed: u64) -> Csr {
+    planted_partition(
+        4096,
+        PlantedPartitionParams {
+            communities: 16,
+            degree_in: 10.0,
+            degree_out: 2.0,
+            hubs: 8,
+            hub_degree: 500,
+        },
+        seed,
+    )
+}
+
+#[test]
+fn permutation_flattens_1d_imbalance() {
+    for seed in [1u64, 2, 3] {
+        let raw = hubby_graph(seed);
+        let (permuted, _) = permute_symmetric(&raw, seed + 100);
+        let before = imbalance_1d(&raw, 64);
+        let after = imbalance_1d(&permuted, 64);
+        assert!(
+            after < 0.6 * before,
+            "seed {seed}: permutation should flatten 1D imbalance: {before:.2} -> {after:.2}"
+        );
+    }
+}
+
+#[test]
+fn two_d_blocks_split_hub_rows() {
+    // With permutation applied, the 2D layout additionally splits every
+    // hub row over √P ranks: its imbalance is lower than 1D's.
+    for seed in [4u64, 5, 6] {
+        let raw = hubby_graph(seed);
+        let (permuted, _) = permute_symmetric(&raw, seed + 100);
+        let one_d = imbalance_1d(&permuted, 64);
+        let two_d = imbalance_2d(&permuted, 8);
+        assert!(
+            two_d < one_d,
+            "seed {seed}: 2D ({two_d:.2}) should balance better than 1D ({one_d:.2})"
+        );
+        assert!(
+            two_d < 1.8,
+            "seed {seed}: 2D + permutation should be near-balanced, got {two_d:.2}"
+        );
+    }
+}
+
+#[test]
+fn erdos_renyi_is_already_balanced() {
+    // Control: without hubs or communities, all layouts are near-balanced
+    // and permutation changes little.
+    let g = cagnet::sparse::generate::erdos_renyi(4096, 16.0, 9);
+    let i1 = imbalance_1d(&g, 64);
+    let i2 = imbalance_2d(&g, 8);
+    assert!(i1 < 1.5, "ER 1D imbalance {i1:.2}");
+    assert!(i2 < 1.5, "ER 2D imbalance {i2:.2}");
+}

@@ -1,0 +1,110 @@
+//! §IV-A.7: the row-partitioned 1D variant must (a) match serial exactly
+//! like every other algorithm and (b) communicate the same total volume as
+//! the column-partitioned variant — the paper's claim that swapping the
+//! partition only trades which phase is the outer product.
+
+use cagnet::comm::CostModel;
+use cagnet::core::trainer::{train_distributed, Algorithm, TrainConfig};
+use cagnet::core::{GcnConfig, Problem, SerialTrainer};
+use cagnet::sparse::generate::{erdos_renyi, rmat_symmetric, RmatParams};
+
+#[test]
+fn row_variant_matches_serial() {
+    let g = erdos_renyi(55, 4.0, 41);
+    let problem = Problem::synthetic(&g, 10, 4, 0.8, 42);
+    let cfg = GcnConfig::three_layer(10, 7, 4);
+    let mut s = SerialTrainer::new(&problem, cfg.clone());
+    let s_losses = s.train(4);
+    let tc = TrainConfig {
+        epochs: 4,
+        ..Default::default()
+    };
+    for p in [1, 2, 4, 7] {
+        let r = train_distributed(
+            &problem,
+            &cfg,
+            Algorithm::OneDRow,
+            p,
+            CostModel::summit_like(),
+            &tc,
+        );
+        for (a, b) in s_losses.iter().zip(&r.losses) {
+            assert!((a - b).abs() < 1e-8, "P={p}: {a} vs {b}");
+        }
+        for (sw, dw) in s.weights().iter().zip(&r.weights) {
+            assert!(sw.max_abs_diff(dw) < 1e-8, "P={p}: weights differ");
+        }
+    }
+}
+
+#[test]
+fn row_and_column_variants_move_equal_words() {
+    // Uniform layer widths make the two variants' phase volumes exactly
+    // mirror-symmetric, so total words must match to the last integer
+    // division.
+    const F: usize = 16;
+    let g = rmat_symmetric(8, 6, RmatParams::default(), 43);
+    let problem = Problem::synthetic(&g, F, F, 1.0, 44);
+    let cfg = GcnConfig {
+        dims: vec![F, F, F],
+        lr: 0.01,
+        seed: 6,
+    };
+    let tc = TrainConfig {
+        epochs: 1,
+        collect_outputs: false,
+        ..Default::default()
+    };
+    for p in [4usize, 8, 16] {
+        let col = train_distributed(
+            &problem,
+            &cfg,
+            Algorithm::OneD,
+            p,
+            CostModel::summit_like(),
+            &tc,
+        );
+        let row = train_distributed(
+            &problem,
+            &cfg,
+            Algorithm::OneDRow,
+            p,
+            CostModel::summit_like(),
+            &tc,
+        );
+        let wc: u64 = col.reports.iter().map(|r| r.comm_words()).sum();
+        let wr: u64 = row.reports.iter().map(|r| r.comm_words()).sum();
+        let ratio = wc as f64 / wr as f64;
+        assert!(
+            (0.99..1.01).contains(&ratio),
+            "P={p}: column {wc} vs row {wr} words (ratio {ratio})"
+        );
+        // And both train to the same losses.
+        assert!((col.losses[0] - row.losses[0]).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn mixed_layer_widths_still_match_serial() {
+    // Non-uniform dims exercise the asymmetric reduce-scatter/broadcast
+    // volumes (f_in vs f_out per phase).
+    let g = erdos_renyi(48, 3.0, 45);
+    let problem = Problem::synthetic(&g, 12, 5, 1.0, 46);
+    let cfg = GcnConfig {
+        dims: vec![12, 9, 3, 5],
+        lr: 0.02,
+        seed: 7,
+    };
+    let mut s = SerialTrainer::new(&problem, cfg.clone());
+    let s_losses = s.train(3);
+    let tc = TrainConfig {
+        epochs: 3,
+        ..Default::default()
+    };
+    for algo in [Algorithm::OneD, Algorithm::OneDRow] {
+        let r = train_distributed(&problem, &cfg, algo, 6, CostModel::summit_like(), &tc);
+        for (a, b) in s_losses.iter().zip(&r.losses) {
+            assert!((a - b).abs() < 1e-8, "{}: {a} vs {b}", algo.name());
+        }
+    }
+}

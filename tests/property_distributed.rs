@@ -1,0 +1,113 @@
+//! Property-based testing of the distributed trainers: for *arbitrary*
+//! random graphs, layer shapes, and process geometries, every algorithm
+//! must track the serial reference loss trajectory.
+
+use cagnet::comm::CostModel;
+use cagnet::core::trainer::{train_distributed, Algorithm, TrainConfig};
+use cagnet::core::{GcnConfig, Problem, SerialTrainer};
+use cagnet::sparse::generate::erdos_renyi;
+use proptest::prelude::*;
+
+fn run_case_unit(
+    n: usize,
+    degree: f64,
+    f0: usize,
+    hidden: usize,
+    classes: usize,
+    seed: u64,
+    algo: Algorithm,
+    p: usize,
+) -> Result<(), TestCaseError> {
+    let g = erdos_renyi(n, degree, seed);
+    let problem = Problem::synthetic(&g, f0, classes, 0.8, seed ^ 0xABCD);
+    let cfg = GcnConfig {
+        dims: vec![f0, hidden, classes],
+        lr: 0.05,
+        seed: seed ^ 0x77,
+    };
+    let mut s = SerialTrainer::new(&problem, cfg.clone());
+    let s_losses = s.train(2);
+    let tc = TrainConfig {
+        epochs: 2,
+        collect_outputs: true,
+        ..Default::default()
+    };
+    let r = train_distributed(&problem, &cfg, algo, p, CostModel::summit_like(), &tc);
+    for (a, b) in s_losses.iter().zip(&r.losses) {
+        prop_assert!(
+            (a - b).abs() < 1e-7,
+            "loss mismatch ({}, P={p}, n={n}): {a} vs {b}",
+            algo.name()
+        );
+    }
+    // Final weights must match serial too.
+    for (sw, dw) in s.weights().iter().zip(&r.weights) {
+        prop_assert!(
+            sw.max_abs_diff(dw) < 1e-7,
+            "weights mismatch ({}, P={p}, n={n})",
+            algo.name()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn one_d_any_shape(
+        n in 20usize..80,
+        degree in 1.0f64..6.0,
+        f0 in 2usize..12,
+        hidden in 2usize..10,
+        classes in 2usize..6,
+        seed in 0u64..1000,
+        p in 1usize..8,
+    ) {
+        run_case_unit(n, degree, f0, hidden, classes, seed, Algorithm::OneD, p)?;
+    }
+
+    #[test]
+    fn one5_d_any_shape(
+        n in 24usize..80,
+        degree in 1.0f64..6.0,
+        f0 in 2usize..12,
+        hidden in 2usize..10,
+        classes in 2usize..6,
+        seed in 0u64..1000,
+        p1 in 1usize..4,
+        c in 1usize..4,
+    ) {
+        run_case_unit(n, degree, f0, hidden, classes, seed,
+                      Algorithm::One5D { c }, p1 * c)?;
+    }
+
+    #[test]
+    fn two_d_any_shape(
+        n in 30usize..80,
+        degree in 1.0f64..6.0,
+        f0 in 2usize..12,
+        hidden in 2usize..10,
+        classes in 2usize..6,
+        seed in 0u64..1000,
+        q in 1usize..4,
+    ) {
+        run_case_unit(n, degree, f0, hidden, classes, seed, Algorithm::TwoD, q * q)?;
+    }
+
+    #[test]
+    fn three_d_any_shape(
+        n in 40usize..90,
+        degree in 1.0f64..6.0,
+        f0 in 2usize..12,
+        hidden in 2usize..10,
+        classes in 2usize..6,
+        seed in 0u64..1000,
+        q in 1usize..3,
+    ) {
+        run_case_unit(n, degree, f0, hidden, classes, seed, Algorithm::ThreeD, q * q * q)?;
+    }
+}
