@@ -2,9 +2,9 @@
 //! cost, not the modeled α–β time): rendezvous, Arc movement, and
 //! reductions across thread counts.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cagnet_comm::{Cat, Cluster};
 use cagnet_dense::Mat;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_bcast(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_bcast_64kB");

@@ -1,14 +1,14 @@
 //! Whole-epoch wall-clock benchmarks: one training epoch per algorithm on
 //! a fixed scale-free instance. These time the *simulation* (real kernels
-//! + thread rendezvous) — modeled epoch times are the `figure2` binary's
-//! job; this guards the reproduction harness itself against performance
-//! regressions.
+//! plus thread rendezvous) — modeled epoch times are the `figure2`
+//! binary's job; this guards the reproduction harness itself against
+//! performance regressions.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cagnet_comm::CostModel;
 use cagnet_core::trainer::{train_distributed, Algorithm, TrainConfig};
 use cagnet_core::{GcnConfig, Problem, SerialTrainer};
 use cagnet_sparse::generate::{rmat_symmetric, RmatParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn instance() -> (Problem, GcnConfig) {
     let g = rmat_symmetric(10, 8, RmatParams::default(), 55); // 1024 vertices
@@ -46,9 +46,7 @@ fn bench_distributed_epochs(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{}_p{}", algo.name(), ranks)),
             &(algo, ranks),
             |b, &(algo, ranks)| {
-                b.iter(|| {
-                    train_distributed(&p, &cfg, algo, ranks, CostModel::summit_like(), &tc)
-                })
+                b.iter(|| train_distributed(&p, &cfg, algo, ranks, CostModel::summit_like(), &tc))
             },
         );
     }

@@ -6,10 +6,11 @@
 //! nonzero count, decreasing density — sustained flop rate should fall as
 //! the average degree drops.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use cagnet_dense::{activation, init, matmul, matmul_nt, matmul_tn, Mat};
+use cagnet_dense::{activation, init, matmul, matmul_nt, matmul_tn, matmul_with, Mat};
+use cagnet_parallel::ParallelCtx;
 use cagnet_sparse::generate::erdos_renyi;
-use cagnet_sparse::spmm::spmm;
+use cagnet_sparse::spmm::{spmm, spmm_with};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_spmm_hypersparsity(c: &mut Criterion) {
     let mut g = c.benchmark_group("spmm_hypersparsity");
@@ -51,12 +52,16 @@ fn bench_gemm(c: &mut Criterion) {
         let a = init::uniform(n, n, -1.0, 1.0, 5);
         let b_ = init::uniform(n, n, -1.0, 1.0, 6);
         g.throughput(Throughput::Elements(2 * (n as u64).pow(3)));
-        g.bench_with_input(BenchmarkId::new("nn", n), &(a.clone(), b_.clone()), |b, (x, y)| {
-            b.iter(|| matmul(x, y))
-        });
-        g.bench_with_input(BenchmarkId::new("tn", n), &(a.clone(), b_.clone()), |b, (x, y)| {
-            b.iter(|| matmul_tn(x, y))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("nn", n),
+            &(a.clone(), b_.clone()),
+            |b, (x, y)| b.iter(|| matmul(x, y)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("tn", n),
+            &(a.clone(), b_.clone()),
+            |b, (x, y)| b.iter(|| matmul_tn(x, y)),
+        );
         g.bench_with_input(BenchmarkId::new("nt", n), &(a, b_), |b, (x, y)| {
             b.iter(|| matmul_nt(x, y))
         });
@@ -97,6 +102,43 @@ fn bench_dcsr_vs_csr_hypersparse(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_parallel_gemm_threads(c: &mut Criterion) {
+    // Serial vs threaded GEMM over a threads axis. The parallel kernels
+    // are bit-identical to serial, so this measures pure fork-join
+    // speedup (and overhead at small sizes).
+    let mut g = c.benchmark_group("gemm_threads");
+    let n = 384usize;
+    let a = init::uniform(n, n, -1.0, 1.0, 15);
+    let b_ = init::uniform(n, n, -1.0, 1.0, 16);
+    g.throughput(Throughput::Elements(2 * (n as u64).pow(3)));
+    g.bench_function("serial", |b| b.iter(|| matmul(&a, &b_)));
+    for threads in [2usize, 4, 8] {
+        let ctx = ParallelCtx::new(threads);
+        g.bench_with_input(BenchmarkId::new("threads", threads), &ctx, |b, ctx| {
+            b.iter(|| matmul_with(*ctx, &a, &b_))
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_spmm_threads(c: &mut Criterion) {
+    // Serial vs threaded SpMM at a GCN-like shape (16k rows, degree 16,
+    // f = 64), with the nnz-balanced deterministic row chunking.
+    let mut g = c.benchmark_group("spmm_threads");
+    let a = erdos_renyi(16384, 16.0, 17);
+    let h = init::uniform(16384, 64, -1.0, 1.0, 18);
+    let flops = 2 * a.nnz() as u64 * 64;
+    g.throughput(Throughput::Elements(flops));
+    g.bench_function("serial", |b| b.iter(|| spmm(&a, &h)));
+    for threads in [2usize, 4, 8] {
+        let ctx = ParallelCtx::new(threads);
+        g.bench_with_input(BenchmarkId::new("threads", threads), &ctx, |b, ctx| {
+            b.iter(|| spmm_with(*ctx, &a, &h))
+        });
+    }
+    g.finish();
+}
+
 fn bench_transpose_and_activations(c: &mut Criterion) {
     let a = erdos_renyi(16384, 16.0, 9);
     c.bench_function("csr_transpose_262k_nnz", |b| b.iter(|| a.transpose()));
@@ -115,6 +157,7 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench_spmm_hypersparsity, bench_spmm_skinny, bench_gemm,
               bench_tall_skinny_gemm, bench_dcsr_vs_csr_hypersparse,
+              bench_parallel_gemm_threads, bench_parallel_spmm_threads,
               bench_transpose_and_activations
 }
 criterion_main!(benches);

@@ -114,10 +114,7 @@ fn main() {
 
     // 3. 1.5D replication factor sweep.
     println!("ABLATION 3 — 1.5D replication factor (P=16):");
-    println!(
-        "  {:<22} {:>12} {:>14}",
-        "c", "words/rank", "A replication"
-    );
+    println!("  {:<22} {:>12} {:>14}", "c", "words/rank", "A replication");
     for c in [1usize, 2, 4, 8, 16] {
         let row = measure_epochs(
             &problem,
@@ -151,7 +148,15 @@ fn main() {
         ("slow network", CostModel::slow_network()),
         ("free network", CostModel::free_network()),
     ] {
-        let r1 = measure_epochs(&problem, &gcn, "rmat", Algorithm::OneD, 64, epochs, model.clone());
+        let r1 = measure_epochs(
+            &problem,
+            &gcn,
+            "rmat",
+            Algorithm::OneD,
+            64,
+            epochs,
+            model.clone(),
+        );
         let r2 = measure_epochs(&problem, &gcn, "rmat", Algorithm::TwoD, 64, epochs, model);
         println!(
             "  {:<14} 1d = {:>9.3}  2d = {:>9.3}  (1d/2d = {:.2}x)",
@@ -227,4 +232,3 @@ fn main() {
     );
     cagnet_bench::emit_json(&rows);
 }
-

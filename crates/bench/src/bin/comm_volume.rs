@@ -107,7 +107,15 @@ fn main() {
     let w1d = words_at[&("1d".to_string(), 64usize)];
     let w2d = words_at[&("2d".to_string(), 64usize)];
     let w3d = words_at[&("3d".to_string(), 64usize)];
-    println!("at P=64: 1d/2d = {:.2}x (paper predicts ~√P/5 = {:.2}x under its", w1d / w2d, 64f64.sqrt() / 5.0);
-    println!("assumptions), 2d/3d = {:.2}x (paper predicts O(P^(1/6)) = {:.2}x)", w2d / w3d, 64f64.powf(1.0 / 6.0));
+    println!(
+        "at P=64: 1d/2d = {:.2}x (paper predicts ~√P/5 = {:.2}x under its",
+        w1d / w2d,
+        64f64.sqrt() / 5.0
+    );
+    println!(
+        "assumptions), 2d/3d = {:.2}x (paper predicts O(P^(1/6)) = {:.2}x)",
+        w2d / w3d,
+        64f64.powf(1.0 / 6.0)
+    );
     cagnet_bench::emit_json(&rows);
 }

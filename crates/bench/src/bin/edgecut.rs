@@ -60,7 +60,10 @@ fn main() {
     let max_reduction =
         100.0 * (1.0 - smart.cut_edges_max() as f64 / random.cut_edges_max() as f64);
 
-    println!("{:<16} {:>12} {:>12} {:>10}", "", "random", "partitioned", "reduction");
+    println!(
+        "{:<16} {:>12} {:>12} {:>10}",
+        "", "random", "partitioned", "reduction"
+    );
     println!(
         "{:<16} {:>12} {:>12} {:>9.0}%",
         "total cut", random.total_cut_edges, smart.total_cut_edges, total_reduction

@@ -9,8 +9,8 @@
 
 use cagnet_comm::Cluster;
 use cagnet_core::dist::{
-    one5d::One5DTrainer, onedim::OneDimTrainer, threedim::ThreeDimTrainer,
-    twodim::TwoDimTrainer, StorageReport,
+    one5d::One5DTrainer, onedim::OneDimTrainer, threedim::ThreeDimTrainer, twodim::TwoDimTrainer,
+    StorageReport,
 };
 use cagnet_core::trainer::TwoDimConfig;
 use cagnet_core::{GcnConfig, Problem};

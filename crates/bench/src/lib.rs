@@ -164,7 +164,10 @@ pub fn measure_epochs(
 /// Print rows as a JSON array on the final line (machine-readable trailer
 /// after the human tables).
 pub fn emit_json<T: Serialize>(rows: &[T]) {
-    println!("\nJSON: {}", serde_json::to_string(rows).expect("serialize"));
+    println!(
+        "\nJSON: {}",
+        serde_json::to_string(rows).expect("serialize")
+    );
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@ use std::time::Duration;
 use crate::comm::{Communicator, Registry};
 use crate::cost::{Cat, CostModel};
 use crate::timeline::{Meter, Timeline, TimelineReport};
+use cagnet_parallel::ParallelCtx;
 
 /// Per-rank execution context handed to the rank closure.
 pub struct Ctx {
@@ -23,6 +24,8 @@ pub struct Ctx {
     pub size: usize,
     /// World communicator over all ranks.
     pub world: Communicator,
+    /// Intra-rank thread budget for local compute kernels.
+    parallel: ParallelCtx,
     meter: Rc<RefCell<Meter>>,
 }
 
@@ -84,6 +87,14 @@ impl Ctx {
     pub fn model(&self) -> Arc<CostModel> {
         self.meter.borrow().model.clone()
     }
+
+    /// The intra-rank parallel context: pass it to the `_with` kernel
+    /// variants (`matmul_with`, `spmm_with`, ...) to fork local compute
+    /// across this rank's thread budget. Results are bit-for-bit
+    /// identical to serial regardless of the budget.
+    pub fn parallel(&self) -> ParallelCtx {
+        self.parallel
+    }
 }
 
 /// Builder/driver for a simulated cluster run.
@@ -103,22 +114,36 @@ pub struct Cluster {
     size: usize,
     model: Arc<CostModel>,
     timeout: Duration,
+    threads_per_rank: usize,
 }
 
 impl Cluster {
-    /// A cluster of `size` ranks with the default (Summit-like) cost model.
+    /// A cluster of `size` ranks with the default (Summit-like) cost model
+    /// and a serial (1-thread) per-rank compute budget.
     pub fn new(size: usize) -> Self {
         assert!(size > 0, "cluster needs at least one rank");
         Cluster {
             size,
             model: Arc::new(CostModel::summit_like()),
             timeout: Duration::from_secs(120),
+            threads_per_rank: 1,
         }
     }
 
-    /// Use a specific cost model.
+    /// Use a specific cost model. Call before
+    /// [`Cluster::with_threads_per_rank`] — the thread budget is folded
+    /// into the model's compute term at `run` time.
     pub fn with_model(mut self, model: CostModel) -> Self {
         self.model = Arc::new(model);
+        self
+    }
+
+    /// Give every rank `threads` compute threads: local kernels invoked
+    /// through [`Ctx::parallel`] fork across them, and the cost model's
+    /// GEMM/SpMM terms divide by the budget. Results stay bit-for-bit
+    /// identical to `threads = 1`.
+    pub fn with_threads_per_rank(mut self, threads: usize) -> Self {
+        self.threads_per_rank = threads.max(1);
         self
     }
 
@@ -142,7 +167,14 @@ impl Cluster {
         let registry = Arc::new(Registry::new(self.timeout));
         let world_inner = registry.fresh_world(self.size);
         let size = self.size;
-        let model = self.model.clone();
+        let model = if self.threads_per_rank == self.model.threads_per_rank {
+            self.model.clone()
+        } else {
+            let mut m = (*self.model).clone();
+            m.threads_per_rank = self.threads_per_rank;
+            Arc::new(m)
+        };
+        let parallel = ParallelCtx::new(self.threads_per_rank);
         let f = &f;
 
         std::thread::scope(|scope| {
@@ -156,17 +188,13 @@ impl Cluster {
                         model,
                         timeline: Timeline::new(),
                     }));
-                    let world = Communicator::new_world(
-                        registry,
-                        world_inner,
-                        size,
-                        rank,
-                        meter.clone(),
-                    );
+                    let world =
+                        Communicator::new_world(registry, world_inner, size, rank, meter.clone());
                     let mut ctx = Ctx {
                         rank,
                         size,
                         world,
+                        parallel,
                         meter: meter.clone(),
                     };
                     let out = f(&mut ctx);
@@ -242,5 +270,36 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_rejected() {
         let _ = Cluster::new(0);
+    }
+
+    #[test]
+    fn thread_budget_reaches_ctx_and_model() {
+        let results = Cluster::new(2)
+            .with_threads_per_rank(4)
+            .run(|ctx| (ctx.parallel().threads(), ctx.model().threads_per_rank));
+        for ((kernel_threads, model_threads), _) in results {
+            assert_eq!(kernel_threads, 4);
+            assert_eq!(model_threads, 4);
+        }
+    }
+
+    #[test]
+    fn default_cluster_is_serial() {
+        let results = Cluster::new(1).run(|ctx| ctx.parallel().threads());
+        assert_eq!(results[0].0, 1);
+    }
+
+    #[test]
+    fn threads_speed_up_modeled_gemm() {
+        let charge = |threads: usize| {
+            let results = Cluster::new(1).with_threads_per_rank(threads).run(|ctx| {
+                ctx.charge_gemm(64, 64, 64);
+                ctx.clock()
+            });
+            results[0].0
+        };
+        let serial = charge(1);
+        let quad = charge(4);
+        assert!((serial / quad - 4.0).abs() < 1e-9);
     }
 }

@@ -19,10 +19,8 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
-
-use parking_lot::{Condvar, Mutex};
 
 use crate::cost::{Cat, CommWords, CostModel};
 use crate::timeline::Meter;
@@ -77,11 +75,14 @@ impl Registry {
     }
 
     pub(crate) fn fresh_world(&self, size: usize) -> Arc<CommInner> {
-        Arc::new(CommInner::new(self.next_id.fetch_add(1, Ordering::Relaxed), size))
+        Arc::new(CommInner::new(
+            self.next_id.fetch_add(1, Ordering::Relaxed),
+            size,
+        ))
     }
 
     fn get_or_create(&self, key: (u64, u64, u64), size: usize) -> Arc<CommInner> {
-        let mut comms = self.comms.lock();
+        let mut comms = self.comms.lock().expect("comm registry mutex poisoned");
         comms
             .entry(key)
             .or_insert_with(|| {
@@ -161,7 +162,7 @@ impl Communicator {
             return (vec![payload], entry);
         }
         let seq = self.next_seq();
-        let mut slots = self.inner.slots.lock();
+        let mut slots = self.inner.slots.lock().expect("comm slot mutex poisoned");
         {
             let slot = slots.entry(seq).or_insert_with(|| CallSlot {
                 deposits: vec![None; size],
@@ -185,12 +186,18 @@ impl Communicator {
             if ready {
                 break;
             }
-            let timed_out = self
+            let (guard, result) = self
                 .inner
                 .cv
-                .wait_for(&mut slots, self.registry.timeout)
-                .timed_out();
-            if timed_out {
+                .wait_timeout(slots, self.registry.timeout)
+                .expect("comm slot mutex poisoned");
+            slots = guard;
+            if result.timed_out() {
+                // A spurious-looking timeout can race the final arrival;
+                // recheck under the lock before declaring deadlock.
+                if slots.get(&seq).map(|s| s.arrived == size).unwrap_or(false) {
+                    break;
+                }
                 let arrived = slots.get(&seq).map(|s| s.arrived).unwrap_or(0);
                 panic!(
                     "collective deadlock: comm {} seq {seq}: only {arrived}/{size} ranks \
@@ -277,7 +284,11 @@ impl Communicator {
         let p = self.size();
         let total: u64 = out.iter().map(|x| x.comm_words()).sum();
         let cost = self.model().allgather_time(p, total);
-        let words = if p > 1 { total * (p as u64 - 1) / p as u64 } else { 0 };
+        let words = if p > 1 {
+            total * (p as u64 - 1) / p as u64
+        } else {
+            0
+        };
         self.settle(tmax, cat, cost, words);
         out
     }
@@ -298,7 +309,11 @@ impl Communicator {
         let p = self.size();
         let w = out.len() as u64;
         let cost = self.model().allreduce_time(p, w);
-        let words = if p > 1 { 2 * w * (p as u64 - 1) / p as u64 } else { 0 };
+        let words = if p > 1 {
+            2 * w * (p as u64 - 1) / p as u64
+        } else {
+            0
+        };
         self.settle(tmax, cat, cost, words);
         out
     }
@@ -336,7 +351,11 @@ impl Communicator {
         }
         let w = m.len() as u64;
         let cost = self.model().reduce_scatter_time(p, w);
-        let words = if p > 1 { w * (p as u64 - 1) / p as u64 } else { 0 };
+        let words = if p > 1 {
+            w * (p as u64 - 1) / p as u64
+        } else {
+            0
+        };
         self.settle(tmax, cat, cost, words);
         out
     }
@@ -349,7 +368,11 @@ impl Communicator {
         parts: Vec<T>,
         cat: Cat,
     ) -> Vec<T> {
-        assert_eq!(parts.len(), self.size(), "alltoall needs one part per member");
+        assert_eq!(
+            parts.len(),
+            self.size(),
+            "alltoall needs one part per member"
+        );
         let (items, tmax) = self.exchange_raw(Arc::new(parts));
         let all: Vec<Arc<Vec<T>>> = items.into_iter().map(Self::downcast::<Vec<T>>).collect();
         let out: Vec<T> = all.iter().map(|v| v[self.my_idx].clone()).collect();
@@ -387,10 +410,7 @@ impl Communicator {
         let (cost, words) = if p <= 1 {
             (0.0, 0)
         } else if self.my_idx == root_idx {
-            (
-                self.model().allgather_time(p, total),
-                total - mine,
-            )
+            (self.model().allgather_time(p, total), total - mine)
         } else {
             (self.model().p2p_time(mine), mine)
         };
@@ -486,7 +506,10 @@ impl Communicator {
     pub fn split(&self, color: u64) -> Communicator {
         let seq_for_key = self.seq.get(); // same at every member pre-exchange
         let (items, _tmax) = self.exchange_raw(Arc::new(color));
-        let colors: Vec<u64> = items.into_iter().map(|p| *Self::downcast::<u64>(p)).collect();
+        let colors: Vec<u64> = items
+            .into_iter()
+            .map(|p| *Self::downcast::<u64>(p))
+            .collect();
         let group: Vec<usize> = (0..self.size())
             .filter(|&i| colors[i] == color)
             .map(|i| self.members[i])
@@ -534,9 +557,7 @@ mod tests {
     #[test]
     fn allgather_orders_by_member() {
         let results = Cluster::new(3).run(|ctx| {
-            let got = ctx
-                .world
-                .allgather(vec![ctx.rank as f64], Cat::DenseComm);
+            let got = ctx.world.allgather(vec![ctx.rank as f64], Cat::DenseComm);
             got.iter().map(|v| v[0]).collect::<Vec<f64>>()
         });
         for (r, _) in results {
@@ -557,9 +578,8 @@ mod tests {
 
     #[test]
     fn allreduce_scalar_sums() {
-        let results = Cluster::new(5).run(|ctx| {
-            ctx.world.allreduce_scalar(ctx.rank as f64, Cat::DenseComm)
-        });
+        let results =
+            Cluster::new(5).run(|ctx| ctx.world.allreduce_scalar(ctx.rank as f64, Cat::DenseComm));
         for (r, _) in results {
             assert_eq!(r, 10.0);
         }
@@ -662,7 +682,9 @@ mod tests {
     #[test]
     fn gather_scatter_roundtrip() {
         let results = Cluster::new(4).run(|ctx| {
-            let gathered = ctx.world.gather(0, vec![(ctx.rank + 1) as f64], Cat::DenseComm);
+            let gathered = ctx
+                .world
+                .gather(0, vec![(ctx.rank + 1) as f64], Cat::DenseComm);
             let parts = gathered.map(|g| g.iter().map(|v| v.as_ref().clone()).collect::<Vec<_>>());
             let back = ctx.world.scatter(0, parts, Cat::DenseComm);
             back[0]
@@ -709,7 +731,9 @@ mod tests {
     fn single_rank_runs_without_cost() {
         let results = Cluster::new(1).run(|ctx| {
             ctx.world.barrier();
-            let m = ctx.world.allreduce_mat(&Mat::filled(2, 2, 3.0), Cat::DenseComm);
+            let m = ctx
+                .world
+                .allreduce_mat(&Mat::filled(2, 2, 3.0), Cat::DenseComm);
             (m, ctx.clock())
         });
         let ((m, clock), rep) = &results[0];

@@ -103,6 +103,11 @@ pub struct CostModel {
     pub transpose_rate: f64,
     /// Rate for miscellaneous elementwise work (elements/second).
     pub elementwise_rate: f64,
+    /// Intra-rank compute threads: the parallelized local kernels (GEMM,
+    /// SpMM) are charged `flops / (threads_per_rank · rate)`. Models the
+    /// per-device parallelism of the real system's GPU kernels; 1 (the
+    /// default) reproduces the original serial charging exactly.
+    pub threads_per_rank: usize,
 }
 
 impl CostModel {
@@ -121,7 +126,14 @@ impl CostModel {
             spmm_width_half: 8.0,
             transpose_rate: 5.0e9,
             elementwise_rate: 50.0e9,
+            threads_per_rank: 1,
         }
+    }
+
+    /// Same model with an intra-rank thread budget for local compute.
+    pub fn with_threads_per_rank(mut self, threads: usize) -> Self {
+        self.threads_per_rank = threads.max(1);
+        self
     }
 
     /// A latency-dominated network (slow interconnect) — used by ablation
@@ -216,12 +228,16 @@ impl CostModel {
         }
         let flops = 2.0 * nnz as f64 * width as f64;
         let d = nnz as f64 / rows.max(1) as f64;
-        flops / (self.spmm_rate * self.spmm_efficiency(d, width))
+        flops / (self.compute_threads() * self.spmm_rate * self.spmm_efficiency(d, width))
     }
 
     /// Modeled time of a local `m x k · k x n` GEMM.
     pub fn gemm_time(&self, m: usize, k: usize, n: usize) -> f64 {
-        2.0 * m as f64 * k as f64 * n as f64 / self.gemm_rate
+        2.0 * m as f64 * k as f64 * n as f64 / (self.compute_threads() * self.gemm_rate)
+    }
+
+    fn compute_threads(&self) -> f64 {
+        self.threads_per_rank.max(1) as f64
     }
 
     /// Modeled time of transposing `nnz` stored entries (sparse) or
@@ -360,6 +376,27 @@ mod tests {
         assert_eq!(m.comm_words(), 12);
         let c = cagnet_sparse::Csr::identity(5);
         assert_eq!(c.comm_words(), 10);
+    }
+
+    #[test]
+    fn threads_divide_compute_time_only() {
+        let serial = CostModel::summit_like();
+        let four = CostModel::summit_like().with_threads_per_rank(4);
+        assert!((serial.gemm_time(64, 64, 64) / four.gemm_time(64, 64, 64) - 4.0).abs() < 1e-12);
+        assert!(
+            (serial.spmm_time(1000, 100, 16) / four.spmm_time(1000, 100, 16) - 4.0).abs() < 1e-12
+        );
+        // Communication and unparallelized local work are unaffected.
+        assert_eq!(serial.bcast_time(8, 100), four.bcast_time(8, 100));
+        assert_eq!(serial.transpose_time(100), four.transpose_time(100));
+        assert_eq!(serial.elementwise_time(100), four.elementwise_time(100));
+        // Zero is clamped like ParallelCtx does.
+        assert_eq!(
+            CostModel::summit_like()
+                .with_threads_per_rank(0)
+                .gemm_time(8, 8, 8),
+            serial.gemm_time(8, 8, 8)
+        );
     }
 
     #[test]

@@ -39,7 +39,14 @@ impl Grid2D {
         let col = ctx.world.split(j as u64);
         debug_assert_eq!(row.size(), pc);
         debug_assert_eq!(col.size(), pr);
-        Grid2D { pr, pc, i, j, row, col }
+        Grid2D {
+            pr,
+            pc,
+            i,
+            j,
+            row,
+            col,
+        }
     }
 
     /// Square grid of side `√P`; panics if `P` is not a perfect square.
@@ -85,7 +92,15 @@ impl Grid3D {
         debug_assert_eq!(row.size(), q);
         debug_assert_eq!(col.size(), q);
         debug_assert_eq!(fiber.size(), q);
-        Grid3D { q, i, j, k, row, col, fiber }
+        Grid3D {
+            q,
+            i,
+            j,
+            k,
+            row,
+            col,
+            fiber,
+        }
     }
 
     /// Cube mesh from the world size; panics if `P` is not a perfect cube.
@@ -99,23 +114,13 @@ impl Grid3D {
 /// Exact integer square root, if `n` is a perfect square.
 pub fn int_sqrt(n: usize) -> Option<usize> {
     let r = (n as f64).sqrt().round() as usize;
-    for c in r.saturating_sub(1)..=r + 1 {
-        if c * c == n {
-            return Some(c);
-        }
-    }
-    None
+    (r.saturating_sub(1)..=r + 1).find(|&c| c * c == n)
 }
 
 /// Exact integer cube root, if `n` is a perfect cube.
 pub fn int_cbrt(n: usize) -> Option<usize> {
     let r = (n as f64).cbrt().round() as usize;
-    for c in r.saturating_sub(1)..=r + 1 {
-        if c * c * c == n {
-            return Some(c);
-        }
-    }
-    None
+    (r.saturating_sub(1)..=r + 1).find(|&c| c * c * c == n)
 }
 
 #[cfg(test)]

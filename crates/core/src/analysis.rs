@@ -104,7 +104,7 @@ pub fn one_d_transposing(s: &Shape, p: usize, edgecut: Option<f64>) -> CommCost 
 /// `p₁ + lg c + lg p₁ + 2·lg P` (broadcast stages + the
 /// reduce-scatter/all-gather trees).
 pub fn one5_d(s: &Shape, p: usize, c: usize) -> CommCost {
-    assert!(c >= 1 && p % c == 0, "c must divide P");
+    assert!(c >= 1 && p.is_multiple_of(c), "c must divide P");
     let p1 = (p / c) as f64;
     let cf = c as f64;
     let pf = p as f64;
@@ -183,7 +183,7 @@ pub fn memory_one_d(s: &Shape, p: usize) -> MemoryEstimate {
 /// variant); the premium is the coarse forward partial (`n/p₁ x f`) plus
 /// the backward contribution (`n/c x f`).
 pub fn memory_one5_d(s: &Shape, p: usize, c: usize) -> MemoryEstimate {
-    assert!(c >= 1 && p % c == 0, "c must divide P");
+    assert!(c >= 1 && p.is_multiple_of(c), "c must divide P");
     let p1 = (p / c) as f64;
     let cf = c as f64;
     MemoryEstimate {
@@ -288,7 +288,10 @@ mod tests {
         let w4 = one_d(&s, 4, None).words;
         let w64 = one_d(&s, 64, None).words;
         // 1D words are essentially flat in P.
-        assert!((w4 / w64 - 1.0).abs() < 0.2, "1D should be flat: {w4} vs {w64}");
+        assert!(
+            (w4 / w64 - 1.0).abs() < 0.2,
+            "1D should be flat: {w4} vs {w64}"
+        );
     }
 
     #[test]

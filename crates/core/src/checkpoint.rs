@@ -80,9 +80,9 @@ pub fn load_weights<R: Read>(reader: R) -> Result<Vec<Mat>, CheckpointError> {
     for i in 0..count {
         let rows = read_u64(&mut r)? as usize;
         let cols = read_u64(&mut r)? as usize;
-        let elems = rows.checked_mul(cols).ok_or_else(|| {
-            CheckpointError::Format(format!("matrix {i}: size overflow"))
-        })?;
+        let elems = rows
+            .checked_mul(cols)
+            .ok_or_else(|| CheckpointError::Format(format!("matrix {i}: size overflow")))?;
         if elems > 1 << 32 {
             return Err(CheckpointError::Format(format!(
                 "matrix {i}: implausible size {rows}x{cols}"
@@ -91,9 +91,8 @@ pub fn load_weights<R: Read>(reader: R) -> Result<Vec<Mat>, CheckpointError> {
         let mut data = Vec::with_capacity(elems);
         let mut buf = [0u8; 8];
         for _ in 0..elems {
-            r.read_exact(&mut buf).map_err(|_| {
-                CheckpointError::Format(format!("matrix {i}: truncated data"))
-            })?;
+            r.read_exact(&mut buf)
+                .map_err(|_| CheckpointError::Format(format!("matrix {i}: truncated data")))?;
             data.push(f64::from_le_bytes(buf));
         }
         out.push(Mat::from_vec(rows, cols, data));

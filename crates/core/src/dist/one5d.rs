@@ -36,9 +36,9 @@ use cagnet_comm::comm::Communicator;
 use cagnet_comm::{Cat, Ctx};
 use cagnet_dense::activation::{log_softmax_rows, Activation};
 use cagnet_dense::ops::hadamard_assign;
-use cagnet_dense::{matmul, matmul_nt, matmul_tn, Mat};
+use cagnet_dense::{matmul_nt_with, matmul_tn_with, matmul_with, Mat};
 use cagnet_sparse::partition::block_ranges;
-use cagnet_sparse::spmm::{outer_product_from_transposed, spmm_acc};
+use cagnet_sparse::spmm::{outer_product_from_transposed, spmm_acc_with};
 use cagnet_sparse::Csr;
 use std::sync::Arc;
 
@@ -82,7 +82,10 @@ impl One5DTrainer {
     /// the world size.
     pub fn setup(ctx: &Ctx, problem: &Problem, cfg: &GcnConfig, c: usize) -> Self {
         let p = ctx.size;
-        assert!(c >= 1 && p % c == 0, "replication factor {c} must divide P={p}");
+        assert!(
+            c >= 1 && p.is_multiple_of(c),
+            "replication factor {c} must divide P={p}"
+        );
         let p1 = p / c;
         let n = problem.vertices();
         assert!(p <= n, "more ranks than vertices");
@@ -110,10 +113,12 @@ impl One5DTrainer {
         let at_bwd = {
             let mut coo = cagnet_sparse::Coo::new(
                 cr1 - cr0,
-                (0..p1).map(|ip| {
-                    let (b0, b1) = fine[ip * c + tr];
-                    b1 - b0
-                }).sum(),
+                (0..p1)
+                    .map(|ip| {
+                        let (b0, b1) = fine[ip * c + tr];
+                        b1 - b0
+                    })
+                    .sum(),
             );
             let mut col_off = 0;
             for ip in 0..p1 {
@@ -176,12 +181,12 @@ impl One5DTrainer {
                 let payload = (ip == self.ti).then(|| self.hs[l].clone());
                 let h_b = self.rep.bcast(ip, payload, Cat::DenseComm);
                 ctx.charge_spmm(self.at_fwd[ip].nnz(), coarse_rows, f_in);
-                spmm_acc(&self.at_fwd[ip], &h_b, &mut partial);
+                spmm_acc_with(ctx.parallel(), &self.at_fwd[ip], &h_b, &mut partial);
             }
             // Team reduce-scatter: coarse partials → my fine block of T.
             let t = self.team.reduce_scatter_rows(&partial, Cat::DenseComm);
             ctx.charge_gemm(t.rows(), f_in, f_out);
-            let z = matmul(&t, &self.weights[l]);
+            let z = matmul_with(ctx.parallel(), &t, &self.weights[l]);
             // Dense matrices are fine-block row partitioned: even
             // log_softmax is local, as in 1D.
             let h = if l + 1 == l_total {
@@ -195,7 +200,12 @@ impl One5DTrainer {
             self.zs.push(z);
             self.hs.push(h);
         }
-        let local = nll_sum(self.hs.last().unwrap(), &self.labels, &self.mask, self.fine_r0);
+        let local = nll_sum(
+            self.hs.last().unwrap(),
+            &self.labels,
+            &self.mask,
+            self.fine_r0,
+        );
         ctx.world.allreduce_scalar(local, Cat::DenseComm) / self.train_count as f64
     }
 
@@ -227,11 +237,11 @@ impl One5DTrainer {
             let ag = self.rep.reduce_scatter_rows(&contrib, Cat::DenseComm);
             debug_assert_eq!(ag.rows(), self.hs[l].rows());
             ctx.charge_gemm(f_in, ag.rows(), f_out);
-            let y_partial = matmul_tn(&self.hs[l], &ag);
+            let y_partial = matmul_tn_with(ctx.parallel(), &self.hs[l], &ag);
             let y = ctx.world.allreduce_mat(&y_partial, Cat::DenseComm);
             if l > 0 {
                 ctx.charge_gemm(ag.rows(), f_out, f_in);
-                g = matmul_nt(&ag, &self.weights[l]);
+                g = matmul_nt_with(ctx.parallel(), &ag, &self.weights[l]);
                 hadamard_assign(&mut g, &self.act.prime(&self.zs[l - 1]));
                 if let Some(mask) = self.drop_masks[l - 1].take() {
                     hadamard_assign(&mut g, &mask);

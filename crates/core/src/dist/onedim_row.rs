@@ -18,9 +18,9 @@ use crate::problem::Problem;
 use cagnet_comm::{Cat, Ctx};
 use cagnet_dense::activation::{log_softmax_rows, Activation};
 use cagnet_dense::ops::hadamard_assign;
-use cagnet_dense::{matmul, matmul_nt, matmul_tn, Mat};
+use cagnet_dense::{matmul_nt_with, matmul_tn_with, matmul_with, Mat};
 use cagnet_sparse::partition::{block_range, block_ranges};
-use cagnet_sparse::spmm::{outer_product_from_transposed, spmm_acc};
+use cagnet_sparse::spmm::{outer_product_from_transposed, spmm_acc_with};
 use cagnet_sparse::Csr;
 use std::sync::Arc;
 
@@ -101,7 +101,7 @@ impl OneDimRowTrainer {
             let contrib = outer_product_from_transposed(&self.a_row, &self.hs[l]);
             let t = ctx.world.reduce_scatter_rows(&contrib, Cat::DenseComm);
             ctx.charge_gemm(t.rows(), f_in, f_out);
-            let z = matmul(&t, &self.weights[l]);
+            let z = matmul_with(ctx.parallel(), &t, &self.weights[l]);
             let h = if l + 1 == l_total {
                 log_softmax_rows(&z)
             } else {
@@ -139,16 +139,16 @@ impl OneDimRowTrainer {
                 let payload = (j == ctx.rank).then(|| g.clone());
                 let gj = ctx.world.bcast(j, payload, Cat::DenseComm);
                 ctx.charge_spmm(self.a_blocks[j].nnz(), self.a_blocks[j].rows(), f_out);
-                spmm_acc(&self.a_blocks[j], &gj, &mut ag);
+                spmm_acc_with(ctx.parallel(), &self.a_blocks[j], &gj, &mut ag);
             }
             // Small outer product for Y (unchanged from the column
             // variant).
             ctx.charge_gemm(f_in, ag.rows(), f_out);
-            let y_partial = matmul_tn(&self.hs[l], &ag);
+            let y_partial = matmul_tn_with(ctx.parallel(), &self.hs[l], &ag);
             let y = ctx.world.allreduce_mat(&y_partial, Cat::DenseComm);
             if l > 0 {
                 ctx.charge_gemm(ag.rows(), f_out, f_in);
-                g = matmul_nt(&ag, &self.weights[l]);
+                g = matmul_nt_with(ctx.parallel(), &ag, &self.weights[l]);
                 hadamard_assign(&mut g, &self.act.prime(&self.zs[l - 1]));
                 if let Some(mask) = self.drop_masks[l - 1].take() {
                     hadamard_assign(&mut g, &mask);

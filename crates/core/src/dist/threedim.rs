@@ -26,9 +26,9 @@ use cagnet_comm::grid::int_cbrt;
 use cagnet_comm::{Cat, Ctx, Grid3D};
 use cagnet_dense::activation::{log_softmax_rows, softmax_rows, Activation};
 use cagnet_dense::ops::hadamard_assign;
-use cagnet_dense::{matmul_acc, matmul_nt, matmul_tn, Mat};
+use cagnet_dense::{matmul_acc_with, matmul_nt_with, matmul_tn_with, Mat};
 use cagnet_sparse::partition::block_range;
-use cagnet_sparse::spmm::spmm_acc;
+use cagnet_sparse::spmm::spmm_acc_with;
 use cagnet_sparse::Csr;
 use std::sync::Arc;
 
@@ -138,11 +138,13 @@ impl ThreeDimTrainer {
                 Cat::DenseComm,
             );
             ctx.charge_spmm(a_hat.nnz(), a_hat.rows(), d_hat.cols());
-            spmm_acc(&a_hat, &d_hat, &mut partial);
+            spmm_acc_with(ctx.parallel(), &a_hat, &d_hat, &mut partial);
         }
         // Fiber reduction: the ∛P-replicated partials collapse into the
         // Block Split 3D distribution.
-        self.grid.fiber.reduce_scatter_rows(&partial, Cat::DenseComm)
+        self.grid
+            .fiber
+            .reduce_scatter_rows(&partial, Cat::DenseComm)
     }
 
     /// Partial Split-3D-SpMM against the replicated `W` (within-layer row
@@ -173,11 +175,11 @@ impl ThreeDimTrainer {
             ctx.charge_gemm(t_hat.rows(), ic1 - ic0, oc1 - oc0);
             if transpose_w {
                 let w_slice = w.block(oc0, oc1, ic0, ic1);
-                let add = matmul_nt(&t_hat, &w_slice);
+                let add = matmul_nt_with(ctx.parallel(), &t_hat, &w_slice);
                 cagnet_dense::ops::add_assign(&mut out, &add);
             } else {
                 let w_slice = w.block(ic0, ic1, oc0, oc1);
-                matmul_acc(&t_hat, &w_slice, &mut out);
+                matmul_acc_with(ctx.parallel(), &t_hat, &w_slice, &mut out);
             }
         }
         out
@@ -199,8 +201,7 @@ impl ThreeDimTrainer {
                 // log_softmax: within-layer row all-gather assembles full
                 // class rows; no cross-layer communication (§IV-D.2).
                 let parts = self.grid.row.allgather(z.clone(), Cat::DenseComm);
-                let z_row =
-                    Mat::hstack(&parts.iter().map(|p| (**p).clone()).collect::<Vec<_>>());
+                let z_row = Mat::hstack(&parts.iter().map(|p| (**p).clone()).collect::<Vec<_>>());
                 ctx.charge_elementwise(2 * z_row.len());
                 self.h_out_row = log_softmax_rows(&z_row);
                 self.p_out_row = softmax_rows(&z_row);
@@ -266,7 +267,7 @@ impl ThreeDimTrainer {
             // Y = (H^{l-1})ᵀ A G: local slab product, reduction over all
             // ranks sharing grid column j, then row replication.
             ctx.charge_gemm(self.hs[l].cols(), self.my_rows(), f_out);
-            let y_local = matmul_tn(&self.hs[l], &ag_row);
+            let y_local = matmul_tn_with(ctx.parallel(), &self.hs[l], &ag_row);
             let y_j = self.jgroup.allreduce_mat(&y_local, Cat::DenseComm);
             let y_parts = self.grid.row.allgather(y_j, Cat::DenseComm);
             let y = Mat::vstack(&y_parts.iter().map(|p| (**p).clone()).collect::<Vec<_>>());
@@ -275,7 +276,7 @@ impl ThreeDimTrainer {
                 let (jc0, jc1) = block_range(f_in, self.grid.q, self.grid.j);
                 let w_slice = self.weights[l].block(jc0, jc1, 0, f_out);
                 ctx.charge_gemm(self.my_rows(), f_out, jc1 - jc0);
-                g = matmul_nt(&ag_row, &w_slice);
+                g = matmul_nt_with(ctx.parallel(), &ag_row, &w_slice);
                 hadamard_assign(&mut g, &self.act.prime(&self.zs[l - 1]));
                 if let Some(mask) = self.drop_masks[l - 1].take() {
                     hadamard_assign(&mut g, &mask);
@@ -392,8 +393,7 @@ impl ThreeDimTrainer {
                 + self.h_out_row.len()
                 + self.p_out_row.len(),
             // Pre-fiber-reduction partial: n/q rows x ~f/q cols.
-            intermediate: self.at_ijk.rows() * f_max.div_ceil(q)
-                + self.my_rows() * f_max,
+            intermediate: self.at_ijk.rows() * f_max.div_ceil(q) + self.my_rows() * f_max,
         }
     }
 

@@ -86,8 +86,7 @@ mod tests {
         for (n, p) in [(20usize, 4usize), (17, 3), (30, 5), (8, 8), (12, 1)] {
             let (a, parts) = run_transpose(n, p, 7);
             let expect = a.transpose();
-            let dense_parts: Vec<Mat> =
-                parts.iter().map(|(b, _)| b.to_dense()).collect();
+            let dense_parts: Vec<Mat> = parts.iter().map(|(b, _)| b.to_dense()).collect();
             let got = Mat::vstack(&dense_parts);
             assert!(
                 got.approx_eq(&expect.to_dense(), 0.0),

@@ -37,9 +37,9 @@ use cagnet_comm::grid::int_sqrt;
 use cagnet_comm::{Cat, Ctx, Grid2D};
 use cagnet_dense::activation::{log_softmax_rows, softmax_rows, Activation};
 use cagnet_dense::ops::hadamard_assign;
-use cagnet_dense::{matmul_acc, matmul_nt, matmul_tn, Mat};
+use cagnet_dense::{matmul_acc_with, matmul_nt_with, matmul_tn_with, Mat};
 use cagnet_sparse::partition::{block_range, block_ranges};
-use cagnet_sparse::spmm::spmm_acc;
+use cagnet_sparse::spmm::spmm_acc_with;
 use cagnet_sparse::Csr;
 use std::sync::Arc;
 
@@ -220,7 +220,7 @@ impl TwoDimTrainer {
                     Cat::DenseComm,
                 );
                 ctx.charge_spmm(a_panel.nnz(), a_panel.rows(), d_panel.cols());
-                spmm_acc(&a_panel, &d_panel, &mut out);
+                spmm_acc_with(ctx.parallel(), &a_panel, &d_panel, &mut out);
             }
         }
         out
@@ -256,11 +256,11 @@ impl TwoDimTrainer {
             if transpose_w {
                 // out += t_hat · (W[oc, ic])ᵀ
                 let w_slice = w.block(oc0, oc1, ic0, ic1);
-                let add = matmul_nt(&t_hat, &w_slice);
+                let add = matmul_nt_with(ctx.parallel(), &t_hat, &w_slice);
                 cagnet_dense::ops::add_assign(&mut out, &add);
             } else {
                 let w_slice = w.block(ic0, ic1, oc0, oc1);
-                matmul_acc(&t_hat, &w_slice, &mut out);
+                matmul_acc_with(ctx.parallel(), &t_hat, &w_slice, &mut out);
             }
         }
         out
@@ -359,7 +359,7 @@ impl TwoDimTrainer {
             // reduction, row replication (2D dense SUMMA + all-gather in
             // the paper's terms).
             ctx.charge_gemm(self.hs[l].cols(), self.my_rows(), f_out);
-            let y_local = matmul_tn(&self.hs[l], &ag_row);
+            let y_local = matmul_tn_with(ctx.parallel(), &self.hs[l], &ag_row);
             let y_j = self.grid.col.allreduce_mat(&y_local, Cat::DenseComm);
             let y_parts = self.grid.row.allgather(y_j, Cat::DenseComm);
             let y = Mat::vstack(&y_parts.iter().map(|p| (**p).clone()).collect::<Vec<_>>());
@@ -370,7 +370,7 @@ impl TwoDimTrainer {
                 let (jc0, jc1) = block_range(f_in, self.grid.pc, self.grid.j);
                 let w_slice = self.weights[l].block(jc0, jc1, 0, f_out);
                 ctx.charge_gemm(self.my_rows(), f_out, jc1 - jc0);
-                g = matmul_nt(&ag_row, &w_slice);
+                g = matmul_nt_with(ctx.parallel(), &ag_row, &w_slice);
                 hadamard_assign(&mut g, &self.act.prime(&self.zs[l - 1]));
                 if let Some(mask) = self.drop_masks[l - 1].take() {
                     hadamard_assign(&mut g, &mask);
@@ -492,10 +492,10 @@ impl TwoDimTrainer {
     /// Assemble the full output embedding matrix on every rank.
     pub fn gather_embeddings(&self, ctx: &Ctx) -> Mat {
         let pc = self.grid.pc;
-        let blocks = ctx
-            .world
-            .allgather(self.h_out_row.clone(), Cat::DenseComm);
-        let parts: Vec<Mat> = (0..self.grid.pr).map(|i| (*blocks[i * pc]).clone()).collect();
+        let blocks = ctx.world.allgather(self.h_out_row.clone(), Cat::DenseComm);
+        let parts: Vec<Mat> = (0..self.grid.pr)
+            .map(|i| (*blocks[i * pc]).clone())
+            .collect();
         Mat::vstack(&parts)
     }
 }

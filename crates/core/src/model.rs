@@ -42,7 +42,13 @@ impl GcnConfig {
     /// Initialize the weight stack `W¹..W^L` deterministically.
     pub fn init_weights(&self) -> Vec<Mat> {
         (0..self.layers())
-            .map(|l| glorot_uniform(self.dims[l], self.dims[l + 1], self.seed.wrapping_add(l as u64)))
+            .map(|l| {
+                glorot_uniform(
+                    self.dims[l],
+                    self.dims[l + 1],
+                    self.seed.wrapping_add(l as u64),
+                )
+            })
             .collect()
     }
 

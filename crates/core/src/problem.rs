@@ -99,7 +99,10 @@ impl Problem {
         train_frac: f64,
         seed: u64,
     ) -> Self {
-        assert!(feature_len >= num_classes, "need one feature slot per class");
+        assert!(
+            feature_len >= num_classes,
+            "need one feature slot per class"
+        );
         let n = raw_adj.rows();
         assert_eq!(labels.len(), n, "labels length");
         let adj = gcn_normalize(raw_adj);
@@ -124,13 +127,7 @@ impl Problem {
         let labels = random_labels(n, ds.spec.labels, seed ^ 0x1ABE1);
         let train_mask = vec![true; n];
         // ds.adj is already GCN-normalized.
-        Self::new(
-            ds.adj.clone(),
-            features,
-            labels,
-            train_mask,
-            ds.spec.labels,
-        )
+        Self::new(ds.adj.clone(), features, labels, train_mask, ds.spec.labels)
     }
 
     /// Vertex count.
@@ -212,7 +209,8 @@ impl Splits {
     /// vertex at most once.
     pub fn validate(&self) {
         for v in 0..self.train.len() {
-            let c = usize::from(self.train[v]) + usize::from(self.val[v]) + usize::from(self.test[v]);
+            let c =
+                usize::from(self.train[v]) + usize::from(self.val[v]) + usize::from(self.test[v]);
             assert!(c <= 1, "vertex {v} in {c} splits");
         }
     }
@@ -252,10 +250,7 @@ mod tests {
         }
         let g = Csr::from_coo(coo);
         let p = Problem::synthetic(&g, 4, 2, 1.0, 5);
-        assert!(p
-            .adj
-            .to_dense()
-            .approx_eq(&p.adj_t.to_dense(), 1e-14));
+        assert!(p.adj.to_dense().approx_eq(&p.adj_t.to_dense(), 1e-14));
     }
 
     #[test]
@@ -263,12 +258,6 @@ mod tests {
     fn rejects_empty_train_set() {
         let g = erdos_renyi(8, 2.0, 1);
         let adj = gcn_normalize(&g);
-        let _ = Problem::new(
-            adj,
-            Mat::zeros(8, 2),
-            vec![0; 8],
-            vec![false; 8],
-            2,
-        );
+        let _ = Problem::new(adj, Mat::zeros(8, 2), vec![0; 8], vec![false; 8], 2);
     }
 }

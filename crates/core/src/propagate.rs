@@ -15,7 +15,7 @@
 use cagnet_comm::{Cat, Ctx};
 use cagnet_dense::Mat;
 use cagnet_sparse::partition::{block_range, block_ranges};
-use cagnet_sparse::spmm::{spmm_semiring_acc, Semiring};
+use cagnet_sparse::spmm::{spmm_semiring_acc, spmm_semiring_acc_with, Semiring};
 use cagnet_sparse::Csr;
 
 /// Serial reference: `hops` steps of `X ← X ⊕ (Aᵀ ⊗ X)`.
@@ -39,13 +39,7 @@ pub fn propagate_serial<S: Semiring>(at: &Csr, x0: &Mat, s: &S, hops: usize) -> 
 /// pattern) and ⊕-accumulates its stage products.
 ///
 /// Returns this rank's block of the final `X`.
-pub fn propagate_1d<S: Semiring>(
-    ctx: &Ctx,
-    at: &Csr,
-    x0: &Mat,
-    s: &S,
-    hops: usize,
-) -> Mat {
+pub fn propagate_1d<S: Semiring>(ctx: &Ctx, at: &Csr, x0: &Mat, s: &S, hops: usize) -> Mat {
     let p = ctx.size;
     let n = at.cols();
     let (r0, r1) = block_range(n, p, ctx.rank);
@@ -57,11 +51,11 @@ pub fn propagate_1d<S: Semiring>(
     let mut x = x0.block(r0, r1, 0, x0.cols());
     for _ in 0..hops {
         let mut next = Mat::filled(x.rows(), x.cols(), s.zero());
-        for j in 0..p {
+        for (j, at_j) in at_blocks.iter().enumerate() {
             let payload = (j == ctx.rank).then(|| x.clone());
             let xj = ctx.world.bcast(j, payload, Cat::DenseComm);
-            ctx.charge_spmm(at_blocks[j].nnz(), at_blocks[j].rows(), xj.cols());
-            spmm_semiring_acc(&at_blocks[j], &xj, s, &mut next);
+            ctx.charge_spmm(at_j.nnz(), at_j.rows(), xj.cols());
+            spmm_semiring_acc_with(ctx.parallel(), at_j, &xj, s, &mut next);
         }
         for (xi, &ni) in x.as_mut_slice().iter_mut().zip(next.as_slice()) {
             *xi = s.add(*xi, ni);
@@ -116,12 +110,12 @@ mod tests {
             // Floyd–Warshall reference (unit weights).
             let inf = f64::INFINITY;
             let mut dist = vec![vec![inf; n]; n];
-            for v in 0..n {
-                dist[v][v] = 0.0;
+            for (v, row) in dist.iter_mut().enumerate() {
+                row[v] = 0.0;
             }
-            for u in 0..n {
+            for (u, row) in dist.iter_mut().enumerate() {
                 for (v, w) in a.row_entries(u) {
-                    dist[u][v] = dist[u][v].min(w);
+                    row[v] = row[v].min(w);
                 }
             }
             for k in 0..n {

@@ -106,7 +106,11 @@ impl<'p> SageSerialTrainer<'p> {
     /// normalized adjacency pattern (weights are re-normalized row-wise).
     pub fn new(problem: &'p Problem, cfg: SageConfig) -> Self {
         assert_eq!(cfg.dims[0], problem.features.cols(), "input width");
-        assert_eq!(*cfg.dims.last().unwrap(), problem.num_classes, "output width");
+        assert_eq!(
+            *cfg.dims.last().unwrap(),
+            problem.num_classes,
+            "output width"
+        );
         let abar = mean_aggregator(&problem.adj);
         let abar_t = abar.transpose();
         let weights = cfg.init_weights();
@@ -280,13 +284,13 @@ impl SageOneDimTrainer {
 
     /// Block-row SpMM with `P` broadcast stages (Algorithm 1's pattern).
     fn block_row_spmm(&self, ctx: &Ctx, blocks: &[Csr], mine: &Mat) -> Mat {
-        let p = ctx.size;
+        debug_assert_eq!(blocks.len(), ctx.size);
         let mut out = Mat::zeros(blocks[0].rows(), mine.cols());
-        for j in 0..p {
+        for (j, blk) in blocks.iter().enumerate() {
             let payload = (j == ctx.rank).then(|| mine.clone());
             let xj = ctx.world.bcast(j, payload, Cat::DenseComm);
-            ctx.charge_spmm(blocks[j].nnz(), blocks[j].rows(), xj.cols());
-            spmm_acc(&blocks[j], &xj, &mut out);
+            ctx.charge_spmm(blk.nnz(), blk.rows(), xj.cols());
+            spmm_acc(blk, &xj, &mut out);
         }
         out
     }
@@ -512,8 +516,7 @@ impl SageTwoDimTrainer {
             self.partial_summa_acc(ctx, &m, &self.weights[l], f_in, f_in, f_out, &mut z);
             let out = if l + 1 == l_total {
                 let parts = self.grid.row.allgather(z.clone(), Cat::DenseComm);
-                let z_row =
-                    Mat::hstack(&parts.iter().map(|p| (**p).clone()).collect::<Vec<_>>());
+                let z_row = Mat::hstack(&parts.iter().map(|p| (**p).clone()).collect::<Vec<_>>());
                 ctx.charge_elementwise(2 * z_row.len());
                 self.h_out_row = log_softmax_rows(&z_row);
                 self.p_out_row = cagnet_dense::activation::softmax_rows(&z_row);
@@ -594,11 +597,13 @@ impl SageTwoDimTrainer {
                 // term2: (Āᵀ G) W_botᵀ via SUMMA + row all-gather.
                 let atg = self.summa_spmm(ctx, &self.abt_ij, &g);
                 let atg_parts = self.grid.row.allgather(atg, Cat::DenseComm);
-                let atg_row = Mat::hstack(
-                    &atg_parts.iter().map(|p| (**p).clone()).collect::<Vec<_>>(),
-                );
+                let atg_row =
+                    Mat::hstack(&atg_parts.iter().map(|p| (**p).clone()).collect::<Vec<_>>());
                 ctx.charge_gemm(self.my_rows(), f_out, jc1 - jc0);
-                add_assign(&mut dh, &matmul_nt(&atg_row, &w_bot.block(jc0, jc1, 0, f_out)));
+                add_assign(
+                    &mut dh,
+                    &matmul_nt(&atg_row, &w_bot.block(jc0, jc1, 0, f_out)),
+                );
                 hadamard_assign(&mut dh, &relu_prime(&self.zs[l - 1]));
                 ctx.charge_elementwise(dh.len());
                 g = dh;

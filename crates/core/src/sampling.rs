@@ -143,7 +143,11 @@ impl SampledTrainer {
             None => self.base.adj.clone(),
         };
         let mask = if self.sampler.batch_fraction < 1.0 {
-            sample_batch_mask(&self.base.train_mask, self.sampler.batch_fraction, seed ^ 0xB47C)
+            sample_batch_mask(
+                &self.base.train_mask,
+                self.sampler.batch_fraction,
+                seed ^ 0xB47C,
+            )
         } else {
             self.base.train_mask.clone()
         };
@@ -183,7 +187,6 @@ impl SampledTrainer {
     }
 }
 
-
 /// §VII realized: the paper's distributed training algorithms "carefully
 /// combined with sophisticated sampling based methods". Each epoch, every
 /// rank deterministically draws the same sampled adjacency / mini-batch
@@ -205,7 +208,11 @@ pub fn train_distributed_sampled(
     p: usize,
     model: cagnet_comm::CostModel,
     epochs: usize,
-) -> (Vec<f64>, Vec<cagnet_dense::Mat>, Vec<cagnet_comm::TimelineReport>) {
+) -> (
+    Vec<f64>,
+    Vec<cagnet_dense::Mat>,
+    Vec<cagnet_comm::TimelineReport>,
+) {
     use crate::dist::onedim::OneDimTrainer;
     let per_rank = cagnet_comm::Cluster::new(p).with_model(model).run(|ctx| {
         let mut weights: Option<Vec<cagnet_dense::Mat>> = None;
@@ -334,12 +341,8 @@ mod tests {
         // neighbor_cap = None and batch_fraction = 1.0 degrade to plain
         // full-batch training.
         let (raw, problem, cfg) = setup(65);
-        let mut sampled = SampledTrainer::new(
-            raw,
-            problem.clone(),
-            cfg.clone(),
-            SamplerConfig::default(),
-        );
+        let mut sampled =
+            SampledTrainer::new(raw, problem.clone(), cfg.clone(), SamplerConfig::default());
         let ls = sampled.train(5);
         let mut reference = SerialTrainer::new(&problem, cfg);
         let lr = reference.train(5);

@@ -204,8 +204,7 @@ impl<'p> SerialTrainer<'p> {
     /// a forward pass).
     pub fn accuracy_on(&mut self, mask: &[bool]) -> f64 {
         let _ = self.forward();
-        let (c, t) =
-            accuracy_counts(self.hs.last().unwrap(), &self.problem.labels, mask, 0);
+        let (c, t) = accuracy_counts(self.hs.last().unwrap(), &self.problem.labels, mask, 0);
         c as f64 / t.max(1) as f64
     }
 
@@ -336,17 +335,15 @@ mod tests {
     #[test]
     fn accuracy_improves_with_training() {
         let p = small_problem(3);
-        let mut t = SerialTrainer::new(&p, GcnConfig::three_layer(6, 12, 3));
+        // The optimizer captures lr at construction, so the raised lr
+        // must be set before building the trainer to take effect.
+        let mut cfg = GcnConfig::three_layer(6, 12, 3);
+        cfg.lr = 0.5;
+        let mut t = SerialTrainer::new(&p, cfg);
         let before = t.accuracy();
-        let mut cfg_lr = t.cfg.clone();
-        cfg_lr.lr = 0.5;
-        t.cfg = cfg_lr;
         t.train(200);
         let after = t.accuracy();
-        assert!(
-            after >= before,
-            "accuracy regressed: {before} -> {after}"
-        );
+        assert!(after >= before, "accuracy regressed: {before} -> {after}");
         assert!(after > 0.4, "final accuracy too low: {after}");
     }
 

@@ -60,7 +60,7 @@ impl Algorithm {
     pub fn supports(&self, p: usize) -> bool {
         match self {
             Algorithm::OneD | Algorithm::OneDRow => p >= 1,
-            Algorithm::One5D { c } => *c >= 1 && p % c == 0,
+            Algorithm::One5D { c } => *c >= 1 && p.is_multiple_of(*c),
             Algorithm::TwoD => cagnet_comm::grid::int_sqrt(p).is_some(),
             Algorithm::TwoDRect { pr, pc } => pr * pc == p,
             Algorithm::ThreeD => cagnet_comm::grid::int_cbrt(p).is_some(),
@@ -85,6 +85,10 @@ pub struct TrainConfig {
     /// Hidden-layer dropout rate (inverted dropout, deterministic and
     /// layout-independent; 0 disables).
     pub dropout: f64,
+    /// Intra-rank compute threads for local GEMM/SpMM kernels (default 1
+    /// = serial). Results are bit-for-bit independent of this knob; only
+    /// wall-clock and the modeled compute terms change.
+    pub threads_per_rank: usize,
 }
 
 impl Default for TrainConfig {
@@ -96,6 +100,7 @@ impl Default for TrainConfig {
             optimizer: OptimizerKind::Sgd,
             activation: Activation::Relu,
             dropout: 0.0,
+            threads_per_rank: 1,
         }
     }
 }
@@ -123,11 +128,7 @@ impl DistTrainResult {
     /// the epoch count (the BSP epoch time of the paper's Figure 2, whose
     /// y-axis is its reciprocal, epochs/second).
     pub fn epoch_seconds(&self, epochs: usize) -> f64 {
-        let max_clock = self
-            .reports
-            .iter()
-            .map(|r| r.clock)
-            .fold(0.0f64, f64::max);
+        let max_clock = self.reports.iter().map(|r| r.clock).fold(0.0f64, f64::max);
         max_clock / epochs.max(1) as f64
     }
 }
@@ -161,31 +162,36 @@ pub fn infer_distributed(
     tc: &TrainConfig,
 ) -> InferResult {
     assert!(algo.supports(p), "{} does not support P={p}", algo.name());
-    let per_rank = Cluster::new(p).with_model(model).run(|ctx| {
-        macro_rules! run_forward {
-            ($t:expr) => {{
-                let mut t = $t;
-                t.set_weights(weights.to_vec());
-                let loss = t.forward(ctx);
-                let report = ctx.report();
-                let accuracy = t.accuracy(ctx);
-                let embeddings = t.gather_embeddings(ctx);
-                (loss, accuracy, report, embeddings)
-            }};
-        }
-        match algo {
-            Algorithm::OneD => run_forward!(OneDimTrainer::setup(ctx, problem, gcn)),
-            Algorithm::OneDRow => run_forward!(OneDimRowTrainer::setup(ctx, problem, gcn)),
-            Algorithm::One5D { c } => run_forward!(One5DTrainer::setup(ctx, problem, gcn, c)),
-            Algorithm::TwoD => {
-                run_forward!(TwoDimTrainer::setup(ctx, problem, gcn, tc.twod))
+    let per_rank = Cluster::new(p)
+        .with_model(model)
+        .with_threads_per_rank(tc.threads_per_rank)
+        .run(|ctx| {
+            macro_rules! run_forward {
+                ($t:expr) => {{
+                    let mut t = $t;
+                    t.set_weights(weights.to_vec());
+                    let loss = t.forward(ctx);
+                    let report = ctx.report();
+                    let accuracy = t.accuracy(ctx);
+                    let embeddings = t.gather_embeddings(ctx);
+                    (loss, accuracy, report, embeddings)
+                }};
             }
-            Algorithm::TwoDRect { pr, pc } => {
-                run_forward!(TwoDimTrainer::setup_rect(ctx, problem, gcn, tc.twod, pr, pc))
+            match algo {
+                Algorithm::OneD => run_forward!(OneDimTrainer::setup(ctx, problem, gcn)),
+                Algorithm::OneDRow => run_forward!(OneDimRowTrainer::setup(ctx, problem, gcn)),
+                Algorithm::One5D { c } => run_forward!(One5DTrainer::setup(ctx, problem, gcn, c)),
+                Algorithm::TwoD => {
+                    run_forward!(TwoDimTrainer::setup(ctx, problem, gcn, tc.twod))
+                }
+                Algorithm::TwoDRect { pr, pc } => {
+                    run_forward!(TwoDimTrainer::setup_rect(
+                        ctx, problem, gcn, tc.twod, pr, pc
+                    ))
+                }
+                Algorithm::ThreeD => run_forward!(ThreeDimTrainer::setup(ctx, problem, gcn)),
             }
-            Algorithm::ThreeD => run_forward!(ThreeDimTrainer::setup(ctx, problem, gcn)),
-        }
-    });
+        });
     let (loss, accuracy, _, embeddings) = per_rank[0].0.clone();
     InferResult {
         embeddings,
@@ -208,11 +214,7 @@ pub fn train_distributed(
     model: CostModel,
     tc: &TrainConfig,
 ) -> DistTrainResult {
-    assert!(
-        algo.supports(p),
-        "{} does not support P={p}",
-        algo.name()
-    );
+    assert!(algo.supports(p), "{} does not support P={p}", algo.name());
     enum AnyTrainer {
         OneD(OneDimTrainer),
         OneDRow(OneDimRowTrainer),
@@ -221,94 +223,97 @@ pub fn train_distributed(
         ThreeD(Box<ThreeDimTrainer>),
     }
 
-    let per_rank = Cluster::new(p).with_model(model).run(|ctx| {
-        let mut tr = match algo {
-            Algorithm::OneD => AnyTrainer::OneD(OneDimTrainer::setup(ctx, problem, gcn)),
-            Algorithm::OneDRow => {
-                AnyTrainer::OneDRow(OneDimRowTrainer::setup(ctx, problem, gcn))
-            }
-            Algorithm::One5D { c } => {
-                AnyTrainer::One5D(One5DTrainer::setup(ctx, problem, gcn, c))
-            }
-            Algorithm::TwoD => {
-                AnyTrainer::TwoD(Box::new(TwoDimTrainer::setup(ctx, problem, gcn, tc.twod)))
-            }
-            Algorithm::TwoDRect { pr, pc } => AnyTrainer::TwoD(Box::new(
-                TwoDimTrainer::setup_rect(ctx, problem, gcn, tc.twod, pr, pc),
-            )),
-            Algorithm::ThreeD => {
-                AnyTrainer::ThreeD(Box::new(ThreeDimTrainer::setup(ctx, problem, gcn)))
-            }
-        };
-        match &mut tr {
-            AnyTrainer::OneD(t) => {
-                t.set_optimizer(tc.optimizer);
-                t.set_hidden_activation(tc.activation);
-                t.set_dropout(tc.dropout);
-            }
-            AnyTrainer::OneDRow(t) => {
-                t.set_optimizer(tc.optimizer);
-                t.set_hidden_activation(tc.activation);
-                t.set_dropout(tc.dropout);
-            }
-            AnyTrainer::One5D(t) => {
-                t.set_optimizer(tc.optimizer);
-                t.set_hidden_activation(tc.activation);
-                t.set_dropout(tc.dropout);
-            }
-            AnyTrainer::TwoD(t) => {
-                t.set_optimizer(tc.optimizer);
-                t.set_hidden_activation(tc.activation);
-                t.set_dropout(tc.dropout);
-            }
-            AnyTrainer::ThreeD(t) => {
-                t.set_optimizer(tc.optimizer);
-                t.set_hidden_activation(tc.activation);
-                t.set_dropout(tc.dropout);
-            }
-        }
-        let mut losses = Vec::with_capacity(tc.epochs);
-        for _ in 0..tc.epochs {
-            let loss = match &mut tr {
-                AnyTrainer::OneD(t) => t.epoch(ctx),
-                AnyTrainer::OneDRow(t) => t.epoch(ctx),
-                AnyTrainer::One5D(t) => t.epoch(ctx),
-                AnyTrainer::TwoD(t) => t.epoch(ctx),
-                AnyTrainer::ThreeD(t) => t.epoch(ctx),
+    let per_rank = Cluster::new(p)
+        .with_model(model)
+        .with_threads_per_rank(tc.threads_per_rank)
+        .run(|ctx| {
+            let mut tr = match algo {
+                Algorithm::OneD => AnyTrainer::OneD(OneDimTrainer::setup(ctx, problem, gcn)),
+                Algorithm::OneDRow => {
+                    AnyTrainer::OneDRow(OneDimRowTrainer::setup(ctx, problem, gcn))
+                }
+                Algorithm::One5D { c } => {
+                    AnyTrainer::One5D(One5DTrainer::setup(ctx, problem, gcn, c))
+                }
+                Algorithm::TwoD => {
+                    AnyTrainer::TwoD(Box::new(TwoDimTrainer::setup(ctx, problem, gcn, tc.twod)))
+                }
+                Algorithm::TwoDRect { pr, pc } => AnyTrainer::TwoD(Box::new(
+                    TwoDimTrainer::setup_rect(ctx, problem, gcn, tc.twod, pr, pc),
+                )),
+                Algorithm::ThreeD => {
+                    AnyTrainer::ThreeD(Box::new(ThreeDimTrainer::setup(ctx, problem, gcn)))
+                }
             };
-            losses.push(loss);
-        }
-        // Snapshot the timed-epoch ledger before the (untimed-in-spirit)
-        // evaluation pass.
-        let report = ctx.report();
-        let accuracy = match &mut tr {
-            AnyTrainer::OneD(t) => t.accuracy(ctx),
-            AnyTrainer::OneDRow(t) => t.accuracy(ctx),
-            AnyTrainer::One5D(t) => t.accuracy(ctx),
-            AnyTrainer::TwoD(t) => t.accuracy(ctx),
-            AnyTrainer::ThreeD(t) => t.accuracy(ctx),
-        };
-        let outputs = if tc.collect_outputs {
-            let weights = match &tr {
-                AnyTrainer::OneD(t) => t.weights().to_vec(),
-                AnyTrainer::OneDRow(t) => t.weights().to_vec(),
-                AnyTrainer::One5D(t) => t.weights().to_vec(),
-                AnyTrainer::TwoD(t) => t.weights().to_vec(),
-                AnyTrainer::ThreeD(t) => t.weights().to_vec(),
+            match &mut tr {
+                AnyTrainer::OneD(t) => {
+                    t.set_optimizer(tc.optimizer);
+                    t.set_hidden_activation(tc.activation);
+                    t.set_dropout(tc.dropout);
+                }
+                AnyTrainer::OneDRow(t) => {
+                    t.set_optimizer(tc.optimizer);
+                    t.set_hidden_activation(tc.activation);
+                    t.set_dropout(tc.dropout);
+                }
+                AnyTrainer::One5D(t) => {
+                    t.set_optimizer(tc.optimizer);
+                    t.set_hidden_activation(tc.activation);
+                    t.set_dropout(tc.dropout);
+                }
+                AnyTrainer::TwoD(t) => {
+                    t.set_optimizer(tc.optimizer);
+                    t.set_hidden_activation(tc.activation);
+                    t.set_dropout(tc.dropout);
+                }
+                AnyTrainer::ThreeD(t) => {
+                    t.set_optimizer(tc.optimizer);
+                    t.set_hidden_activation(tc.activation);
+                    t.set_dropout(tc.dropout);
+                }
+            }
+            let mut losses = Vec::with_capacity(tc.epochs);
+            for _ in 0..tc.epochs {
+                let loss = match &mut tr {
+                    AnyTrainer::OneD(t) => t.epoch(ctx),
+                    AnyTrainer::OneDRow(t) => t.epoch(ctx),
+                    AnyTrainer::One5D(t) => t.epoch(ctx),
+                    AnyTrainer::TwoD(t) => t.epoch(ctx),
+                    AnyTrainer::ThreeD(t) => t.epoch(ctx),
+                };
+                losses.push(loss);
+            }
+            // Snapshot the timed-epoch ledger before the (untimed-in-spirit)
+            // evaluation pass.
+            let report = ctx.report();
+            let accuracy = match &mut tr {
+                AnyTrainer::OneD(t) => t.accuracy(ctx),
+                AnyTrainer::OneDRow(t) => t.accuracy(ctx),
+                AnyTrainer::One5D(t) => t.accuracy(ctx),
+                AnyTrainer::TwoD(t) => t.accuracy(ctx),
+                AnyTrainer::ThreeD(t) => t.accuracy(ctx),
             };
-            let embeddings = match &tr {
-                AnyTrainer::OneD(t) => t.gather_embeddings(ctx),
-                AnyTrainer::OneDRow(t) => t.gather_embeddings(ctx),
-                AnyTrainer::One5D(t) => t.gather_embeddings(ctx),
-                AnyTrainer::TwoD(t) => t.gather_embeddings(ctx),
-                AnyTrainer::ThreeD(t) => t.gather_embeddings(ctx),
+            let outputs = if tc.collect_outputs {
+                let weights = match &tr {
+                    AnyTrainer::OneD(t) => t.weights().to_vec(),
+                    AnyTrainer::OneDRow(t) => t.weights().to_vec(),
+                    AnyTrainer::One5D(t) => t.weights().to_vec(),
+                    AnyTrainer::TwoD(t) => t.weights().to_vec(),
+                    AnyTrainer::ThreeD(t) => t.weights().to_vec(),
+                };
+                let embeddings = match &tr {
+                    AnyTrainer::OneD(t) => t.gather_embeddings(ctx),
+                    AnyTrainer::OneDRow(t) => t.gather_embeddings(ctx),
+                    AnyTrainer::One5D(t) => t.gather_embeddings(ctx),
+                    AnyTrainer::TwoD(t) => t.gather_embeddings(ctx),
+                    AnyTrainer::ThreeD(t) => t.gather_embeddings(ctx),
+                };
+                Some((weights, embeddings))
+            } else {
+                None
             };
-            Some((weights, embeddings))
-        } else {
-            None
-        };
-        (losses, accuracy, report, outputs)
-    });
+            (losses, accuracy, report, outputs)
+        });
 
     let ((losses0, accuracy, _, _), _) = &per_rank[0];
     let reports: Vec<TimelineReport> = per_rank.iter().map(|((_, _, r, _), _)| *r).collect();

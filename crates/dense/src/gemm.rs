@@ -5,8 +5,19 @@
 //! equations. The implementation is a cache-blocked i-k-j loop with a
 //! column-panel micro-kernel; no BLAS is linked, per the project's
 //! build-everything rule.
+//!
+//! Every kernel comes in two flavors: the plain entry point (serial, same
+//! as always) and a `_with` variant taking a
+//! [`ParallelCtx`](cagnet_parallel::ParallelCtx) that forks the
+//! computation over contiguous panels of **output rows**. Each panel runs
+//! the identical serial micro-kernel over its own rows, and no thread
+//! touches another panel's rows, so the parallel results are bit-for-bit
+//! identical to serial for every thread count — the floating-point
+//! accumulation order per output element never changes.
 
 use crate::matrix::Mat;
+use cagnet_parallel::ParallelCtx;
+use core::ops::Range;
 
 /// Loop blocking sizes. `MC x KC` panels of `a` are streamed against `KC x
 /// NC` panels of `b`; values chosen so the working set fits comfortably in
@@ -15,11 +26,20 @@ const MC: usize = 64;
 const KC: usize = 128;
 const NC: usize = 256;
 
+/// Minimum output rows per forked chunk: below this the fork-join
+/// overhead dwarfs the row's flops for GCN-width operands.
+const MIN_PAR_ROWS: usize = 16;
+
 /// `C = A · B`.
 ///
 /// # Panics
 /// Panics on inner-dimension mismatch.
 pub fn matmul(a: &Mat, b: &Mat) -> Mat {
+    matmul_with(ParallelCtx::serial(), a, b)
+}
+
+/// `C = A · B`, row panels forked across `ctx`'s thread budget.
+pub fn matmul_with(ctx: ParallelCtx, a: &Mat, b: &Mat) -> Mat {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -30,7 +50,7 @@ pub fn matmul(a: &Mat, b: &Mat) -> Mat {
         b.cols()
     );
     let mut c = Mat::zeros(a.rows(), b.cols());
-    matmul_acc(a, b, &mut c);
+    matmul_acc_with(ctx, a, b, &mut c);
     c
 }
 
@@ -39,6 +59,11 @@ pub fn matmul(a: &Mat, b: &Mat) -> Mat {
 /// This is the primitive used by the SUMMA stages, where every stage adds a
 /// rank-`b` update into the running local block.
 pub fn matmul_acc(a: &Mat, b: &Mat, c: &mut Mat) {
+    matmul_acc_with(ParallelCtx::serial(), a, b, c);
+}
+
+/// `C += A · B`, row panels forked across `ctx`'s thread budget.
+pub fn matmul_acc_with(ctx: ParallelCtx, a: &Mat, b: &Mat, c: &mut Mat) {
     let (m, k) = a.shape();
     let (kb, n) = b.shape();
     assert_eq!(k, kb, "matmul_acc: inner dimension mismatch");
@@ -51,18 +76,38 @@ pub fn matmul_acc(a: &Mat, b: &Mat, c: &mut Mat) {
     let bv = b.as_slice();
     let cv = c.as_mut_slice();
 
+    ctx.par_rows(m, n, cv, MIN_PAR_ROWS, |rows, panel| {
+        matmul_acc_panel(av, bv, panel, rows, k, n)
+    });
+}
+
+/// The blocked serial kernel over one panel of output rows
+/// `rows.start..rows.end`; `cpanel` holds exactly those rows. The `jc`
+/// (B column tile) and `pc` (shared-dimension tile) loops are identical
+/// for every panel, so each `C[i][j]` accumulates its `k` products in
+/// the same order regardless of which panel row `i` lands in.
+fn matmul_acc_panel(
+    av: &[f64],
+    bv: &[f64],
+    cpanel: &mut [f64],
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+) {
+    let r0 = rows.start;
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
-            for ic in (0..m).step_by(MC) {
-                let mc = MC.min(m - ic);
+            let mut ic = rows.start;
+            while ic < rows.end {
+                let mc = MC.min(rows.end - ic);
                 // Micro kernel: for each row of the A panel, stream the
                 // B panel rows, accumulating into one C row (i-k-j order
                 // keeps the C row hot and B access unit-stride).
                 for i in ic..ic + mc {
                     let arow = &av[i * k + pc..i * k + pc + kc];
-                    let crow = &mut cv[i * n + jc..i * n + jc + nc];
+                    let crow = &mut cpanel[(i - r0) * n + jc..(i - r0) * n + jc + nc];
                     for (p, &aval) in arow.iter().enumerate() {
                         if aval == 0.0 {
                             continue;
@@ -73,6 +118,7 @@ pub fn matmul_acc(a: &Mat, b: &Mat, c: &mut Mat) {
                         }
                     }
                 }
+                ic += mc;
             }
         }
     }
@@ -84,63 +130,99 @@ pub fn matmul_acc(a: &Mat, b: &Mat, c: &mut Mat) {
 /// Eq. 3), where `H` is tall-skinny and the output is a small `f x f`
 /// matrix.
 pub fn matmul_tn(a: &Mat, b: &Mat) -> Mat {
+    matmul_tn_with(ParallelCtx::serial(), a, b)
+}
+
+/// `C = Aᵀ · B`, output-row panels forked across `ctx`.
+pub fn matmul_tn_with(ctx: ParallelCtx, a: &Mat, b: &Mat) -> Mat {
     let (k, m) = a.shape(); // logical op is (m x k) = (a.cols x a.rows)
     let (kb, n) = b.shape();
     assert_eq!(k, kb, "matmul_tn: inner dimension mismatch");
     let mut c = Mat::zeros(m, n);
-    matmul_tn_acc(a, b, &mut c);
+    matmul_tn_acc_with(ctx, a, b, &mut c);
     c
 }
 
 /// `C += Aᵀ · B` with accumulation.
 pub fn matmul_tn_acc(a: &Mat, b: &Mat, c: &mut Mat) {
+    matmul_tn_acc_with(ParallelCtx::serial(), a, b, c);
+}
+
+/// `C += Aᵀ · B`, output-row panels (columns of `A`) forked across
+/// `ctx`. Every worker scans the full shared dimension `k` in the same
+/// ascending order, restricted to its own C rows, so accumulation order
+/// per element is thread-count independent.
+pub fn matmul_tn_acc_with(ctx: ParallelCtx, a: &Mat, b: &Mat, c: &mut Mat) {
     let (k, m) = a.shape();
     let (kb, n) = b.shape();
     assert_eq!(k, kb, "matmul_tn_acc: inner dimension mismatch");
     assert_eq!(c.shape(), (m, n), "matmul_tn_acc: output shape mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
     let av = a.as_slice();
     let bv = b.as_slice();
     let cv = c.as_mut_slice();
-    // Outer-product accumulation over the shared dimension: each row p of A
-    // scatters into all C rows, with both A and B rows read unit-stride.
-    for p in 0..k {
-        let arow = &av[p * m..(p + 1) * m];
-        let brow = &bv[p * n..(p + 1) * n];
-        for (i, &aval) in arow.iter().enumerate() {
-            if aval == 0.0 {
-                continue;
-            }
-            let crow = &mut cv[i * n..(i + 1) * n];
-            for (cj, &bval) in crow.iter_mut().zip(brow) {
-                *cj += aval * bval;
+    // The output here is small (f x f); forking pays off only when A is
+    // wide enough that each worker still owns several columns.
+    ctx.par_rows(m, n, cv, 4, |rows, panel| {
+        let r0 = rows.start;
+        // Outer-product accumulation over the shared dimension: each row
+        // p of A scatters into the C rows this panel owns, with both A
+        // and B rows read unit-stride.
+        for p in 0..k {
+            let arow = &av[p * m..(p + 1) * m];
+            let brow = &bv[p * n..(p + 1) * n];
+            for i in rows.clone() {
+                let aval = arow[i];
+                if aval == 0.0 {
+                    continue;
+                }
+                let crow = &mut panel[(i - r0) * n..(i - r0 + 1) * n];
+                for (cj, &bval) in crow.iter_mut().zip(brow) {
+                    *cj += aval * bval;
+                }
             }
         }
-    }
+    });
 }
 
 /// `C = A · Bᵀ` without materializing `Bᵀ`.
 ///
 /// Used for the backpropagation product `G^l (W^l)ᵀ` (paper Eq. 2).
 pub fn matmul_nt(a: &Mat, b: &Mat) -> Mat {
+    matmul_nt_with(ParallelCtx::serial(), a, b)
+}
+
+/// `C = A · Bᵀ`, row panels forked across `ctx`. Each output row is an
+/// independent set of dot products, so this parallelizes with no
+/// ordering hazards at all.
+pub fn matmul_nt_with(ctx: ParallelCtx, a: &Mat, b: &Mat) -> Mat {
     let (m, k) = a.shape();
     let (n, kb) = b.shape();
     assert_eq!(k, kb, "matmul_nt: inner dimension mismatch");
     let mut c = Mat::zeros(m, n);
+    if m == 0 || n == 0 {
+        return c;
+    }
     let av = a.as_slice();
     let bv = b.as_slice();
     let cv = c.as_mut_slice();
-    for i in 0..m {
-        let arow = &av[i * k..(i + 1) * k];
-        let crow = &mut cv[i * n..(i + 1) * n];
-        for (j, cval) in crow.iter_mut().enumerate() {
-            let brow = &bv[j * k..(j + 1) * k];
-            let mut acc = 0.0;
-            for (&x, &y) in arow.iter().zip(brow) {
-                acc += x * y;
+    ctx.par_rows(m, n, cv, MIN_PAR_ROWS, |rows, panel| {
+        let r0 = rows.start;
+        for i in rows {
+            let arow = &av[i * k..(i + 1) * k];
+            let crow = &mut panel[(i - r0) * n..(i - r0 + 1) * n];
+            for (j, cval) in crow.iter_mut().enumerate() {
+                let brow = &bv[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&x, &y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                *cval += acc;
             }
-            *cval += acc;
         }
-    }
+    });
     c
 }
 
@@ -173,14 +255,22 @@ mod tests {
         // Small deterministic LCG keeps this test free of external deps.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         Mat::from_fn(r, c, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
         })
     }
 
     #[test]
     fn blocked_matches_naive() {
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (64, 64, 64), (65, 130, 33), (100, 1, 100)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (64, 64, 64),
+            (65, 130, 33),
+            (100, 1, 100),
+        ] {
             let a = rand_mat(m, k, 1);
             let b = rand_mat(k, n, 2);
             let fast = matmul(&a, &b);
@@ -247,5 +337,50 @@ mod tests {
     #[test]
     fn flop_count() {
         assert_eq!(gemm_flops(2, 3, 4), 48);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        // Awkward shapes spanning multiple MC/KC/NC tiles, plus the
+        // degenerate single-row case.
+        for &(m, k, n) in &[(1usize, 7usize, 9usize), (67, 131, 258), (130, 40, 70)] {
+            let a = rand_mat(m, k, 21);
+            let b = rand_mat(k, n, 22);
+            let serial = matmul(&a, &b);
+            for threads in [2usize, 3, 5, 8] {
+                let ctx = ParallelCtx::new(threads);
+                let par = matmul_with(ctx, &a, &b);
+                assert_eq!(
+                    par, serial,
+                    "matmul diverged at {m}x{k}x{n}, {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_tn_nt_bit_identical() {
+        let a = rand_mat(90, 37, 31);
+        let b = rand_mat(90, 53, 32);
+        let serial_tn = matmul_tn(&a, &b);
+        let c = rand_mat(44, 37, 33);
+        let d = rand_mat(29, 37, 34);
+        let serial_nt = matmul_nt(&c, &d);
+        for threads in [2usize, 4, 7] {
+            let ctx = ParallelCtx::new(threads);
+            assert_eq!(matmul_tn_with(ctx, &a, &b), serial_tn);
+            assert_eq!(matmul_nt_with(ctx, &c, &d), serial_nt);
+        }
+    }
+
+    #[test]
+    fn parallel_acc_accumulates_identically() {
+        let a = rand_mat(70, 33, 41);
+        let b = rand_mat(33, 48, 42);
+        let mut serial = rand_mat(70, 48, 43);
+        let mut par = serial.clone();
+        matmul_acc(&a, &b, &mut serial);
+        matmul_acc_with(ParallelCtx::new(6), &a, &b, &mut par);
+        assert_eq!(par, serial);
     }
 }

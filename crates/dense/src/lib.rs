@@ -18,5 +18,8 @@ pub mod init;
 pub mod matrix;
 pub mod ops;
 
-pub use gemm::{matmul, matmul_acc, matmul_nt, matmul_tn, matmul_tn_acc};
+pub use gemm::{
+    matmul, matmul_acc, matmul_acc_with, matmul_nt, matmul_nt_with, matmul_tn, matmul_tn_acc,
+    matmul_tn_acc_with, matmul_tn_with, matmul_with,
+};
 pub use matrix::Mat;

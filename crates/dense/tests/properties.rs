@@ -3,7 +3,11 @@
 
 use cagnet_dense::activation::{log_softmax_rows, softmax_rows};
 use cagnet_dense::ops::{add, hadamard, scale, sub};
-use cagnet_dense::{matmul, matmul_nt, matmul_tn, Mat};
+use cagnet_dense::{
+    matmul, matmul_acc, matmul_acc_with, matmul_nt, matmul_nt_with, matmul_tn, matmul_tn_with,
+    matmul_with, Mat,
+};
+use cagnet_parallel::ParallelCtx;
 use proptest::prelude::*;
 
 /// A random matrix of the given shape with entries in ±10.
@@ -98,6 +102,40 @@ proptest! {
         // consistency with softmax.
         let sm = softmax_rows(&z);
         prop_assert!(ls.map(f64::exp).approx_eq(&sm, 1e-9));
+    }
+
+    #[test]
+    fn parallel_matmul_is_bit_identical_to_serial(
+        (a, b) in (0usize..40, 1usize..20, 1usize..20)
+            .prop_flat_map(|(m, k, n)| (mat(m, k), mat(k, n))),
+        threads in 1usize..=8,
+    ) {
+        // Exact equality, not approx: the panel decomposition preserves
+        // the serial accumulation order per output element. `m` may be 0
+        // (a rank owning no rows).
+        let ctx = ParallelCtx::new(threads);
+        prop_assert_eq!(matmul_with(ctx, &a, &b), matmul(&a, &b));
+    }
+
+    #[test]
+    fn parallel_tn_nt_acc_bit_identical(
+        (a, b, c0) in (0usize..24, 1usize..12, 1usize..12)
+            .prop_flat_map(|(m, k, n)| (mat(m, k), mat(k, n), mat(m, n))),
+        threads in 1usize..=8,
+    ) {
+        let ctx = ParallelCtx::new(threads);
+        // NT: (m x k) · (n x k)ᵀ — reuse shapes: a · (aᵀ rows) needs
+        // second operand with k columns; b.transpose() is (n x k).
+        let bt = b.transpose();
+        prop_assert_eq!(matmul_nt_with(ctx, &a, &bt), matmul_nt(&a, &bt));
+        // TN: (m x k)ᵀ · (m x n).
+        prop_assert_eq!(matmul_tn_with(ctx, &a, &c0), matmul_tn(&a, &c0));
+        // ACC: both paths accumulate into identical non-zero state.
+        let mut acc_s = c0.clone();
+        let mut acc_p = c0.clone();
+        matmul_acc(&a, &b, &mut acc_s);
+        matmul_acc_with(ctx, &a, &b, &mut acc_p);
+        prop_assert_eq!(acc_p, acc_s);
     }
 
     #[test]

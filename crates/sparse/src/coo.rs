@@ -75,8 +75,7 @@ impl Coo {
 
     /// Sort triplets row-major and sum duplicate coordinates.
     pub fn sum_duplicates(&mut self) {
-        self.entries
-            .sort_unstable_by_key(|&(r, c, _)| (r, c));
+        self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
         let mut out: Vec<(usize, usize, f64)> = Vec::with_capacity(self.entries.len());
         for &(r, c, v) in &self.entries {
             match out.last_mut() {

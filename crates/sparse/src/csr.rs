@@ -305,11 +305,7 @@ mod tests {
 
     #[test]
     fn duplicates_are_summed() {
-        let a = Csr::from_coo(Coo::from_entries(
-            2,
-            2,
-            vec![(0, 0, 1.0), (0, 0, 4.0)],
-        ));
+        let a = Csr::from_coo(Coo::from_entries(2, 2, vec![(0, 0, 1.0), (0, 0, 4.0)]));
         assert_eq!(a.nnz(), 1);
         assert_eq!(a.get(0, 0), 5.0);
     }

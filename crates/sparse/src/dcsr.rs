@@ -106,8 +106,7 @@ impl Dcsr {
     /// Iterate `(global_row, col, value)` over stored entries.
     pub fn entries(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         self.row_ids.iter().enumerate().flat_map(move |(k, &r)| {
-            (self.row_ptr[k]..self.row_ptr[k + 1])
-                .map(move |j| (r, self.col_idx[j], self.vals[j]))
+            (self.row_ptr[k]..self.row_ptr[k + 1]).map(move |j| (r, self.col_idx[j], self.vals[j]))
         })
     }
 }
@@ -205,12 +204,7 @@ mod tests {
         let got: Vec<_> = d.entries().collect();
         assert_eq!(
             got,
-            vec![
-                (3, 10, 1.0),
-                (3, 20, 2.0),
-                (500, 0, -1.0),
-                (999, 49, 4.0)
-            ]
+            vec![(3, 10, 1.0), (3, 20, 2.0), (500, 0, -1.0), (999, 49, 4.0)]
         );
     }
 
@@ -220,9 +214,6 @@ mod tests {
         assert_eq!(d.nnz(), 0);
         assert_eq!(d.non_empty_rows(), 0);
         let b = uniform(10, 3, -1.0, 1.0, 5);
-        assert!(spmm_dcsr(&d, &b)
-            .as_slice()
-            .iter()
-            .all(|&x| x == 0.0));
+        assert!(spmm_dcsr(&d, &b).as_slice().iter().all(|&x| x == 0.0));
     }
 }

@@ -81,9 +81,7 @@ pub fn block_partition(n: usize, p: usize) -> Vec<usize> {
     let ranges = crate::partition::block_ranges(n, p);
     let mut part = vec![0usize; n];
     for (pid, (r0, r1)) in ranges.into_iter().enumerate() {
-        for v in r0..r1 {
-            part[v] = pid;
-        }
+        part[r0..r1].fill(pid);
     }
     part
 }

@@ -350,7 +350,7 @@ mod tests {
     fn permutation_is_bijection() {
         let g = erdos_renyi(64, 3.0, 2);
         let (_, perm) = permute_symmetric(&g, 13);
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for &p in &perm {
             assert!(!seen[p], "duplicate target {p}");
             seen[p] = true;

@@ -296,10 +296,10 @@ mod tests {
     #[test]
     fn rejects_bad_headers_and_indices() {
         assert!(read_matrix_market("not a header\n1 1 0\n".as_bytes()).is_err());
-        assert!(read_matrix_market(
-            "%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes()
-        )
-        .is_err());
+        assert!(
+            read_matrix_market("%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes())
+                .is_err()
+        );
         let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
         assert!(read_matrix_market(oob.as_bytes()).is_err());
         let count = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";

@@ -28,9 +28,9 @@ pub fn sym_normalize(m: &Csr) -> Csr {
     assert_eq!(m.rows(), m.cols(), "normalization requires square");
     let n = m.rows();
     let mut deg = vec![0.0f64; n];
-    for i in 0..n {
+    for (i, d) in deg.iter_mut().enumerate() {
         for (_, v) in m.row_entries(i) {
-            deg[i] += v;
+            *d += v;
         }
     }
     let inv_sqrt: Vec<f64> = deg
@@ -105,11 +105,7 @@ mod tests {
     #[test]
     fn isolated_vertex_is_safe() {
         // Vertex 2 has no edges; with self-loop its degree is 1.
-        let a = Csr::from_coo(Coo::from_entries(
-            3,
-            3,
-            vec![(0, 1, 1.0), (1, 0, 1.0)],
-        ));
+        let a = Csr::from_coo(Coo::from_entries(3, 3, vec![(0, 1, 1.0), (1, 0, 1.0)]));
         let ahat = gcn_normalize(&a);
         assert_eq!(ahat.get(2, 2), 1.0);
         assert!(ahat.vals().iter().all(|v| v.is_finite()));

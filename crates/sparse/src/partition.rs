@@ -151,8 +151,8 @@ mod tests {
     fn block_range_matches_block_ranges() {
         for &(n, p) in &[(13usize, 4usize), (9, 2), (6, 6)] {
             let all = block_ranges(n, p);
-            for i in 0..p {
-                assert_eq!(block_range(n, p, i), all[i]);
+            for (i, expected) in all.iter().enumerate() {
+                assert_eq!(block_range(n, p, i), *expected);
             }
         }
     }

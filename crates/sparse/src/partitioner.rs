@@ -146,10 +146,10 @@ pub fn partition_greedy_bfs(a: &Csr, cfg: &PartitionConfig) -> Vec<usize> {
         if !progressed {
             // Disconnected remainder: assign leftovers to the smallest
             // parts and restart their frontiers there.
-            for v in 0..n {
-                if part[v] == usize::MAX {
+            for (v, pv) in part.iter_mut().enumerate() {
+                if *pv == usize::MAX {
                     let pid = (0..p).min_by_key(|&q| sizes[q]).unwrap();
-                    part[v] = pid;
+                    *pv = pid;
                     sizes[pid] += 1;
                     unassigned -= 1;
                     frontiers[pid].push(v);
@@ -241,7 +241,7 @@ mod tests {
         assert!(part.iter().all(|&q| q < 8));
         // Every part nonempty.
         for q in 0..8 {
-            assert!(part.iter().any(|&x| x == q), "part {q} empty");
+            assert!(part.contains(&q), "part {q} empty");
         }
     }
 
@@ -256,7 +256,7 @@ mod tests {
         let part = partition_greedy_bfs(&g, &cfg);
         let n = g.rows();
         let cap = ((n as f64 / 4.0) * 1.05).ceil() as usize;
-        let mut sizes = vec![0usize; 4];
+        let mut sizes = [0usize; 4];
         for &q in &part {
             sizes[q] += 1;
         }

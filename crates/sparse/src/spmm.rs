@@ -10,6 +10,8 @@
 
 use crate::csr::Csr;
 use cagnet_dense::Mat;
+use cagnet_parallel::ParallelCtx;
+use core::ops::Range;
 
 /// `C = A · B` where `A` is CSR and `B` dense.
 ///
@@ -24,13 +26,30 @@ use cagnet_dense::Mat;
 /// # Panics
 /// Panics on inner-dimension mismatch.
 pub fn spmm(a: &Csr, b: &Mat) -> Mat {
+    spmm_with(ParallelCtx::serial(), a, b)
+}
+
+/// `C = A · B`, row chunks forked across `ctx`'s thread budget.
+///
+/// Chunks are balanced by **nonzero count**, not row count — under the
+/// power-law degree distributions of real graphs (and the hypersparse
+/// blocks of high-`P` 2D partitions) row-balanced chunks can be wildly
+/// work-imbalanced. Each chunk still owns a contiguous, disjoint range
+/// of output rows processed by the identical serial row loop, so the
+/// result is bit-for-bit equal to serial for every thread count.
+pub fn spmm_with(ctx: ParallelCtx, a: &Csr, b: &Mat) -> Mat {
     let mut c = Mat::zeros(a.rows(), b.cols());
-    spmm_acc(a, b, &mut c);
+    spmm_acc_with(ctx, a, b, &mut c);
     c
 }
 
 /// `C += A · B` with accumulation — the SUMMA-stage primitive.
 pub fn spmm_acc(a: &Csr, b: &Mat, c: &mut Mat) {
+    spmm_acc_with(ParallelCtx::serial(), a, b, c);
+}
+
+/// `C += A · B`, nnz-balanced row chunks forked across `ctx`.
+pub fn spmm_acc_with(ctx: ParallelCtx, a: &Csr, b: &Mat, c: &mut Mat) {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -46,29 +65,70 @@ pub fn spmm_acc(a: &Csr, b: &Mat, c: &mut Mat) {
         return;
     }
     let bv = b.as_slice();
-    let cv = c.as_mut_slice();
     let row_ptr = a.row_ptr();
     let col_idx = a.col_idx();
     let vals = a.vals();
-    for i in 0..a.rows() {
-        let crow = &mut cv[i * f..(i + 1) * f];
-        for k in row_ptr[i]..row_ptr[i + 1] {
-            let col = col_idx[k];
-            let aval = vals[k];
-            let brow = &bv[col * f..(col + 1) * f];
-            // Row-of-B streaming: unit-stride on both B and C.
-            for (cj, &bval) in crow.iter_mut().zip(brow) {
-                *cj += aval * bval;
+    let ranges = nnz_balanced_ranges(row_ptr, spmm_chunks(ctx, a));
+    ctx.par_partitions(&ranges, f, c.as_mut_slice(), |rows, panel| {
+        let r0 = rows.start;
+        for i in rows {
+            let crow = &mut panel[(i - r0) * f..(i - r0 + 1) * f];
+            for k in row_ptr[i]..row_ptr[i + 1] {
+                let col = col_idx[k];
+                let aval = vals[k];
+                let brow = &bv[col * f..(col + 1) * f];
+                // Row-of-B streaming: unit-stride on both B and C.
+                for (cj, &bval) in crow.iter_mut().zip(brow) {
+                    *cj += aval * bval;
+                }
             }
         }
+    });
+}
+
+/// How many chunks an SpMM over `a` should fork into: one per thread,
+/// but never so many that a chunk holds trivial work.
+fn spmm_chunks(ctx: ParallelCtx, a: &Csr) -> usize {
+    /// Minimum stored entries per forked chunk.
+    const MIN_NNZ_PER_CHUNK: usize = 2048;
+    let by_work = (a.nnz() / MIN_NNZ_PER_CHUNK).max(1);
+    ctx.threads().min(a.rows().max(1)).min(by_work)
+}
+
+/// Split CSR rows into `chunks` contiguous ranges with approximately
+/// equal nonzero counts. Pure function of `(row_ptr, chunks)`: boundary
+/// `c` sits at the first row whose prefix nnz reaches `total·c/chunks`,
+/// clamped so every chunk keeps at least one row.
+fn nnz_balanced_ranges(row_ptr: &[usize], chunks: usize) -> Vec<Range<usize>> {
+    let rows = row_ptr.len() - 1;
+    let total = row_ptr[rows];
+    let chunks = chunks.clamp(1, rows.max(1));
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    for c in 0..chunks {
+        let end = if c + 1 == chunks {
+            rows
+        } else {
+            let target = total * (c + 1) / chunks;
+            let cut = row_ptr.partition_point(|&p| p < target).saturating_sub(1);
+            // Keep at least one row here and one for each later chunk.
+            cut.clamp(start + 1, rows - (chunks - 1 - c))
+        };
+        out.push(start..end);
+        start = end;
     }
+    out
 }
 
 /// A semiring over `f64`: an additive monoid (`add`, `zero`) and a
 /// multiplicative operation. `spmm` over the standard `(+, ×, 0)` semiring
 /// recovers ordinary SpMM; `(min, +, ∞)` gives shortest-path relaxation,
 /// `(max, ×, 0)` a max-pooling aggregation, etc.
-pub trait Semiring {
+///
+/// `Sync` is a supertrait so semirings can be shared by the forked row
+/// chunks of [`spmm_semiring_acc_with`]; semirings are stateless
+/// operation tables, so this costs implementors nothing.
+pub trait Semiring: Sync {
     /// Additive identity of the aggregation.
     fn zero(&self) -> f64;
     /// The aggregation ⊕.
@@ -140,23 +200,38 @@ pub fn spmm_semiring<S: Semiring>(a: &Csr, b: &Mat, s: &S) -> Mat {
 /// must have been initialized with `s.zero()` (or hold a previous
 /// partial).
 pub fn spmm_semiring_acc<S: Semiring>(a: &Csr, b: &Mat, s: &S, c: &mut Mat) {
+    spmm_semiring_acc_with(ParallelCtx::serial(), a, b, s, c);
+}
+
+/// `C ⊕= A ⊗ B` over a semiring, nnz-balanced row chunks forked across
+/// `ctx`. Disjoint output rows keep the ⊕ fold order per element
+/// independent of the thread count, so non-associative-under-rounding
+/// aggregations still produce serial-identical bits.
+pub fn spmm_semiring_acc_with<S: Semiring>(ctx: ParallelCtx, a: &Csr, b: &Mat, s: &S, c: &mut Mat) {
     assert_eq!(a.cols(), b.rows(), "spmm_semiring: inner dims");
-    assert_eq!(c.shape(), (a.rows(), b.cols()), "spmm_semiring: output shape");
+    assert_eq!(
+        c.shape(),
+        (a.rows(), b.cols()),
+        "spmm_semiring: output shape"
+    );
     let f = b.cols();
     if f == 0 {
         return;
     }
     let bv = b.as_slice();
-    let cv = c.as_mut_slice();
-    for i in 0..a.rows() {
-        let crow = &mut cv[i * f..(i + 1) * f];
-        for (col, aval) in a.row_entries(i) {
-            let brow = &bv[col * f..(col + 1) * f];
-            for (cj, &bval) in crow.iter_mut().zip(brow) {
-                *cj = s.add(*cj, s.mul(aval, bval));
+    let ranges = nnz_balanced_ranges(a.row_ptr(), spmm_chunks(ctx, a));
+    ctx.par_partitions(&ranges, f, c.as_mut_slice(), |rows, panel| {
+        let r0 = rows.start;
+        for i in rows {
+            let crow = &mut panel[(i - r0) * f..(i - r0 + 1) * f];
+            for (col, aval) in a.row_entries(i) {
+                let brow = &bv[col * f..(col + 1) * f];
+                for (cj, &bval) in crow.iter_mut().zip(brow) {
+                    *cj = s.add(*cj, s.mul(aval, bval));
+                }
             }
         }
-    }
+    });
 }
 
 /// Sparse × dense outer-product style product used by the 1D backward pass:
@@ -252,11 +327,7 @@ mod tests {
     #[test]
     fn min_plus_semiring_relaxation() {
         // One-step min-plus relaxation from a distance vector.
-        let a = Csr::from_coo(Coo::from_entries(
-            2,
-            2,
-            vec![(0, 1, 1.0), (1, 0, 2.0)],
-        ));
+        let a = Csr::from_coo(Coo::from_entries(2, 2, vec![(0, 1, 1.0), (1, 0, 2.0)]));
         let d = Mat::from_rows(&[&[0.0], &[10.0]]);
         let r = spmm_semiring(&a, &d, &MinPlus);
         // r[0] = min over stored entries: a[0][1] + d[1] = 11
@@ -311,5 +382,47 @@ mod tests {
     #[should_panic(expected = "inner dims")]
     fn spmm_dim_mismatch_panics() {
         let _ = spmm(&sample_csr(), &Mat::zeros(3, 2));
+    }
+
+    #[test]
+    fn nnz_ranges_tile_rows_exactly() {
+        // Skewed nnz: row 0 holds almost everything, plus empty rows.
+        let row_ptr = vec![0usize, 90, 90, 95, 95, 100];
+        for chunks in 1..=5 {
+            let ranges = nnz_balanced_ranges(&row_ptr, chunks);
+            assert_eq!(ranges.len(), chunks);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, 5);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            assert!(ranges.iter().all(|r| !r.is_empty()));
+        }
+        // Empty matrix.
+        assert_eq!(nnz_balanced_ranges(&[0], 3), vec![0..0]);
+    }
+
+    #[test]
+    fn parallel_spmm_is_bit_identical_to_serial() {
+        let a = crate::generate::erdos_renyi(200, 5.0, 17);
+        let b = Mat::from_fn(200, 7, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);
+        let serial = spmm(&a, &b);
+        for threads in [2usize, 3, 4, 8] {
+            let got = spmm_with(ParallelCtx::new(threads), &a, &b);
+            assert_eq!(got, serial, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_semiring_bit_identical() {
+        let a = crate::generate::erdos_renyi(150, 4.0, 23);
+        let b = Mat::from_fn(150, 5, |i, j| (i + j) as f64 * 0.25);
+        let mut serial = Mat::filled(150, 5, MinPlus.zero());
+        spmm_semiring_acc(&a, &b, &MinPlus, &mut serial);
+        for threads in [2usize, 5] {
+            let mut par = Mat::filled(150, 5, MinPlus.zero());
+            spmm_semiring_acc_with(ParallelCtx::new(threads), &a, &b, &MinPlus, &mut par);
+            assert_eq!(par, serial);
+        }
     }
 }

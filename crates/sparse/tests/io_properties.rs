@@ -8,10 +8,7 @@ use proptest::prelude::*;
 fn sparse(rows: usize, cols: usize, max_nnz: usize) -> impl Strategy<Value = Csr> {
     proptest::collection::vec((0..rows, 0..cols, -100.0f64..100.0), 0..max_nnz.max(1)).prop_map(
         move |entries| {
-            let entries: Vec<_> = entries
-                .into_iter()
-                .filter(|&(_, _, v)| v != 0.0)
-                .collect();
+            let entries: Vec<_> = entries.into_iter().filter(|&(_, _, v)| v != 0.0).collect();
             Csr::from_coo(Coo::from_entries(rows, cols, entries))
         },
     )

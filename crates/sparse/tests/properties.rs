@@ -3,32 +3,31 @@
 //! invariants, and DCSR equivalence — for arbitrary random graphs.
 
 use cagnet_dense::Mat;
+use cagnet_parallel::ParallelCtx;
 use cagnet_sparse::dcsr::{spmm_dcsr, Dcsr};
 use cagnet_sparse::edgecut::{block_partition, evaluate_partition};
 use cagnet_sparse::generate::{apply_permutation, erdos_renyi};
 use cagnet_sparse::normalize::gcn_normalize;
 use cagnet_sparse::partition::{
-    block_ranges, grid_block_sparse, join_grid_dense, grid_block_dense, split_cols_sparse,
+    block_ranges, grid_block_dense, grid_block_sparse, join_grid_dense, split_cols_sparse,
     split_rows_sparse,
 };
-use cagnet_sparse::spmm::{outer_product_from_transposed, spmm};
+use cagnet_sparse::spmm::{
+    outer_product_from_transposed, spmm, spmm_acc, spmm_acc_with, spmm_semiring_acc,
+    spmm_semiring_acc_with, spmm_with, MinPlus, Semiring,
+};
 use cagnet_sparse::{Coo, Csr};
 use proptest::prelude::*;
 
 /// Random sparse matrix as triplets.
 fn sparse(rows: usize, cols: usize, max_nnz: usize) -> impl Strategy<Value = Csr> {
-    proptest::collection::vec(
-        (0..rows, 0..cols, -5.0f64..5.0),
-        0..max_nnz.max(1),
+    proptest::collection::vec((0..rows, 0..cols, -5.0f64..5.0), 0..max_nnz.max(1)).prop_map(
+        move |entries| {
+            // Filter exact zeros so nnz counts stay meaningful.
+            let entries: Vec<_> = entries.into_iter().filter(|&(_, _, v)| v != 0.0).collect();
+            Csr::from_coo(Coo::from_entries(rows, cols, entries))
+        },
     )
-    .prop_map(move |entries| {
-        // Filter exact zeros so nnz counts stay meaningful.
-        let entries: Vec<_> = entries
-            .into_iter()
-            .filter(|&(_, _, v)| v != 0.0)
-            .collect();
-        Csr::from_coo(Coo::from_entries(rows, cols, entries))
-    })
 }
 
 fn dense(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
@@ -47,6 +46,39 @@ proptest! {
         let fast = spmm(&a, &b);
         let reference = cagnet_dense::matmul(&a.to_dense(), &b);
         prop_assert!(fast.approx_eq(&reference, 1e-10));
+    }
+
+    #[test]
+    fn parallel_spmm_is_bit_identical_to_serial(
+        (a, b) in (1usize..48, 1usize..16, 1usize..8)
+            .prop_flat_map(|(m, k, f)| (sparse(m, k, 120), dense(k, f))),
+        threads in 1usize..=8,
+    ) {
+        // Exact equality: the nnz-balanced row chunking never splits a
+        // row, so each output element keeps its serial accumulation
+        // order. Random matrices here routinely contain empty rows
+        // (the 0 x k degenerate block has its own test below).
+        let ctx = ParallelCtx::new(threads);
+        prop_assert_eq!(spmm_with(ctx, &a, &b), spmm(&a, &b));
+        let mut acc_s = Mat::filled(a.rows(), b.cols(), 0.25);
+        let mut acc_p = acc_s.clone();
+        spmm_acc(&a, &b, &mut acc_s);
+        spmm_acc_with(ctx, &a, &b, &mut acc_p);
+        prop_assert_eq!(acc_p, acc_s);
+    }
+
+    #[test]
+    fn parallel_semiring_spmm_bit_identical(
+        (a, b) in (1usize..32, 1usize..12, 1usize..6)
+            .prop_flat_map(|(m, k, f)| (sparse(m, k, 80), dense(k, f))),
+        threads in 1usize..=8,
+    ) {
+        let ctx = ParallelCtx::new(threads);
+        let mut acc_s = Mat::filled(a.rows(), b.cols(), MinPlus.zero());
+        let mut acc_p = acc_s.clone();
+        spmm_semiring_acc(&a, &b, &MinPlus, &mut acc_s);
+        spmm_semiring_acc_with(ctx, &a, &b, &MinPlus, &mut acc_p);
+        prop_assert_eq!(acc_p, acc_s);
     }
 
     #[test]
@@ -159,5 +191,21 @@ proptest! {
         prop_assert!(spmm_dcsr(&d, &b).approx_eq(&spmm(&a, &b), 1e-12));
         prop_assert_eq!(d.nnz(), a.nnz());
         prop_assert!(d.non_empty_rows() <= a.rows());
+    }
+}
+
+#[test]
+fn parallel_spmm_handles_zero_row_block() {
+    // A 0 x k block (a rank that owns no rows at high P) must be a no-op
+    // under every thread budget.
+    let a = Csr::from_coo(Coo::from_entries(0, 7, vec![]));
+    let b = Mat::filled(7, 3, 1.5);
+    for threads in 1..=8 {
+        let ctx = ParallelCtx::new(threads);
+        let got = spmm_with(ctx, &a, &b);
+        assert_eq!(got.shape(), (0, 3));
+        let mut acc = Mat::zeros(0, 3);
+        spmm_acc_with(ctx, &a, &b, &mut acc);
+        assert_eq!(acc.shape(), (0, 3));
     }
 }

@@ -98,12 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "5. served on 2D/P=9: accuracy {:.3}, {:.1}k words/rank",
         served.accuracy,
-        served
-            .reports
-            .iter()
-            .map(|r| r.comm_words())
-            .sum::<u64>() as f64
-            / (9.0 * 1000.0)
+        served.reports.iter().map(|r| r.comm_words()).sum::<u64>() as f64 / (9.0 * 1000.0)
     );
 
     // 6. Bit-for-bit agreement between the trained model and the served

@@ -51,7 +51,8 @@ fn main() {
 
     let total_reduction =
         100.0 * (1.0 - smart.total_cut_edges as f64 / random.total_cut_edges as f64);
-    let max_reduction = 100.0 * (1.0 - smart.cut_edges_max() as f64 / random.cut_edges_max() as f64);
+    let max_reduction =
+        100.0 * (1.0 - smart.cut_edges_max() as f64 / random.cut_edges_max() as f64);
 
     println!("{:<28} {:>12} {:>12}", "", "random", "partitioned");
     println!(

@@ -57,7 +57,10 @@ fn main() {
     let full_acc = full.accuracy();
     println!(
         "{:<34} {:>12.4} {:>10.3} {:>14}",
-        "full batch (paper)", full_loss, full_acc, problem.adj.nnz()
+        "full batch (paper)",
+        full_loss,
+        full_acc,
+        problem.adj.nnz()
     );
 
     let configs = [

@@ -1,0 +1,326 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion 0.5 API the workspace benches
+//! use — `Criterion`, `benchmark_group`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `black_box` and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock sampler: per benchmark it warms up, picks an iteration
+//! count targeting a fixed sample duration, takes `sample_size` samples
+//! and reports min/median/mean time per iteration plus element
+//! throughput when declared. No plots, no statistics beyond that; the
+//! point is comparable relative numbers from `cargo bench` with zero
+//! network dependencies.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared workload size used to derive throughput from measured time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (for these benches: flops) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (the group name provides the prefix).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` for the sampler-chosen number of iterations,
+    /// recording total elapsed wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SamplerConfig {
+    sample_size: usize,
+    /// Wall-clock budget a single sample aims for.
+    target_sample_time: Duration,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            sample_size: 20,
+            target_sample_time: Duration::from_millis(25),
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    cfg: SamplerConfig,
+    throughput: Option<Throughput>,
+    mut routine: F,
+) {
+    // Warmup + calibration: grow the iteration count until one sample
+    // takes a measurable fraction of the target time.
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        if b.elapsed >= cfg.target_sample_time / 10 || iters >= 1 << 24 {
+            break b.elapsed.as_secs_f64() / iters as f64;
+        }
+        iters = iters.saturating_mul(4);
+    };
+    let iters_per_sample =
+        ((cfg.target_sample_time.as_secs_f64() / per_iter.max(1e-12)) as u64).clamp(1, 1 << 24);
+
+    let mut samples: Vec<f64> = Vec::with_capacity(cfg.sample_size);
+    for _ in 0..cfg.sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+
+    let fmt_time = |secs: f64| -> String {
+        if secs < 1e-6 {
+            format!("{:.2} ns", secs * 1e9)
+        } else if secs < 1e-3 {
+            format!("{:.2} µs", secs * 1e6)
+        } else if secs < 1.0 {
+            format!("{:.2} ms", secs * 1e3)
+        } else {
+            format!("{secs:.3} s")
+        }
+    };
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {:>9.3} Melem/s", n as f64 / median / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  thrpt: {:>9.3} MiB/s",
+                n as f64 / median / (1024.0 * 1024.0)
+            )
+        }
+        None => String::new(),
+    };
+    println!(
+        "{label:<44} time: [{} {} {}]{thrpt}",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(mean)
+    );
+}
+
+/// Benchmark registry and configuration root.
+pub struct Criterion {
+    cfg: SamplerConfig,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes the harness with flags like `--bench`;
+        // any free argument is a substring filter, as with criterion.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            cfg: SamplerConfig::default(),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.cfg.sample_size = n.max(2);
+        self
+    }
+
+    /// Overall measurement budget hint; accepted for source
+    /// compatibility and mapped onto the per-sample target.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.cfg.target_sample_time = d / self.cfg.sample_size.max(1) as u32;
+        self
+    }
+
+    fn selected(&self, label: &str) -> bool {
+        match &self.filter {
+            Some(f) => label.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            cfg: None,
+            throughput: None,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, routine: F) {
+        if self.selected(name) {
+            run_one(name, self.cfg, None, routine);
+        }
+    }
+}
+
+/// A named set of benchmarks sharing throughput and sampler settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    cfg: Option<SamplerConfig>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    fn effective_cfg(&self) -> SamplerConfig {
+        self.cfg.unwrap_or(self.parent.cfg)
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let mut cfg = self.effective_cfg();
+        cfg.sample_size = n.max(2);
+        self.cfg = Some(cfg);
+        self
+    }
+
+    /// Declare the per-iteration workload for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a routine against a borrowed input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        if self.parent.selected(&label) {
+            run_one(&label, self.effective_cfg(), self.throughput, |b| {
+                routine(b, input)
+            });
+        }
+        self
+    }
+
+    /// Benchmark an input-free routine.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, routine: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        if self.parent.selected(&label) {
+            run_one(&label, self.effective_cfg(), self.throughput, routine);
+        }
+        self
+    }
+
+    /// Close the group (reporting already happened inline).
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group: either the simple form
+/// `criterion_group!(name, target, ...)` or the configured form with
+/// `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_reports_without_panicking() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(6));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(100));
+        g.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("nn", 64).to_string(), "nn/64");
+        assert_eq!(BenchmarkId::from_parameter("d16").to_string(), "d16");
+    }
+}

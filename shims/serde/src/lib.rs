@@ -1,0 +1,144 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever serializes plain structs of numbers and
+//! strings to JSON via `serde_json::to_string`, so this shim collapses
+//! serde's data model to a single trait: [`Serialize::json_write`]
+//! appends a JSON encoding to a buffer. The `derive` feature re-exports
+//! a compatible `#[derive(Serialize)]` from the vendored `serde_derive`.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// Types that can write themselves as JSON.
+pub trait Serialize {
+    /// Append this value's JSON encoding to `out`.
+    fn json_write(&self, out: &mut String);
+}
+
+macro_rules! display_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_write(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+display_impls!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+impl Serialize for f64 {
+    fn json_write(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&self.to_string());
+        } else {
+            // JSON has no NaN/Infinity; serde_json emits null.
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn json_write(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&self.to_string());
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for str {
+    fn json_write(&self, out: &mut String) {
+        out.push('"');
+        for c in self.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+impl Serialize for String {
+    fn json_write(&self, out: &mut String) {
+        self.as_str().json_write(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json_write(&self, out: &mut String) {
+        (**self).json_write(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json_write(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.json_write(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json_write(&self, out: &mut String) {
+        self.as_slice().json_write(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn json_write(&self, out: &mut String) {
+        self.as_slice().json_write(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json_write(&self, out: &mut String) {
+        match self {
+            Some(v) => v.json_write(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    fn render<T: Serialize + ?Sized>(v: &T) -> String {
+        let mut s = String::new();
+        v.json_write(&mut s);
+        s
+    }
+
+    #[test]
+    fn scalars_and_strings() {
+        assert_eq!(render(&42u64), "42");
+        assert_eq!(render(&-3i32), "-3");
+        assert_eq!(render(&true), "true");
+        assert_eq!(render(&1.5f64), "1.5");
+        assert_eq!(render(&f64::NAN), "null");
+        assert_eq!(render("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn sequences_and_options() {
+        assert_eq!(render(&vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(render::<[u32]>(&[]), "[]");
+        assert_eq!(render(&Some(7u8)), "7");
+        assert_eq!(render(&None::<u8>), "null");
+    }
+}

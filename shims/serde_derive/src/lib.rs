@@ -1,0 +1,141 @@
+//! Offline stand-in for `serde_derive`: a `#[derive(Serialize)]` that
+//! handles exactly what this workspace derives — plain, non-generic
+//! structs with named fields — by walking the raw `TokenStream` (no
+//! `syn`/`quote`, which are unavailable offline). Anything fancier
+//! (enums, generics, tuple structs, serde attributes) panics at compile
+//! time with a clear message rather than miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (the workspace shim trait) for a plain
+/// named-field struct, emitting a JSON object writer.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`, including expanded doc comments)
+    // and the visibility qualifier.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("derive(Serialize): malformed attribute: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {}
+        other => panic!("derive(Serialize) supports only structs, got {other:?}"),
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize): expected struct name, got {other:?}"),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("derive(Serialize): generic structs are not supported ({name})")
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("derive(Serialize): tuple structs are not supported ({name})")
+            }
+            Some(_) => continue,
+            None => panic!("derive(Serialize): struct {name} has no braced field block"),
+        }
+    };
+
+    let fields = parse_named_fields(body, &name);
+    let mut writes = String::new();
+    for (i, field) in fields.iter().enumerate() {
+        if i > 0 {
+            writes.push_str("out.push(',');\n");
+        }
+        writes.push_str(&format!(
+            "out.push_str(\"\\\"{field}\\\":\");\n\
+             serde::Serialize::json_write(&self.{field}, out);\n"
+        ));
+    }
+    let imp = format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn json_write(&self, out: &mut std::string::String) {{\n\
+                 out.push('{{');\n\
+                 {writes}\
+                 out.push('}}');\n\
+             }}\n\
+         }}"
+    );
+    imp.parse()
+        .expect("derive(Serialize): generated impl failed to parse")
+}
+
+/// Extract field names from the brace body of a named-field struct,
+/// skipping attributes and visibility, and scanning each type up to its
+/// top-level comma (angle-bracket depth aware, so `Map<K, V>` works).
+fn parse_named_fields(body: TokenStream, name: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Field attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    match tokens.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                        other => {
+                            panic!(
+                                "derive(Serialize): malformed field attribute in {name}: {other:?}"
+                            )
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let field = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!(
+                "derive(Serialize): {name} has unsupported field syntax (named fields only): {other:?}"
+            ),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive(Serialize): expected `:` after {name}.{field}, got {other:?}"),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(field);
+    }
+    fields
+}

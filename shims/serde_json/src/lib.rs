@@ -1,0 +1,34 @@
+//! Offline stand-in for `serde_json`: just [`to_string`], which is the
+//! only entry point the workspace uses, over the vendored `serde` shim.
+
+use serde::Serialize;
+
+/// Serialization error. The shim's writer is infallible, so this is
+/// never constructed; it exists to keep the `Result` signature
+/// source-compatible with `serde_json`.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.json_write(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn slices_serialize_as_arrays() {
+        let rows: Vec<f64> = vec![1.0, 2.5];
+        assert_eq!(super::to_string(rows.as_slice()).unwrap(), "[1,2.5]");
+    }
+}

@@ -71,7 +71,14 @@ fn activation_choice_changes_numbers_but_not_communication() {
             activation: act,
             ..Default::default()
         };
-        let r = train_distributed(&p, &gcn(), Algorithm::TwoD, 4, CostModel::summit_like(), &tc);
+        let r = train_distributed(
+            &p,
+            &gcn(),
+            Algorithm::TwoD,
+            4,
+            CostModel::summit_like(),
+            &tc,
+        );
         let words: u64 = r.reports.iter().map(|rep| rep.comm_words()).sum();
         (r.losses, words)
     };

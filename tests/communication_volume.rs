@@ -131,10 +131,7 @@ fn two_d_beats_one_d_at_scale_but_not_small_p() {
     let p = problem();
     let w1d = measured_words(&p, Algorithm::OneD, 64);
     let w2d = measured_words(&p, Algorithm::TwoD, 64);
-    assert!(
-        w2d < w1d,
-        "2D ({w2d}) should beat 1D ({w1d}) at P=64"
-    );
+    assert!(w2d < w1d, "2D ({w2d}) should beat 1D ({w1d}) at P=64");
     // And at P=4 the 2D advantage must be gone (2D moves more).
     let w1d4 = measured_words(&p, Algorithm::OneD, 4);
     let w2d4 = measured_words(&p, Algorithm::TwoD, 4);
@@ -199,10 +196,8 @@ fn modeled_epoch_time_improves_with_scale_for_2d() {
         collect_outputs: false,
         ..Default::default()
     };
-    let t4 = train_distributed(&p, &cfg, Algorithm::TwoD, 4, model.clone(), &tc)
-        .epoch_seconds(2);
-    let t16 =
-        train_distributed(&p, &cfg, Algorithm::TwoD, 16, model, &tc).epoch_seconds(2);
+    let t4 = train_distributed(&p, &cfg, Algorithm::TwoD, 4, model.clone(), &tc).epoch_seconds(2);
+    let t16 = train_distributed(&p, &cfg, Algorithm::TwoD, 16, model, &tc).epoch_seconds(2);
     assert!(
         t16 < t4,
         "modeled epoch time should drop 4->16 ranks: {t4} -> {t16}"
@@ -220,10 +215,24 @@ fn latency_bound_small_graphs_do_not_scale() {
         collect_outputs: false,
         ..Default::default()
     };
-    let t4 = train_distributed(&p, &gcn(), Algorithm::TwoD, 4, CostModel::summit_like(), &tc)
-        .epoch_seconds(2);
-    let t64 = train_distributed(&p, &gcn(), Algorithm::TwoD, 64, CostModel::summit_like(), &tc)
-        .epoch_seconds(2);
+    let t4 = train_distributed(
+        &p,
+        &gcn(),
+        Algorithm::TwoD,
+        4,
+        CostModel::summit_like(),
+        &tc,
+    )
+    .epoch_seconds(2);
+    let t64 = train_distributed(
+        &p,
+        &gcn(),
+        Algorithm::TwoD,
+        64,
+        CostModel::summit_like(),
+        &tc,
+    )
+    .epoch_seconds(2);
     assert!(
         t64 > t4,
         "tiny graph + high alpha should be latency-bound: {t4} -> {t64}"

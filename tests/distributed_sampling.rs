@@ -63,24 +63,10 @@ fn sampled_distributed_moves_fewer_sparse_flops_worth_of_words() {
         batch_fraction: 1.0,
         seed: 3,
     };
-    let (_, _, rep_full) = train_distributed_sampled(
-        &raw,
-        &problem,
-        &cfg,
-        full,
-        4,
-        CostModel::summit_like(),
-        2,
-    );
-    let (_, _, rep_capped) = train_distributed_sampled(
-        &raw,
-        &problem,
-        &cfg,
-        capped,
-        4,
-        CostModel::summit_like(),
-        2,
-    );
+    let (_, _, rep_full) =
+        train_distributed_sampled(&raw, &problem, &cfg, full, 4, CostModel::summit_like(), 2);
+    let (_, _, rep_capped) =
+        train_distributed_sampled(&raw, &problem, &cfg, capped, 4, CostModel::summit_like(), 2);
     let words = |reps: &[cagnet::comm::TimelineReport]| -> u64 {
         reps.iter().map(|r| r.comm_words()).sum()
     };

@@ -98,7 +98,14 @@ fn dropout_masks_refresh_every_epoch() {
         dropout: 0.6,
         ..Default::default()
     };
-    let r = train_distributed(&p, &gcn(), Algorithm::OneD, 4, CostModel::summit_like(), &tc);
+    let r = train_distributed(
+        &p,
+        &gcn(),
+        Algorithm::OneD,
+        4,
+        CostModel::summit_like(),
+        &tc,
+    );
     // No two consecutive losses identical (mask noise).
     for w in r.losses.windows(2) {
         assert_ne!(w[0], w[1]);

@@ -7,7 +7,13 @@ use cagnet::core::trainer::{infer_distributed, train_distributed, Algorithm, Tra
 use cagnet::core::{GcnConfig, Problem, SerialTrainer};
 use cagnet::sparse::generate::erdos_renyi;
 
-fn setup() -> (Problem, GcnConfig, Vec<cagnet::dense::Mat>, f64, cagnet::dense::Mat) {
+fn setup() -> (
+    Problem,
+    GcnConfig,
+    Vec<cagnet::dense::Mat>,
+    f64,
+    cagnet::dense::Mat,
+) {
     let g = erdos_renyi(50, 4.0, 51);
     let problem = Problem::synthetic(&g, 10, 4, 0.8, 52);
     let cfg = GcnConfig::three_layer(10, 8, 4);
@@ -81,7 +87,10 @@ fn inference_moves_fewer_words_than_an_epoch() {
     );
     let wi: u64 = inf.reports.iter().map(|r| r.comm_words()).sum();
     let wt: u64 = train.reports.iter().map(|r| r.comm_words()).sum();
-    assert!(wi < wt, "inference ({wi}) should move fewer words than an epoch ({wt})");
+    assert!(
+        wi < wt,
+        "inference ({wi}) should move fewer words than an epoch ({wt})"
+    );
     assert!(wi > 0, "inference still communicates (forward SUMMA)");
 }
 

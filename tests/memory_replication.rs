@@ -6,8 +6,8 @@
 
 use cagnet::comm::Cluster;
 use cagnet::core::dist::{
-    one5d::One5DTrainer, onedim::OneDimTrainer, threedim::ThreeDimTrainer,
-    twodim::TwoDimTrainer, StorageReport,
+    one5d::One5DTrainer, onedim::OneDimTrainer, threedim::ThreeDimTrainer, twodim::TwoDimTrainer,
+    StorageReport,
 };
 use cagnet::core::trainer::TwoDimConfig;
 use cagnet::core::{GcnConfig, Problem};
@@ -63,8 +63,7 @@ fn two_d_memory_scales_with_p() {
     let run = |p: usize| -> StorageReport {
         Cluster::new(p)
             .run(|ctx| {
-                let mut t =
-                    TwoDimTrainer::setup(ctx, &prob, &gcn(), TwoDimConfig::default());
+                let mut t = TwoDimTrainer::setup(ctx, &prob, &gcn(), TwoDimConfig::default());
                 t.forward(ctx);
                 t.storage_words()
             })

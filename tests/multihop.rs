@@ -83,10 +83,7 @@ fn two_hop_adjacency_unlocks_two_hop_signal() {
         "1-hop should be near chance on a 2-hop task, got {acc_one}"
     );
     // 2-hop sees the signal.
-    assert!(
-        acc_two > 0.9,
-        "2-hop should solve the task, got {acc_two}"
-    );
+    assert!(acc_two > 0.9, "2-hop should solve the task, got {acc_two}");
 }
 
 #[test]

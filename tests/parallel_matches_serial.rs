@@ -3,9 +3,9 @@
 //! epochs as the serial implementation, but also output the same
 //! embeddings up to floating point accumulation errors".
 
+use cagnet::comm::CostModel;
 use cagnet::core::trainer::{train_distributed, Algorithm, TrainConfig};
 use cagnet::core::{GcnConfig, Problem, SerialTrainer};
-use cagnet::comm::CostModel;
 use cagnet::sparse::generate::{erdos_renyi, rmat_symmetric, RmatParams};
 
 const EPOCHS: usize = 5;
@@ -43,18 +43,10 @@ fn check(algo: Algorithm, p: usize, problem: &Problem) {
     }
     for (l, (sw, dw)) in s_weights.iter().zip(&r.weights).enumerate() {
         let d = sw.max_abs_diff(dw);
-        assert!(
-            d < TOL,
-            "{} P={p}: weight {l} differs by {d}",
-            algo.name()
-        );
+        assert!(d < TOL, "{} P={p}: weight {l} differs by {d}", algo.name());
     }
     let d = s_emb.max_abs_diff(&r.embeddings);
-    assert!(
-        d < TOL,
-        "{} P={p}: embeddings differ by {d}",
-        algo.name()
-    );
+    assert!(d < TOL, "{} P={p}: embeddings differ by {d}", algo.name());
 }
 
 #[test]
@@ -126,12 +118,54 @@ fn uneven_dimensions_are_handled() {
         };
         let r = train_distributed(&problem, &cfg, algo, ranks, CostModel::summit_like(), &tc);
         for (a, b) in s_losses.iter().zip(&r.losses) {
-            assert!(
-                (a - b).abs() < TOL,
-                "{} P={ranks}: {a} vs {b}",
+            assert!((a - b).abs() < TOL, "{} P={ranks}: {a} vs {b}", algo.name());
+        }
+    }
+}
+
+#[test]
+fn intra_rank_threads_are_bit_identical() {
+    // The intra-rank parallel kernels are deterministic by construction:
+    // running every local GEMM/SpMM on 4 threads must reproduce the
+    // 1-thread run bit for bit — exact equality, not a tolerance.
+    let p = problem(59, 21);
+    for (algo, ranks) in [
+        (Algorithm::OneD, 3),
+        (Algorithm::OneDRow, 3),
+        (Algorithm::One5D { c: 2 }, 4),
+        (Algorithm::TwoD, 4),
+        (Algorithm::ThreeD, 8),
+    ] {
+        let run = |threads: usize| {
+            let tc = TrainConfig {
+                epochs: 4,
+                threads_per_rank: threads,
+                ..Default::default()
+            };
+            train_distributed(&p, &gcn(), algo, ranks, CostModel::summit_like(), &tc)
+        };
+        let serial = run(1);
+        let threaded = run(4);
+        assert_eq!(
+            serial.losses,
+            threaded.losses,
+            "{}: losses drift with threads",
+            algo.name()
+        );
+        for (l, (sw, tw)) in serial.weights.iter().zip(&threaded.weights).enumerate() {
+            assert_eq!(
+                sw.max_abs_diff(tw),
+                0.0,
+                "{}: weight {l} drifts with threads",
                 algo.name()
             );
         }
+        assert_eq!(
+            serial.embeddings.max_abs_diff(&threaded.embeddings),
+            0.0,
+            "{}: embeddings drift with threads",
+            algo.name()
+        );
     }
 }
 

@@ -11,9 +11,7 @@ use proptest::prelude::*;
 fn run_case_unit(
     n: usize,
     degree: f64,
-    f0: usize,
-    hidden: usize,
-    classes: usize,
+    (f0, hidden, classes): (usize, usize, usize),
     seed: u64,
     algo: Algorithm,
     p: usize,
@@ -67,7 +65,7 @@ proptest! {
         seed in 0u64..1000,
         p in 1usize..8,
     ) {
-        run_case_unit(n, degree, f0, hidden, classes, seed, Algorithm::OneD, p)?;
+        run_case_unit(n, degree, (f0, hidden, classes), seed, Algorithm::OneD, p)?;
     }
 
     #[test]
@@ -81,7 +79,7 @@ proptest! {
         p1 in 1usize..4,
         c in 1usize..4,
     ) {
-        run_case_unit(n, degree, f0, hidden, classes, seed,
+        run_case_unit(n, degree, (f0, hidden, classes), seed,
                       Algorithm::One5D { c }, p1 * c)?;
     }
 
@@ -95,7 +93,7 @@ proptest! {
         seed in 0u64..1000,
         q in 1usize..4,
     ) {
-        run_case_unit(n, degree, f0, hidden, classes, seed, Algorithm::TwoD, q * q)?;
+        run_case_unit(n, degree, (f0, hidden, classes), seed, Algorithm::TwoD, q * q)?;
     }
 
     #[test]
@@ -108,6 +106,6 @@ proptest! {
         seed in 0u64..1000,
         q in 1usize..3,
     ) {
-        run_case_unit(n, degree, f0, hidden, classes, seed, Algorithm::ThreeD, q * q * q)?;
+        run_case_unit(n, degree, (f0, hidden, classes), seed, Algorithm::ThreeD, q * q * q)?;
     }
 }

@@ -24,8 +24,22 @@ fn distributed_training_is_bitwise_deterministic_across_runs() {
         epochs: 4,
         ..Default::default()
     };
-    let r1 = train_distributed(&p, &gcn(), Algorithm::TwoD, 4, CostModel::summit_like(), &tc);
-    let r2 = train_distributed(&p, &gcn(), Algorithm::TwoD, 4, CostModel::summit_like(), &tc);
+    let r1 = train_distributed(
+        &p,
+        &gcn(),
+        Algorithm::TwoD,
+        4,
+        CostModel::summit_like(),
+        &tc,
+    );
+    let r2 = train_distributed(
+        &p,
+        &gcn(),
+        Algorithm::TwoD,
+        4,
+        CostModel::summit_like(),
+        &tc,
+    );
     // Bitwise equality: same summation orders in a deterministic runtime.
     assert_eq!(r1.losses, r2.losses);
     for (a, b) in r1.weights.iter().zip(&r2.weights) {
@@ -47,8 +61,7 @@ fn weights_are_replicated_identically_across_ranks() {
     // a run where each rank hashes its weights into a scalar allreduce.
     let p = problem(40, 2);
     let results = Cluster::new(4).run(|ctx| {
-        let mut tr =
-            cagnet::core::dist::onedim::OneDimTrainer::setup(ctx, &p, &gcn());
+        let mut tr = cagnet::core::dist::onedim::OneDimTrainer::setup(ctx, &p, &gcn());
         for _ in 0..3 {
             tr.epoch(ctx);
         }
@@ -108,7 +121,14 @@ fn single_vertex_per_rank_extreme() {
         epochs: 2,
         ..Default::default()
     };
-    let r = train_distributed(&p, &gcn(), Algorithm::OneD, 8, CostModel::summit_like(), &tc);
+    let r = train_distributed(
+        &p,
+        &gcn(),
+        Algorithm::OneD,
+        8,
+        CostModel::summit_like(),
+        &tc,
+    );
     assert!(r.losses.iter().all(|l| l.is_finite()));
 }
 
@@ -127,7 +147,14 @@ fn unsupported_geometries_are_rejected() {
 fn wrong_geometry_panics() {
     let p = problem(30, 7);
     let tc = TrainConfig::default();
-    let _ = train_distributed(&p, &gcn(), Algorithm::TwoD, 6, CostModel::summit_like(), &tc);
+    let _ = train_distributed(
+        &p,
+        &gcn(),
+        Algorithm::TwoD,
+        6,
+        CostModel::summit_like(),
+        &tc,
+    );
 }
 
 #[test]
@@ -138,9 +165,7 @@ fn misordered_collectives_are_detected() {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         cluster.run(|ctx| {
             if ctx.rank == 0 {
-                let _ = ctx
-                    .world
-                    .bcast(0, Some(Mat::zeros(2, 2)), Cat::DenseComm);
+                let _ = ctx.world.bcast(0, Some(Mat::zeros(2, 2)), Cat::DenseComm);
             } else {
                 let _ = ctx.world.allreduce_scalar(1.0, Cat::DenseComm);
             }
@@ -156,8 +181,22 @@ fn cost_model_variants_change_time_not_results() {
         epochs: 3,
         ..Default::default()
     };
-    let fast = train_distributed(&p, &gcn(), Algorithm::TwoD, 4, CostModel::free_network(), &tc);
-    let slow = train_distributed(&p, &gcn(), Algorithm::TwoD, 4, CostModel::slow_network(), &tc);
+    let fast = train_distributed(
+        &p,
+        &gcn(),
+        Algorithm::TwoD,
+        4,
+        CostModel::free_network(),
+        &tc,
+    );
+    let slow = train_distributed(
+        &p,
+        &gcn(),
+        Algorithm::TwoD,
+        4,
+        CostModel::slow_network(),
+        &tc,
+    );
     // Numerics identical under any cost model...
     assert_eq!(fast.losses, slow.losses);
     // ...but the modeled clocks differ.
@@ -175,8 +214,22 @@ fn epoch_counters_reset_between_runs() {
         collect_outputs: false,
         ..Default::default()
     };
-    let a = train_distributed(&p, &gcn(), Algorithm::OneD, 3, CostModel::summit_like(), &tc);
-    let b = train_distributed(&p, &gcn(), Algorithm::OneD, 3, CostModel::summit_like(), &tc);
+    let a = train_distributed(
+        &p,
+        &gcn(),
+        Algorithm::OneD,
+        3,
+        CostModel::summit_like(),
+        &tc,
+    );
+    let b = train_distributed(
+        &p,
+        &gcn(),
+        Algorithm::OneD,
+        3,
+        CostModel::summit_like(),
+        &tc,
+    );
     for (ra, rb) in a.reports.iter().zip(&b.reports) {
         assert_eq!(ra.comm_words(), rb.comm_words());
         assert_eq!(ra.clock, rb.clock);
