@@ -166,6 +166,7 @@ pub fn measure_epochs(
 pub fn emit_json<T: Serialize>(rows: &[T]) {
     println!(
         "\nJSON: {}",
+        // lint:allow(unwrap): the serde shim only errors on non-string map keys
         serde_json::to_string(rows).expect("serialize")
     );
 }

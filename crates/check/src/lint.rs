@@ -1,0 +1,433 @@
+//! The repo's custom source-level lint pass, run via
+//! `cargo run -p xtask -- lint`.
+//!
+//! Plain token/line scanning over `crates/*/src` — no `syn`, no rustc
+//! plumbing — enforcing three invariants the compiler cannot:
+//!
+//! * **`unwrap`**: no `.unwrap()` / `.expect(` in library code outside
+//!   `#[cfg(test)]` modules and `src/bin/` entrypoints. A panic in a
+//!   rank thread poisons the collective state for every peer, so library
+//!   code must fail with a named diagnostic (or carry an explicit
+//!   `lint:allow(unwrap)` marker with a reason).
+//! * **`serial-kernel`**: no direct serial `gemm`/`spmm` calls in
+//!   `crates/core/src/dist/` where a `_with` [`ParallelCtx`] variant
+//!   exists — otherwise a trainer silently ignores the per-rank thread
+//!   budget and the modeled compute times drift from the executed work.
+//! * **`uncategorized-collective`**: every collective call site in
+//!   `crates/core/src/` must name a `Cat::` cost category in the same
+//!   call, so the α–β accounting behind every figure cannot drift.
+//!
+//! Suppress a finding by appending
+//! `// lint:allow(<rule>): <reason>` on the offending line or the line
+//! above it.
+//!
+//! [`ParallelCtx`]: https://docs.rs/cagnet-parallel
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Which invariant a finding violates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// `.unwrap()` / `.expect(` in library code outside tests.
+    UnwrapInLib,
+    /// Serial kernel call in `dist/` where a `_with` variant exists.
+    SerialKernelInDist,
+    /// Collective call without a `Cat::` cost category.
+    UncategorizedCollective,
+}
+
+impl Rule {
+    /// The marker name used in `lint:allow(<name>)` suppressions.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UnwrapInLib => "unwrap",
+            Rule::SerialKernelInDist => "serial-kernel",
+            Rule::UncategorizedCollective => "uncategorized-collective",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// File the finding is in (as passed to the linter).
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Violated rule.
+    pub rule: Rule,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule.name(),
+            self.excerpt
+        )
+    }
+}
+
+/// Serial kernels that have `_with` ParallelCtx variants; calling these
+/// bare inside `dist/` bypasses the per-rank thread budget.
+const SERIAL_KERNELS: [&str; 8] = [
+    "matmul",
+    "matmul_acc",
+    "matmul_tn",
+    "matmul_tn_acc",
+    "matmul_nt",
+    "spmm",
+    "spmm_acc",
+    "spmm_semiring_acc",
+];
+
+/// Collective methods that take a `Cat` cost category; `barrier` is
+/// exempt (it moves no payload words).
+const CATEGORIZED_COLLECTIVES: [&str; 9] = [
+    ".bcast(",
+    ".allgather(",
+    ".allreduce_mat(",
+    ".allreduce_scalar(",
+    ".reduce_scatter_rows(",
+    ".alltoall(",
+    ".gather(",
+    ".scatter(",
+    ".sendrecv(",
+];
+
+/// Strip line comments and blank out string-literal contents so needle
+/// matching never fires on comments, doc text, or message strings.
+fn sanitize(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_string = false;
+    let mut escaped = false;
+    while let Some(c) = chars.next() {
+        if in_string {
+            if escaped {
+                escaped = false;
+                out.push(' ');
+            } else if c == '\\' {
+                escaped = true;
+                out.push(' ');
+            } else if c == '"' {
+                in_string = false;
+                out.push('"');
+            } else {
+                out.push(' ');
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push('"');
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Does `line` (raw, comments included) carry a suppression marker for
+/// `rule`?
+fn has_allow(line: &str, rule: Rule) -> bool {
+    line.contains(&format!("lint:allow({})", rule.name()))
+}
+
+/// Find a bare call of `name(` in sanitized code: the character before
+/// the name must not be part of an identifier (so `charge_spmm(` does
+/// not match `spmm`), and the name must be followed directly by `(`
+/// (so `spmm_with(` does not match either).
+fn finds_bare_call(code: &str, name: &str) -> bool {
+    let needle = format!("{name}(");
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(&needle) {
+        let at = from + pos;
+        let bounded = at == 0 || {
+            let prev = bytes[at - 1] as char;
+            !(prev.is_ascii_alphanumeric() || prev == '_')
+        };
+        if bounded {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+/// Scan forward from the `(` opening a call for a balanced close,
+/// checking whether the call text mentions `Cat::`. `lines` are the
+/// sanitized lines of the file; the call starts in `lines[start]` at
+/// byte `open`.
+fn call_mentions_cat(lines: &[String], start: usize, open: usize) -> bool {
+    let mut depth = 0i32;
+    let mut text = String::new();
+    for (i, line) in lines.iter().enumerate().skip(start).take(30) {
+        let slice = if i == start {
+            &line[open..]
+        } else {
+            line.as_str()
+        };
+        for c in slice.chars() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return text.contains("Cat::");
+                    }
+                }
+                _ => {}
+            }
+            text.push(c);
+        }
+        text.push('\n');
+    }
+    // Unbalanced within the window: be conservative and accept.
+    true
+}
+
+/// Lint a single file's content. `path` is used for scoping decisions
+/// (library vs binary, `dist/`, `core/src/`) and for reporting.
+pub fn lint_file(path: &Path, content: &str) -> Vec<Violation> {
+    let norm = path.to_string_lossy().replace('\\', "/");
+    if !norm.ends_with(".rs") {
+        return Vec::new();
+    }
+    let is_bin = norm.contains("/src/bin/");
+    let is_dist = norm.contains("core/src/dist/");
+    let is_core = norm.contains("core/src/");
+
+    let raw: Vec<&str> = content.lines().collect();
+    let sanitized: Vec<String> = raw.iter().map(|l| sanitize(l)).collect();
+
+    // Mark lines belonging to #[cfg(test)] items (trailing test mods).
+    let mut in_test = vec![false; raw.len()];
+    let mut i = 0;
+    while i < raw.len() {
+        if raw[i].trim_start().starts_with("#[cfg(test)]") {
+            // Skip until the braces opened after this attribute close.
+            let mut depth = 0i32;
+            let mut opened = false;
+            let mut j = i;
+            while j < raw.len() {
+                in_test[j] = true;
+                for c in sanitized[j].chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+
+    let mut out = Vec::new();
+    let allowed = |idx: usize, rule: Rule| {
+        has_allow(raw[idx], rule) || (idx > 0 && has_allow(raw[idx - 1], rule))
+    };
+    for (idx, code) in sanitized.iter().enumerate() {
+        if in_test[idx] {
+            continue;
+        }
+        let report = |rule: Rule| Violation {
+            file: path.to_path_buf(),
+            line: idx + 1,
+            rule,
+            excerpt: raw[idx].trim().to_string(),
+        };
+
+        // Rule 1: unwrap/expect in library code.
+        if !is_bin
+            && (code.contains(".unwrap()") || code.contains(".expect("))
+            && !allowed(idx, Rule::UnwrapInLib)
+        {
+            out.push(report(Rule::UnwrapInLib));
+        }
+
+        // Rule 2: serial kernels in dist/.
+        if is_dist
+            && SERIAL_KERNELS.iter().any(|k| finds_bare_call(code, k))
+            && !allowed(idx, Rule::SerialKernelInDist)
+        {
+            out.push(report(Rule::SerialKernelInDist));
+        }
+
+        // Rule 3: collectives must carry a Cat:: category.
+        if is_core && !allowed(idx, Rule::UncategorizedCollective) {
+            for needle in CATEGORIZED_COLLECTIVES {
+                let mut from = 0;
+                while let Some(pos) = code[from..].find(needle) {
+                    let open = from + pos + needle.len() - 1;
+                    if !call_mentions_cat(&sanitized, idx, open) {
+                        out.push(report(Rule::UncategorizedCollective));
+                    }
+                    from = from + pos + needle.len();
+                }
+            }
+        }
+    }
+    out
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk(&path, files)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every `crates/*/src/**/*.rs` under `repo_root`. Paths in the
+/// returned violations are relative to `repo_root`.
+pub fn lint_tree(repo_root: &Path) -> io::Result<Vec<Violation>> {
+    let crates_dir = repo_root.join("crates");
+    let mut files = Vec::new();
+    for entry in fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            walk(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for file in files {
+        let content = fs::read_to_string(&file)?;
+        let rel = file.strip_prefix(repo_root).unwrap_or(&file).to_path_buf();
+        out.extend(lint_file(&rel, &content));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, content: &str) -> Vec<Violation> {
+        lint_file(Path::new(path), content)
+    }
+
+    const LIB: &str = "crates/foo/src/lib.rs";
+
+    #[test]
+    fn flags_unwrap_in_lib() {
+        let v = lint(LIB, "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::UnwrapInLib);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn flags_expect_in_lib() {
+        let v = lint(LIB, "let g = m.lock().expect(\"poisoned\");\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::UnwrapInLib);
+    }
+
+    #[test]
+    fn allow_marker_suppresses() {
+        let same = "let x = o.unwrap(); // lint:allow(unwrap): infallible here\n";
+        assert!(lint(LIB, same).is_empty());
+        let above = "// lint:allow(unwrap): checked by caller\nlet x = o.unwrap();\n";
+        assert!(lint(LIB, above).is_empty());
+    }
+
+    #[test]
+    fn test_mod_is_exempt() {
+        let src = "fn lib_code() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(lint(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn code_after_test_mod_is_linted() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let v = lint(LIB, src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 6);
+    }
+
+    #[test]
+    fn bins_are_exempt_from_unwrap() {
+        assert!(lint(
+            "crates/bench/src/bin/runner.rs",
+            "let p: usize = arg.parse().unwrap();\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_count() {
+        assert!(lint(LIB, "// don't .unwrap() in lib code\n").is_empty());
+        assert!(lint(LIB, "let s = \"never .unwrap() it\";\n").is_empty());
+        assert!(lint(LIB, "/// docs about .expect( behavior\n").is_empty());
+    }
+
+    #[test]
+    fn flags_serial_kernel_in_dist() {
+        let path = "crates/core/src/dist/onedim.rs";
+        let v = lint(path, "let z = matmul(&t, &w);\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::SerialKernelInDist);
+        // _with variants and prefixed names are fine.
+        assert!(lint(path, "let z = matmul_with(ctx.parallel(), &t, &w);\n").is_empty());
+        assert!(lint(path, "spmm_acc_with(ctx.parallel(), &a, &h, &mut t);\n").is_empty());
+        assert!(lint(path, "ctx.charge_spmm(a.nnz(), a.rows(), f);\n").is_empty());
+    }
+
+    #[test]
+    fn serial_kernel_outside_dist_is_fine() {
+        assert!(lint("crates/core/src/serial.rs", "let z = matmul(&t, &w);\n").is_empty());
+    }
+
+    #[test]
+    fn flags_uncategorized_collective() {
+        let path = "crates/core/src/dist/onedim.rs";
+        let v = lint(path, "let hj = ctx.world.bcast(j, payload);\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::UncategorizedCollective);
+    }
+
+    #[test]
+    fn categorized_collective_passes_across_lines() {
+        let path = "crates/core/src/dist/onedim.rs";
+        let src = "let hj = ctx.world.bcast(\n    j,\n    payload,\n    Cat::DenseComm,\n);\n";
+        assert!(lint(path, src).is_empty());
+        assert!(lint(path, "ctx.world.allreduce_scalar(x, Cat::DenseComm);\n").is_empty());
+    }
+
+    #[test]
+    fn barrier_needs_no_category() {
+        assert!(lint("crates/core/src/dist/onedim.rs", "ctx.world.barrier();\n").is_empty());
+    }
+
+    #[test]
+    fn collectives_outside_core_are_fine() {
+        assert!(lint("crates/comm/src/comm.rs", "self.bcast(root, data);\n").is_empty());
+    }
+}

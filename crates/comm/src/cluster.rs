@@ -7,14 +7,23 @@
 //! process per GPU on Summit.
 
 use std::cell::RefCell;
+use std::panic::AssertUnwindSafe;
 use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Duration;
 
 use crate::comm::{Communicator, Registry};
 use crate::cost::{Cat, CostModel};
+use crate::diag::FirstPanic;
 use crate::timeline::{Meter, Timeline, TimelineReport};
+use cagnet_check::waitgraph::{deadlock_report, is_quiescent_deadlock, RankPhase, RankSnapshot};
+use cagnet_check::CheckMode;
 use cagnet_parallel::ParallelCtx;
+
+/// Watchdog poll period; a deadlock must hold across
+/// [`STABLE_POLLS`] consecutive polls before it is declared.
+const WATCHDOG_TICK: Duration = Duration::from_millis(25);
+const STABLE_POLLS: usize = 3;
 
 /// Per-rank execution context handed to the rank closure.
 pub struct Ctx {
@@ -115,11 +124,14 @@ pub struct Cluster {
     model: Arc<CostModel>,
     timeout: Duration,
     threads_per_rank: usize,
+    check: CheckMode,
 }
 
 impl Cluster {
     /// A cluster of `size` ranks with the default (Summit-like) cost model
-    /// and a serial (1-thread) per-rank compute budget.
+    /// and a serial (1-thread) per-rank compute budget. Collective
+    /// verification defaults to the `CAGNET_CHECK` environment variable
+    /// (see [`CheckMode::from_env`]); override with [`Cluster::with_check`].
     pub fn new(size: usize) -> Self {
         assert!(size > 0, "cluster needs at least one rank");
         Cluster {
@@ -127,7 +139,17 @@ impl Cluster {
             model: Arc::new(CostModel::summit_like()),
             timeout: Duration::from_secs(120),
             threads_per_rank: 1,
+            check: CheckMode::from_env(),
         }
+    }
+
+    /// Enable or disable collective verification (fingerprint matching on
+    /// every collective plus the deadlock watchdog). Checking never
+    /// changes modeled results: timelines and traces are bit-identical
+    /// with it on and off.
+    pub fn with_check(mut self, check: CheckMode) -> Self {
+        self.check = check;
+        self
     }
 
     /// Use a specific cost model. Call before
@@ -157,14 +179,16 @@ impl Cluster {
     /// indexed by rank.
     ///
     /// # Panics
-    /// Propagates the first rank panic (including collective-deadlock
-    /// detection panics).
+    /// On any rank failure, panics with the **first** rank's panic —
+    /// naming the rank and the collective it was in — rather than a
+    /// cascade of follow-on errors from its peers.
     pub fn run<R, F>(&self, f: F) -> Vec<(R, TimelineReport)>
     where
         R: Send,
         F: Fn(&mut Ctx) -> R + Send + Sync,
     {
-        let registry = Arc::new(Registry::new(self.timeout));
+        let registry = Arc::new(Registry::new(self.timeout).with_check(self.check));
+        registry.diag.init(self.size);
         let world_inner = registry.fresh_world(self.size);
         let size = self.size;
         let model = if self.threads_per_rank == self.model.threads_per_rank {
@@ -178,6 +202,13 @@ impl Cluster {
         let f = &f;
 
         std::thread::scope(|scope| {
+            // The watchdog polls rank states and declares quiescent
+            // deadlock (every rank done or parked, no rendezvous
+            // completable) long before the collective timeout would fire.
+            if self.check.is_on() {
+                let registry = registry.clone();
+                scope.spawn(move || watchdog(&registry));
+            }
             let mut handles = Vec::with_capacity(size);
             for rank in 0..size {
                 let registry = registry.clone();
@@ -188,8 +219,13 @@ impl Cluster {
                         model,
                         timeline: Timeline::new(),
                     }));
-                    let world =
-                        Communicator::new_world(registry, world_inner, size, rank, meter.clone());
+                    let world = Communicator::new_world(
+                        registry.clone(),
+                        world_inner,
+                        size,
+                        rank,
+                        meter.clone(),
+                    );
                     let mut ctx = Ctx {
                         rank,
                         size,
@@ -197,19 +233,104 @@ impl Cluster {
                         parallel,
                         meter: meter.clone(),
                     };
-                    let out = f(&mut ctx);
-                    let report = meter.borrow().timeline.report();
-                    (out, report)
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+                    match result {
+                        Ok(out) => {
+                            registry.diag.set_phase(rank, RankPhase::Done);
+                            let report = meter.borrow().timeline.report();
+                            (out, report)
+                        }
+                        Err(payload) => {
+                            // Record which rank failed first and during
+                            // which collective, raise the abort flag so
+                            // peers stop within one wait tick, then let
+                            // the panic continue unwinding.
+                            let during = registry.diag.last_collective_label(rank);
+                            let message = panic_message(payload.as_ref());
+                            registry.diag.record_first_panic(FirstPanic {
+                                rank,
+                                during: during.clone(),
+                                message: message.clone(),
+                            });
+                            registry.diag.set_phase(rank, RankPhase::Panicked);
+                            registry
+                                .diag
+                                .set_abort(format!("rank {rank} panicked during {during}"));
+                            std::panic::resume_unwind(payload)
+                        }
+                    }
                 }));
             }
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(v) => v,
-                    Err(e) => std::panic::resume_unwind(e),
-                })
-                .collect()
+            let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+            let mut out = Vec::with_capacity(size);
+            let mut first_err = None;
+            for j in joined {
+                match j {
+                    Ok(v) => out.push(v),
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                }
+            }
+            if let Some(e) = first_err {
+                // Prefer the recorded first failure: one clear error that
+                // names the offending rank and collective (and embeds the
+                // original panic message) instead of whichever follow-on
+                // abort happened to be joined first.
+                match registry.diag.first_panic_render() {
+                    Some(msg) => panic!("{msg}"),
+                    None => std::panic::resume_unwind(e),
+                }
+            }
+            out
         })
+    }
+}
+
+/// Extract a readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        match payload.downcast_ref::<String>() {
+            Some(s) => s.clone(),
+            None => "(non-string panic payload)".to_string(),
+        }
+    }
+}
+
+/// Deadlock watchdog: exits once every rank is done or panicked (or the
+/// run is already aborting); raises the abort flag with a full
+/// wait-for-graph report when the rank states show a quiescent deadlock
+/// stable across [`STABLE_POLLS`] polls.
+fn watchdog(registry: &Registry) {
+    let mut stable = 0usize;
+    let mut last: Option<Vec<RankSnapshot>> = None;
+    loop {
+        std::thread::sleep(WATCHDOG_TICK);
+        if registry.diag.abort_message().is_some() {
+            return;
+        }
+        let snap = registry.diag.snapshot();
+        if snap
+            .iter()
+            .all(|s| matches!(s.phase, RankPhase::Done | RankPhase::Panicked))
+        {
+            return;
+        }
+        if is_quiescent_deadlock(&snap) && last.as_ref() == Some(&snap) {
+            stable += 1;
+            if stable >= STABLE_POLLS {
+                let report = deadlock_report(&snap, &registry.diag.histories());
+                registry.diag.set_abort(report);
+                return;
+            }
+        } else {
+            stable = 0;
+        }
+        last = Some(snap);
     }
 }
 

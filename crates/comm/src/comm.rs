@@ -19,18 +19,26 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use crate::cost::{Cat, CommWords, CostModel};
+use crate::diag::Diagnostics;
 use crate::timeline::Meter;
+use cagnet_check::fingerprint::{self, CollectiveKind, Fingerprint, Shape};
+use cagnet_check::waitgraph::{deadlock_report, HistoryEntry, SlotId, WaitSlot};
+use cagnet_check::CheckMode;
 use cagnet_dense::Mat;
 use cagnet_sparse::partition::block_range;
 
 type Payload = Arc<dyn Any + Send + Sync>;
 
+/// Poll granularity of blocked collective waits: how quickly a parked
+/// rank observes the run-wide abort flag.
+const WAIT_TICK: Duration = Duration::from_millis(25);
+
 struct CallSlot {
-    deposits: Vec<Option<(f64, Payload)>>,
+    deposits: Vec<Option<(f64, Option<Fingerprint>, Payload)>>,
     arrived: usize,
     consumed: usize,
 }
@@ -62,16 +70,29 @@ pub struct Registry {
     /// How long a rank waits at a collective before declaring the program
     /// deadlocked (collective order mismatch across ranks).
     pub timeout: Duration,
+    /// Whether collective fingerprint verification is enabled.
+    pub(crate) check: CheckMode,
+    /// Run-wide rank states, histories, first-panic record, abort flag.
+    pub(crate) diag: Diagnostics,
 }
 
 impl Registry {
-    /// New registry; `timeout` bounds collective waits.
+    /// New registry; `timeout` bounds collective waits. Verification is
+    /// off; see [`Registry::with_check`].
     pub fn new(timeout: Duration) -> Self {
         Registry {
             comms: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             timeout,
+            check: CheckMode::Off,
+            diag: Diagnostics::default(),
         }
+    }
+
+    /// Enable or disable collective fingerprint verification.
+    pub fn with_check(mut self, check: CheckMode) -> Self {
+        self.check = check;
+        self
     }
 
     pub(crate) fn fresh_world(&self, size: usize) -> Arc<CommInner> {
@@ -82,7 +103,9 @@ impl Registry {
     }
 
     fn get_or_create(&self, key: (u64, u64, u64), size: usize) -> Arc<CommInner> {
-        let mut comms = self.comms.lock().expect("comm registry mutex poisoned");
+        // The table stays consistent across a poisoning panic (plain
+        // entry/insert), so recover the guard rather than cascading.
+        let mut comms = self.comms.lock().unwrap_or_else(PoisonError::into_inner);
         comms
             .entry(key)
             .or_insert_with(|| {
@@ -153,16 +176,100 @@ impl Communicator {
         s
     }
 
-    /// Core rendezvous: deposit `payload`, wait for all members, return all
-    /// deposits (in member order) and the maximum entry clock.
-    fn exchange_raw(&self, payload: Payload) -> (Vec<Payload>, f64) {
+    /// This rank's world rank.
+    fn world_rank(&self) -> usize {
+        self.members[self.my_idx]
+    }
+
+    /// Build this collective's fingerprint when verification is on.
+    /// `root`/`partner` are member indices and are translated to world
+    /// ranks so diagnostics stay meaningful across sub-communicators.
+    fn fingerprint(
+        &self,
+        kind: CollectiveKind,
+        root: Option<usize>,
+        partner: Option<usize>,
+        dtype: &'static str,
+        shape: Shape,
+    ) -> Option<Fingerprint> {
+        self.registry.check.is_on().then(|| Fingerprint {
+            kind,
+            root: root.map(|i| self.members[i]),
+            partner: partner.map(|i| self.members[i]),
+            dtype,
+            shape,
+        })
+    }
+
+    /// Abort this rank because a peer failed inside a collective
+    /// (observed as a poisoned rendezvous mutex). Names the rank and
+    /// collective that panicked first instead of cascading PoisonErrors.
+    fn peer_failure(&self, kind: CollectiveKind, seq: u64) -> ! {
+        let why = self
+            .registry
+            .diag
+            .first_panic_render()
+            .unwrap_or_else(|| "a peer rank panicked inside a collective".to_string());
+        panic!(
+            "rank {} aborting {kind} at comm {} seq {seq}: {why}",
+            self.world_rank(),
+            self.inner.id
+        )
+    }
+
+    fn lock_slots(&self, kind: CollectiveKind, seq: u64) -> MutexGuard<'_, HashMap<u64, CallSlot>> {
+        match self.inner.slots.lock() {
+            Ok(guard) => guard,
+            Err(_) => self.peer_failure(kind, seq),
+        }
+    }
+
+    /// Core rendezvous: deposit `payload` (with this rank's collective
+    /// fingerprint when checking), wait for all members, verify that
+    /// everyone entered the same collective, and return all deposits (in
+    /// member order) plus the maximum entry clock.
+    ///
+    /// Fingerprints ride along with the payload deposits, so checked mode
+    /// adds no synchronization and charges no modeled cost — timelines
+    /// are bit-identical with checking on and off.
+    fn exchange_raw(
+        &self,
+        kind: CollectiveKind,
+        fp: Option<Fingerprint>,
+        payload: Payload,
+    ) -> (Vec<Payload>, f64) {
         let size = self.size();
         let entry = self.meter.borrow().timeline.clock();
         if size == 1 {
             return (vec![payload], entry);
         }
         let seq = self.next_seq();
-        let mut slots = self.inner.slots.lock().expect("comm slot mutex poisoned");
+        let slot_id = SlotId {
+            comm: self.inner.id,
+            seq,
+        };
+        let diag = &self.registry.diag;
+        let my_world = self.world_rank();
+        diag.record_history(
+            my_world,
+            HistoryEntry {
+                slot: slot_id,
+                kind,
+                clock: entry,
+            },
+        );
+        // Register the wait BEFORE depositing: the watchdog must never
+        // observe a deposit from a rank it still considers running, or a
+        // rendezvous one arrival short could be misread as stuck.
+        let _wait = diag.enter_wait(
+            my_world,
+            WaitSlot {
+                slot: slot_id,
+                kind,
+                members: self.members.as_ref().clone(),
+            },
+        );
+        let mut slots = self.lock_slots(kind, seq);
         {
             let slot = slots.entry(seq).or_insert_with(|| CallSlot {
                 deposits: vec![None; size],
@@ -174,54 +281,91 @@ impl Communicator {
                 "rank deposited twice at comm {} seq {seq} — collective misuse",
                 self.inner.id
             );
-            slot.deposits[self.my_idx] = Some((entry, payload));
+            slot.deposits[self.my_idx] = Some((entry, fp, payload));
             slot.arrived += 1;
             if slot.arrived == size {
                 self.inner.cv.notify_all();
             }
         }
-        // Wait for the full group.
+        // Wait for the full group, waking every WAIT_TICK to observe the
+        // run-wide abort flag (set when a peer panics or the watchdog
+        // declares deadlock) so one failure stops the whole run quickly.
+        let mut waited = Duration::ZERO;
         loop {
             let ready = slots.get(&seq).map(|s| s.arrived == size).unwrap_or(false);
             if ready {
                 break;
             }
-            let (guard, result) = self
-                .inner
-                .cv
-                .wait_timeout(slots, self.registry.timeout)
-                .expect("comm slot mutex poisoned");
+            if let Some(why) = diag.abort_message() {
+                drop(slots);
+                panic!("rank {my_world} aborting {kind} at {slot_id}: {why}");
+            }
+            let (guard, result) = match self.inner.cv.wait_timeout(slots, WAIT_TICK) {
+                Ok(pair) => pair,
+                Err(_) => self.peer_failure(kind, seq),
+            };
             slots = guard;
             if result.timed_out() {
-                // A spurious-looking timeout can race the final arrival;
-                // recheck under the lock before declaring deadlock.
-                if slots.get(&seq).map(|s| s.arrived == size).unwrap_or(false) {
-                    break;
+                waited += WAIT_TICK;
+                if waited >= self.registry.timeout {
+                    // A spurious-looking timeout can race the final
+                    // arrival; recheck under the lock before declaring
+                    // deadlock.
+                    if slots.get(&seq).map(|s| s.arrived == size).unwrap_or(false) {
+                        break;
+                    }
+                    let arrived = slots.get(&seq).map(|s| s.arrived).unwrap_or(0);
+                    drop(slots);
+                    let report = deadlock_report(&diag.snapshot(), &diag.histories());
+                    panic!(
+                        "collective deadlock: comm {} seq {seq}: only {arrived}/{size} ranks \
+                         arrived within {:?} — ranks are calling collectives in different \
+                         orders\n{report}",
+                        self.inner.id, self.registry.timeout
+                    );
                 }
-                let arrived = slots.get(&seq).map(|s| s.arrived).unwrap_or(0);
-                panic!(
-                    "collective deadlock: comm {} seq {seq}: only {arrived}/{size} ranks \
-                     arrived within {:?} — ranks are calling collectives in different orders",
-                    self.inner.id, self.registry.timeout
-                );
             }
         }
-        let (out, tmax, done) = {
-            let slot = slots.get_mut(&seq).expect("slot vanished");
+        let (out, fps, tmax, done) = {
+            let Some(slot) = slots.get_mut(&seq) else {
+                unreachable!(
+                    "comm {} seq {seq}: slot vanished before consumption",
+                    self.inner.id
+                )
+            };
             let mut out = Vec::with_capacity(size);
+            let mut fps = Vec::with_capacity(size);
             let mut tmax = f64::NEG_INFINITY;
-            for d in &slot.deposits {
-                let (t, p) = d.as_ref().expect("missing deposit");
+            for (idx, d) in slot.deposits.iter().enumerate() {
+                let Some((t, dep_fp, p)) = d.as_ref() else {
+                    unreachable!(
+                        "comm {} seq {seq}: member {idx} deposit missing",
+                        self.inner.id
+                    )
+                };
                 tmax = tmax.max(*t);
+                if let Some(f) = dep_fp {
+                    fps.push((self.members[idx], f.clone()));
+                }
                 out.push(p.clone());
             }
             slot.consumed += 1;
-            (out, tmax, slot.consumed == size)
+            (out, fps, tmax, slot.consumed == size)
         };
         if done {
             slots.remove(&seq);
         }
         drop(slots);
+        // Verify outside the lock: a mismatch panic must not poison the
+        // rendezvous table out from under the other participants.
+        if fps.len() == size {
+            if let Err(mismatch) = fingerprint::verify(&fps) {
+                panic!(
+                    "collective check failed at {slot_id}:\n{}",
+                    mismatch.message
+                );
+            }
+        }
         (out, tmax)
     }
 
@@ -243,7 +387,8 @@ impl Communicator {
 
     /// Barrier across the group.
     pub fn barrier(&self) {
-        let (_, tmax) = self.exchange_raw(Arc::new(()));
+        let fp = self.fingerprint(CollectiveKind::Barrier, None, None, "()", Shape::Words(0));
+        let (_, tmax) = self.exchange_raw(CollectiveKind::Barrier, fp, Arc::new(()));
         let cost = self.model().barrier_time(self.size());
         self.settle(tmax, Cat::Misc, cost, 0);
     }
@@ -264,11 +409,24 @@ impl Communicator {
             root_idx == self.my_idx,
             "bcast: exactly the root must supply data"
         );
+        // The root declares the payload size; everyone else cannot know
+        // it yet and declares a wildcard shape.
+        let shape = match &data {
+            Some(d) => Shape::Words(d.comm_words()),
+            None => Shape::Unknown,
+        };
+        let fp = self.fingerprint(
+            CollectiveKind::Bcast,
+            Some(root_idx),
+            None,
+            std::any::type_name::<T>(),
+            shape,
+        );
         let payload: Payload = match data {
             Some(d) => Arc::new(d),
             None => Arc::new(()),
         };
-        let (items, tmax) = self.exchange_raw(payload);
+        let (items, tmax) = self.exchange_raw(CollectiveKind::Bcast, fp, payload);
         let out = Self::downcast::<T>(items[root_idx].clone());
         let words = out.comm_words();
         let cost = self.model().bcast_time(self.size(), words);
@@ -279,7 +437,15 @@ impl Communicator {
     /// All-gather: every member contributes `data`; returns all
     /// contributions in member order.
     pub fn allgather<T: Any + Send + Sync + CommWords>(&self, data: T, cat: Cat) -> Vec<Arc<T>> {
-        let (items, tmax) = self.exchange_raw(Arc::new(data));
+        // Contribution sizes are legitimately rank-dependent: wildcard.
+        let fp = self.fingerprint(
+            CollectiveKind::Allgather,
+            None,
+            None,
+            std::any::type_name::<T>(),
+            Shape::Unknown,
+        );
+        let (items, tmax) = self.exchange_raw(CollectiveKind::Allgather, fp, Arc::new(data));
         let out: Vec<Arc<T>> = items.into_iter().map(Self::downcast::<T>).collect();
         let p = self.size();
         let total: u64 = out.iter().map(|x| x.comm_words()).sum();
@@ -296,7 +462,15 @@ impl Communicator {
     /// All-reduce (sum) of equally-shaped matrices; every rank returns the
     /// same sum, accumulated in member order (deterministic).
     pub fn allreduce_mat(&self, m: &Mat, cat: Cat) -> Mat {
-        let (items, tmax) = self.exchange_raw(Arc::new(m.clone()));
+        let fp = self.fingerprint(
+            CollectiveKind::AllreduceMat,
+            None,
+            None,
+            std::any::type_name::<Mat>(),
+            Shape::Dims(m.rows(), m.cols()),
+        );
+        let (items, tmax) =
+            self.exchange_raw(CollectiveKind::AllreduceMat, fp, Arc::new(m.clone()));
         let mut acc: Option<Mat> = None;
         for p in items {
             let part = Self::downcast::<Mat>(p);
@@ -305,7 +479,9 @@ impl Communicator {
                 Some(a) => cagnet_dense::ops::add_assign(a, &part),
             }
         }
-        let out = acc.expect("empty allreduce");
+        let Some(out) = acc else {
+            unreachable!("allreduce over an empty communicator")
+        };
         let p = self.size();
         let w = out.len() as u64;
         let cost = self.model().allreduce_time(p, w);
@@ -320,7 +496,14 @@ impl Communicator {
 
     /// All-reduce (sum) of scalars.
     pub fn allreduce_scalar(&self, x: f64, cat: Cat) -> f64 {
-        let (items, tmax) = self.exchange_raw(Arc::new(x));
+        let fp = self.fingerprint(
+            CollectiveKind::AllreduceScalar,
+            None,
+            None,
+            "f64",
+            Shape::Words(1),
+        );
+        let (items, tmax) = self.exchange_raw(CollectiveKind::AllreduceScalar, fp, Arc::new(x));
         let sum: f64 = items.into_iter().map(|p| *Self::downcast::<f64>(p)).sum();
         let cost = self.model().allreduce_time(self.size(), 1);
         self.settle(tmax, cat, cost, if self.size() > 1 { 2 } else { 0 });
@@ -336,7 +519,15 @@ impl Communicator {
     /// rows.
     pub fn reduce_scatter_rows(&self, m: &Mat, cat: Cat) -> Mat {
         let p = self.size();
-        let (items, tmax) = self.exchange_raw(Arc::new(m.clone()));
+        let fp = self.fingerprint(
+            CollectiveKind::ReduceScatterRows,
+            None,
+            None,
+            std::any::type_name::<Mat>(),
+            Shape::Dims(m.rows(), m.cols()),
+        );
+        let (items, tmax) =
+            self.exchange_raw(CollectiveKind::ReduceScatterRows, fp, Arc::new(m.clone()));
         let mats: Vec<Arc<Mat>> = items.into_iter().map(Self::downcast::<Mat>).collect();
         let (r0, r1) = block_range(m.rows(), p, self.my_idx);
         let mut out = Mat::zeros(r1 - r0, m.cols());
@@ -373,7 +564,14 @@ impl Communicator {
             self.size(),
             "alltoall needs one part per member"
         );
-        let (items, tmax) = self.exchange_raw(Arc::new(parts));
+        let fp = self.fingerprint(
+            CollectiveKind::Alltoall,
+            None,
+            None,
+            std::any::type_name::<T>(),
+            Shape::Count(parts.len()),
+        );
+        let (items, tmax) = self.exchange_raw(CollectiveKind::Alltoall, fp, Arc::new(parts));
         let all: Vec<Arc<Vec<T>>> = items.into_iter().map(Self::downcast::<Vec<T>>).collect();
         let out: Vec<T> = all.iter().map(|v| v[self.my_idx].clone()).collect();
         let p = self.size();
@@ -402,7 +600,14 @@ impl Communicator {
         cat: Cat,
     ) -> Option<Vec<Arc<T>>> {
         assert!(root_idx < self.size(), "gather root out of range");
-        let (items, tmax) = self.exchange_raw(Arc::new(data));
+        let fp = self.fingerprint(
+            CollectiveKind::Gather,
+            Some(root_idx),
+            None,
+            std::any::type_name::<T>(),
+            Shape::Unknown,
+        );
+        let (items, tmax) = self.exchange_raw(CollectiveKind::Gather, fp, Arc::new(data));
         let out: Vec<Arc<T>> = items.into_iter().map(Self::downcast::<T>).collect();
         let p = self.size();
         let total: u64 = out.iter().map(|x| x.comm_words()).sum();
@@ -435,11 +640,22 @@ impl Communicator {
         if let Some(p) = &parts {
             assert_eq!(p.len(), self.size(), "scatter needs one part per member");
         }
+        let shape = match &parts {
+            Some(p) => Shape::Count(p.len()),
+            None => Shape::Unknown,
+        };
+        let fp = self.fingerprint(
+            CollectiveKind::Scatter,
+            Some(root_idx),
+            None,
+            std::any::type_name::<T>(),
+            shape,
+        );
         let payload: Payload = match parts {
             Some(p) => Arc::new(p),
             None => Arc::new(()),
         };
-        let (items, tmax) = self.exchange_raw(payload);
+        let (items, tmax) = self.exchange_raw(CollectiveKind::Scatter, fp, payload);
         let all = Self::downcast::<Vec<T>>(items[root_idx].clone());
         let mine = all[self.my_idx].clone();
         let p = self.size();
@@ -480,14 +696,23 @@ impl Communicator {
             outgoing.is_some(),
             "sendrecv: payload must accompany a partner"
         );
+        if let Some(p) = partner_idx {
+            assert!(p < self.size(), "sendrecv partner out of range");
+        }
+        let fp = self.fingerprint(
+            CollectiveKind::Sendrecv,
+            None,
+            partner_idx,
+            std::any::type_name::<T>(),
+            Shape::Unknown,
+        );
         let payload: Payload = match outgoing {
             Some(d) => Arc::new(d),
             None => Arc::new(()),
         };
-        let (items, tmax) = self.exchange_raw(payload);
+        let (items, tmax) = self.exchange_raw(CollectiveKind::Sendrecv, fp, payload);
         match partner_idx {
             Some(partner) => {
-                assert!(partner < self.size(), "sendrecv partner out of range");
                 let msg = Self::downcast::<T>(items[partner].clone());
                 let words = msg.comm_words();
                 let cost = self.model().p2p_time(words);
@@ -505,7 +730,9 @@ impl Communicator {
     /// key argument: member order within a color follows parent order).
     pub fn split(&self, color: u64) -> Communicator {
         let seq_for_key = self.seq.get(); // same at every member pre-exchange
-        let (items, _tmax) = self.exchange_raw(Arc::new(color));
+                                          // Colors are legitimately rank-dependent: wildcard shape.
+        let fp = self.fingerprint(CollectiveKind::Split, None, None, "u64", Shape::Unknown);
+        let (items, _tmax) = self.exchange_raw(CollectiveKind::Split, fp, Arc::new(color));
         let colors: Vec<u64> = items
             .into_iter()
             .map(|p| *Self::downcast::<u64>(p))
@@ -514,10 +741,9 @@ impl Communicator {
             .filter(|&i| colors[i] == color)
             .map(|i| self.members[i])
             .collect();
-        let my_pos = group
-            .iter()
-            .position(|&w| w == self.members[self.my_idx])
-            .expect("self not in own split group");
+        let Some(my_pos) = group.iter().position(|&w| w == self.members[self.my_idx]) else {
+            unreachable!("split: own color missing from own group")
+        };
         let inner = self
             .registry
             .get_or_create((self.inner.id, seq_for_key, color), group.len());

@@ -18,10 +18,12 @@
 pub mod cluster;
 pub mod comm;
 pub mod cost;
+mod diag;
 pub mod grid;
 pub mod timeline;
 pub mod trace;
 
+pub use cagnet_check::CheckMode;
 pub use cluster::{Cluster, Ctx};
 pub use comm::Communicator;
 pub use cost::{Cat, CommWords, CostModel};

@@ -33,6 +33,51 @@ pub mod twodim;
 
 use cagnet_comm::{Cat, Ctx};
 use cagnet_dense::Mat;
+use std::fmt;
+
+/// Why a distributed trainer cannot be constructed on this cluster
+/// geometry and problem. Returned by the trainers' `try_setup`
+/// constructors; the panicking `setup` wrappers render it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SetupError {
+    /// The block distribution would leave ranks without vertices.
+    TooManyRanks {
+        /// World size `P`.
+        ranks: usize,
+        /// Vertex count `n`.
+        vertices: usize,
+    },
+    /// The rank count does not fit the algorithm's process geometry
+    /// (square grid, cubic mesh, replication factor dividing `P`, ...).
+    Geometry(String),
+    /// A trainer-specific configuration parameter is invalid.
+    Config(String),
+}
+
+impl fmt::Display for SetupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Keep the historic "more ranks than vertices" wording —
+            // callers and tests match on it.
+            SetupError::TooManyRanks { ranks, vertices } => {
+                write!(f, "more ranks than vertices (P={ranks}, n={vertices})")
+            }
+            SetupError::Geometry(msg) | SetupError::Config(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for SetupError {}
+
+/// The newest stored activation `H^L` — the trainer's output block.
+/// Trainers seed `hs` with the feature block at construction, so this
+/// cannot fail after `setup`; the message covers direct misuse.
+pub(crate) fn output_block(hs: &[Mat]) -> &Mat {
+    match hs.last() {
+        Some(h) => h,
+        None => panic!("no stored activations: run setup/forward first"),
+    }
+}
 
 /// Per-rank storage footprint, in 8-byte words — the quantity behind the
 /// paper's memory arguments: 2D "consumes optimal memory" (§I), 1.5D pays

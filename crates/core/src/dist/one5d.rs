@@ -81,14 +81,35 @@ impl One5DTrainer {
     /// Slice this rank's blocks from the shared problem. `c` must divide
     /// the world size.
     pub fn setup(ctx: &Ctx, problem: &Problem, cfg: &GcnConfig, c: usize) -> Self {
+        match Self::try_setup(ctx, problem, cfg, c) {
+            Ok(t) => t,
+            Err(e) => panic!("1.5D trainer setup: {e}"),
+        }
+    }
+
+    /// Fallible constructor: returns [`super::SetupError`] instead of
+    /// panicking when `c` does not divide `P` or the cluster does not
+    /// fit the problem.
+    pub fn try_setup(
+        ctx: &Ctx,
+        problem: &Problem,
+        cfg: &GcnConfig,
+        c: usize,
+    ) -> Result<Self, super::SetupError> {
         let p = ctx.size;
-        assert!(
-            c >= 1 && p.is_multiple_of(c),
-            "replication factor {c} must divide P={p}"
-        );
+        if c < 1 || !p.is_multiple_of(c) {
+            return Err(super::SetupError::Geometry(format!(
+                "replication factor {c} must divide P={p}"
+            )));
+        }
         let p1 = p / c;
         let n = problem.vertices();
-        assert!(p <= n, "more ranks than vertices");
+        if p > n {
+            return Err(super::SetupError::TooManyRanks {
+                ranks: p,
+                vertices: n,
+            });
+        }
         let ti = ctx.rank / c;
         let tr = ctx.rank % c;
         let team = ctx.world.split(ti as u64);
@@ -136,7 +157,7 @@ impl One5DTrainer {
 
         let (fr0, fr1) = fine[ctx.rank];
         let h0 = problem.features.block(fr0, fr1, 0, problem.features.cols());
-        One5DTrainer {
+        Ok(One5DTrainer {
             cfg: cfg.clone(),
             c,
             p1,
@@ -161,7 +182,7 @@ impl One5DTrainer {
             weights: cfg.init_weights(),
             zs: Vec::new(),
             hs: vec![h0],
-        }
+        })
     }
 
     /// Forward pass; returns global mean masked NLL loss.
@@ -201,7 +222,7 @@ impl One5DTrainer {
             self.hs.push(h);
         }
         let local = nll_sum(
-            self.hs.last().unwrap(),
+            super::output_block(&self.hs),
             &self.labels,
             &self.mask,
             self.fine_r0,
@@ -267,7 +288,7 @@ impl One5DTrainer {
     pub fn accuracy(&mut self, ctx: &Ctx) -> f64 {
         let _ = self.forward(ctx);
         let (c, t) = accuracy_counts(
-            self.hs.last().unwrap(),
+            super::output_block(&self.hs),
             &self.labels,
             &self.mask,
             self.fine_r0,
@@ -354,7 +375,7 @@ impl One5DTrainer {
     /// adjacency term carries the `c`-fold replication of §IV-B. See
     /// [`super::StorageReport`].
     pub fn storage_words(&self) -> super::StorageReport {
-        let f_max = *self.cfg.dims.iter().max().unwrap();
+        let f_max = self.cfg.f_max();
         let coarse_rows = self.at_fwd[0].rows();
         super::StorageReport {
             adjacency: self.at_fwd.iter().map(super::csr_words).sum::<usize>()
@@ -372,7 +393,7 @@ impl One5DTrainer {
     pub fn gather_embeddings(&self, ctx: &Ctx) -> Mat {
         let blocks = ctx
             .world
-            .allgather(self.hs.last().unwrap().clone(), Cat::DenseComm);
+            .allgather(super::output_block(&self.hs).clone(), Cat::DenseComm);
         super::assemble_row_blocks(&blocks)
     }
 }

@@ -59,10 +59,32 @@ pub struct OneDimTrainer {
 impl OneDimTrainer {
     /// Slice this rank's blocks out of the shared problem (uncharged
     /// setup, like the paper's data loading).
+    ///
+    /// # Panics
+    /// When the geometry is invalid; see [`OneDimTrainer::try_setup`] for
+    /// the fallible variant.
     pub fn setup(ctx: &Ctx, problem: &Problem, cfg: &GcnConfig) -> Self {
+        match Self::try_setup(ctx, problem, cfg) {
+            Ok(t) => t,
+            Err(e) => panic!("1D trainer setup: {e}"),
+        }
+    }
+
+    /// Fallible constructor: returns [`super::SetupError`] instead of
+    /// panicking when the cluster does not fit the problem.
+    pub fn try_setup(
+        ctx: &Ctx,
+        problem: &Problem,
+        cfg: &GcnConfig,
+    ) -> Result<Self, super::SetupError> {
         let n = problem.vertices();
         let p = ctx.size;
-        assert!(p <= n, "more ranks than vertices");
+        if p > n {
+            return Err(super::SetupError::TooManyRanks {
+                ranks: p,
+                vertices: n,
+            });
+        }
         let (r0, r1) = block_range(n, p, ctx.rank);
         let at_row = problem.adj_t.block(r0, r1, 0, n);
         let at_blocks = block_ranges(n, p)
@@ -70,7 +92,7 @@ impl OneDimTrainer {
             .map(|(c0, c1)| at_row.block(0, r1 - r0, c0, c1))
             .collect();
         let h0 = problem.features.block(r0, r1, 0, problem.features.cols());
-        OneDimTrainer {
+        Ok(OneDimTrainer {
             cfg: cfg.clone(),
             n,
             train_count: problem.train_count(),
@@ -91,7 +113,7 @@ impl OneDimTrainer {
             weights: cfg.init_weights(),
             zs: Vec::new(),
             hs: vec![h0],
-        }
+        })
     }
 
     fn my_rows(&self) -> usize {
@@ -132,7 +154,12 @@ impl OneDimTrainer {
             self.zs.push(z);
             self.hs.push(h);
         }
-        let local = nll_sum(self.hs.last().unwrap(), &self.labels, &self.mask, self.r0);
+        let local = nll_sum(
+            super::output_block(&self.hs),
+            &self.labels,
+            &self.mask,
+            self.r0,
+        );
         ctx.world.allreduce_scalar(local, Cat::DenseComm) / self.train_count as f64
     }
 
@@ -189,7 +216,12 @@ impl OneDimTrainer {
     /// pass).
     pub fn accuracy(&mut self, ctx: &Ctx) -> f64 {
         let _ = self.forward(ctx);
-        let (c, t) = accuracy_counts(self.hs.last().unwrap(), &self.labels, &self.mask, self.r0);
+        let (c, t) = accuracy_counts(
+            super::output_block(&self.hs),
+            &self.labels,
+            &self.mask,
+            self.r0,
+        );
         super::global_accuracy(ctx, c, t)
     }
 
@@ -266,7 +298,7 @@ impl OneDimTrainer {
     /// Per-rank storage footprint (run after at least one forward pass so
     /// the stored activations exist). See [`super::StorageReport`].
     pub fn storage_words(&self) -> super::StorageReport {
-        let f_max = *self.cfg.dims.iter().max().unwrap();
+        let f_max = self.cfg.f_max();
         super::StorageReport {
             adjacency: super::csr_words(&self.at_row)
                 + self.at_blocks.iter().map(super::csr_words).sum::<usize>(),
@@ -281,7 +313,7 @@ impl OneDimTrainer {
     pub fn gather_embeddings(&self, ctx: &Ctx) -> Mat {
         let blocks = ctx
             .world
-            .allgather(self.hs.last().unwrap().clone(), Cat::DenseComm);
+            .allgather(super::output_block(&self.hs).clone(), Cat::DenseComm);
         super::assemble_row_blocks(&blocks)
     }
 }

@@ -52,9 +52,27 @@ pub struct OneDimRowTrainer {
 impl OneDimRowTrainer {
     /// Slice this rank's blocks out of the shared problem.
     pub fn setup(ctx: &Ctx, problem: &Problem, cfg: &GcnConfig) -> Self {
+        match Self::try_setup(ctx, problem, cfg) {
+            Ok(t) => t,
+            Err(e) => panic!("1D row trainer setup: {e}"),
+        }
+    }
+
+    /// Fallible constructor: returns [`super::SetupError`] instead of
+    /// panicking when the cluster does not fit the problem.
+    pub fn try_setup(
+        ctx: &Ctx,
+        problem: &Problem,
+        cfg: &GcnConfig,
+    ) -> Result<Self, super::SetupError> {
         let n = problem.vertices();
         let p = ctx.size;
-        assert!(p <= n, "more ranks than vertices");
+        if p > n {
+            return Err(super::SetupError::TooManyRanks {
+                ranks: p,
+                vertices: n,
+            });
+        }
         let (r0, r1) = block_range(n, p, ctx.rank);
         let a_row = problem.adj.block(r0, r1, 0, n);
         let a_blocks = block_ranges(n, p)
@@ -62,7 +80,7 @@ impl OneDimRowTrainer {
             .map(|(c0, c1)| a_row.block(0, r1 - r0, c0, c1))
             .collect();
         let h0 = problem.features.block(r0, r1, 0, problem.features.cols());
-        OneDimRowTrainer {
+        Ok(OneDimRowTrainer {
             cfg: cfg.clone(),
             train_count: problem.train_count(),
             r0,
@@ -82,7 +100,7 @@ impl OneDimRowTrainer {
             weights: cfg.init_weights(),
             zs: Vec::new(),
             hs: vec![h0],
-        }
+        })
     }
 
     /// Forward pass (outer-product formulation); returns the global mean
@@ -113,7 +131,12 @@ impl OneDimRowTrainer {
             self.zs.push(z);
             self.hs.push(h);
         }
-        let local = nll_sum(self.hs.last().unwrap(), &self.labels, &self.mask, self.r0);
+        let local = nll_sum(
+            super::output_block(&self.hs),
+            &self.labels,
+            &self.mask,
+            self.r0,
+        );
         ctx.world.allreduce_scalar(local, Cat::DenseComm) / self.train_count as f64
     }
 
@@ -173,7 +196,12 @@ impl OneDimRowTrainer {
     /// Global training accuracy of the current model.
     pub fn accuracy(&mut self, ctx: &Ctx) -> f64 {
         let _ = self.forward(ctx);
-        let (c, t) = accuracy_counts(self.hs.last().unwrap(), &self.labels, &self.mask, self.r0);
+        let (c, t) = accuracy_counts(
+            super::output_block(&self.hs),
+            &self.labels,
+            &self.mask,
+            self.r0,
+        );
         super::global_accuracy(ctx, c, t)
     }
 
@@ -250,7 +278,7 @@ impl OneDimRowTrainer {
     /// Per-rank storage footprint (run after a forward pass). See
     /// [`super::StorageReport`].
     pub fn storage_words(&self) -> super::StorageReport {
-        let f_max = *self.cfg.dims.iter().max().unwrap();
+        let f_max = self.cfg.f_max();
         super::StorageReport {
             adjacency: super::csr_words(&self.a_row)
                 + self.a_blocks.iter().map(super::csr_words).sum::<usize>(),
@@ -265,7 +293,7 @@ impl OneDimRowTrainer {
     pub fn gather_embeddings(&self, ctx: &Ctx) -> Mat {
         let blocks = ctx
             .world
-            .allgather(self.hs.last().unwrap().clone(), Cat::DenseComm);
+            .allgather(super::output_block(&self.hs).clone(), Cat::DenseComm);
         super::assemble_row_blocks(&blocks)
     }
 }

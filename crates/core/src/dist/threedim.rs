@@ -68,12 +68,35 @@ impl ThreeDimTrainer {
     /// Slice this rank's mesh blocks from the shared problem. World size
     /// must be a perfect cube.
     pub fn setup(ctx: &Ctx, problem: &Problem, cfg: &GcnConfig) -> Self {
-        let q = int_cbrt(ctx.size)
-            .unwrap_or_else(|| panic!("3D trainer needs a cubic process count, got {}", ctx.size));
+        match Self::try_setup(ctx, problem, cfg) {
+            Ok(t) => t,
+            Err(e) => panic!("3D trainer setup: {e}"),
+        }
+    }
+
+    /// Fallible constructor: returns [`super::SetupError`] instead of
+    /// panicking on an invalid geometry. Validation happens before the
+    /// mesh's communicator splits, so on error every rank returns without
+    /// touching the collectives.
+    pub fn try_setup(
+        ctx: &Ctx,
+        problem: &Problem,
+        cfg: &GcnConfig,
+    ) -> Result<Self, super::SetupError> {
+        let Some(q) = int_cbrt(ctx.size) else {
+            return Err(super::SetupError::Geometry(format!(
+                "3D trainer needs a cubic process count, got {}",
+                ctx.size
+            )));
+        };
+        let n = problem.vertices();
+        if q * q > n {
+            return Err(super::SetupError::Geometry(
+                "mesh too fine for vertex count".into(),
+            ));
+        }
         let grid = Grid3D::new(ctx, q);
         let jgroup = ctx.world.split(grid.j as u64);
-        let n = problem.vertices();
-        assert!(q * q <= n, "mesh too fine for vertex count");
         let (i, j, k) = (grid.i, grid.j, grid.k);
         // A blocks: rows block i; columns = sub-block k of column block j.
         let (r0b, r1b) = block_range(n, q, i);
@@ -87,7 +110,7 @@ impl ThreeDimTrainer {
         let f0 = problem.features.cols();
         let (fc0, fc1) = block_range(f0, q, j);
         let h0 = problem.features.block(r0, r0b + rsub.1, fc0, fc1);
-        ThreeDimTrainer {
+        Ok(ThreeDimTrainer {
             cfg: cfg.clone(),
             grid,
             jgroup,
@@ -111,7 +134,7 @@ impl ThreeDimTrainer {
             hs: vec![h0],
             h_out_row: Mat::zeros(0, 0),
             p_out_row: Mat::zeros(0, 0),
-        }
+        })
     }
 
     /// Rows of my Block Split dense pieces (`≈ n/q²`).
@@ -228,7 +251,7 @@ impl ThreeDimTrainer {
     /// Output-layer gradient block from the stored row softmax.
     fn output_gradient_block(&self) -> Mat {
         let q = self.grid.q;
-        let f_out = *self.cfg.dims.last().unwrap();
+        let f_out = self.cfg.f_out();
         let (oc0, oc1) = block_range(f_out, q, self.grid.j);
         let rows = self.my_rows();
         let scale = 1.0 / self.train_count as f64;
@@ -384,7 +407,7 @@ impl ThreeDimTrainer {
     /// `n/q x f/q` — `q = ∛P` times larger than the rank's own
     /// `n/q² x f/q` state blocks.
     pub fn storage_words(&self) -> super::StorageReport {
-        let f_max = *self.cfg.dims.iter().max().unwrap();
+        let f_max = self.cfg.f_max();
         let q = self.grid.q;
         super::StorageReport {
             adjacency: super::csr_words(&self.at_ijk) + super::csr_words(&self.a_ijk),

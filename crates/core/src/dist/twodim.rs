@@ -121,9 +121,27 @@ impl TwoDimTrainer {
     /// Square-grid setup (Algorithm 2 as the paper runs it). World size
     /// must be a perfect square.
     pub fn setup(ctx: &Ctx, problem: &Problem, cfg: &GcnConfig, tcfg: TwoDimConfig) -> Self {
-        let q = int_sqrt(ctx.size)
-            .unwrap_or_else(|| panic!("2D trainer needs a square process count, got {}", ctx.size));
-        Self::setup_rect(ctx, problem, cfg, tcfg, q, q)
+        match Self::try_setup(ctx, problem, cfg, tcfg) {
+            Ok(t) => t,
+            Err(e) => panic!("2D trainer setup: {e}"),
+        }
+    }
+
+    /// Fallible square-grid constructor: returns [`super::SetupError`]
+    /// instead of panicking on an invalid geometry.
+    pub fn try_setup(
+        ctx: &Ctx,
+        problem: &Problem,
+        cfg: &GcnConfig,
+        tcfg: TwoDimConfig,
+    ) -> Result<Self, super::SetupError> {
+        let Some(q) = int_sqrt(ctx.size) else {
+            return Err(super::SetupError::Geometry(format!(
+                "2D trainer needs a square process count, got {}",
+                ctx.size
+            )));
+        };
+        Self::try_setup_rect(ctx, problem, cfg, tcfg, q, q)
     }
 
     /// Rectangular-grid setup (§IV-C.6). `pr * pc` must equal the world
@@ -136,11 +154,36 @@ impl TwoDimTrainer {
         pr: usize,
         pc: usize,
     ) -> Self {
-        assert!(tcfg.stages_per_block >= 1, "stages_per_block must be >= 1");
-        let grid = Grid2D::new(ctx, pr, pc);
+        match Self::try_setup_rect(ctx, problem, cfg, tcfg, pr, pc) {
+            Ok(t) => t,
+            Err(e) => panic!("2D trainer setup: {e}"),
+        }
+    }
+
+    /// Fallible rectangular-grid constructor. Validation happens before
+    /// the grid's communicator splits, so on error every rank returns
+    /// without touching the collectives.
+    pub fn try_setup_rect(
+        ctx: &Ctx,
+        problem: &Problem,
+        cfg: &GcnConfig,
+        tcfg: TwoDimConfig,
+        pr: usize,
+        pc: usize,
+    ) -> Result<Self, super::SetupError> {
+        if tcfg.stages_per_block < 1 {
+            return Err(super::SetupError::Config(
+                "stages_per_block must be >= 1".into(),
+            ));
+        }
         let n = problem.vertices();
         let k = lcm(pr, pc);
-        assert!(k <= n, "stage count exceeds vertex count");
+        if k > n {
+            return Err(super::SetupError::Geometry(
+                "stage count exceeds vertex count".into(),
+            ));
+        }
+        let grid = Grid2D::new(ctx, pr, pc);
         let fine = block_ranges(n, k);
         let rows = coarse_ranges(&fine, pr);
         let cols = coarse_ranges(&fine, pc);
@@ -151,7 +194,7 @@ impl TwoDimTrainer {
         let f0 = problem.features.cols();
         let (fc0, fc1) = block_range(f0, pc, grid.j);
         let h0 = problem.features.block(r0, r1, fc0, fc1);
-        TwoDimTrainer {
+        Ok(TwoDimTrainer {
             cfg: cfg.clone(),
             tcfg,
             grid,
@@ -178,7 +221,7 @@ impl TwoDimTrainer {
             hs: vec![h0],
             h_out_row: Mat::zeros(0, 0),
             p_out_row: Mat::zeros(0, 0),
-        }
+        })
     }
 
     fn my_rows(&self) -> usize {
@@ -312,7 +355,7 @@ impl TwoDimTrainer {
     /// Output-layer gradient block `G^L_ij` from the stored row softmax.
     fn output_gradient_block(&self) -> Mat {
         let pc = self.grid.pc;
-        let f_out = *self.cfg.dims.last().unwrap();
+        let f_out = self.cfg.f_out();
         let (oc0, oc1) = block_range(f_out, pc, self.grid.j);
         let rows = self.my_rows();
         let scale = 1.0 / self.train_count as f64;
@@ -477,7 +520,7 @@ impl TwoDimTrainer {
     /// memory-optimal distribution (§I): every term scales as 1/P or
     /// 1/√P. See [`super::StorageReport`].
     pub fn storage_words(&self) -> super::StorageReport {
-        let f_max = *self.cfg.dims.iter().max().unwrap();
+        let f_max = self.cfg.f_max();
         super::StorageReport {
             adjacency: super::csr_words(&self.at_ij) + super::csr_words(&self.a_ij),
             dense_state: super::mats_words(&self.hs)

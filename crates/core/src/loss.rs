@@ -70,12 +70,14 @@ pub fn accuracy_counts(
         if mask[g] {
             total += 1;
             let row = log_probs.row(i);
+            // total_cmp gives NaN a defined order, so no unwrap is needed
+            // and a NaN logit cannot panic the accuracy pass.
             let argmax = row
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(j, _)| j)
-                .unwrap();
+                .unwrap_or(0);
             if argmax == labels[g] {
                 correct += 1;
             }

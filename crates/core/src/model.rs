@@ -39,6 +39,24 @@ impl GcnConfig {
         self.dims.len() - 1
     }
 
+    /// Input feature width `f⁰`.
+    pub fn f_in(&self) -> usize {
+        assert!(self.dims.len() >= 2, "need at least one layer");
+        self.dims[0]
+    }
+
+    /// Output width `f^L` (the label count).
+    pub fn f_out(&self) -> usize {
+        assert!(self.dims.len() >= 2, "need at least one layer");
+        self.dims[self.dims.len() - 1]
+    }
+
+    /// Widest layer width `max_l f^l` — bounds the transient dense
+    /// buffers every distribution materializes.
+    pub fn f_max(&self) -> usize {
+        self.dims.iter().copied().fold(0, usize::max)
+    }
+
     /// Initialize the weight stack `W¹..W^L` deterministically.
     pub fn init_weights(&self) -> Vec<Mat> {
         (0..self.layers())

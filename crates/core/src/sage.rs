@@ -56,6 +56,12 @@ impl SageConfig {
         self.dims.len() - 1
     }
 
+    /// Output width `f^L` (the label count).
+    pub fn f_out(&self) -> usize {
+        assert!(self.dims.len() >= 2, "need at least one layer");
+        self.dims[self.dims.len() - 1]
+    }
+
     /// Initialize the stacked weights (`2f_in x f_out` per layer).
     pub fn init_weights(&self) -> Vec<Mat> {
         (0..self.layers())
@@ -106,11 +112,7 @@ impl<'p> SageSerialTrainer<'p> {
     /// normalized adjacency pattern (weights are re-normalized row-wise).
     pub fn new(problem: &'p Problem, cfg: SageConfig) -> Self {
         assert_eq!(cfg.dims[0], problem.features.cols(), "input width");
-        assert_eq!(
-            *cfg.dims.last().unwrap(),
-            problem.num_classes,
-            "output width"
-        );
+        assert_eq!(cfg.f_out(), problem.num_classes, "output width");
         let abar = mean_aggregator(&problem.adj);
         let abar_t = abar.transpose();
         let weights = cfg.init_weights();
@@ -148,7 +150,7 @@ impl<'p> SageSerialTrainer<'p> {
             self.hs.push(out);
         }
         nll_sum(
-            self.hs.last().unwrap(),
+            crate::dist::output_block(&self.hs),
             &self.problem.labels,
             &self.problem.train_mask,
             0,
@@ -200,7 +202,7 @@ impl<'p> SageSerialTrainer<'p> {
     pub fn accuracy(&mut self) -> f64 {
         let _ = self.forward();
         let (c, t) = accuracy_counts(
-            self.hs.last().unwrap(),
+            crate::dist::output_block(&self.hs),
             &self.problem.labels,
             &self.problem.train_mask,
             0,
@@ -318,7 +320,12 @@ impl SageOneDimTrainer {
             self.zs.push(z);
             self.hs.push(out);
         }
-        let local = nll_sum(self.hs.last().unwrap(), &self.labels, &self.mask, self.r0);
+        let local = nll_sum(
+            crate::dist::output_block(&self.hs),
+            &self.labels,
+            &self.mask,
+            self.r0,
+        );
         ctx.world.allreduce_scalar(local, Cat::DenseComm) / self.train_count as f64
     }
 
@@ -369,7 +376,12 @@ impl SageOneDimTrainer {
     /// Global training accuracy.
     pub fn accuracy(&mut self, ctx: &Ctx) -> f64 {
         let _ = self.forward(ctx);
-        let (c, t) = accuracy_counts(self.hs.last().unwrap(), &self.labels, &self.mask, self.r0);
+        let (c, t) = accuracy_counts(
+            crate::dist::output_block(&self.hs),
+            &self.labels,
+            &self.mask,
+            self.r0,
+        );
         super::dist::global_accuracy(ctx, c, t)
     }
 
@@ -539,7 +551,7 @@ impl SageTwoDimTrainer {
 
     fn output_gradient_block(&self) -> Mat {
         let q = self.grid.pc;
-        let f_out = *self.cfg.dims.last().unwrap();
+        let f_out = self.cfg.f_out();
         let (oc0, oc1) = block_range(f_out, q, self.grid.j);
         let rows = self.my_rows();
         let scale = 1.0 / self.train_count as f64;

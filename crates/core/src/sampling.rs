@@ -242,7 +242,10 @@ pub fn train_distributed_sampled(
             losses.push(t.epoch(ctx));
             weights = Some(t.weights().to_vec());
         }
-        (losses, weights.expect("at least one epoch"), ctx.report())
+        let Some(weights) = weights else {
+            panic!("sampled training needs at least one epoch")
+        };
+        (losses, weights, ctx.report())
     });
     let (losses, weights, _) = per_rank[0].0.clone();
     let reports = per_rank.iter().map(|((_, _, r), _)| *r).collect();

@@ -44,16 +44,8 @@ pub struct SerialTrainer<'p> {
 impl<'p> SerialTrainer<'p> {
     /// New trainer with freshly initialized weights.
     pub fn new(problem: &'p Problem, cfg: GcnConfig) -> Self {
-        assert_eq!(
-            *cfg.dims.first().unwrap(),
-            problem.features.cols(),
-            "input width mismatch"
-        );
-        assert_eq!(
-            *cfg.dims.last().unwrap(),
-            problem.num_classes,
-            "output width mismatch"
-        );
+        assert_eq!(cfg.f_in(), problem.features.cols(), "input width mismatch");
+        assert_eq!(cfg.f_out(), problem.num_classes, "output width mismatch");
         let weights = cfg.init_weights();
         let opt = Optimizer::for_weights(OptimizerKind::Sgd, cfg.lr, &weights);
         SerialTrainer {
@@ -94,7 +86,7 @@ impl<'p> SerialTrainer<'p> {
             self.hs.push(h);
         }
         nll_sum(
-            self.hs.last().unwrap(),
+            self.embeddings(),
             &self.problem.labels,
             &self.problem.train_mask,
             0,
@@ -147,7 +139,7 @@ impl<'p> SerialTrainer<'p> {
     pub fn accuracy(&mut self) -> f64 {
         let _ = self.forward();
         let (c, t) = accuracy_counts(
-            self.hs.last().unwrap(),
+            self.embeddings(),
             &self.problem.labels,
             &self.problem.train_mask,
             0,
@@ -162,7 +154,10 @@ impl<'p> SerialTrainer<'p> {
 
     /// Output embeddings `H^L` from the last forward pass.
     pub fn embeddings(&self) -> &Mat {
-        self.hs.last().expect("run forward first")
+        match self.hs.last() {
+            Some(h) => h,
+            None => panic!("run forward first"),
+        }
     }
 
     /// Gradients of the current point, without updating weights — used by
@@ -197,14 +192,14 @@ impl<'p> SerialTrainer<'p> {
     pub fn loss_on(&mut self, mask: &[bool]) -> f64 {
         let _ = self.forward();
         let count = mask.iter().filter(|&&m| m).count().max(1);
-        nll_sum(self.hs.last().unwrap(), &self.problem.labels, mask, 0) / count as f64
+        nll_sum(self.embeddings(), &self.problem.labels, mask, 0) / count as f64
     }
 
     /// Accuracy of the current model over an arbitrary vertex mask (runs
     /// a forward pass).
     pub fn accuracy_on(&mut self, mask: &[bool]) -> f64 {
         let _ = self.forward();
-        let (c, t) = accuracy_counts(self.hs.last().unwrap(), &self.problem.labels, mask, 0);
+        let (c, t) = accuracy_counts(self.embeddings(), &self.problem.labels, mask, 0);
         c as f64 / t.max(1) as f64
     }
 

@@ -42,7 +42,7 @@ impl ParallelCtx {
     /// A budget of `threads` (values below 1 are clamped to 1).
     pub fn new(threads: usize) -> Self {
         ParallelCtx {
-            threads: NonZeroUsize::new(threads.max(1)).expect("clamped to >= 1"),
+            threads: NonZeroUsize::new(threads).unwrap_or(NonZeroUsize::MIN),
         }
     }
 
@@ -118,7 +118,9 @@ impl ParallelCtx {
             }
             let mut iter = ranges.into_iter().zip(panels);
             // Keep one chunk for the calling thread; fork the rest.
-            let local = iter.next().expect("at least one chunk");
+            let Some(local) = iter.next() else {
+                return; // chunks > 1 guarantees a first chunk
+            };
             for (r, panel) in iter {
                 scope.spawn(move || kernel(r, panel));
             }
@@ -171,7 +173,9 @@ impl ParallelCtx {
                 panels.push(panel);
             }
             let mut iter = ranges.iter().cloned().zip(panels);
-            let local = iter.next().expect("at least one chunk");
+            let Some(local) = iter.next() else {
+                return; // ranges.len() > 1 guarantees a first chunk
+            };
             for (r, panel) in iter {
                 scope.spawn(move || kernel(r, panel));
             }
@@ -201,7 +205,9 @@ impl ParallelCtx {
         std::thread::scope(|scope| {
             let task = &task;
             let mut iter = ranges.into_iter();
-            let local = iter.next().expect("at least one chunk");
+            let Some(local) = iter.next() else {
+                return; // chunks > 1 guarantees a first chunk
+            };
             for r in iter {
                 scope.spawn(move || task(r));
             }

@@ -70,7 +70,7 @@ impl Csr {
     ) -> Self {
         assert_eq!(row_ptr.len(), rows + 1, "row_ptr length");
         assert_eq!(col_idx.len(), vals.len(), "col/val length mismatch");
-        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "nnz mismatch");
+        assert_eq!(row_ptr.last().copied(), Some(col_idx.len()), "nnz mismatch");
         for i in 0..rows {
             assert!(row_ptr[i] <= row_ptr[i + 1], "row_ptr not monotone");
             let s = &col_idx[row_ptr[i]..row_ptr[i + 1]];

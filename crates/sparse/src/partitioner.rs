@@ -148,7 +148,7 @@ pub fn partition_greedy_bfs(a: &Csr, cfg: &PartitionConfig) -> Vec<usize> {
             // parts and restart their frontiers there.
             for (v, pv) in part.iter_mut().enumerate() {
                 if *pv == usize::MAX {
-                    let pid = (0..p).min_by_key(|&q| sizes[q]).unwrap();
+                    let pid = (0..p).min_by_key(|&q| sizes[q]).unwrap_or(0);
                     *pv = pid;
                     sizes[pid] += 1;
                     unassigned -= 1;

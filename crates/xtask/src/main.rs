@@ -1,0 +1,57 @@
+//! Repo automation entrypoint (the `cargo xtask` pattern).
+//!
+//! ```text
+//! cargo run -p xtask -- lint [repo-root]
+//! ```
+//!
+//! runs the [`cagnet_check::lint`] source pass over `crates/*/src` and
+//! exits nonzero if any invariant is violated. See `crates/check/src/
+//! lint.rs` for the rules and the `lint:allow(<rule>)` suppression
+//! marker.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn repo_root(explicit: Option<&str>) -> PathBuf {
+    match explicit {
+        Some(p) => PathBuf::from(p),
+        // crates/xtask/../.. is the workspace root.
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join(".."),
+    }
+}
+
+fn lint(root: PathBuf) -> ExitCode {
+    match cagnet_check::lint::lint_tree(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("xtask lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!(
+                "xtask lint: {} violation(s); fix or add `// lint:allow(<rule>): <reason>`",
+                violations.len()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: cannot scan {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("lint") => lint(repo_root(args.get(2).map(String::as_str))),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [repo-root]");
+            ExitCode::from(2)
+        }
+    }
+}
