@@ -35,6 +35,9 @@ pub enum CollectiveKind {
     Scatter,
     /// `sendrecv(partner, outgoing, cat)`.
     Sendrecv,
+    /// `gather_rows(root, data, needed, cat)` — the sparsity-aware
+    /// variable-sized row exchange.
+    GatherRows,
     /// `split(color)`.
     Split,
 }
@@ -53,6 +56,7 @@ impl CollectiveKind {
             CollectiveKind::Gather => "gather",
             CollectiveKind::Scatter => "scatter",
             CollectiveKind::Sendrecv => "sendrecv",
+            CollectiveKind::GatherRows => "gather_rows",
             CollectiveKind::Split => "split",
         }
     }

@@ -91,8 +91,10 @@ const SERIAL_KERNELS: [&str; 8] = [
 
 /// Collective methods that take a `Cat` cost category; `barrier` is
 /// exempt (it moves no payload words).
-const CATEGORIZED_COLLECTIVES: [&str; 9] = [
+const CATEGORIZED_COLLECTIVES: [&str; 11] = [
     ".bcast(",
+    ".bcast_shared(",
+    ".gather_rows(",
     ".allgather(",
     ".allreduce_mat(",
     ".allreduce_scalar(",
@@ -419,6 +421,31 @@ mod tests {
         let src = "let hj = ctx.world.bcast(\n    j,\n    payload,\n    Cat::DenseComm,\n);\n";
         assert!(lint(path, src).is_empty());
         assert!(lint(path, "ctx.world.allreduce_scalar(x, Cat::DenseComm);\n").is_empty());
+    }
+
+    #[test]
+    fn flags_uncategorized_shared_and_row_collectives() {
+        let path = "crates/core/src/dist/onedim.rs";
+        let v = lint(path, "let hj = ctx.world.bcast_shared(j, payload);\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::UncategorizedCollective);
+        let v = lint(
+            path,
+            "let hj = ctx.world.gather_rows(j, payload, &needed);\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::UncategorizedCollective);
+        // Categorized call sites pass.
+        assert!(lint(
+            path,
+            "let hj = ctx.world.bcast_shared(j, payload, Cat::DenseComm);\n"
+        )
+        .is_empty());
+        assert!(lint(
+            path,
+            "let hj = ctx.world.gather_rows(j, payload, &needed, Cat::DenseComm);\n"
+        )
+        .is_empty());
     }
 
     #[test]

@@ -43,6 +43,14 @@ struct CallSlot {
     consumed: usize,
 }
 
+/// One participant's deposit in a [`Communicator::gather_rows`]
+/// rendezvous: the row indices it requests from the root, plus — at the
+/// root only — the shared block itself.
+struct GatherRowsDeposit {
+    needed: Vec<usize>,
+    data: Option<Arc<Mat>>,
+}
+
 /// State shared by all member threads of one communicator.
 pub(crate) struct CommInner {
     id: u64,
@@ -403,6 +411,20 @@ impl Communicator {
         data: Option<T>,
         cat: Cat,
     ) -> Arc<T> {
+        self.bcast_shared(root_idx, data.map(Arc::new), cat)
+    }
+
+    /// Broadcast an already-shared payload: like [`Communicator::bcast`],
+    /// but the root hands over an `Arc` instead of an owned value, so a
+    /// block a trainer keeps resident (its own `H` slice) rides into the
+    /// rendezvous without being copied. Fingerprinting and charging are
+    /// identical to `bcast`.
+    pub fn bcast_shared<T: Any + Send + Sync + CommWords>(
+        &self,
+        root_idx: usize,
+        data: Option<Arc<T>>,
+        cat: Cat,
+    ) -> Arc<T> {
         assert!(root_idx < self.size(), "bcast root out of range");
         assert_eq!(
             data.is_some(),
@@ -423,7 +445,7 @@ impl Communicator {
             shape,
         );
         let payload: Payload = match data {
-            Some(d) => Arc::new(d),
+            Some(d) => d,
             None => Arc::new(()),
         };
         let (items, tmax) = self.exchange_raw(CollectiveKind::Bcast, fp, payload);
@@ -431,6 +453,107 @@ impl Communicator {
         let words = out.comm_words();
         let cost = self.model().bcast_time(self.size(), words);
         self.settle(tmax, cat, cost, if self.size() > 1 { words } else { 0 });
+        out
+    }
+
+    /// Sparsity-aware row broadcast: member `root_idx` holds a dense row
+    /// block, and every other member receives **only** the rows named in
+    /// its `needed` list (sorted, distinct row indices into the root's
+    /// block). The result has the root block's full shape with the
+    /// requested rows filled in place and every other row zero, so an
+    /// SpMM whose nonzero columns are exactly `needed` reads values
+    /// bit-identical to a dense broadcast. The root gets its own block
+    /// back without a copy.
+    ///
+    /// Cost accounting (see DESIGN.md §9): every transferred word is
+    /// recorded at exactly one rank. A receiver requesting `k` rows of
+    /// width `f` pays `2α + β·k·(f+1)` and records `k·(f+1)` words (`k·f`
+    /// row data plus `k` request-index words). The root pays the serving
+    /// time `α·(P−1) + β·Σ_r k_r·(f+1)` and records no words. Compare a
+    /// dense [`Communicator::bcast`], where all `P` ranks record the full
+    /// `w` — on low-degree graphs `k ≪ rows` and this wins by a large
+    /// factor; on near-complete graphs the `+1` index words and the
+    /// serialized serving term make dense mode cheaper.
+    pub fn gather_rows(
+        &self,
+        root_idx: usize,
+        data: Option<Arc<Mat>>,
+        needed: &[usize],
+        cat: Cat,
+    ) -> Arc<Mat> {
+        assert!(root_idx < self.size(), "gather_rows root out of range");
+        assert_eq!(
+            data.is_some(),
+            root_idx == self.my_idx,
+            "gather_rows: exactly the root must supply data"
+        );
+        for w in needed.windows(2) {
+            assert!(
+                w[0] < w[1],
+                "gather_rows: needed rows must be sorted and distinct"
+            );
+        }
+        // The root declares the block geometry; receivers cannot know it
+        // yet (and their request sizes legitimately differ).
+        let shape = match &data {
+            Some(d) => Shape::Dims(d.rows(), d.cols()),
+            None => Shape::Unknown,
+        };
+        let fp = self.fingerprint(
+            CollectiveKind::GatherRows,
+            Some(root_idx),
+            None,
+            std::any::type_name::<Mat>(),
+            shape,
+        );
+        let deposit = GatherRowsDeposit {
+            needed: needed.to_vec(),
+            data,
+        };
+        let (items, tmax) = self.exchange_raw(CollectiveKind::GatherRows, fp, Arc::new(deposit));
+        let deposits: Vec<Arc<GatherRowsDeposit>> = items
+            .into_iter()
+            .map(Self::downcast::<GatherRowsDeposit>)
+            .collect();
+        let Some(block) = deposits[root_idx].data.clone() else {
+            panic!("gather_rows: payload missing at declared root — collective misuse")
+        };
+        let p = self.size();
+        // Wire words per requested row: the row itself plus one index word.
+        let row_words = block.cols() as u64 + 1;
+        let (cost, words) = if p <= 1 {
+            (0.0, 0)
+        } else if self.my_idx == root_idx {
+            let served: u64 = deposits
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != root_idx)
+                .map(|(_, d)| d.needed.len() as u64 * row_words)
+                .sum();
+            let m = self.model();
+            (m.alpha * (p - 1) as f64 + m.beta * served as f64, 0)
+        } else {
+            let w = needed.len() as u64 * row_words;
+            let m = self.model();
+            (2.0 * m.alpha + m.beta * w as f64, w)
+        };
+        let out = if self.my_idx == root_idx {
+            block
+        } else {
+            if let Some(&last) = needed.last() {
+                assert!(
+                    last < block.rows(),
+                    "gather_rows: requested row {last} out of range for {}-row block",
+                    block.rows()
+                );
+            }
+            let mut m = Mat::zeros(block.rows(), block.cols());
+            for &r in needed {
+                m.row_mut(r).copy_from_slice(block.row(r));
+            }
+            Arc::new(m)
+        };
+        self.settle(tmax, cat, cost, words);
         out
     }
 
@@ -662,13 +785,13 @@ impl Communicator {
         let (cost, words) = if p <= 1 {
             (0.0, 0)
         } else if self.my_idx == root_idx {
-            let total: u64 = all
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| *i != root_idx)
-                .map(|(_, x)| x.comm_words())
-                .sum();
-            (self.model().allgather_time(p, total), total)
+            // `allgather_time` takes *total* words and applies the
+            // (p−1)/p bandwidth discount itself, so the root charges the
+            // full vector (its own part included, mirroring `gather`) and
+            // records only the words actually sent to the leaves.
+            let total: u64 = all.iter().map(|x| x.comm_words()).sum();
+            let sent = total - all[root_idx].comm_words();
+            (self.model().allgather_time(p, total), sent)
         } else {
             let w = mine.comm_words();
             (self.model().p2p_time(w), w)
@@ -966,6 +1089,172 @@ mod tests {
         assert!(m.approx_eq(&Mat::filled(2, 2, 3.0), 0.0));
         assert_eq!(*clock, 0.0);
         assert_eq!(rep.comm_words(), 0);
+    }
+
+    #[test]
+    fn bcast_shared_skips_root_copy() {
+        let results = Cluster::new(3).run(|ctx| {
+            let mine = Arc::new(Mat::filled(4, 2, ctx.rank as f64));
+            let payload = (ctx.rank == 1).then(|| mine.clone());
+            let got = ctx.world.bcast_shared(1, payload, Cat::DenseComm);
+            (Arc::ptr_eq(&got, &mine), got.as_ref().clone())
+        });
+        for (rank, ((same_alloc, m), _)) in results.iter().enumerate() {
+            // The root's own allocation travels; no clone anywhere.
+            assert_eq!(*same_alloc, rank == 1);
+            assert!(m.approx_eq(&Mat::filled(4, 2, 1.0), 0.0));
+        }
+    }
+
+    #[test]
+    fn bcast_shared_charges_like_bcast() {
+        let run = |shared: bool| {
+            Cluster::new(4).run(move |ctx| {
+                if shared {
+                    let payload = (ctx.rank == 0).then(|| Arc::new(Mat::zeros(10, 10)));
+                    ctx.world.bcast_shared(0, payload, Cat::DenseComm);
+                } else {
+                    let payload = (ctx.rank == 0).then(|| Mat::zeros(10, 10));
+                    ctx.world.bcast(0, payload, Cat::DenseComm);
+                }
+                ctx.report()
+            })
+        };
+        for ((a, _), (b, _)) in run(true).iter().zip(run(false).iter()) {
+            assert_eq!(a.clock, b.clock);
+            assert_eq!(a.words(Cat::DenseComm), b.words(Cat::DenseComm));
+            assert_eq!(a.messages(Cat::DenseComm), b.messages(Cat::DenseComm));
+        }
+    }
+
+    #[test]
+    fn gather_rows_delivers_requested_rows_in_place() {
+        let results = Cluster::new(3).run(|ctx| {
+            let block = Arc::new(Mat::from_fn(6, 2, |i, j| (10 * i + j) as f64));
+            let payload = (ctx.rank == 1).then(|| block.clone());
+            let needed: Vec<usize> = vec![ctx.rank, ctx.rank + 3];
+            let got = ctx.world.gather_rows(1, payload, &needed, Cat::DenseComm);
+            (Arc::ptr_eq(&got, &block), got.as_ref().clone())
+        });
+        for (rank, ((same_alloc, m), _)) in results.iter().enumerate() {
+            assert_eq!(m.shape(), (6, 2));
+            if rank == 1 {
+                // Root keeps its own allocation, fully populated.
+                assert!(*same_alloc);
+                assert!(m.approx_eq(&Mat::from_fn(6, 2, |i, j| (10 * i + j) as f64), 0.0));
+            } else {
+                assert!(!*same_alloc);
+                for i in 0..6 {
+                    for j in 0..2 {
+                        let expect = if i == rank || i == rank + 3 {
+                            (10 * i + j) as f64
+                        } else {
+                            0.0
+                        };
+                        assert_eq!(m[(i, j)], expect, "rank {rank} at ({i},{j})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_rows_words_counted_once_at_receivers() {
+        // 8x4 block; rank r != 0 requests r+1 rows: words = k·(cols+1).
+        let results = Cluster::new(3).run(|ctx| {
+            let payload = (ctx.rank == 0).then(|| Arc::new(Mat::zeros(8, 4)));
+            let needed: Vec<usize> = (0..=ctx.rank).collect();
+            ctx.world.gather_rows(0, payload, &needed, Cat::DenseComm);
+            ctx.report()
+        });
+        assert_eq!(results[0].0.words(Cat::DenseComm), 0); // root serves, records nothing
+        assert_eq!(results[1].0.words(Cat::DenseComm), 2 * 5);
+        assert_eq!(results[2].0.words(Cat::DenseComm), 3 * 5);
+        for (rep, _) in &results {
+            assert_eq!(rep.messages(Cat::DenseComm), 1);
+        }
+    }
+
+    #[test]
+    fn gather_rows_cost_matches_alpha_beta_formulas() {
+        let model = CostModel::summit_like();
+        let (alpha, beta) = (model.alpha, model.beta);
+        let results = Cluster::new(4).with_model(model).run(|ctx| {
+            let payload = (ctx.rank == 2).then(|| Arc::new(Mat::zeros(10, 5)));
+            let needed: Vec<usize> = (0..2 * ctx.rank + 1).collect();
+            ctx.world.gather_rows(2, payload, &needed, Cat::DenseComm);
+            ctx.clock()
+        });
+        // Served rows from ranks 0, 1, 3: 1 + 3 + 7 = 11, each 6 words.
+        let root_cost = alpha * 3.0 + beta * (11.0 * 6.0);
+        for (rank, (clock, _)) in results.iter().enumerate() {
+            let expect = if rank == 2 {
+                root_cost
+            } else {
+                alpha * 2.0 + beta * ((2 * rank + 1) as f64 * 6.0)
+            };
+            assert!(
+                (clock - expect).abs() < 1e-15,
+                "rank {rank}: clock {clock} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn gather_rows_single_rank_is_free() {
+        let results = Cluster::new(1).run(|ctx| {
+            let block = Arc::new(Mat::filled(3, 3, 7.0));
+            let got = ctx
+                .world
+                .gather_rows(0, Some(block.clone()), &[0, 2], Cat::DenseComm);
+            (Arc::ptr_eq(&got, &block), ctx.clock(), ctx.report())
+        });
+        let ((same, clock, rep), _) = &results[0];
+        assert!(same);
+        assert_eq!(*clock, 0.0);
+        assert_eq!(rep.comm_words(), 0);
+    }
+
+    #[test]
+    fn gather_rows_verifies_under_check_mode() {
+        use cagnet_check::CheckMode;
+        let results = Cluster::new(3).with_check(CheckMode::On).run(|ctx| {
+            let payload = (ctx.rank == 0).then(|| Arc::new(Mat::filled(4, 2, 1.0)));
+            let got = ctx
+                .world
+                .gather_rows(0, payload, &[ctx.rank], Cat::DenseComm);
+            got[(ctx.rank, 0)]
+        });
+        for (v, _) in results {
+            assert_eq!(v, 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and distinct")]
+    fn gather_rows_rejects_unsorted_request() {
+        Cluster::new(1).run(|ctx| {
+            let block = Arc::new(Mat::zeros(4, 1));
+            ctx.world
+                .gather_rows(0, Some(block), &[2, 1], Cat::DenseComm);
+        });
+    }
+
+    #[test]
+    fn scatter_root_charges_full_allgather_volume() {
+        // Audit pin: the root passes *total* words (its own part included)
+        // to allgather_time; the (p−1)/p discount is applied exactly once.
+        let model = CostModel::summit_like();
+        let expect = model.allgather_time(4, 4 * 6);
+        let results = Cluster::new(4).with_model(model).run(|ctx| {
+            let parts = (ctx.rank == 0).then(|| vec![vec![0.0f64; 6]; 4]);
+            ctx.world.scatter(0, parts, Cat::DenseComm);
+            (ctx.clock(), ctx.report())
+        });
+        let ((root_clock, root_rep), _) = &results[0];
+        assert!((root_clock - expect).abs() < 1e-15);
+        // Root records only the 3 parts actually sent.
+        assert_eq!(root_rep.words(Cat::DenseComm), 3 * 6);
     }
 
     #[test]

@@ -342,6 +342,70 @@ mod tests {
     }
 
     #[test]
+    fn table_ii_formulas_pinned_exactly() {
+        // Direct pins of the paper's Table II α–β expressions, evaluated
+        // against the closed forms with no tolerance games. `w` is always
+        // the *total* vector size; callers must never pre-divide by P.
+        let m = CostModel {
+            alpha: 3.0,
+            beta: 0.5,
+            pipelined_bcast: false,
+            ..CostModel::summit_like()
+        };
+        let lg = |p: usize| (p as f64).log2().ceil();
+        for p in [2usize, 3, 4, 5, 7, 8, 16, 63] {
+            for w in [1u64, 80, 4096] {
+                let wf = w as f64;
+                let pm1 = p as f64 - 1.0;
+                // broadcast (tree): α·⌈lg P⌉ + β·w
+                assert_eq!(m.bcast_time(p, w), 3.0 * lg(p) + 0.5 * wf, "bcast p={p}");
+                // reduce-scatter: α·⌈lg P⌉ + β·w·(P−1)/P, associated
+                // exactly as written (β·w, then ·(P−1), then /P).
+                assert_eq!(
+                    m.reduce_scatter_time(p, w),
+                    3.0 * lg(p) + 0.5 * wf * pm1 / p as f64,
+                    "rs p={p} w={w}"
+                );
+                // all-gather: identical form to reduce-scatter
+                assert_eq!(
+                    m.allgather_time(p, w),
+                    3.0 * lg(p) + 0.5 * wf * pm1 / p as f64,
+                    "ag p={p} w={w}"
+                );
+                // all-reduce = reduce-scatter + all-gather, doubled
+                // term by term
+                assert_eq!(
+                    m.allreduce_time(p, w),
+                    2.0 * 3.0 * lg(p) + 2.0 * 0.5 * wf * pm1 / p as f64,
+                    "ar p={p} w={w}"
+                );
+                // point-to-point: α + β·w
+                assert_eq!(m.p2p_time(w), 3.0 + 0.5 * wf);
+            }
+        }
+        // Pipelined broadcast drops the ⌈lg P⌉ latency factor only.
+        let pipe = CostModel {
+            pipelined_bcast: true,
+            ..m.clone()
+        };
+        assert_eq!(pipe.bcast_time(64, 1000), 3.0 + 0.5 * 1000.0);
+    }
+
+    #[test]
+    fn non_power_of_two_latency_rounds_up() {
+        // ⌈lg P⌉: 5 ranks need 3 communication rounds, not log2(5)≈2.32.
+        let m = CostModel {
+            alpha: 1.0,
+            beta: 0.0,
+            pipelined_bcast: false,
+            ..CostModel::summit_like()
+        };
+        assert_eq!(m.bcast_time(5, 0), 3.0);
+        assert_eq!(m.reduce_scatter_time(9, 0), 4.0);
+        assert_eq!(m.barrier_time(2), 1.0);
+    }
+
+    #[test]
     fn hypersparsity_reproduces_yang_ratio() {
         // Yang et al.: degree 62 -> 8 cuts sustained rate ~3x.
         let m = CostModel::summit_like();

@@ -62,7 +62,31 @@ pub fn save_weights<W: Write>(writer: W, weights: &[Mat]) -> Result<(), Checkpoi
 }
 
 /// Read a weight stack from any reader.
+///
+/// Equivalent to [`load_weights_limited`] with an unknown input length:
+/// declared sizes are still bounds-checked and allocation is grown
+/// incrementally, but a corrupted header can only be caught when the
+/// data read runs dry. Prefer [`load_weights_file`] (which knows the
+/// file size) when reading from disk.
 pub fn load_weights<R: Read>(reader: R) -> Result<Vec<Mat>, CheckpointError> {
+    load_weights_limited(reader, None)
+}
+
+/// Preallocation cap (elements) when the input length is unknown: a
+/// hostile header then costs at most 512 KiB up front, with the vector
+/// growing only as actual data arrives.
+const PREALLOC_CAP: usize = 1 << 16;
+
+/// Read a weight stack, validating every declared matrix size against
+/// the total input length when it is known. A corrupted or hostile
+/// header (e.g. `rows = 2^16, cols = 2^16` in a 40-byte file) is then
+/// rejected with [`CheckpointError::Format`] *before* any allocation or
+/// data read happens, instead of attempting a multi-gigabyte
+/// `Vec::with_capacity`.
+pub fn load_weights_limited<R: Read>(
+    reader: R,
+    input_len: Option<u64>,
+) -> Result<Vec<Mat>, CheckpointError> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)
@@ -76,10 +100,14 @@ pub fn load_weights<R: Read>(reader: R) -> Result<Vec<Mat>, CheckpointError> {
             "implausible matrix count {count}"
         )));
     }
-    let mut out = Vec::with_capacity(count);
+    // Bytes consumed so far: magic + count, then per-matrix headers and
+    // data as we go.
+    let mut consumed: u64 = 16;
+    let mut out = Vec::with_capacity(count.min(PREALLOC_CAP));
     for i in 0..count {
         let rows = read_u64(&mut r)? as usize;
         let cols = read_u64(&mut r)? as usize;
+        consumed += 16;
         let elems = rows
             .checked_mul(cols)
             .ok_or_else(|| CheckpointError::Format(format!("matrix {i}: size overflow")))?;
@@ -88,13 +116,29 @@ pub fn load_weights<R: Read>(reader: R) -> Result<Vec<Mat>, CheckpointError> {
                 "matrix {i}: implausible size {rows}x{cols}"
             )));
         }
-        let mut data = Vec::with_capacity(elems);
+        let data_bytes = elems as u64 * 8;
+        if let Some(len) = input_len {
+            if consumed + data_bytes > len {
+                return Err(CheckpointError::Format(format!(
+                    "matrix {i}: declared size {rows}x{cols} exceeds remaining input \
+                     ({data_bytes} bytes needed, {} available)",
+                    len.saturating_sub(consumed)
+                )));
+            }
+        }
+        let cap = if input_len.is_some() {
+            elems
+        } else {
+            elems.min(PREALLOC_CAP)
+        };
+        let mut data = Vec::with_capacity(cap);
         let mut buf = [0u8; 8];
         for _ in 0..elems {
             r.read_exact(&mut buf)
                 .map_err(|_| CheckpointError::Format(format!("matrix {i}: truncated data")))?;
             data.push(f64::from_le_bytes(buf));
         }
+        consumed += data_bytes;
         out.push(Mat::from_vec(rows, cols, data));
     }
     // Trailing garbage is a corruption signal.
@@ -117,9 +161,13 @@ pub fn save_weights_file<P: AsRef<Path>>(path: P, weights: &[Mat]) -> Result<(),
     save_weights(std::fs::File::create(path)?, weights)
 }
 
-/// Load a weight stack from a file path.
+/// Load a weight stack from a file path. The file size bounds every
+/// declared matrix size up front (see [`load_weights_limited`]), so
+/// corrupted headers fail fast without large allocations.
 pub fn load_weights_file<P: AsRef<Path>>(path: P) -> Result<Vec<Mat>, CheckpointError> {
-    load_weights(std::fs::File::open(path)?)
+    let f = std::fs::File::open(path)?;
+    let len = f.metadata()?.len();
+    load_weights_limited(f, Some(len))
 }
 
 #[cfg(test)]
@@ -186,6 +234,58 @@ mod tests {
         let mut huge = MAGIC.to_vec();
         huge.extend_from_slice(&u64::MAX.to_le_bytes());
         assert!(load_weights(&huge[..]).is_err());
+    }
+
+    #[test]
+    fn hostile_size_header_is_rejected_before_allocation() {
+        // A 40-byte file claiming one 2^16 x 2^16 matrix: the element
+        // count (2^32) passes the absolute plausibility cap, but the 32
+        // GiB of data it implies cannot fit the remaining input. With a
+        // known input length this must fail up front.
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&(1u64 << 16).to_le_bytes());
+        buf.extend_from_slice(&(1u64 << 16).to_le_bytes());
+        let err = load_weights_limited(&buf[..], Some(buf.len() as u64)).unwrap_err();
+        match err {
+            CheckpointError::Format(m) => {
+                assert!(m.contains("exceeds remaining input"), "{m}")
+            }
+            e => panic!("expected Format error, got: {e}"),
+        }
+        // Unknown input length: still an error (data runs dry), still no
+        // huge up-front allocation (bounded by PREALLOC_CAP).
+        assert!(load_weights(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn fuzzed_corruption_errors_cleanly() {
+        // Deterministic xorshift byte-flipping over a valid checkpoint:
+        // every mutation must yield Ok or CheckpointError — never a
+        // panic, abort, or runaway allocation.
+        let weights = vec![glorot_uniform(4, 3, 8), glorot_uniform(3, 2, 9)];
+        let mut base = Vec::new();
+        save_weights(&mut base, &weights).unwrap();
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..1000 {
+            let mut buf = base.clone();
+            for _ in 0..=(rng() as usize % 3) {
+                let pos = rng() as usize % buf.len();
+                buf[pos] ^= (rng() % 255 + 1) as u8;
+            }
+            // Occasionally truncate too.
+            if rng() % 4 == 0 {
+                buf.truncate(rng() as usize % (base.len() + 1));
+            }
+            let _ = load_weights_limited(&buf[..], Some(buf.len() as u64));
+            let _ = load_weights(&buf[..]);
+        }
     }
 
     #[test]

@@ -33,7 +33,29 @@ pub mod twodim;
 
 use cagnet_comm::{Cat, Ctx};
 use cagnet_dense::Mat;
+use std::borrow::Borrow;
 use std::fmt;
+
+/// How the row-distributed trainers (1D, 1D-row, 1.5D) move dense
+/// feature/gradient blocks between ranks.
+///
+/// The broadcast stages of those algorithms send each rank's *entire*
+/// block every stage, but a receiver multiplying `Aᵀ_{ij}` only reads the
+/// rows matching that block's nonzero columns. `SparsityAware` switches
+/// the stages to [`gather_rows`], which moves only the requested rows
+/// (plus their indices) — bit-identical training at a fraction of the
+/// metered `Cat::DenseComm` words on sparse graphs. See DESIGN.md §9 for
+/// the cost accounting and when `Dense` still wins.
+///
+/// [`gather_rows`]: cagnet_comm::comm::Communicator::gather_rows
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CommMode {
+    /// Broadcast full dense blocks every stage (the paper's baseline).
+    #[default]
+    Dense,
+    /// Exchange only the rows each receiver's sparse block references.
+    SparsityAware,
+}
 
 /// Why a distributed trainer cannot be constructed on this cluster
 /// geometry and problem. Returned by the trainers' `try_setup`
@@ -71,10 +93,13 @@ impl std::error::Error for SetupError {}
 
 /// The newest stored activation `H^L` — the trainer's output block.
 /// Trainers seed `hs` with the feature block at construction, so this
-/// cannot fail after `setup`; the message covers direct misuse.
-pub(crate) fn output_block(hs: &[Mat]) -> &Mat {
+/// cannot fail after `setup`; the message covers direct misuse. Generic
+/// over the storage: plain `Mat` stacks and the `Arc<Mat>` stacks the
+/// broadcast-based trainers keep (so their own block rides into
+/// collectives without a copy) both work.
+pub(crate) fn output_block<M: Borrow<Mat>>(hs: &[M]) -> &Mat {
     match hs.last() {
-        Some(h) => h,
+        Some(h) => h.borrow(),
         None => panic!("no stored activations: run setup/forward first"),
     }
 }
@@ -111,8 +136,8 @@ pub(crate) fn csr_words(a: &cagnet_sparse::Csr) -> usize {
 }
 
 /// Total elements across a stack of dense matrices.
-pub(crate) fn mats_words(ms: &[Mat]) -> usize {
-    ms.iter().map(Mat::len).sum()
+pub(crate) fn mats_words<M: Borrow<Mat>>(ms: &[M]) -> usize {
+    ms.iter().map(|m| m.borrow().len()).sum()
 }
 
 /// All-gather per-rank `(correct, total)` accuracy counts and return the

@@ -61,6 +61,13 @@ pub struct One5DTrainer {
     /// Forward stage operands: `Aᵀ(coarse rows i, fine cols i'·c + r)`
     /// for `i' = 0..p₁`.
     at_fwd: Vec<Csr>,
+    /// Per forward stage `i'`: the sorted distinct columns of
+    /// `at_fwd[i']` — the rows of the broadcast fine `H` block this rank
+    /// actually reads (sparsity-aware mode).
+    needed: Vec<Vec<usize>>,
+    /// Dense broadcast vs sparsity-aware row exchange for the forward
+    /// stages.
+    comm_mode: super::CommMode,
     /// Backward operand: `Aᵀ(coarse rows i, ·)` restricted to the columns
     /// of all fine blocks `≡ r (mod c)`, concatenated in team order.
     at_bwd: Csr,
@@ -74,7 +81,9 @@ pub struct One5DTrainer {
     epoch_counter: u64,
     drop_masks: Vec<Option<Mat>>,
     zs: Vec<Mat>,
-    hs: Vec<Mat>,
+    /// Stored activations, shared so blocks enter broadcast stages
+    /// without a copy.
+    hs: Vec<Arc<Mat>>,
 }
 
 impl One5DTrainer {
@@ -130,6 +139,7 @@ impl One5DTrainer {
                 at_coarse.block(0, cr1 - cr0, b0, b1)
             })
             .collect();
+        let needed = at_fwd.iter().map(Csr::needed_cols).collect();
         // Backward: same column slices, concatenated in team order i'.
         let at_bwd = {
             let mut coo = cagnet_sparse::Coo::new(
@@ -167,6 +177,8 @@ impl One5DTrainer {
             train_count: problem.train_count(),
             fine_r0: fr0,
             at_fwd,
+            needed,
+            comm_mode: super::CommMode::Dense,
             at_bwd,
             labels: Arc::new(problem.labels.clone()),
             mask: Arc::new(problem.train_mask.clone()),
@@ -181,7 +193,7 @@ impl One5DTrainer {
             drop_masks: Vec::new(),
             weights: cfg.init_weights(),
             zs: Vec::new(),
-            hs: vec![h0],
+            hs: vec![Arc::new(h0)],
         })
     }
 
@@ -200,7 +212,13 @@ impl One5DTrainer {
             let mut partial = Mat::zeros(coarse_rows, f_in);
             for ip in 0..self.p1 {
                 let payload = (ip == self.ti).then(|| self.hs[l].clone());
-                let h_b = self.rep.bcast(ip, payload, Cat::DenseComm);
+                let h_b = match self.comm_mode {
+                    super::CommMode::Dense => self.rep.bcast_shared(ip, payload, Cat::DenseComm),
+                    super::CommMode::SparsityAware => {
+                        self.rep
+                            .gather_rows(ip, payload, &self.needed[ip], Cat::DenseComm)
+                    }
+                };
                 ctx.charge_spmm(self.at_fwd[ip].nnz(), coarse_rows, f_in);
                 spmm_acc_with(ctx.parallel(), &self.at_fwd[ip], &h_b, &mut partial);
             }
@@ -219,7 +237,7 @@ impl One5DTrainer {
             };
             ctx.charge_elementwise(z.len());
             self.zs.push(z);
-            self.hs.push(h);
+            self.hs.push(Arc::new(h));
         }
         let local = nll_sum(
             super::output_block(&self.hs),
@@ -331,6 +349,14 @@ impl One5DTrainer {
     pub fn set_dropout(&mut self, rate: f64) {
         assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1)");
         self.dropout = rate;
+    }
+
+    /// Choose dense broadcasts or the sparsity-aware row exchange for the
+    /// forward stages (see [`super::CommMode`]). Training results are
+    /// bit-identical in both modes; only the metered communication
+    /// changes. Must be set identically on every rank.
+    pub fn set_comm_mode(&mut self, mode: super::CommMode) {
+        self.comm_mode = mode;
     }
 
     /// Select the hidden-layer activation (default ReLU, the paper's σ;

@@ -36,6 +36,12 @@ pub struct OneDimTrainer {
     /// Block row `i` of `Aᵀ` split into `P` column blocks
     /// (`Aᵀ_{ij}`, each `n_i x n_j`).
     at_blocks: Vec<Csr>,
+    /// Per stage `j`: the sorted distinct columns of `Aᵀ_{ij}` — the rows
+    /// of `H_j` this rank actually reads (sparsity-aware mode).
+    needed: Vec<Vec<usize>>,
+    /// Dense broadcast vs sparsity-aware row exchange for the forward
+    /// stages.
+    comm_mode: super::CommMode,
     /// The full block row `Aᵀ_i` (`n_i x n`) — the CSR-of-transpose of
     /// `A`'s column block `i`, used directly by the backward outer
     /// product.
@@ -52,8 +58,10 @@ pub struct OneDimTrainer {
     drop_masks: Vec<Option<Mat>>,
     /// Stored block-row pre-activations from the last forward pass.
     zs: Vec<Mat>,
-    /// Stored block-row activations (`hs\[0\]` = my feature block).
-    hs: Vec<Mat>,
+    /// Stored block-row activations (`hs\[0\]` = my feature block),
+    /// shared so the owner's block enters broadcast stages without a
+    /// copy.
+    hs: Vec<Arc<Mat>>,
 }
 
 impl OneDimTrainer {
@@ -87,10 +95,11 @@ impl OneDimTrainer {
         }
         let (r0, r1) = block_range(n, p, ctx.rank);
         let at_row = problem.adj_t.block(r0, r1, 0, n);
-        let at_blocks = block_ranges(n, p)
+        let at_blocks: Vec<Csr> = block_ranges(n, p)
             .into_iter()
             .map(|(c0, c1)| at_row.block(0, r1 - r0, c0, c1))
             .collect();
+        let needed = at_blocks.iter().map(Csr::needed_cols).collect();
         let h0 = problem.features.block(r0, r1, 0, problem.features.cols());
         Ok(OneDimTrainer {
             cfg: cfg.clone(),
@@ -98,6 +107,8 @@ impl OneDimTrainer {
             train_count: problem.train_count(),
             r0,
             at_blocks,
+            needed,
+            comm_mode: super::CommMode::Dense,
             at_row,
             labels: Arc::new(problem.labels.clone()),
             mask: Arc::new(problem.train_mask.clone()),
@@ -112,7 +123,7 @@ impl OneDimTrainer {
             drop_masks: Vec::new(),
             weights: cfg.init_weights(),
             zs: Vec::new(),
-            hs: vec![h0],
+            hs: vec![Arc::new(h0)],
         })
     }
 
@@ -133,8 +144,16 @@ impl OneDimTrainer {
             let f_out = self.cfg.dims[l + 1];
             let mut t = Mat::zeros(self.my_rows(), f_in);
             for j in 0..p {
+                // Arc clone only — the owner's resident block is never
+                // deep-copied, root or not.
                 let payload = (j == ctx.rank).then(|| self.hs[l].clone());
-                let hj = ctx.world.bcast(j, payload, Cat::DenseComm);
+                let hj = match self.comm_mode {
+                    super::CommMode::Dense => ctx.world.bcast_shared(j, payload, Cat::DenseComm),
+                    super::CommMode::SparsityAware => {
+                        ctx.world
+                            .gather_rows(j, payload, &self.needed[j], Cat::DenseComm)
+                    }
+                };
                 ctx.charge_spmm(self.at_blocks[j].nnz(), self.at_blocks[j].rows(), f_in);
                 spmm_acc_with(ctx.parallel(), &self.at_blocks[j], &hj, &mut t);
             }
@@ -152,7 +171,7 @@ impl OneDimTrainer {
             };
             ctx.charge_elementwise(z.len());
             self.zs.push(z);
-            self.hs.push(h);
+            self.hs.push(Arc::new(h));
         }
         let local = nll_sum(
             super::output_block(&self.hs),
@@ -260,6 +279,14 @@ impl OneDimTrainer {
     pub fn set_dropout(&mut self, rate: f64) {
         assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1)");
         self.dropout = rate;
+    }
+
+    /// Choose dense broadcasts or the sparsity-aware row exchange for the
+    /// forward stages (see [`super::CommMode`]). Training results are
+    /// bit-identical in both modes; only the metered communication
+    /// changes. Must be set identically on every rank.
+    pub fn set_comm_mode(&mut self, mode: super::CommMode) {
+        self.comm_mode = mode;
     }
 
     /// Select the hidden-layer activation (default ReLU, the paper's σ;

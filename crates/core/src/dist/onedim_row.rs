@@ -36,6 +36,12 @@ pub struct OneDimRowTrainer {
     /// `A_i` split into `P` column blocks for the backward block-row
     /// multiply.
     a_blocks: Vec<Csr>,
+    /// Per stage `j`: the sorted distinct columns of `A_{ij}` — the rows
+    /// of `G_j` this rank actually reads (sparsity-aware mode).
+    needed: Vec<Vec<usize>>,
+    /// Dense broadcast vs sparsity-aware row exchange for the backward
+    /// stages.
+    comm_mode: super::CommMode,
     labels: Arc<Vec<usize>>,
     mask: Arc<Vec<bool>>,
     weights: Vec<Mat>,
@@ -46,7 +52,9 @@ pub struct OneDimRowTrainer {
     epoch_counter: u64,
     drop_masks: Vec<Option<Mat>>,
     zs: Vec<Mat>,
-    hs: Vec<Mat>,
+    /// Stored activations, shared so blocks enter broadcast stages
+    /// without a copy.
+    hs: Vec<Arc<Mat>>,
 }
 
 impl OneDimRowTrainer {
@@ -75,10 +83,11 @@ impl OneDimRowTrainer {
         }
         let (r0, r1) = block_range(n, p, ctx.rank);
         let a_row = problem.adj.block(r0, r1, 0, n);
-        let a_blocks = block_ranges(n, p)
+        let a_blocks: Vec<Csr> = block_ranges(n, p)
             .into_iter()
             .map(|(c0, c1)| a_row.block(0, r1 - r0, c0, c1))
             .collect();
+        let needed = a_blocks.iter().map(Csr::needed_cols).collect();
         let h0 = problem.features.block(r0, r1, 0, problem.features.cols());
         Ok(OneDimRowTrainer {
             cfg: cfg.clone(),
@@ -86,6 +95,8 @@ impl OneDimRowTrainer {
             r0,
             a_row,
             a_blocks,
+            needed,
+            comm_mode: super::CommMode::Dense,
             labels: Arc::new(problem.labels.clone()),
             mask: Arc::new(problem.train_mask.clone()),
             opt: {
@@ -99,7 +110,7 @@ impl OneDimRowTrainer {
             drop_masks: Vec::new(),
             weights: cfg.init_weights(),
             zs: Vec::new(),
-            hs: vec![h0],
+            hs: vec![Arc::new(h0)],
         })
     }
 
@@ -129,7 +140,7 @@ impl OneDimRowTrainer {
             };
             ctx.charge_elementwise(z.len());
             self.zs.push(z);
-            self.hs.push(h);
+            self.hs.push(Arc::new(h));
         }
         let local = nll_sum(
             super::output_block(&self.hs),
@@ -145,13 +156,14 @@ impl OneDimRowTrainer {
         let l_total = self.cfg.layers();
         assert_eq!(self.zs.len(), l_total, "forward must run before backward");
         let p = ctx.size;
-        let mut g = output_gradient(
+        // Shared so my block enters the broadcast stages without a copy.
+        let mut g = Arc::new(output_gradient(
             &self.zs[l_total - 1],
             &self.labels,
             &self.mask,
             self.r0,
             self.train_count,
-        );
+        ));
         ctx.charge_elementwise(g.len());
         for l in (0..l_total).rev() {
             let f_in = self.cfg.dims[l];
@@ -160,7 +172,13 @@ impl OneDimRowTrainer {
             let mut ag = Mat::zeros(self.a_row.rows(), f_out);
             for j in 0..p {
                 let payload = (j == ctx.rank).then(|| g.clone());
-                let gj = ctx.world.bcast(j, payload, Cat::DenseComm);
+                let gj = match self.comm_mode {
+                    super::CommMode::Dense => ctx.world.bcast_shared(j, payload, Cat::DenseComm),
+                    super::CommMode::SparsityAware => {
+                        ctx.world
+                            .gather_rows(j, payload, &self.needed[j], Cat::DenseComm)
+                    }
+                };
                 ctx.charge_spmm(self.a_blocks[j].nnz(), self.a_blocks[j].rows(), f_out);
                 spmm_acc_with(ctx.parallel(), &self.a_blocks[j], &gj, &mut ag);
             }
@@ -171,12 +189,13 @@ impl OneDimRowTrainer {
             let y = ctx.world.allreduce_mat(&y_partial, Cat::DenseComm);
             if l > 0 {
                 ctx.charge_gemm(ag.rows(), f_out, f_in);
-                g = matmul_nt_with(ctx.parallel(), &ag, &self.weights[l]);
-                hadamard_assign(&mut g, &self.act.prime(&self.zs[l - 1]));
+                let mut next_g = matmul_nt_with(ctx.parallel(), &ag, &self.weights[l]);
+                hadamard_assign(&mut next_g, &self.act.prime(&self.zs[l - 1]));
                 if let Some(mask) = self.drop_masks[l - 1].take() {
-                    hadamard_assign(&mut g, &mask);
+                    hadamard_assign(&mut next_g, &mask);
                 }
-                ctx.charge_elementwise(g.len());
+                ctx.charge_elementwise(next_g.len());
+                g = Arc::new(next_g);
             }
             self.opt.step(l, &mut self.weights[l], &y);
             ctx.charge_elementwise(y.len());
@@ -240,6 +259,14 @@ impl OneDimRowTrainer {
     pub fn set_dropout(&mut self, rate: f64) {
         assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1)");
         self.dropout = rate;
+    }
+
+    /// Choose dense broadcasts or the sparsity-aware row exchange for the
+    /// backward stages (see [`super::CommMode`]). Training results are
+    /// bit-identical in both modes; only the metered communication
+    /// changes. Must be set identically on every rank.
+    pub fn set_comm_mode(&mut self, mode: super::CommMode) {
+        self.comm_mode = mode;
     }
 
     /// Select the hidden-layer activation (default ReLU, the paper's σ;

@@ -14,6 +14,7 @@ use cagnet_dense::activation::Activation;
 use cagnet_dense::Mat;
 
 pub use crate::dist::twodim::TwoDimConfig;
+pub use crate::dist::CommMode;
 
 /// Which parallel algorithm to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,6 +90,11 @@ pub struct TrainConfig {
     /// = serial). Results are bit-for-bit independent of this knob; only
     /// wall-clock and the modeled compute terms change.
     pub threads_per_rank: usize,
+    /// How the row-distributed algorithms (1D, 1D-row, 1.5D) move dense
+    /// blocks: full broadcasts or the sparsity-aware row exchange.
+    /// Results are bit-for-bit independent of this knob; only the metered
+    /// communication changes. Ignored by 2D/3D.
+    pub comm_mode: CommMode,
 }
 
 impl Default for TrainConfig {
@@ -101,6 +107,7 @@ impl Default for TrainConfig {
             activation: Activation::Relu,
             dropout: 0.0,
             threads_per_rank: 1,
+            comm_mode: CommMode::default(),
         }
     }
 }
@@ -178,9 +185,21 @@ pub fn infer_distributed(
                 }};
             }
             match algo {
-                Algorithm::OneD => run_forward!(OneDimTrainer::setup(ctx, problem, gcn)),
-                Algorithm::OneDRow => run_forward!(OneDimRowTrainer::setup(ctx, problem, gcn)),
-                Algorithm::One5D { c } => run_forward!(One5DTrainer::setup(ctx, problem, gcn, c)),
+                Algorithm::OneD => {
+                    let mut t = OneDimTrainer::setup(ctx, problem, gcn);
+                    t.set_comm_mode(tc.comm_mode);
+                    run_forward!(t)
+                }
+                Algorithm::OneDRow => {
+                    let mut t = OneDimRowTrainer::setup(ctx, problem, gcn);
+                    t.set_comm_mode(tc.comm_mode);
+                    run_forward!(t)
+                }
+                Algorithm::One5D { c } => {
+                    let mut t = One5DTrainer::setup(ctx, problem, gcn, c);
+                    t.set_comm_mode(tc.comm_mode);
+                    run_forward!(t)
+                }
                 Algorithm::TwoD => {
                     run_forward!(TwoDimTrainer::setup(ctx, problem, gcn, tc.twod))
                 }
@@ -250,16 +269,19 @@ pub fn train_distributed(
                     t.set_optimizer(tc.optimizer);
                     t.set_hidden_activation(tc.activation);
                     t.set_dropout(tc.dropout);
+                    t.set_comm_mode(tc.comm_mode);
                 }
                 AnyTrainer::OneDRow(t) => {
                     t.set_optimizer(tc.optimizer);
                     t.set_hidden_activation(tc.activation);
                     t.set_dropout(tc.dropout);
+                    t.set_comm_mode(tc.comm_mode);
                 }
                 AnyTrainer::One5D(t) => {
                     t.set_optimizer(tc.optimizer);
                     t.set_hidden_activation(tc.activation);
                     t.set_dropout(tc.dropout);
+                    t.set_comm_mode(tc.comm_mode);
                 }
                 AnyTrainer::TwoD(t) => {
                     t.set_optimizer(tc.optimizer);

@@ -178,6 +178,23 @@ impl Csr {
         (0..self.rows).filter(|&i| self.row_nnz(i) > 0).count()
     }
 
+    /// Sorted distinct column indices that carry at least one nonzero —
+    /// exactly the feature rows a rank multiplying this block needs from
+    /// the owner of the corresponding row partition. This is the
+    /// needed-row set of sparsity-aware communication (Mukhopadhyay et
+    /// al.): a receiver holding `Aᵀ_{ij}` touches only these rows of
+    /// `H_j`, so only they need to travel.
+    pub fn needed_cols(&self) -> Vec<usize> {
+        let mut seen = vec![false; self.cols];
+        for &c in &self.col_idx {
+            seen[c] = true;
+        }
+        seen.iter()
+            .enumerate()
+            .filter_map(|(c, &s)| s.then_some(c))
+            .collect()
+    }
+
     /// Value at `(i, j)` (0 if not stored).
     pub fn get(&self, i: usize, j: usize) -> f64 {
         let lo = self.row_ptr[i];
@@ -362,6 +379,23 @@ mod tests {
         assert_eq!(a.row_nnz(1), 0);
         assert_eq!(a.non_empty_rows(), 2);
         assert!((a.avg_degree() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn needed_cols_is_sorted_distinct() {
+        let a = sample();
+        // Columns 0 (rows 0, 2), 1 (row 2), 2 (row 0); never column 3+.
+        assert_eq!(a.needed_cols(), vec![0, 1, 2]);
+        // A block sees only its local column window.
+        assert_eq!(a.block(0, 3, 1, 3).needed_cols(), vec![0, 1]);
+        assert_eq!(Csr::empty(4, 5).needed_cols(), Vec::<usize>::new());
+        // Duplicate columns across rows are reported once and sorted.
+        let b = Csr::from_coo(Coo::from_entries(
+            3,
+            4,
+            vec![(0, 3, 1.0), (1, 3, 1.0), (2, 0, 1.0)],
+        ));
+        assert_eq!(b.needed_cols(), vec![0, 3]);
     }
 
     #[test]

@@ -113,6 +113,54 @@ fn dropout_masks_refresh_every_epoch() {
 }
 
 #[test]
+fn masks_vary_by_epoch_but_agree_across_rank_windows() {
+    // The mask generator is a pure function of (seed, epoch, layer,
+    // global position): different epochs must draw different masks, while
+    // any partition of the rows into per-rank windows must reassemble the
+    // exact same global mask — the property behind both cross-rank
+    // agreement and Dense/SparsityAware bit-identity.
+    use cagnet::core::dropout::{mask_block, DropoutKey};
+    let key = |epoch| DropoutKey {
+        base_seed: 9,
+        epoch,
+        layer: 0,
+    };
+    let (rows, cols, rate) = (20, 8, 0.5);
+    let full1 = mask_block(key(1), rate, 0, rows, cols, 0, cols);
+    let full2 = mask_block(key(2), rate, 0, rows, cols, 0, cols);
+    assert_ne!(full1, full2, "masks must refresh between epochs");
+    // Two "ranks" each drawing their own row window reproduce the global
+    // mask bit for bit.
+    let top = mask_block(key(1), rate, 0, 10, cols, 0, cols);
+    let bot = mask_block(key(1), rate, 10, 10, cols, 0, cols);
+    for i in 0..10 {
+        for j in 0..cols {
+            assert_eq!(top[(i, j)], full1[(i, j)], "top window at ({i},{j})");
+            assert_eq!(
+                bot[(i, j)],
+                full1[(i + 10, j)],
+                "bottom window at ({i},{j})"
+            );
+        }
+    }
+    // Layers draw independent masks too.
+    let other_layer = mask_block(
+        DropoutKey {
+            base_seed: 9,
+            epoch: 1,
+            layer: 1,
+        },
+        rate,
+        0,
+        rows,
+        cols,
+        0,
+        cols,
+    );
+    assert_ne!(full1, other_layer, "layers must draw independent masks");
+}
+
+#[test]
 #[should_panic(expected = "rate must be in")]
 fn invalid_rate_rejected() {
     let p = problem(75);
