@@ -1,0 +1,142 @@
+//! Overlap benchmark (DESIGN.md §10): modeled epoch time and harness
+//! wall-clock time with nonblocking communication/computation overlap on
+//! vs off, for every trainer × P ∈ {1, 2, 4, 8} (respecting each
+//! algorithm's process geometry). Writes the full measurement set to
+//! `BENCH_overlap.json` (override with `--out <path>`) so CI can archive
+//! the perf history as an artifact.
+//!
+//! ```text
+//! cargo run --release -p cagnet-bench --bin overlap_bench [-- --out <path>]
+//! ```
+
+use cagnet_bench::measure_epochs_cfg;
+use cagnet_core::trainer::{Algorithm, TrainConfig};
+use cagnet_core::{GcnConfig, Problem};
+use cagnet_sparse::generate::{rmat_symmetric, RmatParams};
+use serde::Serialize;
+use std::time::Instant;
+
+const EPOCHS: usize = 3;
+const PROCESS_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One overlap-on/off measurement pair for a (trainer, P) cell.
+#[derive(Serialize)]
+struct OverlapRow {
+    algorithm: String,
+    processes: usize,
+    /// Modeled seconds per epoch, overlap off / on.
+    epoch_seconds_off: f64,
+    epoch_seconds_on: f64,
+    /// Modeled speedup from overlap (off / on).
+    modeled_speedup: f64,
+    /// Mean communication seconds per rank-epoch hidden behind compute.
+    hidden_seconds: f64,
+    /// Harness wall-clock seconds for the whole run, overlap off / on.
+    wall_seconds_off: f64,
+    wall_seconds_on: f64,
+}
+
+/// Every algorithm whose geometry admits `p` ranks.
+fn algorithms(p: usize) -> Vec<Algorithm> {
+    [
+        Algorithm::OneD,
+        Algorithm::OneDRow,
+        Algorithm::One5D {
+            c: if p.is_multiple_of(2) { 2 } else { 1 },
+        },
+        Algorithm::TwoD,
+        Algorithm::ThreeD,
+    ]
+    .into_iter()
+    .filter(|a| a.supports(p))
+    .collect()
+}
+
+fn main() {
+    let out_path = {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match args.iter().position(|a| a == "--out") {
+            Some(i) => args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for --out");
+                std::process::exit(2);
+            }),
+            None => "BENCH_overlap.json".to_string(),
+        }
+    };
+
+    // Mid-size R-MAT with the figure-scale network balance: large enough
+    // that the broadcast pipelines have stages to hide, small enough for
+    // a CI smoke job.
+    let g = rmat_symmetric(11, 8, RmatParams::default(), 7);
+    let f = 64;
+    let classes = 16;
+    let problem = Problem::synthetic(&g, f, classes, 1.0, 8);
+    let gcn = GcnConfig::three_layer(f, 16, classes);
+    let model = cagnet_bench::figure_model();
+
+    println!(
+        "overlap bench: n={}, nnz={}, dims={:?}, {EPOCHS} epochs, P in {PROCESS_COUNTS:?}",
+        problem.vertices(),
+        problem.adj.nnz(),
+        gcn.dims
+    );
+    println!(
+        "{:<10} {:>3}  {:>12} {:>12} {:>8} {:>10}  {:>9} {:>9}",
+        "algo", "P", "off ms/ep", "on ms/ep", "speedup", "hidden ms", "wall off", "wall on"
+    );
+
+    let mut rows = Vec::new();
+    for p in PROCESS_COUNTS {
+        for algo in algorithms(p) {
+            let run = |overlap: bool| {
+                let tc = TrainConfig {
+                    epochs: EPOCHS,
+                    collect_outputs: false,
+                    overlap,
+                    ..Default::default()
+                };
+                let start = Instant::now();
+                let row = measure_epochs_cfg(&problem, &gcn, "rmat", algo, p, model.clone(), &tc);
+                (row, start.elapsed().as_secs_f64())
+            };
+            let (off, wall_off) = run(false);
+            let (on, wall_on) = run(true);
+            assert!(
+                on.epoch_seconds <= off.epoch_seconds + 1e-12,
+                "{} P={p}: overlap must never increase modeled epoch time",
+                algo.name()
+            );
+            let row = OverlapRow {
+                algorithm: algo.name(),
+                processes: p,
+                epoch_seconds_off: off.epoch_seconds,
+                epoch_seconds_on: on.epoch_seconds,
+                modeled_speedup: off.epoch_seconds / on.epoch_seconds.max(1e-12),
+                hidden_seconds: on.breakdown.ovlp,
+                wall_seconds_off: wall_off,
+                wall_seconds_on: wall_on,
+            };
+            println!(
+                "{:<10} {:>3}  {:>12.4} {:>12.4} {:>7.3}x {:>10.4}  {:>8.2}s {:>8.2}s",
+                row.algorithm,
+                row.processes,
+                row.epoch_seconds_off * 1e3,
+                row.epoch_seconds_on * 1e3,
+                row.modeled_speedup,
+                row.hidden_seconds * 1e3,
+                row.wall_seconds_off,
+                row.wall_seconds_on
+            );
+            rows.push(row);
+        }
+    }
+
+    // lint:allow(unwrap): the serde shim only errors on non-string map keys
+    let json = serde_json::to_string(&rows).expect("serialize");
+    if let Err(e) = std::fs::write(&out_path, format!("{json}\n")) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {} rows to {out_path}", rows.len());
+    cagnet_bench::emit_json(&rows);
+}

@@ -14,21 +14,30 @@
 //!   --alpha     <seconds>    network latency                 (default 15e-6)
 //!   --beta-gbps <GB/s>       network bandwidth               (default 10)
 //!   --hidden    <width>      hidden layer width              (default 16)
+//!   --overlap   on|off       nonblocking comm/compute overlap (default on)
+//!   --json                   print only the JSON row (no human tables)
 //! ```
 
-use cagnet_bench::{bench_dataset, bench_gcn, measure_epochs};
+use cagnet_bench::{bench_dataset, bench_gcn, measure_epochs_cfg};
 use cagnet_comm::CostModel;
-use cagnet_core::trainer::Algorithm;
+use cagnet_core::trainer::{Algorithm, TrainConfig};
 use cagnet_core::{GcnConfig, Problem};
 use cagnet_sparse::datasets;
 use cagnet_sparse::generate::{rmat_symmetric, RmatParams};
 use std::collections::HashMap;
+
+/// Flags that take no value.
+const BOOL_FLAGS: [&str; 1] = ["json"];
 
 fn parse_args() -> HashMap<String, String> {
     let mut out = HashMap::new();
     let mut args = std::env::args().skip(1);
     while let Some(key) = args.next() {
         let key = key.trim_start_matches("--").to_string();
+        if BOOL_FLAGS.contains(&key.as_str()) {
+            out.insert(key, "true".to_string());
+            continue;
+        }
         match args.next() {
             Some(val) => {
                 out.insert(key, val);
@@ -78,6 +87,15 @@ fn main() {
     let alpha: f64 = get("alpha", "15e-6").parse().expect("bad alpha");
     let gbps: f64 = get("beta-gbps", "10").parse().expect("bad bandwidth");
     let hidden: usize = get("hidden", "16").parse().expect("bad hidden width");
+    let overlap = match get("overlap", "on").as_str() {
+        "on" => true,
+        "off" => false,
+        other => {
+            eprintln!("--overlap must be on|off, got '{other}'");
+            std::process::exit(2);
+        }
+    };
+    let json_only = args.contains_key("json");
 
     let model = CostModel {
         alpha,
@@ -120,14 +138,30 @@ fn main() {
         eprintln!("{} does not support P={p}", algo.name());
         std::process::exit(2);
     }
-    println!(
-        "{name}: n={}, nnz={}, dims={:?}, {} on P={p}, {epochs} epochs, α={alpha:.1e}, {gbps} GB/s",
-        problem.vertices(),
-        problem.adj.nnz(),
-        gcn.dims,
-        algo.name()
-    );
-    let row = measure_epochs(&problem, &gcn, &name, algo, p, epochs, model);
+    let tc = TrainConfig {
+        epochs,
+        collect_outputs: false,
+        overlap,
+        ..Default::default()
+    };
+    if !json_only {
+        println!(
+            "{name}: n={}, nnz={}, dims={:?}, {} on P={p}, {epochs} epochs, α={alpha:.1e}, \
+             {gbps} GB/s, overlap {}",
+            problem.vertices(),
+            problem.adj.nnz(),
+            gcn.dims,
+            algo.name(),
+            if overlap { "on" } else { "off" }
+        );
+    }
+    let row = measure_epochs_cfg(&problem, &gcn, &name, algo, p, model, &tc);
+    if json_only {
+        // Machine-readable only: a bare JSON array on stdout.
+        // lint:allow(unwrap): the serde shim only errors on non-string map keys
+        println!("{}", serde_json::to_string(&[row]).expect("serialize"));
+        return;
+    }
     println!(
         "epoch: {:.4} ms ({:.1} epochs/sec)",
         row.epoch_seconds * 1e3,
@@ -139,12 +173,14 @@ fn main() {
     );
     let b = row.breakdown;
     println!(
-        "breakdown (ms): spmm {:.3} | dcomm {:.3} | scomm {:.3} | trpose {:.4} | misc {:.3}",
+        "breakdown (ms): spmm {:.3} | dcomm {:.3} | scomm {:.3} | trpose {:.4} | misc {:.3} \
+         | hidden {:.3}",
         b.spmm * 1e3,
         b.dcomm * 1e3,
         b.scomm * 1e3,
         b.trpose * 1e3,
-        b.misc * 1e3
+        b.misc * 1e3,
+        b.ovlp * 1e3
     );
     cagnet_bench::emit_json(&[row]);
 }

@@ -40,6 +40,14 @@ pub enum CollectiveKind {
     GatherRows,
     /// `split(color)`.
     Split,
+    /// `ibcast(root, data, cat)` / `ibcast_shared(...)` — the
+    /// nonblocking broadcast (deposit at issue, payload at `wait()`).
+    IBcast,
+    /// `igather_rows(root, data, needed, cat)` — nonblocking
+    /// sparsity-aware row exchange.
+    IGatherRows,
+    /// `iallreduce_mat(m, cat)` — nonblocking matrix all-reduce.
+    IAllreduceMat,
 }
 
 impl CollectiveKind {
@@ -58,6 +66,9 @@ impl CollectiveKind {
             CollectiveKind::Sendrecv => "sendrecv",
             CollectiveKind::GatherRows => "gather_rows",
             CollectiveKind::Split => "split",
+            CollectiveKind::IBcast => "ibcast",
+            CollectiveKind::IGatherRows => "igather_rows",
+            CollectiveKind::IAllreduceMat => "iallreduce_mat",
         }
     }
 }

@@ -2,7 +2,7 @@
 //! `cargo run -p xtask -- lint`.
 //!
 //! Plain token/line scanning over `crates/*/src` — no `syn`, no rustc
-//! plumbing — enforcing three invariants the compiler cannot:
+//! plumbing — enforcing four invariants the compiler cannot:
 //!
 //! * **`unwrap`**: no `.unwrap()` / `.expect(` in library code outside
 //!   `#[cfg(test)]` modules and `src/bin/` entrypoints. A panic in a
@@ -14,8 +14,14 @@
 //!   exists — otherwise a trainer silently ignores the per-rank thread
 //!   budget and the modeled compute times drift from the executed work.
 //! * **`uncategorized-collective`**: every collective call site in
-//!   `crates/core/src/` must name a `Cat::` cost category in the same
-//!   call, so the α–β accounting behind every figure cannot drift.
+//!   `crates/core/src/` — blocking or nonblocking — must name a `Cat::`
+//!   cost category in the same call, so the α–β accounting behind every
+//!   figure cannot drift.
+//! * **`unwaited-pending`**: every function in `crates/core/src/dist/`
+//!   that issues a nonblocking collective (`.ibcast(` et al.) must also
+//!   `.wait(` on it (or return the `PendingOp` to its caller), and must
+//!   never discard one into `let _`. A dropped pending op aborts the run
+//!   at runtime; this catches it statically.
 //!
 //! Suppress a finding by appending
 //! `// lint:allow(<rule>): <reason>` on the offending line or the line
@@ -37,6 +43,10 @@ pub enum Rule {
     SerialKernelInDist,
     /// Collective call without a `Cat::` cost category.
     UncategorizedCollective,
+    /// Nonblocking collective issued in `dist/` but never `.wait(`ed in
+    /// the same function (and not returned to the caller), or discarded
+    /// into `let _`.
+    UnwaitedPending,
 }
 
 impl Rule {
@@ -46,6 +56,7 @@ impl Rule {
             Rule::UnwrapInLib => "unwrap",
             Rule::SerialKernelInDist => "serial-kernel",
             Rule::UncategorizedCollective => "uncategorized-collective",
+            Rule::UnwaitedPending => "unwaited-pending",
         }
     }
 }
@@ -91,7 +102,7 @@ const SERIAL_KERNELS: [&str; 8] = [
 
 /// Collective methods that take a `Cat` cost category; `barrier` is
 /// exempt (it moves no payload words).
-const CATEGORIZED_COLLECTIVES: [&str; 11] = [
+const CATEGORIZED_COLLECTIVES: [&str; 15] = [
     ".bcast(",
     ".bcast_shared(",
     ".gather_rows(",
@@ -103,6 +114,19 @@ const CATEGORIZED_COLLECTIVES: [&str; 11] = [
     ".gather(",
     ".scatter(",
     ".sendrecv(",
+    ".ibcast(",
+    ".ibcast_shared(",
+    ".igather_rows(",
+    ".iallreduce_mat(",
+];
+
+/// Nonblocking collective issue sites — each returns a `PendingOp` that
+/// must be `.wait(`ed on every control-flow path.
+const PENDING_ISSUERS: [&str; 4] = [
+    ".ibcast(",
+    ".ibcast_shared(",
+    ".igather_rows(",
+    ".iallreduce_mat(",
 ];
 
 /// Strip line comments and blank out string-literal contents so needle
@@ -290,6 +314,97 @@ pub fn lint_file(path: &Path, content: &str) -> Vec<Violation> {
                 }
             }
         }
+
+        // Rule 4 (statement form): a PendingOp bound to `_` is dropped
+        // immediately and aborts the run; catch it statically.
+        if is_dist
+            && PENDING_ISSUERS.iter().any(|n| code.contains(n))
+            && !code.contains(".wait(")
+            && {
+                let t = code.trim_start();
+                t.starts_with("let _ =") || t.starts_with("let _=")
+            }
+            && !allowed(idx, Rule::UnwaitedPending)
+        {
+            out.push(report(Rule::UnwaitedPending));
+        }
+    }
+
+    // Rule 4 (function form): a function that issues a nonblocking
+    // collective must `.wait(` on it somewhere in its body, unless it
+    // hands the `PendingOp` back to its caller (the signature mentions
+    // `PendingOp`).
+    if is_dist {
+        let mut i = 0;
+        while i < sanitized.len() {
+            let t = sanitized[i].trim_start();
+            if in_test[i] || !(t.starts_with("fn ") || sanitized[i].contains(" fn ")) {
+                i += 1;
+                continue;
+            }
+            // Header runs to the opening brace (or `;` for a bodyless
+            // declaration).
+            let mut header = String::new();
+            let mut open_line = None;
+            let mut j = i;
+            while j < sanitized.len() {
+                header.push_str(&sanitized[j]);
+                header.push('\n');
+                if sanitized[j].contains('{') {
+                    open_line = Some(j);
+                    break;
+                }
+                if sanitized[j].contains(';') {
+                    break;
+                }
+                j += 1;
+            }
+            let Some(start) = open_line else {
+                i = j + 1;
+                continue;
+            };
+            // Body span via brace counting from the opening line.
+            let mut depth = 0i32;
+            let mut end = start;
+            'scan: for (k, line) in sanitized.iter().enumerate().skip(start) {
+                for c in line.chars() {
+                    match c {
+                        '{' => depth += 1,
+                        '}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                end = k;
+                                break 'scan;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                end = k;
+            }
+            let returns_pending = header.contains("PendingOp");
+            let mut first_issue = None;
+            let mut has_wait = false;
+            for (k, body_line) in sanitized.iter().enumerate().take(end + 1).skip(start) {
+                if first_issue.is_none() && PENDING_ISSUERS.iter().any(|n| body_line.contains(n)) {
+                    first_issue = Some(k);
+                }
+                if body_line.contains(".wait(") {
+                    has_wait = true;
+                }
+            }
+            if let Some(k) = first_issue {
+                if !returns_pending && !has_wait && !allowed(k, Rule::UnwaitedPending) {
+                    out.push(Violation {
+                        file: path.to_path_buf(),
+                        line: k + 1,
+                        rule: Rule::UnwaitedPending,
+                        excerpt: raw[k].trim().to_string(),
+                    });
+                }
+            }
+            i = end + 1;
+        }
     }
     out
 }
@@ -456,5 +571,88 @@ mod tests {
     #[test]
     fn collectives_outside_core_are_fine() {
         assert!(lint("crates/comm/src/comm.rs", "self.bcast(root, data);\n").is_empty());
+    }
+
+    #[test]
+    fn flags_uncategorized_nonblocking_collectives() {
+        let path = "crates/core/src/dist/onedim.rs";
+        for call in [
+            "let op = ctx.world.ibcast(j, payload);\n",
+            "let op = ctx.world.ibcast_shared(j, payload);\n",
+            "let op = ctx.world.igather_rows(j, payload, &needed);\n",
+            "let op = ctx.world.iallreduce_mat(&m);\n",
+        ] {
+            // Wrap in a fn with a wait so only the Cat rule fires.
+            let src = format!("fn f() {{\n{call}op.wait();\n}}\n");
+            let v = lint(path, &src);
+            assert_eq!(v.len(), 1, "for {call}");
+            assert_eq!(v[0].rule, Rule::UncategorizedCollective);
+        }
+        assert!(lint(
+            path,
+            "fn f() {\nlet op = ctx.world.ibcast_shared(j, payload, Cat::DenseComm);\nop.wait();\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn ibcast_needle_does_not_match_ibcast_shared() {
+        // `.ibcast(` must not fire on `.ibcast_shared(` call sites.
+        let path = "crates/core/src/dist/onedim.rs";
+        let src =
+            "fn f() {\nlet op = w.ibcast_shared(j, p, Cat::DenseComm);\nlet x = op.wait();\n}\n";
+        assert!(lint(path, src).is_empty());
+    }
+
+    #[test]
+    fn flags_issue_without_wait_in_fn() {
+        let path = "crates/core/src/dist/onedim.rs";
+        let src = "fn forward(&self) {\n    let op = ctx.world.ibcast_shared(j, p, Cat::DenseComm);\n    compute();\n}\n";
+        let v = lint(path, src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::UnwaitedPending);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn issue_with_wait_in_fn_passes() {
+        let path = "crates/core/src/dist/onedim.rs";
+        let src = "fn forward(&self) {\n    let op = ctx.world.ibcast_shared(j, p, Cat::DenseComm);\n    compute();\n    let h = op.wait();\n}\n";
+        assert!(lint(path, src).is_empty());
+    }
+
+    #[test]
+    fn issue_helper_returning_pending_is_exempt() {
+        let path = "crates/core/src/dist/onedim.rs";
+        let src = "fn issue_fetch<'c>(&self, ctx: &'c Ctx) -> PendingOp<'c, Arc<Mat>> {\n    ctx.world.ibcast_shared(j, p, Cat::DenseComm)\n}\n";
+        assert!(lint(path, src).is_empty());
+    }
+
+    #[test]
+    fn flags_pending_discarded_into_underscore() {
+        let path = "crates/core/src/dist/onedim.rs";
+        let src = "fn f() {\n    let _ = ctx.world.iallreduce_mat(&m, Cat::DenseComm);\n    other.wait();\n}\n";
+        let v = lint(path, src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::UnwaitedPending);
+        // Immediately waiting makes the discard fine.
+        assert!(lint(
+            path,
+            "fn f() {\n    let _ = ctx.world.iallreduce_mat(&m, Cat::DenseComm).wait();\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unwaited_pending_outside_dist_is_fine() {
+        let src = "fn f() {\n    let op = self.ibcast_shared(j, p, Cat::DenseComm);\n}\n";
+        assert!(lint("crates/comm/src/comm.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwaited_pending_allow_marker_suppresses() {
+        let path = "crates/core/src/dist/onedim.rs";
+        let src = "fn f() {\n    // lint:allow(unwaited-pending): waited by caller via handle registry\n    let op = ctx.world.ibcast_shared(j, p, Cat::DenseComm);\n    stash(op);\n}\n";
+        assert!(lint(path, src).is_empty());
     }
 }

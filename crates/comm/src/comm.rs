@@ -277,24 +277,95 @@ impl Communicator {
                 members: self.members.as_ref().clone(),
             },
         );
+        self.deposit(kind, seq, entry, fp, payload);
+        self.await_and_collect(kind, seq)
+    }
+
+    /// Issue half of a split-phase collective: deposit this rank's
+    /// payload and return the op's sequence number — without registering
+    /// a wait or blocking. The rank stays `Running`, which the deadlock
+    /// watchdog treats as progress, so an in-flight pending op can never
+    /// be misread as a stuck rendezvous; the wait registration happens in
+    /// [`Communicator::complete_raw`] when the op is actually awaited.
+    fn issue_raw(&self, kind: CollectiveKind, fp: Option<Fingerprint>, payload: Payload) -> u64 {
+        let entry = self.meter.borrow().timeline.clock();
+        let seq = self.next_seq();
+        self.registry.diag.record_history(
+            self.world_rank(),
+            HistoryEntry {
+                slot: SlotId {
+                    comm: self.inner.id,
+                    seq,
+                },
+                kind,
+                clock: entry,
+            },
+        );
+        self.deposit(kind, seq, entry, fp, payload);
+        seq
+    }
+
+    /// Wait half of a split-phase collective: register the wait (for
+    /// deadlock diagnostics) and block until every member's deposit for
+    /// `seq` is present. Returns all deposits plus the max entry clock.
+    fn complete_raw(&self, kind: CollectiveKind, seq: u64) -> (Vec<Payload>, f64) {
+        let _wait = self.registry.diag.enter_wait(
+            self.world_rank(),
+            WaitSlot {
+                slot: SlotId {
+                    comm: self.inner.id,
+                    seq,
+                },
+                kind,
+                members: self.members.as_ref().clone(),
+            },
+        );
+        self.await_and_collect(kind, seq)
+    }
+
+    /// Place this rank's deposit (entry clock, fingerprint, payload) into
+    /// the rendezvous slot for `seq`, waking the group when it is the
+    /// last arrival.
+    fn deposit(
+        &self,
+        kind: CollectiveKind,
+        seq: u64,
+        entry: f64,
+        fp: Option<Fingerprint>,
+        payload: Payload,
+    ) {
+        let size = self.size();
         let mut slots = self.lock_slots(kind, seq);
-        {
-            let slot = slots.entry(seq).or_insert_with(|| CallSlot {
-                deposits: vec![None; size],
-                arrived: 0,
-                consumed: 0,
-            });
-            assert!(
-                slot.deposits[self.my_idx].is_none(),
-                "rank deposited twice at comm {} seq {seq} — collective misuse",
-                self.inner.id
-            );
-            slot.deposits[self.my_idx] = Some((entry, fp, payload));
-            slot.arrived += 1;
-            if slot.arrived == size {
-                self.inner.cv.notify_all();
-            }
+        let slot = slots.entry(seq).or_insert_with(|| CallSlot {
+            deposits: vec![None; size],
+            arrived: 0,
+            consumed: 0,
+        });
+        assert!(
+            slot.deposits[self.my_idx].is_none(),
+            "rank deposited twice at comm {} seq {seq} — collective misuse",
+            self.inner.id
+        );
+        slot.deposits[self.my_idx] = Some((entry, fp, payload));
+        slot.arrived += 1;
+        if slot.arrived == size {
+            self.inner.cv.notify_all();
         }
+    }
+
+    /// Block until the rendezvous for `seq` is full, then consume it:
+    /// returns all deposits in member order plus the max entry clock, and
+    /// verifies fingerprints when checking is on. The caller must have
+    /// already deposited (and, for diagnostics, registered its wait).
+    fn await_and_collect(&self, kind: CollectiveKind, seq: u64) -> (Vec<Payload>, f64) {
+        let size = self.size();
+        let slot_id = SlotId {
+            comm: self.inner.id,
+            seq,
+        };
+        let diag = &self.registry.diag;
+        let my_world = self.world_rank();
+        let mut slots = self.lock_slots(kind, seq);
         // Wait for the full group, waking every WAIT_TICK to observe the
         // run-wide abort flag (set when a peer panics or the watchdog
         // declares deadlock) so one failure stops the whole run quickly.
@@ -382,12 +453,24 @@ impl Communicator {
             .unwrap_or_else(|_| panic!("collective payload type mismatch across ranks"))
     }
 
-    /// Settle a collective: align the clock to the group max, then charge
-    /// `cost` seconds and `words` bandwidth-term words under `cat`.
+    /// Settle a blocking collective: align the clock to the group max
+    /// (and the network lane), then charge `cost` seconds and `words`
+    /// bandwidth-term words under `cat`.
     fn settle(&self, tmax: f64, cat: Cat, cost: f64, words: u64) {
         let mut m = self.meter.borrow_mut();
-        m.timeline.sync_to(tmax);
-        m.timeline.charge(cat, cost);
+        m.timeline.settle_blocking(tmax, cat, cost);
+        if words > 0 || cost > 0.0 {
+            m.timeline.record_traffic(cat, words);
+        }
+    }
+
+    /// Settle a nonblocking collective at `wait()`: network-lane charging
+    /// (only the remainder not hidden behind compute advances the clock)
+    /// plus the same traffic bookkeeping as the blocking collectives, so
+    /// word and message counts are identical with overlap on and off.
+    fn settle_overlapped(&self, ready: f64, cat: Cat, cost: f64, words: u64) {
+        let mut m = self.meter.borrow_mut();
+        m.timeline.settle_pending(ready, cat, cost);
         if words > 0 || cost > 0.0 {
             m.timeline.record_traffic(cat, words);
         }
@@ -555,6 +638,209 @@ impl Communicator {
         };
         self.settle(tmax, cat, cost, words);
         out
+    }
+
+    /// Nonblocking [`Communicator::bcast`]: the rendezvous deposit
+    /// happens now (so CheckMode fingerprints, sequence alignment, and
+    /// determinism are unchanged) and the payload plus α–β charge arrive
+    /// at [`PendingOp::wait`]. Fingerprinted as `ibcast`, so every rank
+    /// must agree on blocking vs. nonblocking at each call site.
+    pub fn ibcast<T: Any + Send + Sync + CommWords>(
+        &self,
+        root_idx: usize,
+        data: Option<T>,
+        cat: Cat,
+    ) -> PendingOp<'_, Arc<T>> {
+        self.ibcast_shared(root_idx, data.map(Arc::new), cat)
+    }
+
+    /// Nonblocking [`Communicator::bcast_shared`]: issue now, receive at
+    /// [`PendingOp::wait`]. Identical results, words, and messages to the
+    /// blocking form; the cost lands on the network lane, so compute
+    /// charged between issue and wait hides it (see DESIGN.md §10).
+    pub fn ibcast_shared<T: Any + Send + Sync + CommWords>(
+        &self,
+        root_idx: usize,
+        data: Option<Arc<T>>,
+        cat: Cat,
+    ) -> PendingOp<'_, Arc<T>> {
+        assert!(root_idx < self.size(), "ibcast root out of range");
+        assert_eq!(
+            data.is_some(),
+            root_idx == self.my_idx,
+            "ibcast: exactly the root must supply data"
+        );
+        if self.size() == 1 {
+            let Some(d) = data else {
+                unreachable!("single-rank ibcast root missing its own data")
+            };
+            return PendingOp::ready(self, CollectiveKind::IBcast, cat, d);
+        }
+        let shape = match &data {
+            Some(d) => Shape::Words(d.comm_words()),
+            None => Shape::Unknown,
+        };
+        let fp = self.fingerprint(
+            CollectiveKind::IBcast,
+            Some(root_idx),
+            None,
+            std::any::type_name::<T>(),
+            shape,
+        );
+        let payload: Payload = match data {
+            Some(d) => d,
+            None => Arc::new(()),
+        };
+        let seq = self.issue_raw(CollectiveKind::IBcast, fp, payload);
+        PendingOp::in_flight(
+            self,
+            CollectiveKind::IBcast,
+            cat,
+            seq,
+            Box::new(move |comm, items| {
+                let out = Communicator::downcast::<T>(items[root_idx].clone());
+                let words = out.comm_words();
+                let cost = comm.model().bcast_time(comm.size(), words);
+                (out, cost, words)
+            }),
+        )
+    }
+
+    /// Nonblocking [`Communicator::gather_rows`]: receivers' row requests
+    /// and the root's block deposit at issue; row extraction, cost, and
+    /// word accounting (identical to the blocking form, DESIGN.md §9)
+    /// happen at [`PendingOp::wait`].
+    pub fn igather_rows(
+        &self,
+        root_idx: usize,
+        data: Option<Arc<Mat>>,
+        needed: &[usize],
+        cat: Cat,
+    ) -> PendingOp<'_, Arc<Mat>> {
+        assert!(root_idx < self.size(), "igather_rows root out of range");
+        assert_eq!(
+            data.is_some(),
+            root_idx == self.my_idx,
+            "igather_rows: exactly the root must supply data"
+        );
+        for w in needed.windows(2) {
+            assert!(
+                w[0] < w[1],
+                "igather_rows: needed rows must be sorted and distinct"
+            );
+        }
+        if self.size() == 1 {
+            let Some(block) = data else {
+                unreachable!("single-rank igather_rows root missing its own data")
+            };
+            return PendingOp::ready(self, CollectiveKind::IGatherRows, cat, block);
+        }
+        let shape = match &data {
+            Some(d) => Shape::Dims(d.rows(), d.cols()),
+            None => Shape::Unknown,
+        };
+        let fp = self.fingerprint(
+            CollectiveKind::IGatherRows,
+            Some(root_idx),
+            None,
+            std::any::type_name::<Mat>(),
+            shape,
+        );
+        let deposit = GatherRowsDeposit {
+            needed: needed.to_vec(),
+            data,
+        };
+        let seq = self.issue_raw(CollectiveKind::IGatherRows, fp, Arc::new(deposit));
+        let needed = needed.to_vec();
+        PendingOp::in_flight(
+            self,
+            CollectiveKind::IGatherRows,
+            cat,
+            seq,
+            Box::new(move |comm, items| {
+                let deposits: Vec<Arc<GatherRowsDeposit>> = items
+                    .into_iter()
+                    .map(Communicator::downcast::<GatherRowsDeposit>)
+                    .collect();
+                let Some(block) = deposits[root_idx].data.clone() else {
+                    panic!("igather_rows: payload missing at declared root — collective misuse")
+                };
+                let p = comm.size();
+                // Wire words per requested row: the row plus one index word.
+                let row_words = block.cols() as u64 + 1;
+                let (cost, words) = if comm.my_idx == root_idx {
+                    let served: u64 = deposits
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != root_idx)
+                        .map(|(_, d)| d.needed.len() as u64 * row_words)
+                        .sum();
+                    let m = comm.model();
+                    (m.alpha * (p - 1) as f64 + m.beta * served as f64, 0)
+                } else {
+                    let w = needed.len() as u64 * row_words;
+                    let m = comm.model();
+                    (2.0 * m.alpha + m.beta * w as f64, w)
+                };
+                let out = if comm.my_idx == root_idx {
+                    block
+                } else {
+                    if let Some(&last) = needed.last() {
+                        assert!(
+                            last < block.rows(),
+                            "igather_rows: requested row {last} out of range for {}-row block",
+                            block.rows()
+                        );
+                    }
+                    let mut m = Mat::zeros(block.rows(), block.cols());
+                    for &r in &needed {
+                        m.row_mut(r).copy_from_slice(block.row(r));
+                    }
+                    Arc::new(m)
+                };
+                (out, cost, words)
+            }),
+        )
+    }
+
+    /// Nonblocking [`Communicator::allreduce_mat`]: deposit now, sum (in
+    /// member order, deterministic) and charge at [`PendingOp::wait`].
+    pub fn iallreduce_mat(&self, m: &Mat, cat: Cat) -> PendingOp<'_, Mat> {
+        if self.size() == 1 {
+            return PendingOp::ready(self, CollectiveKind::IAllreduceMat, cat, m.clone());
+        }
+        let fp = self.fingerprint(
+            CollectiveKind::IAllreduceMat,
+            None,
+            None,
+            std::any::type_name::<Mat>(),
+            Shape::Dims(m.rows(), m.cols()),
+        );
+        let seq = self.issue_raw(CollectiveKind::IAllreduceMat, fp, Arc::new(m.clone()));
+        PendingOp::in_flight(
+            self,
+            CollectiveKind::IAllreduceMat,
+            cat,
+            seq,
+            Box::new(move |comm, items| {
+                let mut acc: Option<Mat> = None;
+                for p in items {
+                    let part = Communicator::downcast::<Mat>(p);
+                    match &mut acc {
+                        None => acc = Some((*part).clone()),
+                        Some(a) => cagnet_dense::ops::add_assign(a, &part),
+                    }
+                }
+                let Some(out) = acc else {
+                    unreachable!("iallreduce over an empty communicator")
+                };
+                let p = comm.size();
+                let w = out.len() as u64;
+                let cost = comm.model().allreduce_time(p, w);
+                let words = 2 * w * (p as u64 - 1) / p as u64;
+                (out, cost, words)
+            }),
+        )
     }
 
     /// All-gather: every member contributes `data`; returns all
@@ -879,6 +1165,112 @@ impl Communicator {
             meter: self.meter.clone(),
             seq: Cell::new(0),
         }
+    }
+}
+
+/// Maps the full set of rendezvous deposits to this rank's result plus
+/// the op's α–β cost and recordable words.
+type Finisher<'c, T> = Box<dyn FnOnce(&Communicator, Vec<Payload>) -> (T, f64, u64) + 'c>;
+
+enum PendingState<'c, T> {
+    /// Single-rank fast path: the result was available at issue and the
+    /// op is free, exactly like the blocking forms at `P = 1`.
+    Ready(T),
+    /// Rendezvous in flight: deposit made, completion pending.
+    InFlight { seq: u64, finish: Finisher<'c, T> },
+}
+
+/// A nonblocking collective in flight, returned by
+/// [`Communicator::ibcast`], [`Communicator::ibcast_shared`],
+/// [`Communicator::igather_rows`], and [`Communicator::iallreduce_mat`].
+///
+/// The rendezvous deposit happened at issue time — peers can already
+/// consume it, and CheckMode fingerprints ride along exactly as in the
+/// blocking forms — so issuing is free and never blocks.
+/// [`PendingOp::wait`] blocks for the group, returns the payload, and
+/// settles the α–β cost on the network lane: compute charged between
+/// issue and wait covers the cost, and only the uncovered remainder
+/// advances the clock (metered split: [`Cat::Overlapped`] vs. the op's
+/// category; see DESIGN.md §10).
+///
+/// Every issued op **must** be waited on every control-flow path:
+/// dropping a `PendingOp` without `wait()` panics with a diagnostic,
+/// because the unconsumed rendezvous slot and the uncharged cost would
+/// silently corrupt the run.
+#[must_use = "a nonblocking collective must be wait()ed"]
+pub struct PendingOp<'c, T> {
+    comm: &'c Communicator,
+    kind: CollectiveKind,
+    cat: Cat,
+    state: Option<PendingState<'c, T>>,
+}
+
+impl<'c, T> PendingOp<'c, T> {
+    fn ready(comm: &'c Communicator, kind: CollectiveKind, cat: Cat, value: T) -> Self {
+        PendingOp {
+            comm,
+            kind,
+            cat,
+            state: Some(PendingState::Ready(value)),
+        }
+    }
+
+    fn in_flight(
+        comm: &'c Communicator,
+        kind: CollectiveKind,
+        cat: Cat,
+        seq: u64,
+        finish: Finisher<'c, T>,
+    ) -> Self {
+        PendingOp {
+            comm,
+            kind,
+            cat,
+            state: Some(PendingState::InFlight { seq, finish }),
+        }
+    }
+
+    /// Which collective this handle belongs to (diagnostic label).
+    pub fn kind(&self) -> CollectiveKind {
+        self.kind
+    }
+
+    /// Complete the op: block until every member's deposit is present,
+    /// verify fingerprints (when checking), settle the uncovered
+    /// remainder of the α–β cost, and return the payload.
+    pub fn wait(mut self) -> T {
+        let Some(state) = self.state.take() else {
+            unreachable!("PendingOp waited twice")
+        };
+        match state {
+            PendingState::Ready(v) => v,
+            PendingState::InFlight { seq, finish } => {
+                let (items, ready) = self.comm.complete_raw(self.kind, seq);
+                let (out, cost, words) = finish(self.comm, items);
+                self.comm.settle_overlapped(ready, self.cat, cost, words);
+                out
+            }
+        }
+    }
+}
+
+impl<T> Drop for PendingOp<'_, T> {
+    fn drop(&mut self) {
+        let Some(state) = &self.state else { return };
+        if std::thread::panicking() {
+            return;
+        }
+        let at = match state {
+            PendingState::Ready(_) => String::from("single-rank"),
+            PendingState::InFlight { seq, .. } => format!("seq {seq}"),
+        };
+        panic!(
+            "rank {} dropped a pending {} on comm {} ({at}) without wait(): every \
+             nonblocking collective must be completed on all control-flow paths",
+            self.comm.world_rank(),
+            self.kind,
+            self.comm.inner.id
+        );
     }
 }
 
@@ -1255,6 +1647,187 @@ mod tests {
         assert!((root_clock - expect).abs() < 1e-15);
         // Root records only the 3 parts actually sent.
         assert_eq!(root_rep.words(Cat::DenseComm), 3 * 6);
+    }
+
+    #[test]
+    fn ibcast_hides_cost_behind_compute() {
+        let results = Cluster::new(2).run(|ctx| {
+            let payload = (ctx.rank == 0).then(|| Arc::new(Mat::zeros(100, 100)));
+            let op = ctx.world.ibcast_shared(0, payload, Cat::DenseComm);
+            ctx.charge(Cat::Spmm, 1.0); // far larger than the bcast cost
+            let got = op.wait();
+            (got.as_ref().clone(), ctx.report())
+        });
+        let cost = CostModel::summit_like().bcast_time(2, 100 * 100);
+        for (rank, ((m, rep), _)) in results.iter().enumerate() {
+            assert_eq!(m.shape(), (100, 100), "rank {rank}");
+            // Fully hidden: no clock movement beyond compute, full cost
+            // metered as Overlapped, words recorded as in blocking mode.
+            assert!((rep.seconds(Cat::Overlapped) - cost).abs() < 1e-15);
+            assert_eq!(rep.seconds(Cat::DenseComm), 0.0);
+            assert!((rep.clock - 1.0).abs() < 1e-12);
+            assert_eq!(rep.words(Cat::DenseComm), 100 * 100);
+            assert_eq!(rep.messages(Cat::DenseComm), 1);
+        }
+    }
+
+    #[test]
+    fn immediate_wait_charges_like_blocking() {
+        // With no compute between issue and wait, the nonblocking forms
+        // must charge exactly like their blocking counterparts.
+        let run = |nonblocking: bool| {
+            Cluster::new(4).run(move |ctx| {
+                let payload = (ctx.rank == 1).then(|| Arc::new(Mat::zeros(10, 10)));
+                if nonblocking {
+                    let _ = ctx.world.ibcast_shared(1, payload, Cat::DenseComm).wait();
+                    let m = Mat::filled(3, 3, ctx.rank as f64);
+                    let _ = ctx.world.iallreduce_mat(&m, Cat::DenseComm).wait();
+                } else {
+                    ctx.world.bcast_shared(1, payload, Cat::DenseComm);
+                    let m = Mat::filled(3, 3, ctx.rank as f64);
+                    ctx.world.allreduce_mat(&m, Cat::DenseComm);
+                }
+                ctx.report()
+            })
+        };
+        for ((a, _), (b, _)) in run(true).iter().zip(run(false).iter()) {
+            assert_eq!(a.clock, b.clock);
+            assert_eq!(a.seconds(Cat::DenseComm), b.seconds(Cat::DenseComm));
+            assert_eq!(a.seconds(Cat::Overlapped), 0.0);
+            assert_eq!(a.words(Cat::DenseComm), b.words(Cat::DenseComm));
+            assert_eq!(a.messages(Cat::DenseComm), b.messages(Cat::DenseComm));
+        }
+    }
+
+    #[test]
+    fn iallreduce_mat_sums_in_member_order() {
+        let results = Cluster::new(4).run(|ctx| {
+            let m = Mat::filled(2, 2, (ctx.rank + 1) as f64);
+            let op = ctx.world.iallreduce_mat(&m, Cat::DenseComm);
+            ctx.charge(Cat::Gemm, 1.0);
+            (op.wait(), ctx.report())
+        });
+        for ((sum, rep), _) in results {
+            assert!(sum.approx_eq(&Mat::filled(2, 2, 10.0), 1e-12));
+            assert!(rep.seconds(Cat::Overlapped) > 0.0);
+        }
+    }
+
+    #[test]
+    fn igather_rows_matches_blocking_form() {
+        let run = |nonblocking: bool| {
+            Cluster::new(3).run(move |ctx| {
+                let block = Arc::new(Mat::from_fn(6, 2, |i, j| (10 * i + j) as f64));
+                let payload = (ctx.rank == 1).then(|| block.clone());
+                let needed: Vec<usize> = vec![ctx.rank, ctx.rank + 3];
+                let got = if nonblocking {
+                    ctx.world
+                        .igather_rows(1, payload, &needed, Cat::DenseComm)
+                        .wait()
+                } else {
+                    ctx.world.gather_rows(1, payload, &needed, Cat::DenseComm)
+                };
+                (got.as_ref().clone(), ctx.report())
+            })
+        };
+        for ((a, ra), (b, rb)) in run(true)
+            .into_iter()
+            .map(|(r, _)| r)
+            .zip(run(false).into_iter().map(|(r, _)| r))
+        {
+            assert!(a.approx_eq(&b, 0.0));
+            assert_eq!(ra.clock, rb.clock);
+            assert_eq!(ra.words(Cat::DenseComm), rb.words(Cat::DenseComm));
+        }
+    }
+
+    #[test]
+    fn multiple_pending_ops_share_the_network_lane() {
+        // Two ops in flight at once: the modeled NIC serializes their
+        // costs, both hide behind a long compute charge.
+        let results = Cluster::new(2).run(|ctx| {
+            let p0 = (ctx.rank == 0).then(|| Arc::new(Mat::zeros(50, 50)));
+            let op0 = ctx.world.ibcast_shared(0, p0, Cat::DenseComm);
+            let p1 = (ctx.rank == 1).then(|| Arc::new(Mat::zeros(50, 50)));
+            let op1 = ctx.world.ibcast_shared(1, p1, Cat::DenseComm);
+            ctx.charge(Cat::Spmm, 1.0);
+            let a = op0.wait();
+            let b = op1.wait();
+            (a.shape(), b.shape(), ctx.report())
+        });
+        let cost = CostModel::summit_like().bcast_time(2, 2500);
+        for ((sa, sb, rep), _) in results {
+            assert_eq!(sa, (50, 50));
+            assert_eq!(sb, (50, 50));
+            assert!((rep.seconds(Cat::Overlapped) - 2.0 * cost).abs() < 1e-12);
+            assert!((rep.clock - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_rank_pending_ops_are_free() {
+        let results = Cluster::new(1).run(|ctx| {
+            let block = Arc::new(Mat::filled(3, 3, 7.0));
+            let a = ctx
+                .world
+                .ibcast_shared(0, Some(block.clone()), Cat::DenseComm)
+                .wait();
+            let b = ctx
+                .world
+                .igather_rows(0, Some(block.clone()), &[0, 2], Cat::DenseComm)
+                .wait();
+            let c = ctx
+                .world
+                .iallreduce_mat(&Mat::filled(2, 2, 3.0), Cat::DenseComm)
+                .wait();
+            (
+                Arc::ptr_eq(&a, &block),
+                Arc::ptr_eq(&b, &block),
+                c,
+                ctx.clock(),
+            )
+        });
+        let ((a_same, b_same, c, clock), rep) = &results[0];
+        assert!(*a_same && *b_same);
+        assert!(c.approx_eq(&Mat::filled(2, 2, 3.0), 0.0));
+        assert_eq!(*clock, 0.0);
+        assert_eq!(rep.comm_words(), 0);
+    }
+
+    #[test]
+    fn ibcast_verifies_under_check_mode() {
+        use cagnet_check::CheckMode;
+        let results = Cluster::new(3).with_check(CheckMode::On).run(|ctx| {
+            let payload = (ctx.rank == 0).then(|| Arc::new(Mat::filled(4, 2, 1.0)));
+            let op = ctx.world.ibcast_shared(0, payload, Cat::DenseComm);
+            ctx.charge(Cat::Spmm, 1e-3);
+            op.wait()[(0, 0)]
+        });
+        for (v, _) in results {
+            assert_eq!(v, 1.0);
+        }
+    }
+
+    #[test]
+    fn dropped_pending_op_aborts_with_diagnostic() {
+        let cluster = Cluster::new(2).with_timeout(Duration::from_secs(5));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cluster.run(|ctx| {
+                let payload = (ctx.rank == 0).then(|| Arc::new(Mat::zeros(2, 2)));
+                let op = ctx.world.ibcast_shared(0, payload, Cat::DenseComm);
+                drop(op);
+            })
+        }));
+        let err = result.expect_err("dropping a pending op must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("without wait()"),
+            "diagnostic should name the dropped pending op, got: {msg}"
+        );
     }
 
     #[test]

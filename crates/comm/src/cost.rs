@@ -41,16 +41,28 @@ pub enum Cat {
     Gemm,
     /// Everything else ("misc"): activations, loss, weight updates.
     Misc,
+    /// Communication hidden behind compute by a nonblocking collective
+    /// ("ovlp"): the portion of a pending op's α–β cost that the compute
+    /// lane had already covered by `wait()` time. Metered for visibility
+    /// only — it never advances the clock (see DESIGN.md §10).
+    Overlapped,
+    /// Time spent blocked in a rendezvous waiting for slower peers
+    /// ("idle"): load imbalance, not any kernel. Advances the clock, so
+    /// per-category seconds (excluding [`Cat::Overlapped`]) reconcile
+    /// with [`crate::timeline::Timeline::clock`].
+    Idle,
 }
 
 /// All categories, for iteration.
-pub const ALL_CATS: [Cat; 6] = [
+pub const ALL_CATS: [Cat; 8] = [
     Cat::Spmm,
     Cat::DenseComm,
     Cat::SparseComm,
     Cat::Transpose,
     Cat::Gemm,
     Cat::Misc,
+    Cat::Overlapped,
+    Cat::Idle,
 ];
 
 impl Cat {
@@ -63,6 +75,8 @@ impl Cat {
             Cat::Transpose => 3,
             Cat::Gemm => 4,
             Cat::Misc => 5,
+            Cat::Overlapped => 6,
+            Cat::Idle => 7,
         }
     }
 
@@ -75,6 +89,8 @@ impl Cat {
             Cat::Transpose => "trpose",
             Cat::Gemm => "gemm",
             Cat::Misc => "misc",
+            Cat::Overlapped => "ovlp",
+            Cat::Idle => "idle",
         }
     }
 }
@@ -465,7 +481,7 @@ mod tests {
 
     #[test]
     fn cat_indices_unique() {
-        let mut seen = [false; 6];
+        let mut seen = [false; 8];
         for c in ALL_CATS {
             assert!(!seen[c.index()]);
             seen[c.index()] = true;

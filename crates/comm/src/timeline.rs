@@ -8,6 +8,15 @@
 //! `Σ_phases max_ranks (compute + comm)` that governs the runtime of the
 //! paper's bulk-synchronous implementation (§IV-A.8 discusses precisely
 //! this max-vs-total distinction).
+//!
+//! The timeline is **dual-lane** (DESIGN.md §10): the clock is the
+//! *compute lane*, while `net_free` tracks when the *network lane* next
+//! becomes free. Blocking collectives occupy both lanes; a nonblocking
+//! collective's α–β cost occupies only the network lane from issue
+//! readiness onward, so local charges issued before its `wait()` run
+//! concurrently — the covered portion is metered as [`Cat::Overlapped`]
+//! and only the uncovered remainder advances the clock, making a
+//! pipelined stage cost `max(compute, comm)` instead of their sum.
 
 use crate::cost::{Cat, CostModel, ALL_CATS};
 use crate::trace::TraceEvent;
@@ -16,9 +25,13 @@ use crate::trace::TraceEvent;
 #[derive(Clone, Debug, Default)]
 pub struct Timeline {
     clock: f64,
-    seconds: [f64; 6],
-    words: [u64; 6],
-    messages: [u64; 6],
+    /// Time at which the single modeled NIC is next free — the network
+    /// lane of the dual-lane model. Never ahead of `clock` unless a
+    /// pending (nonblocking) op is in flight.
+    net_free: f64,
+    seconds: [f64; 8],
+    words: [u64; 8],
+    messages: [u64; 8],
     /// When `Some`, every charge/wait is recorded as a trace event.
     trace: Option<Vec<TraceEvent>>,
 }
@@ -74,19 +87,66 @@ impl Timeline {
     /// already past `t`.
     pub fn sync_to(&mut self, t: f64) {
         if t > self.clock {
-            // Waiting-at-barrier time is attributed to Misc: it is load
-            // imbalance, not any kernel.
+            // Waiting-at-barrier time is attributed to Idle: it is load
+            // imbalance, not any kernel — and keeping it out of Misc lets
+            // reports separate real work from rendezvous blocking.
             if let Some(tr) = &mut self.trace {
                 tr.push(TraceEvent {
                     name: "wait",
-                    cat: Cat::Misc,
+                    cat: Cat::Idle,
                     start: self.clock,
                     end: t,
                 });
             }
-            self.seconds[Cat::Misc.index()] += t - self.clock;
+            self.seconds[Cat::Idle.index()] += t - self.clock;
             self.clock = t;
         }
+    }
+
+    /// Settle a **blocking** collective: both lanes engage. The op starts
+    /// when the last participant arrived (`tmax`) *and* the network lane
+    /// is free; the gap to the start is idle wait, the cost advances both
+    /// lanes together. With no pending ops in flight `net_free ≤ clock`,
+    /// so this reduces exactly to the historic `sync_to(tmax)` +
+    /// `charge(cat, cost)`.
+    pub fn settle_blocking(&mut self, tmax: f64, cat: Cat, cost: f64) {
+        let start = tmax.max(self.net_free);
+        self.sync_to(start);
+        self.charge(cat, cost);
+        self.net_free = self.clock;
+    }
+
+    /// Settle a **nonblocking** collective at `wait()` time: its α–β
+    /// `cost` occupies the network lane from `max(ready, net_free)`,
+    /// where `ready` is the rendezvous' max entry clock. The portion the
+    /// compute lane has already covered is metered as
+    /// [`Cat::Overlapped`] without advancing the clock; only the
+    /// uncovered remainder (plus any gap until the op could start) moves
+    /// the clock, so a fully hidden op costs zero modeled time.
+    pub fn settle_pending(&mut self, ready: f64, cat: Cat, cost: f64) {
+        debug_assert!(cost >= 0.0, "negative pending cost");
+        let net_start = ready.max(self.net_free);
+        let finish = net_start + cost;
+        self.net_free = finish;
+        let hidden = (self.clock - net_start).clamp(0.0, cost);
+        if hidden > 0.0 {
+            // Overlapped intervals overlay compute events on the trace:
+            // the network lane is busy concurrently with the clock lane.
+            if let Some(tr) = &mut self.trace {
+                tr.push(TraceEvent {
+                    name: "ovlp",
+                    cat: Cat::Overlapped,
+                    start: net_start,
+                    end: net_start + hidden,
+                });
+            }
+            self.seconds[Cat::Overlapped.index()] += hidden;
+        }
+        // If every participant only became ready after our compute ended,
+        // the gap is rendezvous idle time.
+        self.sync_to(net_start);
+        let remainder = (finish - self.clock).max(0.0);
+        self.charge(cat, remainder);
     }
 
     /// Seconds attributed to a category.
@@ -130,9 +190,9 @@ impl Timeline {
 pub struct TimelineReport {
     /// Final BSP clock.
     pub clock: f64,
-    seconds: [f64; 6],
-    words: [u64; 6],
-    messages: [u64; 6],
+    seconds: [f64; 8],
+    words: [u64; 8],
+    messages: [u64; 8],
 }
 
 impl TimelineReport {
@@ -154,6 +214,18 @@ impl TimelineReport {
     /// Total communication words (dense + sparse).
     pub fn comm_words(&self) -> u64 {
         self.words(Cat::DenseComm) + self.words(Cat::SparseComm)
+    }
+
+    /// Seconds that advanced the clock: every category except
+    /// [`Cat::Overlapped`] (which meters hidden communication running
+    /// concurrently with compute). Always equals `clock` exactly —
+    /// the reconciliation invariant of the dual-lane model.
+    pub fn busy_seconds(&self) -> f64 {
+        ALL_CATS
+            .iter()
+            .filter(|c| **c != Cat::Overlapped)
+            .map(|c| self.seconds(*c))
+            .sum()
     }
 
     /// Elementwise-maximum reduction over per-rank reports: max clock and
@@ -271,8 +343,90 @@ mod tests {
         assert_eq!(t.clock(), 2.0);
         t.sync_to(5.0);
         assert_eq!(t.clock(), 5.0);
-        // Wait time lands in Misc.
-        assert_eq!(t.seconds(Cat::Misc), 5.0);
+        // Wait time lands in Idle; the original Misc charge is untouched.
+        assert_eq!(t.seconds(Cat::Misc), 2.0);
+        assert_eq!(t.seconds(Cat::Idle), 3.0);
+    }
+
+    #[test]
+    fn settle_blocking_matches_historic_sync_then_charge() {
+        // With no pending ops, the lane-aware settle is numerically
+        // identical to sync_to + charge.
+        let mut a = Timeline::new();
+        a.charge(Cat::Spmm, 1.0);
+        a.settle_blocking(3.0, Cat::DenseComm, 0.5);
+        let mut b = Timeline::new();
+        b.charge(Cat::Spmm, 1.0);
+        b.sync_to(3.0);
+        b.charge(Cat::DenseComm, 0.5);
+        assert_eq!(a.clock(), b.clock());
+        assert_eq!(a.seconds(Cat::Idle), b.seconds(Cat::Idle));
+        assert_eq!(a.seconds(Cat::DenseComm), b.seconds(Cat::DenseComm));
+    }
+
+    #[test]
+    fn settle_pending_fully_hidden_costs_nothing() {
+        let mut t = Timeline::new();
+        // Op became ready at 1.0; compute ran to 5.0; cost 2.0 fits
+        // entirely under the compute: no clock movement, all Overlapped.
+        t.charge(Cat::Spmm, 5.0);
+        t.settle_pending(1.0, Cat::DenseComm, 2.0);
+        assert_eq!(t.clock(), 5.0);
+        assert_eq!(t.seconds(Cat::Overlapped), 2.0);
+        assert_eq!(t.seconds(Cat::DenseComm), 0.0);
+    }
+
+    #[test]
+    fn settle_pending_charges_uncovered_remainder() {
+        let mut t = Timeline::new();
+        // Ready at 1.0, compute to 3.0, cost 4.0: hidden 2.0, remainder
+        // 2.0 → stage time max(compute, comm) = 5.0 from readiness.
+        t.charge(Cat::Spmm, 3.0);
+        t.settle_pending(1.0, Cat::DenseComm, 4.0);
+        assert_eq!(t.clock(), 5.0);
+        assert_eq!(t.seconds(Cat::Overlapped), 2.0);
+        assert_eq!(t.seconds(Cat::DenseComm), 2.0);
+    }
+
+    #[test]
+    fn settle_pending_waits_for_late_peers_as_idle() {
+        let mut t = Timeline::new();
+        // Peers only became ready at 4.0 (> our clock 1.0): the gap is
+        // idle, the full cost is charged, nothing is hidden.
+        t.charge(Cat::Spmm, 1.0);
+        t.settle_pending(4.0, Cat::DenseComm, 2.0);
+        assert_eq!(t.clock(), 6.0);
+        assert_eq!(t.seconds(Cat::Idle), 3.0);
+        assert_eq!(t.seconds(Cat::Overlapped), 0.0);
+        assert_eq!(t.seconds(Cat::DenseComm), 2.0);
+    }
+
+    #[test]
+    fn network_lane_serializes_pending_ops() {
+        let mut t = Timeline::new();
+        t.charge(Cat::Spmm, 10.0);
+        // Two ops both ready at 0.0, cost 4.0 each: the single NIC
+        // serializes them (0→4, 4→8); both fit under compute.
+        t.settle_pending(0.0, Cat::DenseComm, 4.0);
+        t.settle_pending(0.0, Cat::DenseComm, 4.0);
+        assert_eq!(t.clock(), 10.0);
+        assert_eq!(t.seconds(Cat::Overlapped), 8.0);
+        // A third op spills past the compute cover: 8→12, 2 uncovered.
+        t.settle_pending(0.0, Cat::DenseComm, 4.0);
+        assert_eq!(t.clock(), 12.0);
+        assert_eq!(t.seconds(Cat::Overlapped), 10.0);
+        assert_eq!(t.seconds(Cat::DenseComm), 2.0);
+    }
+
+    #[test]
+    fn busy_seconds_reconciles_with_clock() {
+        let mut t = Timeline::new();
+        t.charge(Cat::Spmm, 2.0);
+        t.settle_pending(0.5, Cat::DenseComm, 3.0);
+        t.settle_blocking(7.0, Cat::Misc, 0.25);
+        let rep = t.report();
+        assert!((rep.busy_seconds() - rep.clock).abs() < 1e-12);
+        assert!(rep.seconds(Cat::Overlapped) > 0.0);
     }
 
     #[test]

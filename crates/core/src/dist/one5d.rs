@@ -33,7 +33,7 @@ use crate::model::GcnConfig;
 use crate::optimizer::{Optimizer, OptimizerKind};
 use crate::problem::Problem;
 use cagnet_comm::comm::Communicator;
-use cagnet_comm::{Cat, Ctx};
+use cagnet_comm::{Cat, Ctx, PendingOp};
 use cagnet_dense::activation::{log_softmax_rows, Activation};
 use cagnet_dense::ops::hadamard_assign;
 use cagnet_dense::{matmul_nt_with, matmul_tn_with, matmul_with, Mat};
@@ -68,6 +68,9 @@ pub struct One5DTrainer {
     /// Dense broadcast vs sparsity-aware row exchange for the forward
     /// stages.
     comm_mode: super::CommMode,
+    /// Issue-ahead pipelining: prefetch stage `i'+1`'s fine block with a
+    /// nonblocking collective while stage `i'` computes (DESIGN.md §10).
+    overlap: bool,
     /// Backward operand: `Aᵀ(coarse rows i, ·)` restricted to the columns
     /// of all fine blocks `≡ r (mod c)`, concatenated in team order.
     at_bwd: Csr,
@@ -179,6 +182,7 @@ impl One5DTrainer {
             at_fwd,
             needed,
             comm_mode: super::CommMode::Dense,
+            overlap: true,
             at_bwd,
             labels: Arc::new(problem.labels.clone()),
             mask: Arc::new(problem.train_mask.clone()),
@@ -197,31 +201,66 @@ impl One5DTrainer {
         })
     }
 
+    /// Issue the stage-`ip` replica-group fetch of layer `l`'s fine `H`
+    /// block as a nonblocking collective (dense broadcast or
+    /// sparsity-aware row gather, per [`Self::set_comm_mode`]).
+    fn issue_fetch(&self, l: usize, ip: usize) -> PendingOp<'_, Arc<Mat>> {
+        let payload = (ip == self.ti).then(|| self.hs[l].clone());
+        match self.comm_mode {
+            super::CommMode::Dense => self.rep.ibcast_shared(ip, payload, Cat::DenseComm),
+            super::CommMode::SparsityAware => {
+                self.rep
+                    .igather_rows(ip, payload, &self.needed[ip], Cat::DenseComm)
+            }
+        }
+    }
+
+    /// Accumulate the coarse partial sum for layer `l`: replica `r`'s
+    /// stages `b ≡ r (mod c)` via replica-group broadcasts of fine `H`
+    /// blocks. With overlap on, stage `i'+1`'s block is in flight while
+    /// stage `i'`'s SpMM computes (the pending op borrows `self.rep`, so
+    /// the pipeline lives in this `&self` helper).
+    fn coarse_partial(&self, ctx: &Ctx, l: usize, f_in: usize) -> Mat {
+        let coarse_rows = self.at_fwd[0].rows();
+        let mut partial = Mat::zeros(coarse_rows, f_in);
+        let mut pending = self.overlap.then(|| self.issue_fetch(l, 0));
+        for ip in 0..self.p1 {
+            let h_b = match pending.take() {
+                Some(op) => {
+                    if ip + 1 < self.p1 {
+                        pending = Some(self.issue_fetch(l, ip + 1));
+                    }
+                    op.wait()
+                }
+                None => {
+                    let payload = (ip == self.ti).then(|| self.hs[l].clone());
+                    match self.comm_mode {
+                        super::CommMode::Dense => {
+                            self.rep.bcast_shared(ip, payload, Cat::DenseComm)
+                        }
+                        super::CommMode::SparsityAware => {
+                            self.rep
+                                .gather_rows(ip, payload, &self.needed[ip], Cat::DenseComm)
+                        }
+                    }
+                }
+            };
+            ctx.charge_spmm(self.at_fwd[ip].nnz(), coarse_rows, f_in);
+            spmm_acc_with(ctx.parallel(), &self.at_fwd[ip], &h_b, &mut partial);
+        }
+        partial
+    }
+
     /// Forward pass; returns global mean masked NLL loss.
     pub fn forward(&mut self, ctx: &Ctx) -> f64 {
         let l_total = self.cfg.layers();
         self.zs.clear();
         self.drop_masks = vec![None; l_total];
         self.hs.truncate(1);
-        let coarse_rows = self.at_fwd[0].rows();
         for l in 0..l_total {
             let f_in = self.cfg.dims[l];
             let f_out = self.cfg.dims[l + 1];
-            // Replica r accumulates stages b ≡ r (mod c) via replica-group
-            // broadcasts of fine H blocks.
-            let mut partial = Mat::zeros(coarse_rows, f_in);
-            for ip in 0..self.p1 {
-                let payload = (ip == self.ti).then(|| self.hs[l].clone());
-                let h_b = match self.comm_mode {
-                    super::CommMode::Dense => self.rep.bcast_shared(ip, payload, Cat::DenseComm),
-                    super::CommMode::SparsityAware => {
-                        self.rep
-                            .gather_rows(ip, payload, &self.needed[ip], Cat::DenseComm)
-                    }
-                };
-                ctx.charge_spmm(self.at_fwd[ip].nnz(), coarse_rows, f_in);
-                spmm_acc_with(ctx.parallel(), &self.at_fwd[ip], &h_b, &mut partial);
-            }
+            let partial = self.coarse_partial(ctx, l, f_in);
             // Team reduce-scatter: coarse partials → my fine block of T.
             let t = self.team.reduce_scatter_rows(&partial, Cat::DenseComm);
             ctx.charge_gemm(t.rows(), f_in, f_out);
@@ -275,9 +314,13 @@ impl One5DTrainer {
             // lands on rank (i', r) — exactly my fine block of A G.
             let ag = self.rep.reduce_scatter_rows(&contrib, Cat::DenseComm);
             debug_assert_eq!(ag.rows(), self.hs[l].rows());
+            // With overlap on, the f x f all-reduce is in flight while
+            // the next layer's gradient GEMM computes.
             ctx.charge_gemm(f_in, ag.rows(), f_out);
             let y_partial = matmul_tn_with(ctx.parallel(), &self.hs[l], &ag);
-            let y = ctx.world.allreduce_mat(&y_partial, Cat::DenseComm);
+            let y_op = self
+                .overlap
+                .then(|| ctx.world.iallreduce_mat(&y_partial, Cat::DenseComm));
             if l > 0 {
                 ctx.charge_gemm(ag.rows(), f_out, f_in);
                 g = matmul_nt_with(ctx.parallel(), &ag, &self.weights[l]);
@@ -287,6 +330,10 @@ impl One5DTrainer {
                 }
                 ctx.charge_elementwise(g.len());
             }
+            let y = match y_op {
+                Some(op) => op.wait(),
+                None => ctx.world.allreduce_mat(&y_partial, Cat::DenseComm),
+            };
             self.opt.step(l, &mut self.weights[l], &y);
             ctx.charge_elementwise(y.len());
         }
@@ -357,6 +404,16 @@ impl One5DTrainer {
     /// changes. Must be set identically on every rank.
     pub fn set_comm_mode(&mut self, mode: super::CommMode) {
         self.comm_mode = mode;
+    }
+
+    /// Enable or disable communication/computation overlap (default on).
+    /// With overlap on, stage fetches and the weight-gradient all-reduce
+    /// run as nonblocking collectives pipelined against compute; losses,
+    /// weights, and metered words are bit-identical either way — only
+    /// modeled (and wall-clock) time changes. Must be set identically on
+    /// every rank.
+    pub fn set_overlap(&mut self, overlap: bool) {
+        self.overlap = overlap;
     }
 
     /// Select the hidden-layer activation (default ReLU, the paper's σ;

@@ -17,7 +17,7 @@ use crate::loss::{accuracy_counts, nll_sum, output_gradient};
 use crate::model::GcnConfig;
 use crate::optimizer::{Optimizer, OptimizerKind};
 use crate::problem::Problem;
-use cagnet_comm::{Cat, Ctx};
+use cagnet_comm::{Cat, Ctx, PendingOp};
 use cagnet_dense::activation::{log_softmax_rows, Activation};
 use cagnet_dense::ops::hadamard_assign;
 use cagnet_dense::{matmul_nt_with, matmul_tn_with, matmul_with, Mat};
@@ -42,6 +42,9 @@ pub struct OneDimTrainer {
     /// Dense broadcast vs sparsity-aware row exchange for the forward
     /// stages.
     comm_mode: super::CommMode,
+    /// Issue-ahead pipelining: prefetch stage `j+1`'s block with a
+    /// nonblocking collective while stage `j` computes (DESIGN.md §10).
+    overlap: bool,
     /// The full block row `Aᵀ_i` (`n_i x n`) — the CSR-of-transpose of
     /// `A`'s column block `i`, used directly by the backward outer
     /// product.
@@ -109,6 +112,7 @@ impl OneDimTrainer {
             at_blocks,
             needed,
             comm_mode: super::CommMode::Dense,
+            overlap: true,
             at_row,
             labels: Arc::new(problem.labels.clone()),
             mask: Arc::new(problem.train_mask.clone()),
@@ -131,6 +135,20 @@ impl OneDimTrainer {
         self.at_row.rows()
     }
 
+    /// Issue the stage-`j` fetch of layer `l`'s activation block as a
+    /// nonblocking collective (dense broadcast or sparsity-aware row
+    /// gather, per [`Self::set_comm_mode`]).
+    fn issue_fetch<'c>(&self, ctx: &'c Ctx, l: usize, j: usize) -> PendingOp<'c, Arc<Mat>> {
+        let payload = (j == ctx.rank).then(|| self.hs[l].clone());
+        match self.comm_mode {
+            super::CommMode::Dense => ctx.world.ibcast_shared(j, payload, Cat::DenseComm),
+            super::CommMode::SparsityAware => {
+                ctx.world
+                    .igather_rows(j, payload, &self.needed[j], Cat::DenseComm)
+            }
+        }
+    }
+
     /// Forward pass (Algorithm 1 per layer); returns the global mean
     /// masked NLL loss.
     pub fn forward(&mut self, ctx: &Ctx) -> f64 {
@@ -143,15 +161,32 @@ impl OneDimTrainer {
             let f_in = self.cfg.dims[l];
             let f_out = self.cfg.dims[l + 1];
             let mut t = Mat::zeros(self.my_rows(), f_in);
+            // Issue-ahead pipeline: stage j+1's block is in flight while
+            // stage j's SpMM computes, so its α–β cost hides behind the
+            // compute lane. Every rank issues and waits in the same
+            // order, so results stay bit-identical to the blocking loop.
+            let mut pending = self.overlap.then(|| self.issue_fetch(ctx, l, 0));
             for j in 0..p {
-                // Arc clone only — the owner's resident block is never
-                // deep-copied, root or not.
-                let payload = (j == ctx.rank).then(|| self.hs[l].clone());
-                let hj = match self.comm_mode {
-                    super::CommMode::Dense => ctx.world.bcast_shared(j, payload, Cat::DenseComm),
-                    super::CommMode::SparsityAware => {
-                        ctx.world
-                            .gather_rows(j, payload, &self.needed[j], Cat::DenseComm)
+                let hj = match pending.take() {
+                    Some(op) => {
+                        if j + 1 < p {
+                            pending = Some(self.issue_fetch(ctx, l, j + 1));
+                        }
+                        op.wait()
+                    }
+                    None => {
+                        // Arc clone only — the owner's resident block is
+                        // never deep-copied, root or not.
+                        let payload = (j == ctx.rank).then(|| self.hs[l].clone());
+                        match self.comm_mode {
+                            super::CommMode::Dense => {
+                                ctx.world.bcast_shared(j, payload, Cat::DenseComm)
+                            }
+                            super::CommMode::SparsityAware => {
+                                ctx.world
+                                    .gather_rows(j, payload, &self.needed[j], Cat::DenseComm)
+                            }
+                        }
                     }
                 };
                 ctx.charge_spmm(self.at_blocks[j].nnz(), self.at_blocks[j].rows(), f_in);
@@ -203,10 +238,15 @@ impl OneDimTrainer {
             let contrib = outer_product_from_transposed(&self.at_row, &g);
             debug_assert_eq!(contrib.shape(), (self.n, f_out));
             let ag = ctx.world.reduce_scatter_rows(&contrib, Cat::DenseComm);
-            // Small 1D outer product for Y (§IV-A.4), reusing A·G.
+            // Small 1D outer product for Y (§IV-A.4), reusing A·G. With
+            // overlap on, the f x f all-reduce is in flight while the
+            // next layer's gradient GEMM computes; the weight update only
+            // needs Y afterwards.
             ctx.charge_gemm(f_in, ag.rows(), f_out);
             let y_partial = matmul_tn_with(ctx.parallel(), &self.hs[l], &ag);
-            let y = ctx.world.allreduce_mat(&y_partial, Cat::DenseComm);
+            let y_op = self
+                .overlap
+                .then(|| ctx.world.iallreduce_mat(&y_partial, Cat::DenseComm));
             if l > 0 {
                 ctx.charge_gemm(ag.rows(), f_out, f_in);
                 g = matmul_nt_with(ctx.parallel(), &ag, &self.weights[l]);
@@ -216,6 +256,10 @@ impl OneDimTrainer {
                 }
                 ctx.charge_elementwise(g.len());
             }
+            let y = match y_op {
+                Some(op) => op.wait(),
+                None => ctx.world.allreduce_mat(&y_partial, Cat::DenseComm),
+            };
             self.opt.step(l, &mut self.weights[l], &y);
             ctx.charge_elementwise(y.len());
         }
@@ -287,6 +331,16 @@ impl OneDimTrainer {
     /// changes. Must be set identically on every rank.
     pub fn set_comm_mode(&mut self, mode: super::CommMode) {
         self.comm_mode = mode;
+    }
+
+    /// Enable or disable communication/computation overlap (default on).
+    /// With overlap on, stage fetches and the weight-gradient all-reduce
+    /// run as nonblocking collectives pipelined against compute; losses,
+    /// weights, and metered words are bit-identical either way — only
+    /// modeled (and wall-clock) time changes. Must be set identically on
+    /// every rank.
+    pub fn set_overlap(&mut self, overlap: bool) {
+        self.overlap = overlap;
     }
 
     /// Select the hidden-layer activation (default ReLU, the paper's σ;

@@ -15,7 +15,7 @@ use crate::loss::{accuracy_counts, nll_sum, output_gradient};
 use crate::model::GcnConfig;
 use crate::optimizer::{Optimizer, OptimizerKind};
 use crate::problem::Problem;
-use cagnet_comm::{Cat, Ctx};
+use cagnet_comm::{Cat, Ctx, PendingOp};
 use cagnet_dense::activation::{log_softmax_rows, Activation};
 use cagnet_dense::ops::hadamard_assign;
 use cagnet_dense::{matmul_nt_with, matmul_tn_with, matmul_with, Mat};
@@ -42,6 +42,9 @@ pub struct OneDimRowTrainer {
     /// Dense broadcast vs sparsity-aware row exchange for the backward
     /// stages.
     comm_mode: super::CommMode,
+    /// Issue-ahead pipelining: prefetch stage `j+1`'s gradient block with
+    /// a nonblocking collective while stage `j` computes (DESIGN.md §10).
+    overlap: bool,
     labels: Arc<Vec<usize>>,
     mask: Arc<Vec<bool>>,
     weights: Vec<Mat>,
@@ -97,6 +100,7 @@ impl OneDimRowTrainer {
             a_blocks,
             needed,
             comm_mode: super::CommMode::Dense,
+            overlap: true,
             labels: Arc::new(problem.labels.clone()),
             mask: Arc::new(problem.train_mask.clone()),
             opt: {
@@ -112,6 +116,20 @@ impl OneDimRowTrainer {
             zs: Vec::new(),
             hs: vec![Arc::new(h0)],
         })
+    }
+
+    /// Issue the stage-`j` fetch of the gradient block `G_j` as a
+    /// nonblocking collective (dense broadcast or sparsity-aware row
+    /// gather, per [`Self::set_comm_mode`]).
+    fn issue_fetch<'c>(&self, ctx: &'c Ctx, g: &Arc<Mat>, j: usize) -> PendingOp<'c, Arc<Mat>> {
+        let payload = (j == ctx.rank).then(|| g.clone());
+        match self.comm_mode {
+            super::CommMode::Dense => ctx.world.ibcast_shared(j, payload, Cat::DenseComm),
+            super::CommMode::SparsityAware => {
+                ctx.world
+                    .igather_rows(j, payload, &self.needed[j], Cat::DenseComm)
+            }
+        }
     }
 
     /// Forward pass (outer-product formulation); returns the global mean
@@ -169,24 +187,43 @@ impl OneDimRowTrainer {
             let f_in = self.cfg.dims[l];
             let f_out = self.cfg.dims[l + 1];
             // Block-row multiply: AG_i = Σ_j A_ij G_j via P broadcasts.
+            // Issue-ahead pipeline: stage j+1's gradient block is in
+            // flight while stage j's SpMM computes (mirror of the column
+            // variant's forward loop).
             let mut ag = Mat::zeros(self.a_row.rows(), f_out);
+            let mut pending = self.overlap.then(|| self.issue_fetch(ctx, &g, 0));
             for j in 0..p {
-                let payload = (j == ctx.rank).then(|| g.clone());
-                let gj = match self.comm_mode {
-                    super::CommMode::Dense => ctx.world.bcast_shared(j, payload, Cat::DenseComm),
-                    super::CommMode::SparsityAware => {
-                        ctx.world
-                            .gather_rows(j, payload, &self.needed[j], Cat::DenseComm)
+                let gj = match pending.take() {
+                    Some(op) => {
+                        if j + 1 < p {
+                            pending = Some(self.issue_fetch(ctx, &g, j + 1));
+                        }
+                        op.wait()
+                    }
+                    None => {
+                        let payload = (j == ctx.rank).then(|| g.clone());
+                        match self.comm_mode {
+                            super::CommMode::Dense => {
+                                ctx.world.bcast_shared(j, payload, Cat::DenseComm)
+                            }
+                            super::CommMode::SparsityAware => {
+                                ctx.world
+                                    .gather_rows(j, payload, &self.needed[j], Cat::DenseComm)
+                            }
+                        }
                     }
                 };
                 ctx.charge_spmm(self.a_blocks[j].nnz(), self.a_blocks[j].rows(), f_out);
                 spmm_acc_with(ctx.parallel(), &self.a_blocks[j], &gj, &mut ag);
             }
             // Small outer product for Y (unchanged from the column
-            // variant).
+            // variant). With overlap on, the f x f all-reduce is in
+            // flight while the next layer's gradient GEMM computes.
             ctx.charge_gemm(f_in, ag.rows(), f_out);
             let y_partial = matmul_tn_with(ctx.parallel(), &self.hs[l], &ag);
-            let y = ctx.world.allreduce_mat(&y_partial, Cat::DenseComm);
+            let y_op = self
+                .overlap
+                .then(|| ctx.world.iallreduce_mat(&y_partial, Cat::DenseComm));
             if l > 0 {
                 ctx.charge_gemm(ag.rows(), f_out, f_in);
                 let mut next_g = matmul_nt_with(ctx.parallel(), &ag, &self.weights[l]);
@@ -197,6 +234,10 @@ impl OneDimRowTrainer {
                 ctx.charge_elementwise(next_g.len());
                 g = Arc::new(next_g);
             }
+            let y = match y_op {
+                Some(op) => op.wait(),
+                None => ctx.world.allreduce_mat(&y_partial, Cat::DenseComm),
+            };
             self.opt.step(l, &mut self.weights[l], &y);
             ctx.charge_elementwise(y.len());
         }
@@ -267,6 +308,16 @@ impl OneDimRowTrainer {
     /// changes. Must be set identically on every rank.
     pub fn set_comm_mode(&mut self, mode: super::CommMode) {
         self.comm_mode = mode;
+    }
+
+    /// Enable or disable communication/computation overlap (default on).
+    /// With overlap on, stage fetches and the weight-gradient all-reduce
+    /// run as nonblocking collectives pipelined against compute; losses,
+    /// weights, and metered words are bit-identical either way — only
+    /// modeled (and wall-clock) time changes. Must be set identically on
+    /// every rank.
+    pub fn set_overlap(&mut self, overlap: bool) {
+        self.overlap = overlap;
     }
 
     /// Select the hidden-layer activation (default ReLU, the paper's σ;

@@ -47,6 +47,10 @@ pub struct ThreeDimTrainer {
     at_ijk: Csr,
     /// `A(rows i, cols j, col-split k)`.
     a_ijk: Csr,
+    /// Issue-ahead pipelining: prefetch the next SUMMA stage's panels
+    /// with nonblocking broadcasts while the current stage's SpMM
+    /// computes (DESIGN.md §10).
+    overlap: bool,
     labels: Arc<Vec<usize>>,
     mask: Arc<Vec<bool>>,
     weights: Vec<Mat>,
@@ -118,6 +122,7 @@ impl ThreeDimTrainer {
             r0,
             at_ijk,
             a_ijk,
+            overlap: true,
             labels: Arc::new(problem.labels.clone()),
             mask: Arc::new(problem.train_mask.clone()),
             opt: {
@@ -149,17 +154,44 @@ impl ThreeDimTrainer {
         let q = self.grid.q;
         let f_cols = d_mine.cols();
         let mut partial = Mat::zeros(self.at_ijk.rows(), f_cols);
-        for s in 0..q {
-            let a_hat = self.grid.row.bcast(
+        // Issue-ahead pipeline: stage s+1's panels are in flight while
+        // stage s's SpMM computes.
+        let issue = |s: usize| {
+            let a_op = self.grid.row.ibcast(
                 s,
                 (self.grid.j == s).then(|| s_mine.clone()),
                 Cat::SparseComm,
             );
-            let d_hat = self.grid.col.bcast(
+            let d_op = self.grid.col.ibcast(
                 s,
                 (self.grid.i == s).then(|| d_mine.clone()),
                 Cat::DenseComm,
             );
+            (a_op, d_op)
+        };
+        let mut pending = self.overlap.then(|| issue(0));
+        for s in 0..q {
+            let (a_hat, d_hat) = match pending.take() {
+                Some((a_op, d_op)) => {
+                    if s + 1 < q {
+                        pending = Some(issue(s + 1));
+                    }
+                    (a_op.wait(), d_op.wait())
+                }
+                None => {
+                    let a_hat = self.grid.row.bcast(
+                        s,
+                        (self.grid.j == s).then(|| s_mine.clone()),
+                        Cat::SparseComm,
+                    );
+                    let d_hat = self.grid.col.bcast(
+                        s,
+                        (self.grid.i == s).then(|| d_mine.clone()),
+                        Cat::DenseComm,
+                    );
+                    (a_hat, d_hat)
+                }
+            };
             ctx.charge_spmm(a_hat.nnz(), a_hat.rows(), d_hat.cols());
             spmm_acc_with(ctx.parallel(), &a_hat, &d_hat, &mut partial);
         }
@@ -184,12 +216,30 @@ impl ThreeDimTrainer {
         let q = self.grid.q;
         let (oc0, oc1) = block_range(f_out, q, self.grid.j);
         let mut out = Mat::zeros(self.my_rows(), oc1 - oc0);
-        for s in 0..q {
-            let t_hat = self.grid.row.bcast(
+        // Issue-ahead pipeline over the q broadcast stages, as in
+        // split3d_spmm.
+        let issue = |s: usize| {
+            self.grid.row.ibcast(
                 s,
                 (self.grid.j == s).then(|| t_mine.clone()),
                 Cat::DenseComm,
-            );
+            )
+        };
+        let mut pending = self.overlap.then(|| issue(0));
+        for s in 0..q {
+            let t_hat = match pending.take() {
+                Some(op) => {
+                    if s + 1 < q {
+                        pending = Some(issue(s + 1));
+                    }
+                    op.wait()
+                }
+                None => self.grid.row.bcast(
+                    s,
+                    (self.grid.j == s).then(|| t_mine.clone()),
+                    Cat::DenseComm,
+                ),
+            };
             let (ic0, ic1) = block_range(f_in, q, s);
             debug_assert_eq!(ic1 - ic0, t_hat.cols(), "stage width mismatch");
             if ic1 == ic0 || oc1 == oc0 {
@@ -291,21 +341,32 @@ impl ThreeDimTrainer {
             // ranks sharing grid column j, then row replication.
             ctx.charge_gemm(self.hs[l].cols(), self.my_rows(), f_out);
             let y_local = matmul_tn_with(ctx.parallel(), &self.hs[l], &ag_row);
-            let y_j = self.jgroup.allreduce_mat(&y_local, Cat::DenseComm);
-            let y_parts = self.grid.row.allgather(y_j, Cat::DenseComm);
-            let y = Mat::vstack(&y_parts.iter().map(|p| (**p).clone()).collect::<Vec<_>>());
-            debug_assert_eq!(y.shape(), (f_in, f_out));
+            // With overlap on, the j-group Y reduction is in flight while
+            // the G^{l-1} GEMM computes (both read only ag_row and
+            // replicated state). The dropout mask is taken up front so
+            // no &mut self is needed while the op borrows the jgroup.
+            let drop_mask = (l > 0).then(|| self.drop_masks[l - 1].take()).flatten();
+            let y_op = self
+                .overlap
+                .then(|| self.jgroup.iallreduce_mat(&y_local, Cat::DenseComm));
             if l > 0 {
                 let (jc0, jc1) = block_range(f_in, self.grid.q, self.grid.j);
                 let w_slice = self.weights[l].block(jc0, jc1, 0, f_out);
                 ctx.charge_gemm(self.my_rows(), f_out, jc1 - jc0);
                 g = matmul_nt_with(ctx.parallel(), &ag_row, &w_slice);
                 hadamard_assign(&mut g, &self.act.prime(&self.zs[l - 1]));
-                if let Some(mask) = self.drop_masks[l - 1].take() {
+                if let Some(mask) = drop_mask {
                     hadamard_assign(&mut g, &mask);
                 }
                 ctx.charge_elementwise(g.len());
             }
+            let y_j = match y_op {
+                Some(op) => op.wait(),
+                None => self.jgroup.allreduce_mat(&y_local, Cat::DenseComm),
+            };
+            let y_parts = self.grid.row.allgather(y_j, Cat::DenseComm);
+            let y = Mat::vstack(&y_parts.iter().map(|p| (**p).clone()).collect::<Vec<_>>());
+            debug_assert_eq!(y.shape(), (f_in, f_out));
             self.opt.step(l, &mut self.weights[l], &y);
             ctx.charge_elementwise(y.len());
         }
@@ -374,6 +435,16 @@ impl ThreeDimTrainer {
     /// communication. Must be set identically on every rank.
     pub fn set_hidden_activation(&mut self, act: Activation) {
         self.act = act;
+    }
+
+    /// Enable or disable communication/computation overlap (default on).
+    /// With overlap on, SUMMA panel broadcasts and the j-group Y
+    /// reduction run as nonblocking collectives pipelined against
+    /// compute; losses, weights, and metered words are bit-identical
+    /// either way — only modeled (and wall-clock) time changes. Must be
+    /// set identically on every rank.
+    pub fn set_overlap(&mut self, overlap: bool) {
+        self.overlap = overlap;
     }
 
     /// Select the optimizer (replicated state; no communication). Resets

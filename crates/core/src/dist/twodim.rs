@@ -34,7 +34,7 @@ use crate::model::GcnConfig;
 use crate::optimizer::{Optimizer, OptimizerKind};
 use crate::problem::Problem;
 use cagnet_comm::grid::int_sqrt;
-use cagnet_comm::{Cat, Ctx, Grid2D};
+use cagnet_comm::{Cat, Ctx, Grid2D, PendingOp};
 use cagnet_dense::activation::{log_softmax_rows, softmax_rows, Activation};
 use cagnet_dense::ops::hadamard_assign;
 use cagnet_dense::{matmul_acc_with, matmul_nt_with, matmul_tn_with, Mat};
@@ -82,6 +82,10 @@ pub struct TwoDimTrainer {
     /// `A` block `(i, j)` (equal to `at_ij` for undirected graphs, sliced
     /// independently to support directed input).
     a_ij: Csr,
+    /// Issue-ahead pipelining: prefetch the next SUMMA stage's panels
+    /// with nonblocking broadcasts while the current stage's SpMM
+    /// computes (DESIGN.md §10).
+    overlap: bool,
     labels: Arc<Vec<usize>>,
     mask: Arc<Vec<bool>>,
     weights: Vec<Mat>,
@@ -205,6 +209,7 @@ impl TwoDimTrainer {
             c0,
             at_ij,
             a_ij,
+            overlap: true,
             labels: Arc::new(problem.labels.clone()),
             mask: Arc::new(problem.train_mask.clone()),
             opt: {
@@ -228,43 +233,96 @@ impl TwoDimTrainer {
         self.r1 - self.r0
     }
 
+    /// Issue SUMMA stage `(k, t)`'s two panel broadcasts (the `S` panel
+    /// along the process row, the `D` panel along the process column) as
+    /// nonblocking collectives.
+    #[allow(clippy::type_complexity)]
+    fn issue_summa_stage<'s>(
+        &'s self,
+        s_mine: &Csr,
+        d_mine: &Mat,
+        k: usize,
+        t: usize,
+    ) -> (PendingOp<'s, Arc<Csr>>, PendingOp<'s, Arc<Mat>>) {
+        let k_total = self.fine.len();
+        let owner_col = k / (k_total / self.grid.pc);
+        let owner_row = k / (k_total / self.grid.pr);
+        let (fk0, fk1) = self.fine[k];
+        let (t0, t1) = block_range(fk1 - fk0, self.tcfg.stages_per_block, t);
+        let a_op = self.grid.row.ibcast(
+            owner_col,
+            (self.grid.j == owner_col).then(|| {
+                // Local slice of my Aᵀ block covering fine stage k.
+                let lo = fk0 - self.c0;
+                s_mine.block(0, s_mine.rows(), lo + t0, lo + t1)
+            }),
+            Cat::SparseComm,
+        );
+        let d_op = self.grid.col.ibcast(
+            owner_row,
+            (self.grid.i == owner_row).then(|| {
+                let lo = fk0 - self.r0;
+                d_mine.block(lo + t0, lo + t1, 0, d_mine.cols())
+            }),
+            Cat::DenseComm,
+        );
+        (a_op, d_op)
+    }
+
     /// SUMMA SpMM: `out_ij += Σ_k SPMM(S(:, fine k), D(fine k, :))` over
     /// the `K` fine stages, each owned by one grid column (the `S` panel)
     /// and one grid row (the `D` panel). Sub-blocked into
-    /// `stages_per_block` panels per fine stage.
+    /// `stages_per_block` panels per fine stage. With overlap on, the
+    /// next stage's panels are in flight while the current stage's SpMM
+    /// computes.
     fn summa_spmm(&self, ctx: &Ctx, s_mine: &Csr, d_mine: &Mat, f_cols: usize) -> Mat {
         let k_total = self.fine.len();
         let col_per = k_total / self.grid.pc;
         let row_per = k_total / self.grid.pr;
         let sub = self.tcfg.stages_per_block;
         let mut out = Mat::zeros(self.my_rows(), f_cols);
-        for k in 0..k_total {
-            let owner_col = k / col_per;
-            let owner_row = k / row_per;
-            let (fk0, fk1) = self.fine[k];
-            let flen = fk1 - fk0;
-            for t in 0..sub {
-                let (t0, t1) = block_range(flen, sub, t);
-                let a_panel = self.grid.row.bcast(
-                    owner_col,
-                    (self.grid.j == owner_col).then(|| {
-                        // Local slice of my Aᵀ block covering fine stage k.
-                        let lo = fk0 - self.c0;
-                        s_mine.block(0, s_mine.rows(), lo + t0, lo + t1)
-                    }),
-                    Cat::SparseComm,
-                );
-                let d_panel = self.grid.col.bcast(
-                    owner_row,
-                    (self.grid.i == owner_row).then(|| {
-                        let lo = fk0 - self.r0;
-                        d_mine.block(lo + t0, lo + t1, 0, d_mine.cols())
-                    }),
-                    Cat::DenseComm,
-                );
-                ctx.charge_spmm(a_panel.nnz(), a_panel.rows(), d_panel.cols());
-                spmm_acc_with(ctx.parallel(), &a_panel, &d_panel, &mut out);
-            }
+        let stages: Vec<(usize, usize)> = (0..k_total)
+            .flat_map(|k| (0..sub).map(move |t| (k, t)))
+            .collect();
+        let mut pending = self
+            .overlap
+            .then(|| self.issue_summa_stage(s_mine, d_mine, stages[0].0, stages[0].1));
+        for (idx, &(k, t)) in stages.iter().enumerate() {
+            let (a_panel, d_panel) = match pending.take() {
+                Some((a_op, d_op)) => {
+                    if let Some(&(nk, nt)) = stages.get(idx + 1) {
+                        pending = Some(self.issue_summa_stage(s_mine, d_mine, nk, nt));
+                    }
+                    (a_op.wait(), d_op.wait())
+                }
+                None => {
+                    let owner_col = k / col_per;
+                    let owner_row = k / row_per;
+                    let (fk0, fk1) = self.fine[k];
+                    let (t0, t1) = block_range(fk1 - fk0, sub, t);
+                    let a_panel = self.grid.row.bcast(
+                        owner_col,
+                        (self.grid.j == owner_col).then(|| {
+                            // Local slice of my Aᵀ block covering fine
+                            // stage k.
+                            let lo = fk0 - self.c0;
+                            s_mine.block(0, s_mine.rows(), lo + t0, lo + t1)
+                        }),
+                        Cat::SparseComm,
+                    );
+                    let d_panel = self.grid.col.bcast(
+                        owner_row,
+                        (self.grid.i == owner_row).then(|| {
+                            let lo = fk0 - self.r0;
+                            d_mine.block(lo + t0, lo + t1, 0, d_mine.cols())
+                        }),
+                        Cat::DenseComm,
+                    );
+                    (a_panel, d_panel)
+                }
+            };
+            ctx.charge_spmm(a_panel.nnz(), a_panel.rows(), d_panel.cols());
+            spmm_acc_with(ctx.parallel(), &a_panel, &d_panel, &mut out);
         }
         out
     }
@@ -284,12 +342,30 @@ impl TwoDimTrainer {
         let pc = self.grid.pc;
         let (oc0, oc1) = block_range(f_out, pc, self.grid.j);
         let mut out = Mat::zeros(self.my_rows(), oc1 - oc0);
-        for s in 0..pc {
-            let t_hat = self.grid.row.bcast(
+        // Issue-ahead pipeline over the pc broadcast stages, as in
+        // summa_spmm.
+        let issue = |s: usize| {
+            self.grid.row.ibcast(
                 s,
                 (self.grid.j == s).then(|| t_mine.clone()),
                 Cat::DenseComm,
-            );
+            )
+        };
+        let mut pending = self.overlap.then(|| issue(0));
+        for s in 0..pc {
+            let t_hat = match pending.take() {
+                Some(op) => {
+                    if s + 1 < pc {
+                        pending = Some(issue(s + 1));
+                    }
+                    op.wait()
+                }
+                None => self.grid.row.bcast(
+                    s,
+                    (self.grid.j == s).then(|| t_mine.clone()),
+                    Cat::DenseComm,
+                ),
+            };
             let (ic0, ic1) = block_range(f_in, pc, s);
             debug_assert_eq!(ic1 - ic0, t_hat.cols(), "stage width mismatch");
             if ic1 == ic0 || oc1 == oc0 {
@@ -403,10 +479,14 @@ impl TwoDimTrainer {
             // the paper's terms).
             ctx.charge_gemm(self.hs[l].cols(), self.my_rows(), f_out);
             let y_local = matmul_tn_with(ctx.parallel(), &self.hs[l], &ag_row);
-            let y_j = self.grid.col.allreduce_mat(&y_local, Cat::DenseComm);
-            let y_parts = self.grid.row.allgather(y_j, Cat::DenseComm);
-            let y = Mat::vstack(&y_parts.iter().map(|p| (**p).clone()).collect::<Vec<_>>());
-            debug_assert_eq!(y.shape(), (f_in, f_out));
+            // With overlap on, the column-group Y reduction is in flight
+            // while the G^{l-1} GEMM computes (both read only ag_row and
+            // replicated state). The dropout mask is taken up front so
+            // no &mut self is needed while the op borrows the grid.
+            let drop_mask = (l > 0).then(|| self.drop_masks[l - 1].take()).flatten();
+            let y_op = self
+                .overlap
+                .then(|| self.grid.col.iallreduce_mat(&y_local, Cat::DenseComm));
             if l > 0 {
                 // G^{l-1} = A G (W^l)ᵀ ⊙ σ'(Z^{l-1}): local against
                 // replicated W using the already-gathered AG row slab.
@@ -415,11 +495,18 @@ impl TwoDimTrainer {
                 ctx.charge_gemm(self.my_rows(), f_out, jc1 - jc0);
                 g = matmul_nt_with(ctx.parallel(), &ag_row, &w_slice);
                 hadamard_assign(&mut g, &self.act.prime(&self.zs[l - 1]));
-                if let Some(mask) = self.drop_masks[l - 1].take() {
+                if let Some(mask) = drop_mask {
                     hadamard_assign(&mut g, &mask);
                 }
                 ctx.charge_elementwise(g.len());
             }
+            let y_j = match y_op {
+                Some(op) => op.wait(),
+                None => self.grid.col.allreduce_mat(&y_local, Cat::DenseComm),
+            };
+            let y_parts = self.grid.row.allgather(y_j, Cat::DenseComm);
+            let y = Mat::vstack(&y_parts.iter().map(|p| (**p).clone()).collect::<Vec<_>>());
+            debug_assert_eq!(y.shape(), (f_in, f_out));
             self.opt.step(l, &mut self.weights[l], &y);
             ctx.charge_elementwise(y.len());
         }
@@ -488,6 +575,16 @@ impl TwoDimTrainer {
     /// communication. Must be set identically on every rank.
     pub fn set_hidden_activation(&mut self, act: Activation) {
         self.act = act;
+    }
+
+    /// Enable or disable communication/computation overlap (default on).
+    /// With overlap on, SUMMA panel broadcasts and the column-group Y
+    /// reduction run as nonblocking collectives pipelined against
+    /// compute; losses, weights, and metered words are bit-identical
+    /// either way — only modeled (and wall-clock) time changes. Must be
+    /// set identically on every rank.
+    pub fn set_overlap(&mut self, overlap: bool) {
+        self.overlap = overlap;
     }
 
     /// Select the optimizer (replicated state; no communication). Resets

@@ -95,6 +95,11 @@ pub struct TrainConfig {
     /// Results are bit-for-bit independent of this knob; only the metered
     /// communication changes. Ignored by 2D/3D.
     pub comm_mode: CommMode,
+    /// Pipeline stage fetches and weight-gradient reductions as
+    /// nonblocking collectives overlapped with compute (default on).
+    /// Results are bit-for-bit independent of this knob; only modeled
+    /// (and wall-clock) time changes. See DESIGN.md §10.
+    pub overlap: bool,
 }
 
 impl Default for TrainConfig {
@@ -108,6 +113,7 @@ impl Default for TrainConfig {
             dropout: 0.0,
             threads_per_rank: 1,
             comm_mode: CommMode::default(),
+            overlap: true,
         }
     }
 }
@@ -188,27 +194,36 @@ pub fn infer_distributed(
                 Algorithm::OneD => {
                     let mut t = OneDimTrainer::setup(ctx, problem, gcn);
                     t.set_comm_mode(tc.comm_mode);
+                    t.set_overlap(tc.overlap);
                     run_forward!(t)
                 }
                 Algorithm::OneDRow => {
                     let mut t = OneDimRowTrainer::setup(ctx, problem, gcn);
                     t.set_comm_mode(tc.comm_mode);
+                    t.set_overlap(tc.overlap);
                     run_forward!(t)
                 }
                 Algorithm::One5D { c } => {
                     let mut t = One5DTrainer::setup(ctx, problem, gcn, c);
                     t.set_comm_mode(tc.comm_mode);
+                    t.set_overlap(tc.overlap);
                     run_forward!(t)
                 }
                 Algorithm::TwoD => {
-                    run_forward!(TwoDimTrainer::setup(ctx, problem, gcn, tc.twod))
+                    let mut t = TwoDimTrainer::setup(ctx, problem, gcn, tc.twod);
+                    t.set_overlap(tc.overlap);
+                    run_forward!(t)
                 }
                 Algorithm::TwoDRect { pr, pc } => {
-                    run_forward!(TwoDimTrainer::setup_rect(
-                        ctx, problem, gcn, tc.twod, pr, pc
-                    ))
+                    let mut t = TwoDimTrainer::setup_rect(ctx, problem, gcn, tc.twod, pr, pc);
+                    t.set_overlap(tc.overlap);
+                    run_forward!(t)
                 }
-                Algorithm::ThreeD => run_forward!(ThreeDimTrainer::setup(ctx, problem, gcn)),
+                Algorithm::ThreeD => {
+                    let mut t = ThreeDimTrainer::setup(ctx, problem, gcn);
+                    t.set_overlap(tc.overlap);
+                    run_forward!(t)
+                }
             }
         });
     let (loss, accuracy, _, embeddings) = per_rank[0].0.clone();
@@ -270,28 +285,33 @@ pub fn train_distributed(
                     t.set_hidden_activation(tc.activation);
                     t.set_dropout(tc.dropout);
                     t.set_comm_mode(tc.comm_mode);
+                    t.set_overlap(tc.overlap);
                 }
                 AnyTrainer::OneDRow(t) => {
                     t.set_optimizer(tc.optimizer);
                     t.set_hidden_activation(tc.activation);
                     t.set_dropout(tc.dropout);
                     t.set_comm_mode(tc.comm_mode);
+                    t.set_overlap(tc.overlap);
                 }
                 AnyTrainer::One5D(t) => {
                     t.set_optimizer(tc.optimizer);
                     t.set_hidden_activation(tc.activation);
                     t.set_dropout(tc.dropout);
                     t.set_comm_mode(tc.comm_mode);
+                    t.set_overlap(tc.overlap);
                 }
                 AnyTrainer::TwoD(t) => {
                     t.set_optimizer(tc.optimizer);
                     t.set_hidden_activation(tc.activation);
                     t.set_dropout(tc.dropout);
+                    t.set_overlap(tc.overlap);
                 }
                 AnyTrainer::ThreeD(t) => {
                     t.set_optimizer(tc.optimizer);
                     t.set_hidden_activation(tc.activation);
                     t.set_dropout(tc.dropout);
+                    t.set_overlap(tc.overlap);
                 }
             }
             let mut losses = Vec::with_capacity(tc.epochs);
