@@ -15,13 +15,15 @@
 //!   --beta-gbps <GB/s>       network bandwidth               (default 10)
 //!   --hidden    <width>      hidden layer width              (default 16)
 //!   --overlap   on|off       nonblocking comm/compute overlap (default on)
+//!   --comm-mode dense|sparse dense bcasts or sparsity-aware gathers (default dense)
+//!   --trace <out.json>       write a Chrome/Perfetto trace of the timed epochs
 //!   --json                   print only the JSON row (no human tables)
 //! ```
 
-use cagnet_bench::{bench_dataset, bench_gcn, measure_epochs_cfg};
+use cagnet_bench::{bench_dataset, bench_gcn, measure_epochs_traced};
 use cagnet_comm::CostModel;
 use cagnet_core::trainer::{Algorithm, TrainConfig};
-use cagnet_core::{GcnConfig, Problem};
+use cagnet_core::{CommMode, GcnConfig, Problem};
 use cagnet_sparse::datasets;
 use cagnet_sparse::generate::{rmat_symmetric, RmatParams};
 use std::collections::HashMap;
@@ -95,6 +97,15 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let comm_mode = match get("comm-mode", "dense").as_str() {
+        "dense" => CommMode::Dense,
+        "sparse" => CommMode::SparsityAware,
+        other => {
+            eprintln!("--comm-mode must be dense|sparse, got '{other}'");
+            std::process::exit(2);
+        }
+    };
+    let trace_path = args.get("trace").cloned();
     let json_only = args.contains_key("json");
 
     let model = CostModel {
@@ -142,6 +153,8 @@ fn main() {
         epochs,
         collect_outputs: false,
         overlap,
+        comm_mode,
+        trace: trace_path.is_some(),
         ..Default::default()
     };
     if !json_only {
@@ -155,7 +168,17 @@ fn main() {
             if overlap { "on" } else { "off" }
         );
     }
-    let row = measure_epochs_cfg(&problem, &gcn, &name, algo, p, model, &tc);
+    let (row, traces) = measure_epochs_traced(&problem, &gcn, &name, algo, p, model, &tc);
+    if let Some(path) = &trace_path {
+        let json = cagnet_comm::trace::to_chrome_json(&traces);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write trace to {path}: {e}");
+            std::process::exit(2);
+        }
+        if !json_only {
+            println!("trace written to {path} (open in chrome://tracing or Perfetto)");
+        }
+    }
     if json_only {
         // Machine-readable only: a bare JSON array on stdout.
         // lint:allow(unwrap): the serde shim only errors on non-string map keys

@@ -1,7 +1,7 @@
 //! Dense vs sparsity-aware communication, measured by execution
-//! (DESIGN.md §9): for the row-distributed algorithms, run identical
-//! training in both [`CommMode`]s and compare the metered
-//! `Cat::DenseComm` words.
+//! (DESIGN.md §9): for every trainer — the row-distributed family and
+//! the 2D/3D SUMMA family — run identical training in both
+//! [`CommMode`]s and compare the metered `Cat::DenseComm` words.
 //!
 //! Run with: `cargo run --release -p cagnet-bench --bin sparsity_volume`
 //!
@@ -73,12 +73,19 @@ fn main() {
             lr: 0.01,
             seed: 11,
         };
-        for algo in [
-            Algorithm::OneD,
-            Algorithm::OneDRow,
-            Algorithm::One5D { c: 2 },
-        ] {
-            for p in [2usize, 4, 8] {
+        // (algorithm, process counts): the SUMMA family needs square /
+        // rectangular / cubic grids, so it carries its own P list.
+        let cells: Vec<(Algorithm, Vec<usize>)> = vec![
+            (Algorithm::OneD, vec![2, 4, 8]),
+            (Algorithm::OneDRow, vec![2, 4, 8]),
+            (Algorithm::One5D { c: 2 }, vec![2, 4, 8]),
+            (Algorithm::TwoD, vec![4]),
+            (Algorithm::TwoDRect { pr: 3, pc: 3 }, vec![9]),
+            (Algorithm::ThreeD, vec![8]),
+        ];
+        for (algo, ps) in &cells {
+            let algo = *algo;
+            for &p in ps {
                 if !algo.supports(p) {
                     continue;
                 }
@@ -99,7 +106,8 @@ fn main() {
                 );
                 // The specialized stages run over the broadcast group:
                 // all P ranks for 1D/1D-row, the replica group of p/c
-                // for 1.5D. A singleton group moves nothing either way.
+                // for 1.5D, the stage grid communicators for 2D/3D. A
+                // singleton group moves nothing either way.
                 let bcast_group = match algo {
                     Algorithm::One5D { c } => p / c,
                     _ => p,

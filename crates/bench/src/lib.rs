@@ -172,11 +172,26 @@ pub fn measure_epochs_cfg(
     model: CostModel,
     tc: &TrainConfig,
 ) -> EpochRow {
+    measure_epochs_traced(problem, gcn, dataset, algo, p, model, tc).0
+}
+
+/// Like [`measure_epochs_cfg`] but also returns the per-rank execution
+/// traces over the timed epochs (empty unless `tc.trace` is set) for
+/// export via [`cagnet_comm::trace::to_chrome_json`].
+pub fn measure_epochs_traced(
+    problem: &Problem,
+    gcn: &GcnConfig,
+    dataset: &str,
+    algo: Algorithm,
+    p: usize,
+    model: CostModel,
+    tc: &TrainConfig,
+) -> (EpochRow, Vec<Vec<cagnet_comm::trace::TraceEvent>>) {
     let epochs = tc.epochs;
     let r = train_distributed(problem, gcn, algo, p, model, tc);
     let mean = TimelineReport::mean_over(&r.reports);
     let epoch_seconds = r.epoch_seconds(epochs);
-    EpochRow {
+    let row = EpochRow {
         dataset: dataset.to_string(),
         algorithm: algo.name(),
         processes: p,
@@ -186,7 +201,8 @@ pub fn measure_epochs_cfg(
         dcomm_words: mean.words(Cat::DenseComm) as f64 / epochs as f64,
         scomm_words: mean.words(Cat::SparseComm) as f64 / epochs as f64,
         breakdown: Breakdown::from_report(&mean, epochs),
-    }
+    };
+    (row, r.traces)
 }
 
 /// Print rows as a JSON array on the final line (machine-readable trailer

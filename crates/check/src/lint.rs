@@ -102,11 +102,12 @@ const SERIAL_KERNELS: [&str; 8] = [
 
 /// Collective methods that take a `Cat` cost category; `barrier` is
 /// exempt (it moves no payload words).
-const CATEGORIZED_COLLECTIVES: [&str; 15] = [
+const CATEGORIZED_COLLECTIVES: [&str; 16] = [
     ".bcast(",
     ".bcast_shared(",
     ".gather_rows(",
     ".allgather(",
+    ".allgather_shared(",
     ".allreduce_mat(",
     ".allreduce_scalar(",
     ".reduce_scatter_rows(",
@@ -382,7 +383,10 @@ pub fn lint_file(path: &Path, content: &str) -> Vec<Violation> {
                 }
                 end = k;
             }
-            let returns_pending = header.contains("PendingOp");
+            // `Fetch` wraps a `PendingOp` (dense or sparse stage fetch)
+            // and forwards `.wait(` — returning it hands the obligation
+            // to the caller just like returning the op itself.
+            let returns_pending = header.contains("PendingOp") || header.contains("Fetch<");
             let mut first_issue = None;
             let mut has_wait = false;
             for (k, body_line) in sanitized.iter().enumerate().take(end + 1).skip(start) {
@@ -626,6 +630,29 @@ mod tests {
         let path = "crates/core/src/dist/onedim.rs";
         let src = "fn issue_fetch<'c>(&self, ctx: &'c Ctx) -> PendingOp<'c, Arc<Mat>> {\n    ctx.world.ibcast_shared(j, p, Cat::DenseComm)\n}\n";
         assert!(lint(path, src).is_empty());
+    }
+
+    #[test]
+    fn issue_helper_returning_fetch_is_exempt() {
+        // Stage-fetch helpers wrap the op in a `Fetch` enum; returning it
+        // hands the wait obligation to the caller.
+        let path = "crates/core/src/dist/twodim.rs";
+        let src = "fn issue_fetch<'c>(&self, ctx: &'c Ctx) -> super::Fetch<'c> {\n    super::Fetch::Sparse(ctx.world.igather_rows(j, p, &needed, e, Cat::DenseComm))\n}\n";
+        assert!(lint(path, src).is_empty());
+    }
+
+    #[test]
+    fn allgather_shared_requires_cat() {
+        let path = "crates/core/src/dist/onedim.rs";
+        let src = "fn f() {\n    let parts = self.grid.row.allgather_shared(z.clone());\n}\n";
+        let v = lint(path, src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::UncategorizedCollective);
+        assert!(lint(
+            path,
+            "fn f() {\n    let parts = self.grid.row.allgather_shared(z.clone(), Cat::DenseComm);\n}\n"
+        )
+        .is_empty());
     }
 
     #[test]

@@ -51,6 +51,61 @@ struct GatherRowsDeposit {
     data: Option<Arc<Mat>>,
 }
 
+/// Result of a [`Communicator::gather_rows`] /
+/// [`Communicator::igather_rows`].
+///
+/// Receivers hold the **compact** form: a `k × f` matrix whose row `i`
+/// is row `needed[i]` of the root's block (`rows() == Some(needed)`), so
+/// receiver-side memory is `O(k·f)`, never `O(n·f)`. The root — and
+/// every rank at `P = 1` — gets its own full block back without a copy
+/// (`rows() == None`).
+#[derive(Clone)]
+pub struct GatheredRows {
+    mat: Arc<Mat>,
+    rows: Option<Arc<Vec<usize>>>,
+}
+
+impl GatheredRows {
+    /// The gathered payload: compact `k × f` at receivers, the root's
+    /// full block at the root and at `P = 1`.
+    pub fn mat(&self) -> &Arc<Mat> {
+        &self.mat
+    }
+
+    /// Row indices of the root block that [`GatheredRows::mat`]'s rows
+    /// correspond to, in order; `None` means the identity map (the full
+    /// block).
+    pub fn rows(&self) -> Option<&[usize]> {
+        self.rows.as_deref().map(Vec::as_slice)
+    }
+
+    /// The compact `needed.len() × f` operand for an SpMM against a
+    /// column-compacted sparse panel ([`cagnet_sparse::Csr::compact_cols`]).
+    /// Receivers already hold it (no copy); the root and `P = 1` extract
+    /// their needed rows locally — unmetered local work on a block the
+    /// rank already owns, like any slice of its own data. `needed` must
+    /// be the same list passed to the collective.
+    pub fn compact(&self, needed: &[usize]) -> Arc<Mat> {
+        match &self.rows {
+            Some(rows) => {
+                debug_assert_eq!(
+                    rows.as_slice(),
+                    needed,
+                    "gather_rows: compact() called with a different needed set"
+                );
+                self.mat.clone()
+            }
+            None => {
+                let mut m = Mat::zeros(needed.len(), self.mat.cols());
+                for (i, &r) in needed.iter().enumerate() {
+                    m.row_mut(i).copy_from_slice(self.mat.row(r));
+                }
+                Arc::new(m)
+            }
+        }
+    }
+}
+
 /// State shared by all member threads of one communicator.
 pub(crate) struct CommInner {
     id: u64,
@@ -542,11 +597,20 @@ impl Communicator {
     /// Sparsity-aware row broadcast: member `root_idx` holds a dense row
     /// block, and every other member receives **only** the rows named in
     /// its `needed` list (sorted, distinct row indices into the root's
-    /// block). The result has the root block's full shape with the
-    /// requested rows filled in place and every other row zero, so an
-    /// SpMM whose nonzero columns are exactly `needed` reads values
-    /// bit-identical to a dense broadcast. The root gets its own block
-    /// back without a copy.
+    /// block), as a compact `k × f` [`GatheredRows`] in request order —
+    /// receiver-side memory is `O(k·f)`. An SpMM of a column-compacted
+    /// sparse panel against the compact result is bit-identical to the
+    /// full-block product, because the compaction is a monotone
+    /// renumbering. The root gets its own block back without a copy.
+    ///
+    /// `expect` is each receiver's declaration of the root block's
+    /// dimensions, cross-checked against the root's deposit both at
+    /// runtime and — under `CheckMode` — through the collective
+    /// fingerprint (`Shape::Dims`), so a root broadcasting a
+    /// wrong-shaped panel mid-SUMMA is caught and attributed instead of
+    /// silently mis-slicing. Pass `None` only when the receiver
+    /// genuinely cannot know the dims (fingerprints then use the
+    /// `Shape::Unknown` wildcard).
     ///
     /// Cost accounting (see DESIGN.md §9): every transferred word is
     /// recorded at exactly one rank. A receiver requesting `k` rows of
@@ -562,8 +626,9 @@ impl Communicator {
         root_idx: usize,
         data: Option<Arc<Mat>>,
         needed: &[usize],
+        expect: Option<(usize, usize)>,
         cat: Cat,
-    ) -> Arc<Mat> {
+    ) -> GatheredRows {
         assert!(root_idx < self.size(), "gather_rows root out of range");
         assert_eq!(
             data.is_some(),
@@ -576,12 +641,7 @@ impl Communicator {
                 "gather_rows: needed rows must be sorted and distinct"
             );
         }
-        // The root declares the block geometry; receivers cannot know it
-        // yet (and their request sizes legitimately differ).
-        let shape = match &data {
-            Some(d) => Shape::Dims(d.rows(), d.cols()),
-            None => Shape::Unknown,
-        };
+        let shape = Self::gather_rows_shape(&data, expect);
         let fp = self.fingerprint(
             CollectiveKind::GatherRows,
             Some(root_idx),
@@ -594,6 +654,34 @@ impl Communicator {
             data,
         };
         let (items, tmax) = self.exchange_raw(CollectiveKind::GatherRows, fp, Arc::new(deposit));
+        let (out, cost, words) = self.gather_rows_finish(root_idx, needed, expect, items);
+        self.settle(tmax, cat, cost, words);
+        out
+    }
+
+    /// Fingerprint shape for `gather_rows`/`igather_rows`: the root
+    /// declares its block's dims; receivers declare the dims they expect
+    /// (their request sizes legitimately differ, so `needed.len()` never
+    /// enters the cross-checked shape).
+    fn gather_rows_shape(data: &Option<Arc<Mat>>, expect: Option<(usize, usize)>) -> Shape {
+        match (data, expect) {
+            (Some(d), _) => Shape::Dims(d.rows(), d.cols()),
+            (None, Some((r, c))) => Shape::Dims(r, c),
+            (None, None) => Shape::Unknown,
+        }
+    }
+
+    /// Shared completion of `gather_rows`/`igather_rows`: pick the root
+    /// block out of the deposits, validate the request and the expected
+    /// dims, build the compact result, and compute (cost, words) per the
+    /// α–β formulas of DESIGN.md §9.
+    fn gather_rows_finish(
+        &self,
+        root_idx: usize,
+        needed: &[usize],
+        expect: Option<(usize, usize)>,
+        items: Vec<Payload>,
+    ) -> (GatheredRows, f64, u64) {
         let deposits: Vec<Arc<GatherRowsDeposit>> = items
             .into_iter()
             .map(Self::downcast::<GatherRowsDeposit>)
@@ -601,6 +689,13 @@ impl Communicator {
         let Some(block) = deposits[root_idx].data.clone() else {
             panic!("gather_rows: payload missing at declared root — collective misuse")
         };
+        if let Some((er, ec)) = expect {
+            assert_eq!(
+                (block.rows(), block.cols()),
+                (er, ec),
+                "gather_rows: root block shape differs from the receiver-declared dims"
+            );
+        }
         let p = self.size();
         // Wire words per requested row: the row itself plus one index word.
         let row_words = block.cols() as u64 + 1;
@@ -621,7 +716,10 @@ impl Communicator {
             (2.0 * m.alpha + m.beta * w as f64, w)
         };
         let out = if self.my_idx == root_idx {
-            block
+            GatheredRows {
+                mat: block,
+                rows: None,
+            }
         } else {
             if let Some(&last) = needed.last() {
                 assert!(
@@ -630,14 +728,18 @@ impl Communicator {
                     block.rows()
                 );
             }
-            let mut m = Mat::zeros(block.rows(), block.cols());
-            for &r in needed {
-                m.row_mut(r).copy_from_slice(block.row(r));
+            // Compact: k rows, not block.rows() — receiver allocation is
+            // O(k·f) by construction.
+            let mut m = Mat::zeros(needed.len(), block.cols());
+            for (i, &r) in needed.iter().enumerate() {
+                m.row_mut(i).copy_from_slice(block.row(r));
             }
-            Arc::new(m)
+            GatheredRows {
+                mat: Arc::new(m),
+                rows: Some(Arc::new(needed.to_vec())),
+            }
         };
-        self.settle(tmax, cat, cost, words);
-        out
+        (out, cost, words)
     }
 
     /// Nonblocking [`Communicator::bcast`]: the rendezvous deposit
@@ -707,16 +809,17 @@ impl Communicator {
     }
 
     /// Nonblocking [`Communicator::gather_rows`]: receivers' row requests
-    /// and the root's block deposit at issue; row extraction, cost, and
-    /// word accounting (identical to the blocking form, DESIGN.md §9)
-    /// happen at [`PendingOp::wait`].
+    /// and the root's block deposit at issue; compact-row extraction,
+    /// dim validation, cost, and word accounting (identical to the
+    /// blocking form, DESIGN.md §9) happen at [`PendingOp::wait`].
     pub fn igather_rows(
         &self,
         root_idx: usize,
         data: Option<Arc<Mat>>,
         needed: &[usize],
+        expect: Option<(usize, usize)>,
         cat: Cat,
-    ) -> PendingOp<'_, Arc<Mat>> {
+    ) -> PendingOp<'_, GatheredRows> {
         assert!(root_idx < self.size(), "igather_rows root out of range");
         assert_eq!(
             data.is_some(),
@@ -733,12 +836,17 @@ impl Communicator {
             let Some(block) = data else {
                 unreachable!("single-rank igather_rows root missing its own data")
             };
-            return PendingOp::ready(self, CollectiveKind::IGatherRows, cat, block);
+            return PendingOp::ready(
+                self,
+                CollectiveKind::IGatherRows,
+                cat,
+                GatheredRows {
+                    mat: block,
+                    rows: None,
+                },
+            );
         }
-        let shape = match &data {
-            Some(d) => Shape::Dims(d.rows(), d.cols()),
-            None => Shape::Unknown,
-        };
+        let shape = Self::gather_rows_shape(&data, expect);
         let fp = self.fingerprint(
             CollectiveKind::IGatherRows,
             Some(root_idx),
@@ -757,49 +865,7 @@ impl Communicator {
             CollectiveKind::IGatherRows,
             cat,
             seq,
-            Box::new(move |comm, items| {
-                let deposits: Vec<Arc<GatherRowsDeposit>> = items
-                    .into_iter()
-                    .map(Communicator::downcast::<GatherRowsDeposit>)
-                    .collect();
-                let Some(block) = deposits[root_idx].data.clone() else {
-                    panic!("igather_rows: payload missing at declared root — collective misuse")
-                };
-                let p = comm.size();
-                // Wire words per requested row: the row plus one index word.
-                let row_words = block.cols() as u64 + 1;
-                let (cost, words) = if comm.my_idx == root_idx {
-                    let served: u64 = deposits
-                        .iter()
-                        .enumerate()
-                        .filter(|(i, _)| *i != root_idx)
-                        .map(|(_, d)| d.needed.len() as u64 * row_words)
-                        .sum();
-                    let m = comm.model();
-                    (m.alpha * (p - 1) as f64 + m.beta * served as f64, 0)
-                } else {
-                    let w = needed.len() as u64 * row_words;
-                    let m = comm.model();
-                    (2.0 * m.alpha + m.beta * w as f64, w)
-                };
-                let out = if comm.my_idx == root_idx {
-                    block
-                } else {
-                    if let Some(&last) = needed.last() {
-                        assert!(
-                            last < block.rows(),
-                            "igather_rows: requested row {last} out of range for {}-row block",
-                            block.rows()
-                        );
-                    }
-                    let mut m = Mat::zeros(block.rows(), block.cols());
-                    for &r in &needed {
-                        m.row_mut(r).copy_from_slice(block.row(r));
-                    }
-                    Arc::new(m)
-                };
-                (out, cost, words)
-            }),
+            Box::new(move |comm, items| comm.gather_rows_finish(root_idx, &needed, expect, items)),
         )
     }
 
@@ -846,6 +912,20 @@ impl Communicator {
     /// All-gather: every member contributes `data`; returns all
     /// contributions in member order.
     pub fn allgather<T: Any + Send + Sync + CommWords>(&self, data: T, cat: Cat) -> Vec<Arc<T>> {
+        self.allgather_shared(Arc::new(data), cat)
+    }
+
+    /// All-gather of an already-shared payload: like
+    /// [`Communicator::allgather`], but each member hands over an `Arc`
+    /// instead of an owned value, so a block a trainer keeps resident
+    /// (its activation slice, its output row block) rides into the
+    /// rendezvous without being copied. Fingerprinting and charging are
+    /// identical to `allgather`.
+    pub fn allgather_shared<T: Any + Send + Sync + CommWords>(
+        &self,
+        data: Arc<T>,
+        cat: Cat,
+    ) -> Vec<Arc<T>> {
         // Contribution sizes are legitimately rank-dependent: wildcard.
         let fp = self.fingerprint(
             CollectiveKind::Allgather,
@@ -854,7 +934,7 @@ impl Communicator {
             std::any::type_name::<T>(),
             Shape::Unknown,
         );
-        let (items, tmax) = self.exchange_raw(CollectiveKind::Allgather, fp, Arc::new(data));
+        let (items, tmax) = self.exchange_raw(CollectiveKind::Allgather, fp, data);
         let out: Vec<Arc<T>> = items.into_iter().map(Self::downcast::<T>).collect();
         let p = self.size();
         let total: u64 = out.iter().map(|x| x.comm_words()).sum();
@@ -1520,34 +1600,124 @@ mod tests {
     }
 
     #[test]
-    fn gather_rows_delivers_requested_rows_in_place() {
+    fn allgather_shared_skips_contributor_copies() {
+        let results = Cluster::new(3).run(|ctx| {
+            let mine = Arc::new(Mat::filled(2, 2, ctx.rank as f64));
+            let got = ctx.world.allgather_shared(mine.clone(), Cat::DenseComm);
+            (
+                Arc::ptr_eq(&got[ctx.rank], &mine),
+                got.iter().map(|m| m[(0, 0)]).collect::<Vec<f64>>(),
+            )
+        });
+        for ((same_alloc, vals), _) in results {
+            // Every rank's own allocation travels; no clone anywhere.
+            assert!(same_alloc);
+            assert_eq!(vals, vec![0.0, 1.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn allgather_shared_charges_like_allgather() {
+        let run = |shared: bool| {
+            Cluster::new(4).run(move |ctx| {
+                if shared {
+                    let m = Arc::new(Mat::zeros(5, 3));
+                    ctx.world.allgather_shared(m, Cat::DenseComm);
+                } else {
+                    ctx.world.allgather(Mat::zeros(5, 3), Cat::DenseComm);
+                }
+                ctx.report()
+            })
+        };
+        for ((a, _), (b, _)) in run(true).iter().zip(run(false).iter()) {
+            assert_eq!(a.clock, b.clock);
+            assert_eq!(a.words(Cat::DenseComm), b.words(Cat::DenseComm));
+            assert_eq!(a.messages(Cat::DenseComm), b.messages(Cat::DenseComm));
+        }
+    }
+
+    #[test]
+    fn gather_rows_delivers_compact_requested_rows() {
         let results = Cluster::new(3).run(|ctx| {
             let block = Arc::new(Mat::from_fn(6, 2, |i, j| (10 * i + j) as f64));
             let payload = (ctx.rank == 1).then(|| block.clone());
             let needed: Vec<usize> = vec![ctx.rank, ctx.rank + 3];
-            let got = ctx.world.gather_rows(1, payload, &needed, Cat::DenseComm);
-            (Arc::ptr_eq(&got, &block), got.as_ref().clone())
+            let got = ctx
+                .world
+                .gather_rows(1, payload, &needed, Some((6, 2)), Cat::DenseComm);
+            (
+                Arc::ptr_eq(got.mat(), &block),
+                got.rows().map(|r| r.to_vec()),
+                got.mat().as_ref().clone(),
+            )
         });
-        for (rank, ((same_alloc, m), _)) in results.iter().enumerate() {
-            assert_eq!(m.shape(), (6, 2));
+        for (rank, ((same_alloc, rows, m), _)) in results.iter().enumerate() {
             if rank == 1 {
                 // Root keeps its own allocation, fully populated.
                 assert!(*same_alloc);
+                assert!(rows.is_none());
                 assert!(m.approx_eq(&Mat::from_fn(6, 2, |i, j| (10 * i + j) as f64), 0.0));
             } else {
+                // Receivers hold exactly the requested rows, in order.
                 assert!(!*same_alloc);
-                for i in 0..6 {
+                assert_eq!(m.shape(), (2, 2));
+                assert_eq!(rows.as_deref(), Some(&[rank, rank + 3][..]));
+                for (pos, src) in [rank, rank + 3].into_iter().enumerate() {
                     for j in 0..2 {
-                        let expect = if i == rank || i == rank + 3 {
-                            (10 * i + j) as f64
-                        } else {
-                            0.0
-                        };
-                        assert_eq!(m[(i, j)], expect, "rank {rank} at ({i},{j})");
+                        assert_eq!(m[(pos, j)], (10 * src + j) as f64, "rank {rank}");
                     }
                 }
             }
         }
+    }
+
+    #[test]
+    fn gather_rows_receiver_allocation_is_compact() {
+        // Regression (receiver memory = O(k·f), not O(n·f)): against a
+        // 512-row block, a 3-row request must come back as a 3-row
+        // matrix, and compact() must be the identity on it.
+        let results = Cluster::new(2).run(|ctx| {
+            let block = Arc::new(Mat::from_fn(512, 4, |i, j| (i * 4 + j) as f64));
+            let payload = (ctx.rank == 0).then(|| block.clone());
+            let needed: Vec<usize> = vec![7, 100, 511];
+            let got = ctx
+                .world
+                .gather_rows(0, payload, &needed, Some((512, 4)), Cat::DenseComm);
+            let compact = got.compact(&needed);
+            (
+                got.mat().shape(),
+                Arc::ptr_eq(&compact, got.mat()),
+                compact.as_ref().clone(),
+            )
+        });
+        let ((shape, identity, compact), _) = &results[1];
+        assert_eq!(*shape, (3, 4), "receiver must not allocate the full block");
+        assert!(*identity, "compact() on a compact result must not copy");
+        for (pos, src) in [7usize, 100, 511].into_iter().enumerate() {
+            for j in 0..4 {
+                assert_eq!(compact[(pos, j)], (src * 4 + j) as f64);
+            }
+        }
+        // The root's compact() extracts the same operand from its block.
+        let ((root_shape, _, root_compact), _) = &results[0];
+        assert_eq!(*root_shape, (512, 4));
+        assert!(root_compact.approx_eq(compact, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "receiver-declared dims")]
+    fn gather_rows_rejects_wrong_expected_dims() {
+        // CheckMode off: this pins the runtime assert, which guards even
+        // unchecked runs (the fingerprint path has its own test in
+        // crates/comm/tests/check_faults.rs).
+        Cluster::new(2).with_check(CheckMode::Off).run(|ctx| {
+            let payload = (ctx.rank == 0).then(|| Arc::new(Mat::zeros(4, 3)));
+            // Receiver declares the wrong row count; caught even with
+            // CheckMode off.
+            let expect = Some(if ctx.rank == 0 { (4, 3) } else { (5, 3) });
+            ctx.world
+                .gather_rows(0, payload, &[1], expect, Cat::DenseComm);
+        });
     }
 
     #[test]
@@ -1556,7 +1726,8 @@ mod tests {
         let results = Cluster::new(3).run(|ctx| {
             let payload = (ctx.rank == 0).then(|| Arc::new(Mat::zeros(8, 4)));
             let needed: Vec<usize> = (0..=ctx.rank).collect();
-            ctx.world.gather_rows(0, payload, &needed, Cat::DenseComm);
+            ctx.world
+                .gather_rows(0, payload, &needed, Some((8, 4)), Cat::DenseComm);
             ctx.report()
         });
         assert_eq!(results[0].0.words(Cat::DenseComm), 0); // root serves, records nothing
@@ -1574,7 +1745,8 @@ mod tests {
         let results = Cluster::new(4).with_model(model).run(|ctx| {
             let payload = (ctx.rank == 2).then(|| Arc::new(Mat::zeros(10, 5)));
             let needed: Vec<usize> = (0..2 * ctx.rank + 1).collect();
-            ctx.world.gather_rows(2, payload, &needed, Cat::DenseComm);
+            ctx.world
+                .gather_rows(2, payload, &needed, Some((10, 5)), Cat::DenseComm);
             ctx.clock()
         });
         // Served rows from ranks 0, 1, 3: 1 + 3 + 7 = 11, each 6 words.
@@ -1596,10 +1768,14 @@ mod tests {
     fn gather_rows_single_rank_is_free() {
         let results = Cluster::new(1).run(|ctx| {
             let block = Arc::new(Mat::filled(3, 3, 7.0));
-            let got = ctx
-                .world
-                .gather_rows(0, Some(block.clone()), &[0, 2], Cat::DenseComm);
-            (Arc::ptr_eq(&got, &block), ctx.clock(), ctx.report())
+            let got = ctx.world.gather_rows(
+                0,
+                Some(block.clone()),
+                &[0, 2],
+                Some((3, 3)),
+                Cat::DenseComm,
+            );
+            (Arc::ptr_eq(got.mat(), &block), ctx.clock(), ctx.report())
         });
         let ((same, clock, rep), _) = &results[0];
         assert!(same);
@@ -1614,8 +1790,8 @@ mod tests {
             let payload = (ctx.rank == 0).then(|| Arc::new(Mat::filled(4, 2, 1.0)));
             let got = ctx
                 .world
-                .gather_rows(0, payload, &[ctx.rank], Cat::DenseComm);
-            got[(ctx.rank, 0)]
+                .gather_rows(0, payload, &[ctx.rank], Some((4, 2)), Cat::DenseComm);
+            got.compact(&[ctx.rank])[(0, 0)]
         });
         for (v, _) in results {
             assert_eq!(v, 1.0);
@@ -1628,7 +1804,7 @@ mod tests {
         Cluster::new(1).run(|ctx| {
             let block = Arc::new(Mat::zeros(4, 1));
             ctx.world
-                .gather_rows(0, Some(block), &[2, 1], Cat::DenseComm);
+                .gather_rows(0, Some(block), &[2, 1], None, Cat::DenseComm);
         });
     }
 
@@ -1722,12 +1898,13 @@ mod tests {
                 let needed: Vec<usize> = vec![ctx.rank, ctx.rank + 3];
                 let got = if nonblocking {
                     ctx.world
-                        .igather_rows(1, payload, &needed, Cat::DenseComm)
+                        .igather_rows(1, payload, &needed, Some((6, 2)), Cat::DenseComm)
                         .wait()
                 } else {
-                    ctx.world.gather_rows(1, payload, &needed, Cat::DenseComm)
+                    ctx.world
+                        .gather_rows(1, payload, &needed, Some((6, 2)), Cat::DenseComm)
                 };
-                (got.as_ref().clone(), ctx.report())
+                (got.compact(&needed).as_ref().clone(), ctx.report())
             })
         };
         for ((a, ra), (b, rb)) in run(true)
@@ -1774,7 +1951,13 @@ mod tests {
                 .wait();
             let b = ctx
                 .world
-                .igather_rows(0, Some(block.clone()), &[0, 2], Cat::DenseComm)
+                .igather_rows(
+                    0,
+                    Some(block.clone()),
+                    &[0, 2],
+                    Some((3, 3)),
+                    Cat::DenseComm,
+                )
                 .wait();
             let c = ctx
                 .world
@@ -1782,7 +1965,7 @@ mod tests {
                 .wait();
             (
                 Arc::ptr_eq(&a, &block),
-                Arc::ptr_eq(&b, &block),
+                Arc::ptr_eq(b.mat(), &block),
                 c,
                 ctx.clock(),
             )

@@ -25,7 +25,7 @@ pub mod trace;
 
 pub use cagnet_check::CheckMode;
 pub use cluster::{Cluster, Ctx};
-pub use comm::{Communicator, PendingOp};
+pub use comm::{Communicator, GatheredRows, PendingOp};
 pub use cost::{Cat, CommWords, CostModel};
 pub use grid::{Grid2D, Grid3D};
 pub use timeline::{Timeline, TimelineReport};

@@ -72,6 +72,44 @@ fn kind_mismatch_names_both_collectives() {
 }
 
 #[test]
+fn gather_rows_wrong_root_panel_shape_names_offender() {
+    // The root serves a panel with the wrong dimensions mid-"SUMMA":
+    // receivers fingerprint the dims they expect, so the checked run
+    // attributes the bad panel to the root instead of mis-slicing.
+    let msg = panic_text(|| {
+        Cluster::new(4).with_check(CheckMode::On).run(|ctx| {
+            use std::sync::Arc;
+            // Everyone expects a 6x3 block; the root deposits 5x3.
+            let payload = (ctx.rank == 1).then(|| Arc::new(Mat::zeros(5, 3)));
+            let _ = ctx
+                .world
+                .gather_rows(1, payload, &[0, 2], Some((6, 3)), Cat::DenseComm);
+        });
+    });
+    assert!(msg.contains("collective fingerprint mismatch"), "{msg}");
+    assert!(msg.contains("gather_rows"), "{msg}");
+    assert!(msg.contains("rank 1"), "{msg}");
+}
+
+#[test]
+fn igather_rows_wrong_root_panel_shape_names_offender() {
+    // Same fault through the nonblocking path: fingerprints deposit at
+    // issue, so the mismatch surfaces at wait() with the same attribution.
+    let msg = panic_text(|| {
+        Cluster::new(4).with_check(CheckMode::On).run(|ctx| {
+            use std::sync::Arc;
+            let payload = (ctx.rank == 2).then(|| Arc::new(Mat::zeros(8, 2)));
+            let _ = ctx
+                .world
+                .igather_rows(2, payload, &[1], Some((4, 2)), Cat::DenseComm)
+                .wait();
+        });
+    });
+    assert!(msg.contains("collective fingerprint mismatch"), "{msg}");
+    assert!(msg.contains("rank 2"), "{msg}");
+}
+
+#[test]
 fn cross_communicator_deadlock_is_detected() {
     // 2x2 grid: row comms {0,1} {2,3}, column comms {0,2} {1,3}. The
     // barrier orderings below form a 4-cycle in the wait-for graph

@@ -31,21 +31,25 @@ pub mod threedim;
 pub mod transpose;
 pub mod twodim;
 
-use cagnet_comm::{Cat, Ctx};
+use cagnet_comm::{Cat, Ctx, GatheredRows, PendingOp};
 use cagnet_dense::Mat;
 use std::borrow::Borrow;
 use std::fmt;
+use std::sync::Arc;
 
-/// How the row-distributed trainers (1D, 1D-row, 1.5D) move dense
-/// feature/gradient blocks between ranks.
+/// How the distributed trainers move dense feature/gradient blocks
+/// between ranks.
 ///
-/// The broadcast stages of those algorithms send each rank's *entire*
-/// block every stage, but a receiver multiplying `Aᵀ_{ij}` only reads the
-/// rows matching that block's nonzero columns. `SparsityAware` switches
+/// The broadcast stages of these algorithms send an *entire* dense block
+/// every stage, but a receiver multiplying a sparse panel only reads the
+/// rows matching that panel's nonzero columns. `SparsityAware` switches
 /// the stages to [`gather_rows`], which moves only the requested rows
 /// (plus their indices) — bit-identical training at a fraction of the
-/// metered `Cat::DenseComm` words on sparse graphs. See DESIGN.md §9 for
-/// the cost accounting and when `Dense` still wins.
+/// metered `Cat::DenseComm` words on sparse graphs. All five trainers
+/// honor it: the row-distributed family (1D, 1D-row, 1.5D) on their
+/// block broadcasts, and the grid family (2D, 3D) on the dense-panel
+/// side of every SUMMA stage. See DESIGN.md §9 for the cost accounting,
+/// the per-stage needed-row derivation, and when `Dense` still wins.
 ///
 /// [`gather_rows`]: cagnet_comm::comm::Communicator::gather_rows
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -91,6 +95,31 @@ impl fmt::Display for SetupError {
 
 impl std::error::Error for SetupError {}
 
+/// A stage fetch in flight. The dense broadcast and the sparsity-aware
+/// row gather resolve to different payloads (a full shared block vs a
+/// compact [`GatheredRows`]), so the issue-ahead pipelines carry this
+/// enum and collapse it to the dense operand the stage SpMM multiplies.
+pub(crate) enum Fetch<'c> {
+    /// Pending full-block broadcast (`CommMode::Dense`).
+    Dense(PendingOp<'c, Arc<Mat>>),
+    /// Pending row gather (`CommMode::SparsityAware`).
+    Sparse(PendingOp<'c, GatheredRows>),
+}
+
+impl Fetch<'_> {
+    /// Block until the stage operand is available. In sparse mode the
+    /// result holds exactly the `needed` rows in request order — pair it
+    /// with the column-compacted sparse panel
+    /// ([`cagnet_sparse::Csr::compact_cols`]) so accumulation order, and
+    /// therefore every bit of the result, matches the dense path.
+    pub(crate) fn wait(self, needed: &[usize]) -> Arc<Mat> {
+        match self {
+            Fetch::Dense(op) => op.wait(),
+            Fetch::Sparse(op) => op.wait().compact(needed),
+        }
+    }
+}
+
 /// The newest stored activation `H^L` — the trainer's output block.
 /// Trainers seed `hs` with the feature block at construction, so this
 /// cannot fail after `setup`; the message covers direct misuse. Generic
@@ -100,6 +129,15 @@ impl std::error::Error for SetupError {}
 pub(crate) fn output_block<M: Borrow<Mat>>(hs: &[M]) -> &Mat {
     match hs.last() {
         Some(h) => h.borrow(),
+        None => panic!("no stored activations: run setup/forward first"),
+    }
+}
+
+/// [`output_block`] for the `Arc<Mat>` stacks: the shared handle itself,
+/// so the output block enters `allgather_shared` without a deep copy.
+pub(crate) fn output_block_shared(hs: &[Arc<Mat>]) -> Arc<Mat> {
+    match hs.last() {
+        Some(h) => h.clone(),
         None => panic!("no stored activations: run setup/forward first"),
     }
 }

@@ -33,7 +33,7 @@ use crate::model::GcnConfig;
 use crate::optimizer::{Optimizer, OptimizerKind};
 use crate::problem::Problem;
 use cagnet_comm::comm::Communicator;
-use cagnet_comm::{Cat, Ctx, PendingOp};
+use cagnet_comm::{Cat, Ctx};
 use cagnet_dense::activation::{log_softmax_rows, Activation};
 use cagnet_dense::ops::hadamard_assign;
 use cagnet_dense::{matmul_nt_with, matmul_tn_with, matmul_with, Mat};
@@ -65,6 +65,10 @@ pub struct One5DTrainer {
     /// `at_fwd[i']` — the rows of the broadcast fine `H` block this rank
     /// actually reads (sparsity-aware mode).
     needed: Vec<Vec<usize>>,
+    /// Column-compacted copies of `at_fwd` (columns renumbered to
+    /// `needed[i']` order) for multiplying compact gathered operands.
+    /// Built lazily on the first switch to sparsity-aware mode.
+    at_compact: Vec<Csr>,
     /// Dense broadcast vs sparsity-aware row exchange for the forward
     /// stages.
     comm_mode: super::CommMode,
@@ -181,6 +185,7 @@ impl One5DTrainer {
             fine_r0: fr0,
             at_fwd,
             needed,
+            at_compact: Vec::new(),
             comm_mode: super::CommMode::Dense,
             overlap: true,
             at_bwd,
@@ -201,17 +206,30 @@ impl One5DTrainer {
         })
     }
 
+    /// Root-side dims of stage `i'`'s fine `H` block — known to every
+    /// replica-group member from the balanced partition (`at_fwd[i']`
+    /// has one column per root row), fingerprinted by receivers under
+    /// CheckMode.
+    fn stage_dims(&self, l: usize, ip: usize) -> (usize, usize) {
+        (self.at_fwd[ip].cols(), self.hs[l].cols())
+    }
+
     /// Issue the stage-`ip` replica-group fetch of layer `l`'s fine `H`
     /// block as a nonblocking collective (dense broadcast or
     /// sparsity-aware row gather, per [`Self::set_comm_mode`]).
-    fn issue_fetch(&self, l: usize, ip: usize) -> PendingOp<'_, Arc<Mat>> {
+    fn issue_fetch(&self, l: usize, ip: usize) -> super::Fetch<'_> {
         let payload = (ip == self.ti).then(|| self.hs[l].clone());
         match self.comm_mode {
-            super::CommMode::Dense => self.rep.ibcast_shared(ip, payload, Cat::DenseComm),
-            super::CommMode::SparsityAware => {
-                self.rep
-                    .igather_rows(ip, payload, &self.needed[ip], Cat::DenseComm)
+            super::CommMode::Dense => {
+                super::Fetch::Dense(self.rep.ibcast_shared(ip, payload, Cat::DenseComm))
             }
+            super::CommMode::SparsityAware => super::Fetch::Sparse(self.rep.igather_rows(
+                ip,
+                payload,
+                &self.needed[ip],
+                Some(self.stage_dims(l, ip)),
+                Cat::DenseComm,
+            )),
         }
     }
 
@@ -230,7 +248,7 @@ impl One5DTrainer {
                     if ip + 1 < self.p1 {
                         pending = Some(self.issue_fetch(l, ip + 1));
                     }
-                    op.wait()
+                    op.wait(&self.needed[ip])
                 }
                 None => {
                     let payload = (ip == self.ti).then(|| self.hs[l].clone());
@@ -238,15 +256,27 @@ impl One5DTrainer {
                         super::CommMode::Dense => {
                             self.rep.bcast_shared(ip, payload, Cat::DenseComm)
                         }
-                        super::CommMode::SparsityAware => {
-                            self.rep
-                                .gather_rows(ip, payload, &self.needed[ip], Cat::DenseComm)
-                        }
+                        super::CommMode::SparsityAware => self
+                            .rep
+                            .gather_rows(
+                                ip,
+                                payload,
+                                &self.needed[ip],
+                                Some(self.stage_dims(l, ip)),
+                                Cat::DenseComm,
+                            )
+                            .compact(&self.needed[ip]),
                     }
                 }
             };
-            ctx.charge_spmm(self.at_fwd[ip].nnz(), coarse_rows, f_in);
-            spmm_acc_with(ctx.parallel(), &self.at_fwd[ip], &h_b, &mut partial);
+            // Same nnz/rows either way (compact only renumbers columns):
+            // identical charged cost and accumulation order.
+            let a = match self.comm_mode {
+                super::CommMode::Dense => &self.at_fwd[ip],
+                super::CommMode::SparsityAware => &self.at_compact[ip],
+            };
+            ctx.charge_spmm(a.nnz(), coarse_rows, f_in);
+            spmm_acc_with(ctx.parallel(), a, &h_b, &mut partial);
         }
         partial
     }
@@ -291,20 +321,21 @@ impl One5DTrainer {
     pub fn backward(&mut self, ctx: &Ctx) {
         let l_total = self.cfg.layers();
         assert_eq!(self.zs.len(), l_total, "forward must run before backward");
-        let mut g = output_gradient(
+        // Shared so my block enters the team all-gather without a copy.
+        let mut g = Arc::new(output_gradient(
             &self.zs[l_total - 1],
             &self.labels,
             &self.mask,
             self.fine_r0,
             self.train_count,
-        );
+        ));
         ctx.charge_elementwise(g.len());
         for l in (0..l_total).rev() {
             let f_in = self.cfg.dims[l];
             let f_out = self.cfg.dims[l + 1];
             // Team all-gather: assemble the coarse G block (every replica
             // needs it for its column slice of the outer product).
-            let parts = self.team.allgather(g.clone(), Cat::DenseComm);
+            let parts = self.team.allgather_shared(g.clone(), Cat::DenseComm);
             let g_coarse = Mat::vstack(&parts.iter().map(|p| (**p).clone()).collect::<Vec<_>>());
             // Outer product restricted to output fine blocks ≡ r (mod c),
             // stacked in team order.
@@ -323,12 +354,13 @@ impl One5DTrainer {
                 .then(|| ctx.world.iallreduce_mat(&y_partial, Cat::DenseComm));
             if l > 0 {
                 ctx.charge_gemm(ag.rows(), f_out, f_in);
-                g = matmul_nt_with(ctx.parallel(), &ag, &self.weights[l]);
-                hadamard_assign(&mut g, &self.act.prime(&self.zs[l - 1]));
+                let mut next_g = matmul_nt_with(ctx.parallel(), &ag, &self.weights[l]);
+                hadamard_assign(&mut next_g, &self.act.prime(&self.zs[l - 1]));
                 if let Some(mask) = self.drop_masks[l - 1].take() {
-                    hadamard_assign(&mut g, &mask);
+                    hadamard_assign(&mut next_g, &mask);
                 }
-                ctx.charge_elementwise(g.len());
+                ctx.charge_elementwise(next_g.len());
+                g = Arc::new(next_g);
             }
             let y = match y_op {
                 Some(op) => op.wait(),
@@ -403,6 +435,14 @@ impl One5DTrainer {
     /// bit-identical in both modes; only the metered communication
     /// changes. Must be set identically on every rank.
     pub fn set_comm_mode(&mut self, mode: super::CommMode) {
+        if mode == super::CommMode::SparsityAware && self.at_compact.is_empty() {
+            self.at_compact = self
+                .at_fwd
+                .iter()
+                .zip(&self.needed)
+                .map(|(a, nd)| a.compact_cols(nd))
+                .collect();
+        }
         self.comm_mode = mode;
     }
 
@@ -462,6 +502,7 @@ impl One5DTrainer {
         let coarse_rows = self.at_fwd[0].rows();
         super::StorageReport {
             adjacency: self.at_fwd.iter().map(super::csr_words).sum::<usize>()
+                + self.at_compact.iter().map(super::csr_words).sum::<usize>()
                 + super::csr_words(&self.at_bwd),
             dense_state: super::mats_words(&self.hs) + super::mats_words(&self.zs),
             // Forward coarse partial + backward sliced outer product and
@@ -476,7 +517,7 @@ impl One5DTrainer {
     pub fn gather_embeddings(&self, ctx: &Ctx) -> Mat {
         let blocks = ctx
             .world
-            .allgather(super::output_block(&self.hs).clone(), Cat::DenseComm);
+            .allgather_shared(super::output_block_shared(&self.hs), Cat::DenseComm);
         super::assemble_row_blocks(&blocks)
     }
 }

@@ -17,7 +17,7 @@ use crate::loss::{accuracy_counts, nll_sum, output_gradient};
 use crate::model::GcnConfig;
 use crate::optimizer::{Optimizer, OptimizerKind};
 use crate::problem::Problem;
-use cagnet_comm::{Cat, Ctx, PendingOp};
+use cagnet_comm::{Cat, Ctx};
 use cagnet_dense::activation::{log_softmax_rows, Activation};
 use cagnet_dense::ops::hadamard_assign;
 use cagnet_dense::{matmul_nt_with, matmul_tn_with, matmul_with, Mat};
@@ -39,6 +39,10 @@ pub struct OneDimTrainer {
     /// Per stage `j`: the sorted distinct columns of `Aᵀ_{ij}` — the rows
     /// of `H_j` this rank actually reads (sparsity-aware mode).
     needed: Vec<Vec<usize>>,
+    /// Column-compacted copies of `at_blocks` (columns renumbered to
+    /// `needed[j]` order) for multiplying compact gathered operands.
+    /// Built lazily on the first switch to sparsity-aware mode.
+    at_compact: Vec<Csr>,
     /// Dense broadcast vs sparsity-aware row exchange for the forward
     /// stages.
     comm_mode: super::CommMode,
@@ -111,6 +115,7 @@ impl OneDimTrainer {
             r0,
             at_blocks,
             needed,
+            at_compact: Vec::new(),
             comm_mode: super::CommMode::Dense,
             overlap: true,
             at_row,
@@ -135,17 +140,30 @@ impl OneDimTrainer {
         self.at_row.rows()
     }
 
+    /// Root-side dims of stage `j`'s broadcast block — every rank knows
+    /// them from the balanced partition (`at_blocks[j]` has one column
+    /// per root row), so receivers fingerprint them and a wrong-shaped
+    /// panel is attributed to the root (CheckMode).
+    fn stage_dims(&self, l: usize, j: usize) -> (usize, usize) {
+        (self.at_blocks[j].cols(), self.hs[l].cols())
+    }
+
     /// Issue the stage-`j` fetch of layer `l`'s activation block as a
     /// nonblocking collective (dense broadcast or sparsity-aware row
     /// gather, per [`Self::set_comm_mode`]).
-    fn issue_fetch<'c>(&self, ctx: &'c Ctx, l: usize, j: usize) -> PendingOp<'c, Arc<Mat>> {
+    fn issue_fetch<'c>(&self, ctx: &'c Ctx, l: usize, j: usize) -> super::Fetch<'c> {
         let payload = (j == ctx.rank).then(|| self.hs[l].clone());
         match self.comm_mode {
-            super::CommMode::Dense => ctx.world.ibcast_shared(j, payload, Cat::DenseComm),
-            super::CommMode::SparsityAware => {
-                ctx.world
-                    .igather_rows(j, payload, &self.needed[j], Cat::DenseComm)
+            super::CommMode::Dense => {
+                super::Fetch::Dense(ctx.world.ibcast_shared(j, payload, Cat::DenseComm))
             }
+            super::CommMode::SparsityAware => super::Fetch::Sparse(ctx.world.igather_rows(
+                j,
+                payload,
+                &self.needed[j],
+                Some(self.stage_dims(l, j)),
+                Cat::DenseComm,
+            )),
         }
     }
 
@@ -172,7 +190,7 @@ impl OneDimTrainer {
                         if j + 1 < p {
                             pending = Some(self.issue_fetch(ctx, l, j + 1));
                         }
-                        op.wait()
+                        op.wait(&self.needed[j])
                     }
                     None => {
                         // Arc clone only — the owner's resident block is
@@ -182,15 +200,29 @@ impl OneDimTrainer {
                             super::CommMode::Dense => {
                                 ctx.world.bcast_shared(j, payload, Cat::DenseComm)
                             }
-                            super::CommMode::SparsityAware => {
-                                ctx.world
-                                    .gather_rows(j, payload, &self.needed[j], Cat::DenseComm)
-                            }
+                            super::CommMode::SparsityAware => ctx
+                                .world
+                                .gather_rows(
+                                    j,
+                                    payload,
+                                    &self.needed[j],
+                                    Some(self.stage_dims(l, j)),
+                                    Cat::DenseComm,
+                                )
+                                .compact(&self.needed[j]),
                         }
                     }
                 };
-                ctx.charge_spmm(self.at_blocks[j].nnz(), self.at_blocks[j].rows(), f_in);
-                spmm_acc_with(ctx.parallel(), &self.at_blocks[j], &hj, &mut t);
+                // The compact panel has the same nnz/rows as the full
+                // block (columns are only renumbered), so the charged
+                // SpMM cost — and the accumulation order — is identical
+                // in both modes.
+                let a = match self.comm_mode {
+                    super::CommMode::Dense => &self.at_blocks[j],
+                    super::CommMode::SparsityAware => &self.at_compact[j],
+                };
+                ctx.charge_spmm(a.nnz(), a.rows(), f_in);
+                spmm_acc_with(ctx.parallel(), a, &hj, &mut t);
             }
             let z = matmul_with(ctx.parallel(), &t, &self.weights[l]);
             ctx.charge_gemm(t.rows(), f_in, f_out);
@@ -330,6 +362,14 @@ impl OneDimTrainer {
     /// bit-identical in both modes; only the metered communication
     /// changes. Must be set identically on every rank.
     pub fn set_comm_mode(&mut self, mode: super::CommMode) {
+        if mode == super::CommMode::SparsityAware && self.at_compact.is_empty() {
+            self.at_compact = self
+                .at_blocks
+                .iter()
+                .zip(&self.needed)
+                .map(|(a, nd)| a.compact_cols(nd))
+                .collect();
+        }
         self.comm_mode = mode;
     }
 
@@ -382,7 +422,8 @@ impl OneDimTrainer {
         let f_max = self.cfg.f_max();
         super::StorageReport {
             adjacency: super::csr_words(&self.at_row)
-                + self.at_blocks.iter().map(super::csr_words).sum::<usize>(),
+                + self.at_blocks.iter().map(super::csr_words).sum::<usize>()
+                + self.at_compact.iter().map(super::csr_words).sum::<usize>(),
             dense_state: super::mats_words(&self.hs) + super::mats_words(&self.zs),
             // The §IV-A.3 full-height low-rank product: n x f, regardless
             // of P — 1D's memory-scalability problem.
@@ -394,7 +435,7 @@ impl OneDimTrainer {
     pub fn gather_embeddings(&self, ctx: &Ctx) -> Mat {
         let blocks = ctx
             .world
-            .allgather(super::output_block(&self.hs).clone(), Cat::DenseComm);
+            .allgather_shared(super::output_block_shared(&self.hs), Cat::DenseComm);
         super::assemble_row_blocks(&blocks)
     }
 }

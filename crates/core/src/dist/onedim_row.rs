@@ -15,7 +15,7 @@ use crate::loss::{accuracy_counts, nll_sum, output_gradient};
 use crate::model::GcnConfig;
 use crate::optimizer::{Optimizer, OptimizerKind};
 use crate::problem::Problem;
-use cagnet_comm::{Cat, Ctx, PendingOp};
+use cagnet_comm::{Cat, Ctx};
 use cagnet_dense::activation::{log_softmax_rows, Activation};
 use cagnet_dense::ops::hadamard_assign;
 use cagnet_dense::{matmul_nt_with, matmul_tn_with, matmul_with, Mat};
@@ -39,6 +39,10 @@ pub struct OneDimRowTrainer {
     /// Per stage `j`: the sorted distinct columns of `A_{ij}` — the rows
     /// of `G_j` this rank actually reads (sparsity-aware mode).
     needed: Vec<Vec<usize>>,
+    /// Column-compacted copies of `a_blocks` (columns renumbered to
+    /// `needed[j]` order) for multiplying compact gathered operands.
+    /// Built lazily on the first switch to sparsity-aware mode.
+    a_compact: Vec<Csr>,
     /// Dense broadcast vs sparsity-aware row exchange for the backward
     /// stages.
     comm_mode: super::CommMode,
@@ -99,6 +103,7 @@ impl OneDimRowTrainer {
             a_row,
             a_blocks,
             needed,
+            a_compact: Vec::new(),
             comm_mode: super::CommMode::Dense,
             overlap: true,
             labels: Arc::new(problem.labels.clone()),
@@ -118,17 +123,29 @@ impl OneDimRowTrainer {
         })
     }
 
+    /// Root-side dims of stage `j`'s gradient block — known to every
+    /// rank from the balanced partition (`a_blocks[j]` has one column per
+    /// root row), fingerprinted by receivers under CheckMode.
+    fn stage_dims(&self, g: &Mat, j: usize) -> (usize, usize) {
+        (self.a_blocks[j].cols(), g.cols())
+    }
+
     /// Issue the stage-`j` fetch of the gradient block `G_j` as a
     /// nonblocking collective (dense broadcast or sparsity-aware row
     /// gather, per [`Self::set_comm_mode`]).
-    fn issue_fetch<'c>(&self, ctx: &'c Ctx, g: &Arc<Mat>, j: usize) -> PendingOp<'c, Arc<Mat>> {
+    fn issue_fetch<'c>(&self, ctx: &'c Ctx, g: &Arc<Mat>, j: usize) -> super::Fetch<'c> {
         let payload = (j == ctx.rank).then(|| g.clone());
         match self.comm_mode {
-            super::CommMode::Dense => ctx.world.ibcast_shared(j, payload, Cat::DenseComm),
-            super::CommMode::SparsityAware => {
-                ctx.world
-                    .igather_rows(j, payload, &self.needed[j], Cat::DenseComm)
+            super::CommMode::Dense => {
+                super::Fetch::Dense(ctx.world.ibcast_shared(j, payload, Cat::DenseComm))
             }
+            super::CommMode::SparsityAware => super::Fetch::Sparse(ctx.world.igather_rows(
+                j,
+                payload,
+                &self.needed[j],
+                Some(self.stage_dims(g, j)),
+                Cat::DenseComm,
+            )),
         }
     }
 
@@ -198,7 +215,7 @@ impl OneDimRowTrainer {
                         if j + 1 < p {
                             pending = Some(self.issue_fetch(ctx, &g, j + 1));
                         }
-                        op.wait()
+                        op.wait(&self.needed[j])
                     }
                     None => {
                         let payload = (j == ctx.rank).then(|| g.clone());
@@ -206,15 +223,27 @@ impl OneDimRowTrainer {
                             super::CommMode::Dense => {
                                 ctx.world.bcast_shared(j, payload, Cat::DenseComm)
                             }
-                            super::CommMode::SparsityAware => {
-                                ctx.world
-                                    .gather_rows(j, payload, &self.needed[j], Cat::DenseComm)
-                            }
+                            super::CommMode::SparsityAware => ctx
+                                .world
+                                .gather_rows(
+                                    j,
+                                    payload,
+                                    &self.needed[j],
+                                    Some(self.stage_dims(&g, j)),
+                                    Cat::DenseComm,
+                                )
+                                .compact(&self.needed[j]),
                         }
                     }
                 };
-                ctx.charge_spmm(self.a_blocks[j].nnz(), self.a_blocks[j].rows(), f_out);
-                spmm_acc_with(ctx.parallel(), &self.a_blocks[j], &gj, &mut ag);
+                // Same nnz/rows either way (compact only renumbers
+                // columns): identical charged cost and accumulation order.
+                let a = match self.comm_mode {
+                    super::CommMode::Dense => &self.a_blocks[j],
+                    super::CommMode::SparsityAware => &self.a_compact[j],
+                };
+                ctx.charge_spmm(a.nnz(), a.rows(), f_out);
+                spmm_acc_with(ctx.parallel(), a, &gj, &mut ag);
             }
             // Small outer product for Y (unchanged from the column
             // variant). With overlap on, the f x f all-reduce is in
@@ -307,6 +336,14 @@ impl OneDimRowTrainer {
     /// bit-identical in both modes; only the metered communication
     /// changes. Must be set identically on every rank.
     pub fn set_comm_mode(&mut self, mode: super::CommMode) {
+        if mode == super::CommMode::SparsityAware && self.a_compact.is_empty() {
+            self.a_compact = self
+                .a_blocks
+                .iter()
+                .zip(&self.needed)
+                .map(|(a, nd)| a.compact_cols(nd))
+                .collect();
+        }
         self.comm_mode = mode;
     }
 
@@ -359,7 +396,8 @@ impl OneDimRowTrainer {
         let f_max = self.cfg.f_max();
         super::StorageReport {
             adjacency: super::csr_words(&self.a_row)
-                + self.a_blocks.iter().map(super::csr_words).sum::<usize>(),
+                + self.a_blocks.iter().map(super::csr_words).sum::<usize>()
+                + self.a_compact.iter().map(super::csr_words).sum::<usize>(),
             dense_state: super::mats_words(&self.hs) + super::mats_words(&self.zs),
             // The forward outer product materializes the full n x f
             // contribution here (mirror of the column variant's backward).
@@ -371,7 +409,7 @@ impl OneDimRowTrainer {
     pub fn gather_embeddings(&self, ctx: &Ctx) -> Mat {
         let blocks = ctx
             .world
-            .allgather(super::output_block(&self.hs).clone(), Cat::DenseComm);
+            .allgather_shared(super::output_block_shared(&self.hs), Cat::DenseComm);
         super::assemble_row_blocks(&blocks)
     }
 }

@@ -43,10 +43,32 @@ pub struct ThreeDimTrainer {
     /// Global row offset of my Block Split rows (block `i`, sub-block
     /// `k`).
     r0: usize,
-    /// `Aᵀ(rows i, cols j, col-split k)` — `n/q x ~n/q²`.
-    at_ijk: Csr,
+    /// `Aᵀ(rows i, cols j, col-split k)` — `n/q x ~n/q²`. Shared so the
+    /// stage broadcasts move a handle, not a copy of the block.
+    at_ijk: Arc<Csr>,
     /// `A(rows i, cols j, col-split k)`.
-    a_ijk: Csr,
+    a_ijk: Arc<Csr>,
+    /// Column-compacted `at_ijk` (columns renumbered to my stage's
+    /// needed set) served on the row broadcast in sparsity-aware mode.
+    /// Built lazily on the first switch to that mode.
+    at_compact: Option<Arc<Csr>>,
+    /// Same for `a_ijk` (backward stages).
+    a_compact: Option<Arc<Csr>>,
+    /// Per SUMMA stage `s`: the sorted distinct nonzero columns of my
+    /// fiber's `Aᵀ` panel for stage `s` — the rows of the broadcast `D`
+    /// block this rank actually reads (sparsity-aware mode). Derived at
+    /// setup from the global adjacency; identical across each row
+    /// communicator because its members share the panel.
+    needed_fwd: Vec<Vec<usize>>,
+    /// Same, from the `A` panels of the backward stages.
+    needed_bwd: Vec<Vec<usize>>,
+    /// Per stage `s`: rows of the stage's dense `D` block (known to all
+    /// ranks from the balanced partition; fingerprinted by gather
+    /// receivers under CheckMode).
+    stage_rows: Vec<usize>,
+    /// Dense block broadcasts vs sparsity-aware row exchange for the
+    /// SUMMA stages.
+    comm_mode: super::CommMode,
     /// Issue-ahead pipelining: prefetch the next SUMMA stage's panels
     /// with nonblocking broadcasts while the current stage's SpMM
     /// computes (DESIGN.md §10).
@@ -60,10 +82,15 @@ pub struct ThreeDimTrainer {
     training: bool,
     epoch_counter: u64,
     drop_masks: Vec<Option<Mat>>,
-    zs: Vec<Mat>,
-    hs: Vec<Mat>,
-    /// Output log-probabilities over my Block Split rows, all classes.
-    h_out_row: Mat,
+    /// Stored pre-activation blocks, shared so the output layer's block
+    /// enters the row all-gather without a copy.
+    zs: Vec<Arc<Mat>>,
+    /// Stored activation blocks, shared so whole blocks enter the stage
+    /// broadcasts without a copy.
+    hs: Vec<Arc<Mat>>,
+    /// Output log-probabilities over my Block Split rows, all classes;
+    /// shared so `gather_embeddings` moves it without a copy.
+    h_out_row: Arc<Mat>,
     /// Output softmax over my Block Split rows (for `G^L`).
     p_out_row: Mat,
 }
@@ -108,6 +135,26 @@ impl ThreeDimTrainer {
         let sub = block_range(c1 - c0, q, k);
         let at_ijk = problem.adj_t.block(r0b, r1b, c0 + sub.0, c0 + sub.1);
         let a_ijk = problem.adj.block(r0b, r1b, c0 + sub.0, c0 + sub.1);
+        // Per-stage needed sets and stage block heights for
+        // sparsity-aware mode (uncharged setup, like the slicing above).
+        let mut needed_fwd = Vec::with_capacity(q);
+        let mut needed_bwd = Vec::with_capacity(q);
+        let mut stage_rows = Vec::with_capacity(q);
+        for s in 0..q {
+            let (cs0, cs1) = block_range(n, q, s);
+            let ssub = block_range(cs1 - cs0, q, k);
+            stage_rows.push(ssub.1 - ssub.0);
+            needed_fwd.push(
+                problem
+                    .adj_t
+                    .needed_cols_in(r0b, r1b, cs0 + ssub.0, cs0 + ssub.1),
+            );
+            needed_bwd.push(
+                problem
+                    .adj
+                    .needed_cols_in(r0b, r1b, cs0 + ssub.0, cs0 + ssub.1),
+            );
+        }
         // Dense blocks: rows = sub-block k of row block i; cols block j of f.
         let rsub = block_range(r1b - r0b, q, k);
         let r0 = r0b + rsub.0;
@@ -120,8 +167,14 @@ impl ThreeDimTrainer {
             jgroup,
             train_count: problem.train_count(),
             r0,
-            at_ijk,
-            a_ijk,
+            at_ijk: Arc::new(at_ijk),
+            a_ijk: Arc::new(a_ijk),
+            at_compact: None,
+            a_compact: None,
+            needed_fwd,
+            needed_bwd,
+            stage_rows,
+            comm_mode: super::CommMode::Dense,
             overlap: true,
             labels: Arc::new(problem.labels.clone()),
             mask: Arc::new(problem.train_mask.clone()),
@@ -136,8 +189,8 @@ impl ThreeDimTrainer {
             drop_masks: Vec::new(),
             weights: cfg.init_weights(),
             zs: Vec::new(),
-            hs: vec![h0],
-            h_out_row: Mat::zeros(0, 0),
+            hs: vec![Arc::new(h0)],
+            h_out_row: Arc::new(Mat::zeros(0, 0)),
             p_out_row: Mat::zeros(0, 0),
         })
     }
@@ -147,48 +200,95 @@ impl ThreeDimTrainer {
         self.hs[0].rows()
     }
 
+    /// The sparse block to serve as stage owner on the row broadcast:
+    /// the full block in dense mode, the column-compacted one (same nnz,
+    /// identical SparseComm words) in sparsity-aware mode.
+    fn bcast_block<'a>(
+        &'a self,
+        full: &'a Arc<Csr>,
+        compact: &'a Option<Arc<Csr>>,
+    ) -> &'a Arc<Csr> {
+        match (self.comm_mode, compact) {
+            (super::CommMode::SparsityAware, Some(c)) => c,
+            _ => full,
+        }
+    }
+
     /// One full Split-3D-SpMM: per-layer 2D SUMMA (`q` stages of paired
-    /// row/column broadcasts) followed by a fiber reduce-scatter of the
-    /// `n/q x f/q` partial sums.
-    fn split3d_spmm(&self, ctx: &Ctx, s_mine: &Csr, d_mine: &Mat) -> Mat {
+    /// row/column exchanges) followed by a fiber reduce-scatter of the
+    /// `n/q x f/q` partial sums. In sparsity-aware mode the dense block
+    /// moves as a row gather of each receiver's needed rows instead of a
+    /// full broadcast; `s_mine` is then the compact panel, so the SpMM's
+    /// accumulation order — and its charged cost — matches dense mode
+    /// bit for bit.
+    fn split3d_spmm(
+        &self,
+        ctx: &Ctx,
+        s_mine: &Arc<Csr>,
+        d_mine: &Arc<Mat>,
+        needed_tbl: &[Vec<usize>],
+    ) -> Mat {
         let q = self.grid.q;
         let f_cols = d_mine.cols();
         let mut partial = Mat::zeros(self.at_ijk.rows(), f_cols);
         // Issue-ahead pipeline: stage s+1's panels are in flight while
-        // stage s's SpMM computes.
+        // stage s's SpMM computes. Arc payloads: the owner's resident
+        // block is never deep-copied into the collective.
         let issue = |s: usize| {
-            let a_op = self.grid.row.ibcast(
+            let a_op = self.grid.row.ibcast_shared(
                 s,
                 (self.grid.j == s).then(|| s_mine.clone()),
                 Cat::SparseComm,
             );
-            let d_op = self.grid.col.ibcast(
-                s,
-                (self.grid.i == s).then(|| d_mine.clone()),
-                Cat::DenseComm,
-            );
+            let d_op = match self.comm_mode {
+                super::CommMode::Dense => super::Fetch::Dense(self.grid.col.ibcast_shared(
+                    s,
+                    (self.grid.i == s).then(|| d_mine.clone()),
+                    Cat::DenseComm,
+                )),
+                super::CommMode::SparsityAware => super::Fetch::Sparse(self.grid.col.igather_rows(
+                    s,
+                    (self.grid.i == s).then(|| d_mine.clone()),
+                    &needed_tbl[s],
+                    Some((self.stage_rows[s], f_cols)),
+                    Cat::DenseComm,
+                )),
+            };
             (a_op, d_op)
         };
         let mut pending = self.overlap.then(|| issue(0));
-        for s in 0..q {
+        for (s, needed) in needed_tbl.iter().enumerate().take(q) {
             let (a_hat, d_hat) = match pending.take() {
                 Some((a_op, d_op)) => {
                     if s + 1 < q {
                         pending = Some(issue(s + 1));
                     }
-                    (a_op.wait(), d_op.wait())
+                    (a_op.wait(), d_op.wait(needed))
                 }
                 None => {
-                    let a_hat = self.grid.row.bcast(
+                    let a_hat = self.grid.row.bcast_shared(
                         s,
                         (self.grid.j == s).then(|| s_mine.clone()),
                         Cat::SparseComm,
                     );
-                    let d_hat = self.grid.col.bcast(
-                        s,
-                        (self.grid.i == s).then(|| d_mine.clone()),
-                        Cat::DenseComm,
-                    );
+                    let d_hat = match self.comm_mode {
+                        super::CommMode::Dense => self.grid.col.bcast_shared(
+                            s,
+                            (self.grid.i == s).then(|| d_mine.clone()),
+                            Cat::DenseComm,
+                        ),
+                        super::CommMode::SparsityAware => self
+                            .grid
+                            .col
+                            .gather_rows(
+                                s,
+                                (self.grid.i == s).then(|| d_mine.clone()),
+                                needed,
+                                Some((self.stage_rows[s], f_cols)),
+                                Cat::DenseComm,
+                            )
+                            .compact(needed),
+                    };
                     (a_hat, d_hat)
                 }
             };
@@ -203,11 +303,14 @@ impl ThreeDimTrainer {
     }
 
     /// Partial Split-3D-SpMM against the replicated `W` (within-layer row
-    /// broadcasts only, §IV-D.1).
+    /// broadcasts only, §IV-D.1). These stages stay dense broadcasts in
+    /// every [`super::CommMode`]: the stage GEMM reads *all* rows of the
+    /// broadcast `T` block, so a row gather would request every row and
+    /// only add the per-row index words.
     fn partial_w(
         &self,
         ctx: &Ctx,
-        t_mine: &Mat,
+        t_mine: &Arc<Mat>,
         w: &Mat,
         f_in: usize,
         f_out: usize,
@@ -217,9 +320,10 @@ impl ThreeDimTrainer {
         let (oc0, oc1) = block_range(f_out, q, self.grid.j);
         let mut out = Mat::zeros(self.my_rows(), oc1 - oc0);
         // Issue-ahead pipeline over the q broadcast stages, as in
-        // split3d_spmm.
+        // split3d_spmm. Arc payloads: my own T block is never
+        // deep-copied into the collective.
         let issue = |s: usize| {
-            self.grid.row.ibcast(
+            self.grid.row.ibcast_shared(
                 s,
                 (self.grid.j == s).then(|| t_mine.clone()),
                 Cat::DenseComm,
@@ -234,7 +338,7 @@ impl ThreeDimTrainer {
                     }
                     op.wait()
                 }
-                None => self.grid.row.bcast(
+                None => self.grid.row.bcast_shared(
                     s,
                     (self.grid.j == s).then(|| t_mine.clone()),
                     Cat::DenseComm,
@@ -268,15 +372,20 @@ impl ThreeDimTrainer {
         for l in 0..l_total {
             let f_in = self.cfg.dims[l];
             let f_out = self.cfg.dims[l + 1];
-            let t = self.split3d_spmm(ctx, &self.at_ijk, &self.hs[l]);
-            let z = self.partial_w(ctx, &t, &self.weights[l], f_in, f_out, false);
+            let t = Arc::new(self.split3d_spmm(
+                ctx,
+                self.bcast_block(&self.at_ijk, &self.at_compact),
+                &self.hs[l],
+                &self.needed_fwd,
+            ));
+            let z = Arc::new(self.partial_w(ctx, &t, &self.weights[l], f_in, f_out, false));
             let h = if l + 1 == l_total {
                 // log_softmax: within-layer row all-gather assembles full
                 // class rows; no cross-layer communication (§IV-D.2).
-                let parts = self.grid.row.allgather(z.clone(), Cat::DenseComm);
+                let parts = self.grid.row.allgather_shared(z.clone(), Cat::DenseComm);
                 let z_row = Mat::hstack(&parts.iter().map(|p| (**p).clone()).collect::<Vec<_>>());
                 ctx.charge_elementwise(2 * z_row.len());
-                self.h_out_row = log_softmax_rows(&z_row);
+                self.h_out_row = Arc::new(log_softmax_rows(&z_row));
                 self.p_out_row = softmax_rows(&z_row);
                 let (oc0, oc1) = block_range(f_out, q, self.grid.j);
                 self.h_out_row.block(0, z_row.rows(), oc0, oc1)
@@ -288,7 +397,7 @@ impl ThreeDimTrainer {
                 h
             };
             self.zs.push(z);
-            self.hs.push(h);
+            self.hs.push(Arc::new(h));
         }
         let local = if self.grid.j == 0 {
             nll_sum(&self.h_out_row, &self.labels, &self.mask, self.r0)
@@ -327,14 +436,19 @@ impl ThreeDimTrainer {
     pub fn backward(&mut self, ctx: &Ctx) {
         let l_total = self.cfg.layers();
         assert_eq!(self.zs.len(), l_total, "forward must run before backward");
-        let mut g = self.output_gradient_block();
+        let mut g = Arc::new(self.output_gradient_block());
         ctx.charge_elementwise(g.len());
         for l in (0..l_total).rev() {
             let f_in = self.cfg.dims[l];
             let f_out = self.cfg.dims[l + 1];
             // A G via full Split-3D-SpMM; saved and reused (§IV-D.4).
-            let ag = self.split3d_spmm(ctx, &self.a_ijk, &g);
-            let parts = self.grid.row.allgather(ag.clone(), Cat::DenseComm);
+            let ag = self.split3d_spmm(
+                ctx,
+                self.bcast_block(&self.a_ijk, &self.a_compact),
+                &g,
+                &self.needed_bwd,
+            );
+            let parts = self.grid.row.allgather_shared(Arc::new(ag), Cat::DenseComm);
             let ag_row = Mat::hstack(&parts.iter().map(|p| (**p).clone()).collect::<Vec<_>>());
             debug_assert_eq!(ag_row.shape(), (self.my_rows(), f_out));
             // Y = (H^{l-1})ᵀ A G: local slab product, reduction over all
@@ -353,12 +467,13 @@ impl ThreeDimTrainer {
                 let (jc0, jc1) = block_range(f_in, self.grid.q, self.grid.j);
                 let w_slice = self.weights[l].block(jc0, jc1, 0, f_out);
                 ctx.charge_gemm(self.my_rows(), f_out, jc1 - jc0);
-                g = matmul_nt_with(ctx.parallel(), &ag_row, &w_slice);
-                hadamard_assign(&mut g, &self.act.prime(&self.zs[l - 1]));
+                let mut next_g = matmul_nt_with(ctx.parallel(), &ag_row, &w_slice);
+                hadamard_assign(&mut next_g, &self.act.prime(&self.zs[l - 1]));
                 if let Some(mask) = drop_mask {
-                    hadamard_assign(&mut g, &mask);
+                    hadamard_assign(&mut next_g, &mask);
                 }
-                ctx.charge_elementwise(g.len());
+                ctx.charge_elementwise(next_g.len());
+                g = Arc::new(next_g);
             }
             let y_j = match y_op {
                 Some(op) => op.wait(),
@@ -447,6 +562,31 @@ impl ThreeDimTrainer {
         self.overlap = overlap;
     }
 
+    /// Select how Split-3D-SpMM stages move the dense operand. Under
+    /// [`CommMode::SparsityAware`](super::CommMode::SparsityAware) each
+    /// stage's dense block broadcast becomes a `gather_rows` of only the
+    /// rows the receivers' sparse blocks touch, and the stage owner ships
+    /// the column-compacted sparse block (same nnz — identical SparseComm
+    /// words). The trailing weight product (`partial_w`) stays dense in
+    /// every mode: the GEMM reads all rows of the broadcast T block, so a
+    /// gather would add index words for zero savings. Results are
+    /// bit-identical across modes. Must be set identically on every rank.
+    pub fn set_comm_mode(&mut self, mode: super::CommMode) {
+        self.comm_mode = mode;
+        if mode == super::CommMode::SparsityAware {
+            if self.at_compact.is_none() {
+                self.at_compact = Some(Arc::new(
+                    self.at_ijk.compact_cols(&self.needed_fwd[self.grid.j]),
+                ));
+            }
+            if self.a_compact.is_none() {
+                self.a_compact = Some(Arc::new(
+                    self.a_ijk.compact_cols(&self.needed_bwd[self.grid.j]),
+                ));
+            }
+        }
+    }
+
     /// Select the optimizer (replicated state; no communication). Resets
     /// any accumulated moments. Must be called identically on every rank,
     /// before training.
@@ -481,7 +621,10 @@ impl ThreeDimTrainer {
         let f_max = self.cfg.f_max();
         let q = self.grid.q;
         super::StorageReport {
-            adjacency: super::csr_words(&self.at_ijk) + super::csr_words(&self.a_ijk),
+            adjacency: super::csr_words(&self.at_ijk)
+                + super::csr_words(&self.a_ijk)
+                + self.at_compact.as_ref().map_or(0, |c| super::csr_words(c))
+                + self.a_compact.as_ref().map_or(0, |c| super::csr_words(c)),
             dense_state: super::mats_words(&self.hs)
                 + super::mats_words(&self.zs)
                 + self.h_out_row.len()
@@ -494,7 +637,9 @@ impl ThreeDimTrainer {
     /// Assemble the full output embedding matrix on every rank.
     pub fn gather_embeddings(&self, ctx: &Ctx) -> Mat {
         let q = self.grid.q;
-        let blocks = ctx.world.allgather(self.h_out_row.clone(), Cat::DenseComm);
+        let blocks = ctx
+            .world
+            .allgather_shared(self.h_out_row.clone(), Cat::DenseComm);
         // Global row order: row block i, then sub-block k; contributed by
         // rank (i, j=0, k) = k·q² + i·q.
         let mut parts = Vec::with_capacity(q * q);

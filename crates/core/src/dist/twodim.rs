@@ -82,6 +82,19 @@ pub struct TwoDimTrainer {
     /// `A` block `(i, j)` (equal to `at_ij` for undirected graphs, sliced
     /// independently to support directed input).
     a_ij: Csr,
+    /// Per SUMMA stage `(k, t)` (index `k·stages_per_block + t`): the
+    /// sorted distinct nonzero columns of my grid row's `Aᵀ` panel,
+    /// relative to the stage's column range — the rows of the stage `D`
+    /// panel this grid row actually reads (sparsity-aware mode). Derived
+    /// at setup from the global adjacency: only the owning grid column
+    /// holds the panel locally, but every rank of a grid row shares the
+    /// same panel and therefore the same needed set.
+    needed_fwd: Vec<Vec<usize>>,
+    /// Same, from the `A` panels of the backward SUMMA.
+    needed_bwd: Vec<Vec<usize>>,
+    /// Dense panel broadcasts vs sparsity-aware row exchange for the
+    /// SUMMA stages.
+    comm_mode: super::CommMode,
     /// Issue-ahead pipelining: prefetch the next SUMMA stage's panels
     /// with nonblocking broadcasts while the current stage's SpMM
     /// computes (DESIGN.md §10).
@@ -95,13 +108,16 @@ pub struct TwoDimTrainer {
     training: bool,
     epoch_counter: u64,
     drop_masks: Vec<Option<Mat>>,
-    /// Stored pre-activation blocks from the last forward pass.
-    zs: Vec<Mat>,
+    /// Stored pre-activation blocks from the last forward pass, shared
+    /// so the output layer's block enters the row all-gather without a
+    /// copy.
+    zs: Vec<Arc<Mat>>,
     /// Stored activation blocks (`hs\[0\]` = my feature block).
     hs: Vec<Mat>,
     /// Full-width row block of output log-probabilities (valid after
-    /// forward; identical across a process row).
-    h_out_row: Mat,
+    /// forward; identical across a process row), shared so
+    /// `gather_embeddings` moves it without a copy.
+    h_out_row: Arc<Mat>,
     /// Full-width row block of output softmax (for `G^L`).
     p_out_row: Mat,
 }
@@ -195,6 +211,18 @@ impl TwoDimTrainer {
         let (c0, c1) = cols[grid.j];
         let at_ij = problem.adj_t.block(r0, r1, c0, c1);
         let a_ij = problem.adj.block(r0, r1, c0, c1);
+        // Per-stage needed sets for sparsity-aware mode (uncharged setup,
+        // like the slicing above).
+        let sub = tcfg.stages_per_block;
+        let mut needed_fwd = Vec::with_capacity(k * sub);
+        let mut needed_bwd = Vec::with_capacity(k * sub);
+        for &(fk0, fk1) in &fine {
+            for t in 0..sub {
+                let (t0, t1) = block_range(fk1 - fk0, sub, t);
+                needed_fwd.push(problem.adj_t.needed_cols_in(r0, r1, fk0 + t0, fk0 + t1));
+                needed_bwd.push(problem.adj.needed_cols_in(r0, r1, fk0 + t0, fk0 + t1));
+            }
+        }
         let f0 = problem.features.cols();
         let (fc0, fc1) = block_range(f0, pc, grid.j);
         let h0 = problem.features.block(r0, r1, fc0, fc1);
@@ -209,6 +237,9 @@ impl TwoDimTrainer {
             c0,
             at_ij,
             a_ij,
+            needed_fwd,
+            needed_bwd,
+            comm_mode: super::CommMode::Dense,
             overlap: true,
             labels: Arc::new(problem.labels.clone()),
             mask: Arc::new(problem.train_mask.clone()),
@@ -224,7 +255,7 @@ impl TwoDimTrainer {
             weights: cfg.init_weights(),
             zs: Vec::new(),
             hs: vec![h0],
-            h_out_row: Mat::zeros(0, 0),
+            h_out_row: Arc::new(Mat::zeros(0, 0)),
             p_out_row: Mat::zeros(0, 0),
         })
     }
@@ -233,39 +264,61 @@ impl TwoDimTrainer {
         self.r1 - self.r0
     }
 
-    /// Issue SUMMA stage `(k, t)`'s two panel broadcasts (the `S` panel
+    /// Issue SUMMA stage `(k, t)`'s two panel exchanges (the `S` panel
     /// along the process row, the `D` panel along the process column) as
-    /// nonblocking collectives.
+    /// nonblocking collectives. In sparsity-aware mode the owner serves
+    /// the column-compacted `S` panel (same nnz — identical SparseComm
+    /// words) and the `D` panel moves as a row gather of each grid row's
+    /// needed rows instead of a full broadcast.
     #[allow(clippy::type_complexity)]
     fn issue_summa_stage<'s>(
         &'s self,
         s_mine: &Csr,
         d_mine: &Mat,
+        needed_tbl: &[Vec<usize>],
         k: usize,
         t: usize,
-    ) -> (PendingOp<'s, Arc<Csr>>, PendingOp<'s, Arc<Mat>>) {
+    ) -> (PendingOp<'s, Arc<Csr>>, super::Fetch<'s>) {
         let k_total = self.fine.len();
         let owner_col = k / (k_total / self.grid.pc);
         let owner_row = k / (k_total / self.grid.pr);
         let (fk0, fk1) = self.fine[k];
-        let (t0, t1) = block_range(fk1 - fk0, self.tcfg.stages_per_block, t);
+        let sub = self.tcfg.stages_per_block;
+        let (t0, t1) = block_range(fk1 - fk0, sub, t);
+        let needed = &needed_tbl[k * sub + t];
         let a_op = self.grid.row.ibcast(
             owner_col,
             (self.grid.j == owner_col).then(|| {
                 // Local slice of my Aᵀ block covering fine stage k.
                 let lo = fk0 - self.c0;
-                s_mine.block(0, s_mine.rows(), lo + t0, lo + t1)
+                let panel = s_mine.block(0, s_mine.rows(), lo + t0, lo + t1);
+                match self.comm_mode {
+                    super::CommMode::Dense => panel,
+                    super::CommMode::SparsityAware => panel.compact_cols(needed),
+                }
             }),
             Cat::SparseComm,
         );
-        let d_op = self.grid.col.ibcast(
-            owner_row,
-            (self.grid.i == owner_row).then(|| {
-                let lo = fk0 - self.r0;
-                d_mine.block(lo + t0, lo + t1, 0, d_mine.cols())
-            }),
-            Cat::DenseComm,
-        );
+        let d_op = match self.comm_mode {
+            super::CommMode::Dense => super::Fetch::Dense(self.grid.col.ibcast(
+                owner_row,
+                (self.grid.i == owner_row).then(|| {
+                    let lo = fk0 - self.r0;
+                    d_mine.block(lo + t0, lo + t1, 0, d_mine.cols())
+                }),
+                Cat::DenseComm,
+            )),
+            super::CommMode::SparsityAware => super::Fetch::Sparse(self.grid.col.igather_rows(
+                owner_row,
+                (self.grid.i == owner_row).then(|| {
+                    let lo = fk0 - self.r0;
+                    Arc::new(d_mine.block(lo + t0, lo + t1, 0, d_mine.cols()))
+                }),
+                needed,
+                Some((t1 - t0, d_mine.cols())),
+                Cat::DenseComm,
+            )),
+        };
         (a_op, d_op)
     }
 
@@ -275,7 +328,14 @@ impl TwoDimTrainer {
     /// `stages_per_block` panels per fine stage. With overlap on, the
     /// next stage's panels are in flight while the current stage's SpMM
     /// computes.
-    fn summa_spmm(&self, ctx: &Ctx, s_mine: &Csr, d_mine: &Mat, f_cols: usize) -> Mat {
+    fn summa_spmm(
+        &self,
+        ctx: &Ctx,
+        s_mine: &Csr,
+        d_mine: &Mat,
+        f_cols: usize,
+        needed_tbl: &[Vec<usize>],
+    ) -> Mat {
         let k_total = self.fine.len();
         let col_per = k_total / self.grid.pc;
         let row_per = k_total / self.grid.pr;
@@ -286,14 +346,15 @@ impl TwoDimTrainer {
             .collect();
         let mut pending = self
             .overlap
-            .then(|| self.issue_summa_stage(s_mine, d_mine, stages[0].0, stages[0].1));
+            .then(|| self.issue_summa_stage(s_mine, d_mine, needed_tbl, stages[0].0, stages[0].1));
         for (idx, &(k, t)) in stages.iter().enumerate() {
+            let needed = &needed_tbl[k * sub + t];
             let (a_panel, d_panel) = match pending.take() {
                 Some((a_op, d_op)) => {
                     if let Some(&(nk, nt)) = stages.get(idx + 1) {
-                        pending = Some(self.issue_summa_stage(s_mine, d_mine, nk, nt));
+                        pending = Some(self.issue_summa_stage(s_mine, d_mine, needed_tbl, nk, nt));
                     }
-                    (a_op.wait(), d_op.wait())
+                    (a_op.wait(), d_op.wait(needed))
                 }
                 None => {
                     let owner_col = k / col_per;
@@ -306,21 +367,46 @@ impl TwoDimTrainer {
                             // Local slice of my Aᵀ block covering fine
                             // stage k.
                             let lo = fk0 - self.c0;
-                            s_mine.block(0, s_mine.rows(), lo + t0, lo + t1)
+                            let panel = s_mine.block(0, s_mine.rows(), lo + t0, lo + t1);
+                            match self.comm_mode {
+                                super::CommMode::Dense => panel,
+                                super::CommMode::SparsityAware => panel.compact_cols(needed),
+                            }
                         }),
                         Cat::SparseComm,
                     );
-                    let d_panel = self.grid.col.bcast(
-                        owner_row,
-                        (self.grid.i == owner_row).then(|| {
-                            let lo = fk0 - self.r0;
-                            d_mine.block(lo + t0, lo + t1, 0, d_mine.cols())
-                        }),
-                        Cat::DenseComm,
-                    );
+                    let d_panel = match self.comm_mode {
+                        super::CommMode::Dense => self.grid.col.bcast(
+                            owner_row,
+                            (self.grid.i == owner_row).then(|| {
+                                let lo = fk0 - self.r0;
+                                d_mine.block(lo + t0, lo + t1, 0, d_mine.cols())
+                            }),
+                            Cat::DenseComm,
+                        ),
+                        super::CommMode::SparsityAware => self
+                            .grid
+                            .col
+                            .gather_rows(
+                                owner_row,
+                                (self.grid.i == owner_row).then(|| {
+                                    let lo = fk0 - self.r0;
+                                    Arc::new(d_mine.block(lo + t0, lo + t1, 0, d_mine.cols()))
+                                }),
+                                needed,
+                                Some((t1 - t0, d_mine.cols())),
+                                Cat::DenseComm,
+                            )
+                            .compact(needed),
+                    };
                     (a_panel, d_panel)
                 }
             };
+            // In sparse mode both panels are compact: the S panel's
+            // columns are renumbered to needed order (same nnz/rows) and
+            // the D panel holds exactly those rows, so the accumulation
+            // order — and the charged cost — matches dense mode bit for
+            // bit.
             ctx.charge_spmm(a_panel.nnz(), a_panel.rows(), d_panel.cols());
             spmm_acc_with(ctx.parallel(), &a_panel, &d_panel, &mut out);
         }
@@ -329,11 +415,14 @@ impl TwoDimTrainer {
 
     /// Partial SUMMA against the replicated `W`: `out_ij += Σ_s T_is ·
     /// W[in-block s, out-block j]`, with `Wᵀ` slices when `transpose_w`
-    /// (the backward product).
+    /// (the backward product). These stages stay dense broadcasts in
+    /// every [`super::CommMode`]: the stage GEMM reads *all* rows of the
+    /// broadcast `T` block, so a row gather would request every row and
+    /// only add the per-row index words.
     fn partial_summa_w(
         &self,
         ctx: &Ctx,
-        t_mine: &Mat,
+        t_mine: &Arc<Mat>,
         w: &Mat,
         f_in: usize,
         f_out: usize,
@@ -343,9 +432,10 @@ impl TwoDimTrainer {
         let (oc0, oc1) = block_range(f_out, pc, self.grid.j);
         let mut out = Mat::zeros(self.my_rows(), oc1 - oc0);
         // Issue-ahead pipeline over the pc broadcast stages, as in
-        // summa_spmm.
+        // summa_spmm. Arc payloads: my own T block is never deep-copied
+        // into the collective.
         let issue = |s: usize| {
-            self.grid.row.ibcast(
+            self.grid.row.ibcast_shared(
                 s,
                 (self.grid.j == s).then(|| t_mine.clone()),
                 Cat::DenseComm,
@@ -360,7 +450,7 @@ impl TwoDimTrainer {
                     }
                     op.wait()
                 }
-                None => self.grid.row.bcast(
+                None => self.grid.row.bcast_shared(
                     s,
                     (self.grid.j == s).then(|| t_mine.clone()),
                     Cat::DenseComm,
@@ -396,16 +486,22 @@ impl TwoDimTrainer {
             let f_in = self.cfg.dims[l];
             let f_out = self.cfg.dims[l + 1];
             // Phase 1: T = Aᵀ H (SUMMA SpMM).
-            let t = self.summa_spmm(ctx, &self.at_ij, &self.hs[l], self.hs[l].cols());
+            let t = Arc::new(self.summa_spmm(
+                ctx,
+                &self.at_ij,
+                &self.hs[l],
+                self.hs[l].cols(),
+                &self.needed_fwd,
+            ));
             // Phase 2: Z = T W (partial SUMMA; W replicated).
-            let z = self.partial_summa_w(ctx, &t, &self.weights[l], f_in, f_out, false);
+            let z = Arc::new(self.partial_summa_w(ctx, &t, &self.weights[l], f_in, f_out, false));
             let h = if l + 1 == l_total {
                 // log_softmax is not elementwise: all-gather Z along the
                 // process row to assemble full rows (§IV-C.2).
-                let parts = self.grid.row.allgather(z.clone(), Cat::DenseComm);
+                let parts = self.grid.row.allgather_shared(z.clone(), Cat::DenseComm);
                 let z_row = Mat::hstack(&parts.iter().map(|p| (**p).clone()).collect::<Vec<_>>());
                 ctx.charge_elementwise(2 * z_row.len());
-                self.h_out_row = log_softmax_rows(&z_row);
+                self.h_out_row = Arc::new(log_softmax_rows(&z_row));
                 self.p_out_row = softmax_rows(&z_row);
                 let (oc0, oc1) = block_range(f_out, pc, self.grid.j);
                 self.h_out_row.block(0, z_row.rows(), oc0, oc1)
@@ -469,9 +565,10 @@ impl TwoDimTrainer {
             let f_in = self.cfg.dims[l];
             let f_out = self.cfg.dims[l + 1];
             // SUMMA SpMM: AG = A G (saved and reused, §IV-C.4).
-            let ag = self.summa_spmm(ctx, &self.a_ij, &g, g.cols());
-            // Row all-gather of AG: serves both Y and A G Wᵀ.
-            let parts = self.grid.row.allgather(ag.clone(), Cat::DenseComm);
+            let ag = self.summa_spmm(ctx, &self.a_ij, &g, g.cols(), &self.needed_bwd);
+            // Row all-gather of AG: serves both Y and A G Wᵀ. The local
+            // block moves into the collective, not a copy of it.
+            let parts = self.grid.row.allgather_shared(Arc::new(ag), Cat::DenseComm);
             let ag_row = Mat::hstack(&parts.iter().map(|p| (**p).clone()).collect::<Vec<_>>());
             debug_assert_eq!(ag_row.shape(), (self.my_rows(), f_out));
             // Y = (H^{l-1})ᵀ (A G): local slab product, column-group
@@ -577,6 +674,18 @@ impl TwoDimTrainer {
         self.act = act;
     }
 
+    /// Choose dense panel broadcasts or the sparsity-aware row exchange
+    /// for the SUMMA stages (see [`super::CommMode`]): the stage `D`
+    /// panel moves as a per-grid-row gather of the rows its `Aᵀ`/`A`
+    /// panel references, and the `S` panel is served column-compacted
+    /// (same nnz, so SparseComm words are unchanged). Partial-W stages
+    /// and reductions stay dense — every row is needed there. Training
+    /// results are bit-identical in both modes; only the metered
+    /// communication changes. Must be set identically on every rank.
+    pub fn set_comm_mode(&mut self, mode: super::CommMode) {
+        self.comm_mode = mode;
+    }
+
     /// Enable or disable communication/computation overlap (default on).
     /// With overlap on, SUMMA panel broadcasts and the column-group Y
     /// reduction run as nonblocking collectives pipelined against
@@ -632,7 +741,9 @@ impl TwoDimTrainer {
     /// Assemble the full output embedding matrix on every rank.
     pub fn gather_embeddings(&self, ctx: &Ctx) -> Mat {
         let pc = self.grid.pc;
-        let blocks = ctx.world.allgather(self.h_out_row.clone(), Cat::DenseComm);
+        let blocks = ctx
+            .world
+            .allgather_shared(self.h_out_row.clone(), Cat::DenseComm);
         let parts: Vec<Mat> = (0..self.grid.pr)
             .map(|i| (*blocks[i * pc]).clone())
             .collect();

@@ -9,6 +9,7 @@ use crate::dist::{
 use crate::model::GcnConfig;
 use crate::optimizer::OptimizerKind;
 use crate::problem::Problem;
+use cagnet_comm::trace::TraceEvent;
 use cagnet_comm::{Cluster, CostModel, TimelineReport};
 use cagnet_dense::activation::Activation;
 use cagnet_dense::Mat;
@@ -90,16 +91,21 @@ pub struct TrainConfig {
     /// = serial). Results are bit-for-bit independent of this knob; only
     /// wall-clock and the modeled compute terms change.
     pub threads_per_rank: usize,
-    /// How the row-distributed algorithms (1D, 1D-row, 1.5D) move dense
-    /// blocks: full broadcasts or the sparsity-aware row exchange.
-    /// Results are bit-for-bit independent of this knob; only the metered
-    /// communication changes. Ignored by 2D/3D.
+    /// How every trainer moves dense blocks: full broadcasts, or the
+    /// sparsity-aware exchange that ships only the rows the receivers'
+    /// sparse blocks touch (per-stage SUMMA panels for 2D/3D). Results
+    /// are bit-for-bit independent of this knob; only the metered
+    /// communication changes.
     pub comm_mode: CommMode,
     /// Pipeline stage fetches and weight-gradient reductions as
     /// nonblocking collectives overlapped with compute (default on).
     /// Results are bit-for-bit independent of this knob; only modeled
     /// (and wall-clock) time changes. See DESIGN.md §10.
     pub overlap: bool,
+    /// Record per-rank execution traces over the timed epochs (export
+    /// with [`cagnet_comm::trace::to_chrome_json`]). Off by default —
+    /// tracing retains every charged interval in memory.
+    pub trace: bool,
 }
 
 impl Default for TrainConfig {
@@ -114,6 +120,7 @@ impl Default for TrainConfig {
             threads_per_rank: 1,
             comm_mode: CommMode::default(),
             overlap: true,
+            trace: false,
         }
     }
 }
@@ -134,6 +141,9 @@ pub struct DistTrainResult {
     pub embeddings: Mat,
     /// Process count used.
     pub world: usize,
+    /// Per-rank execution traces over the timed epochs (empty unless
+    /// `TrainConfig::trace` was set).
+    pub traces: Vec<Vec<TraceEvent>>,
 }
 
 impl DistTrainResult {
@@ -211,16 +221,19 @@ pub fn infer_distributed(
                 }
                 Algorithm::TwoD => {
                     let mut t = TwoDimTrainer::setup(ctx, problem, gcn, tc.twod);
+                    t.set_comm_mode(tc.comm_mode);
                     t.set_overlap(tc.overlap);
                     run_forward!(t)
                 }
                 Algorithm::TwoDRect { pr, pc } => {
                     let mut t = TwoDimTrainer::setup_rect(ctx, problem, gcn, tc.twod, pr, pc);
+                    t.set_comm_mode(tc.comm_mode);
                     t.set_overlap(tc.overlap);
                     run_forward!(t)
                 }
                 Algorithm::ThreeD => {
                     let mut t = ThreeDimTrainer::setup(ctx, problem, gcn);
+                    t.set_comm_mode(tc.comm_mode);
                     t.set_overlap(tc.overlap);
                     run_forward!(t)
                 }
@@ -305,14 +318,19 @@ pub fn train_distributed(
                     t.set_optimizer(tc.optimizer);
                     t.set_hidden_activation(tc.activation);
                     t.set_dropout(tc.dropout);
+                    t.set_comm_mode(tc.comm_mode);
                     t.set_overlap(tc.overlap);
                 }
                 AnyTrainer::ThreeD(t) => {
                     t.set_optimizer(tc.optimizer);
                     t.set_hidden_activation(tc.activation);
                     t.set_dropout(tc.dropout);
+                    t.set_comm_mode(tc.comm_mode);
                     t.set_overlap(tc.overlap);
                 }
+            }
+            if tc.trace {
+                ctx.enable_tracing();
             }
             let mut losses = Vec::with_capacity(tc.epochs);
             for _ in 0..tc.epochs {
@@ -325,9 +343,14 @@ pub fn train_distributed(
                 };
                 losses.push(loss);
             }
-            // Snapshot the timed-epoch ledger before the (untimed-in-spirit)
-            // evaluation pass.
+            // Snapshot the timed-epoch ledger (and trace) before the
+            // (untimed-in-spirit) evaluation pass.
             let report = ctx.report();
+            let trace = if tc.trace {
+                ctx.take_trace()
+            } else {
+                Vec::new()
+            };
             let accuracy = match &mut tr {
                 AnyTrainer::OneD(t) => t.accuracy(ctx),
                 AnyTrainer::OneDRow(t) => t.accuracy(ctx),
@@ -354,12 +377,16 @@ pub fn train_distributed(
             } else {
                 None
             };
-            (losses, accuracy, report, outputs)
+            (losses, accuracy, report, trace, outputs)
         });
 
-    let ((losses0, accuracy, _, _), _) = &per_rank[0];
-    let reports: Vec<TimelineReport> = per_rank.iter().map(|((_, _, r, _), _)| *r).collect();
-    let (weights, embeddings) = match &per_rank[0].0 .3 {
+    let ((losses0, accuracy, _, _, _), _) = &per_rank[0];
+    let reports: Vec<TimelineReport> = per_rank.iter().map(|((_, _, r, _, _), _)| *r).collect();
+    let traces: Vec<Vec<TraceEvent>> = per_rank
+        .iter()
+        .map(|((_, _, _, t, _), _)| t.clone())
+        .collect();
+    let (weights, embeddings) = match &per_rank[0].0 .4 {
         Some((w, e)) => (w.clone(), e.clone()),
         None => (Vec::new(), Mat::zeros(0, 0)),
     };
@@ -370,5 +397,6 @@ pub fn train_distributed(
         weights,
         embeddings,
         world: p,
+        traces,
     }
 }

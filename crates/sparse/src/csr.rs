@@ -195,6 +195,60 @@ impl Csr {
             .collect()
     }
 
+    /// [`needed_cols`](Csr::needed_cols) of the sub-block
+    /// `rows r0..r1 × cols c0..c1` without materializing it: the sorted
+    /// distinct column indices (relative to `c0`) carrying a nonzero in
+    /// that window. The 2D/3D trainers call this once per SUMMA stage at
+    /// setup to derive the needed-row set of each stage panel.
+    pub fn needed_cols_in(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Vec<usize> {
+        assert!(r0 <= r1 && r1 <= self.rows, "row range out of bounds");
+        assert!(c0 <= c1 && c1 <= self.cols, "col range out of bounds");
+        let mut seen = vec![false; c1 - c0];
+        for i in r0..r1 {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            let cols_row = &self.col_idx[lo..hi];
+            let start = cols_row.partition_point(|&c| c < c0);
+            let end = cols_row.partition_point(|&c| c < c1);
+            for &c in &cols_row[start..end] {
+                seen[c - c0] = true;
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter_map(|(c, &s)| s.then_some(c))
+            .collect()
+    }
+
+    /// Renumber column indices to their positions in `needed` (sorted
+    /// distinct, a superset of [`needed_cols`](Csr::needed_cols)); the
+    /// result has `needed.len()` columns and identical pattern/values.
+    /// Multiplying the compact matrix against a matrix holding only the
+    /// `needed` rows (in order) is bit-identical to multiplying the
+    /// original against the full-height operand: the remap is monotone,
+    /// so every row's accumulation order is unchanged.
+    ///
+    /// # Panics
+    /// Panics if a stored column index is absent from `needed`.
+    pub fn compact_cols(&self, needed: &[usize]) -> Csr {
+        debug_assert!(needed.windows(2).all(|w| w[0] < w[1]), "needed not sorted");
+        let col_idx = self
+            .col_idx
+            .iter()
+            .map(|&c| match needed.binary_search(&c) {
+                Ok(pos) => pos,
+                Err(_) => panic!("column {c} not in the needed set"),
+            })
+            .collect();
+        Csr {
+            rows: self.rows,
+            cols: needed.len(),
+            row_ptr: self.row_ptr.clone(),
+            col_idx,
+            vals: self.vals.clone(),
+        }
+    }
+
     /// Value at `(i, j)` (0 if not stored).
     pub fn get(&self, i: usize, j: usize) -> f64 {
         let lo = self.row_ptr[i];
@@ -396,6 +450,52 @@ mod tests {
             vec![(0, 3, 1.0), (1, 3, 1.0), (2, 0, 1.0)],
         ));
         assert_eq!(b.needed_cols(), vec![0, 3]);
+    }
+
+    #[test]
+    fn needed_cols_in_matches_block_needed_cols() {
+        let a = sample();
+        for (r0, r1) in [(0usize, 3usize), (0, 2), (1, 3), (2, 2)] {
+            for (c0, c1) in [(0usize, 3usize), (1, 3), (0, 1), (2, 2)] {
+                assert_eq!(
+                    a.needed_cols_in(r0, r1, c0, c1),
+                    a.block(r0, r1, c0, c1).needed_cols(),
+                    "window r{r0}..{r1} c{c0}..{c1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compact_cols_is_monotone_renumbering() {
+        let a = Csr::from_coo(Coo::from_entries(
+            2,
+            6,
+            vec![(0, 1, 1.0), (0, 5, 2.0), (1, 3, 3.0), (1, 5, 4.0)],
+        ));
+        let needed = a.needed_cols();
+        assert_eq!(needed, vec![1, 3, 5]);
+        let c = a.compact_cols(&needed);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 3);
+        assert_eq!(c.row_ptr(), a.row_ptr());
+        assert_eq!(c.vals(), a.vals());
+        assert_eq!(c.col_idx(), &[0, 2, 1, 2]);
+        // A strict superset is allowed; positions shift accordingly.
+        let s = a.compact_cols(&[0, 1, 3, 5]);
+        assert_eq!(s.cols(), 4);
+        assert_eq!(s.col_idx(), &[1, 3, 2, 3]);
+        // The empty pattern compacts against an empty needed set.
+        let e = Csr::empty(3, 4).compact_cols(&[]);
+        assert_eq!(e.cols(), 0);
+        assert_eq!(e.nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the needed set")]
+    fn compact_cols_rejects_missing_column() {
+        let a = sample();
+        let _ = a.compact_cols(&[0, 2]); // column 1 is referenced by row 2
     }
 
     #[test]

@@ -1,14 +1,16 @@
-//! Tentpole acceptance for sparsity-aware feature communication
-//! (DESIGN.md §9): on every row-distributed algorithm (1D, 1D-row, 1.5D)
-//! and P ∈ {1, 2, 4, 8}, `CommMode::SparsityAware` must train
-//! *bit-identically* to `CommMode::Dense` — same per-epoch losses, same
-//! final weights, same accuracy — while metering strictly fewer
-//! `Cat::DenseComm` words on a low-degree graph whenever P > 1.
+//! Acceptance for sparsity-aware feature communication (DESIGN.md §9):
+//! on every trainer — the row-distributed family (1D, 1D-row, 1.5D) and
+//! the SUMMA family (2D, 2D-rect, 3D) — `CommMode::SparsityAware` must
+//! train *bit-identically* to `CommMode::Dense` — same per-epoch losses,
+//! same final weights, same accuracy — while metering strictly fewer
+//! `Cat::DenseComm` words on a low-degree graph whenever the exchanging
+//! communicators are non-singleton.
 
 use cagnet::comm::{Cat, CostModel};
 use cagnet::core::trainer::{infer_distributed, train_distributed, Algorithm, TrainConfig};
 use cagnet::core::{CommMode, DistTrainResult, GcnConfig, Problem};
 use cagnet::sparse::generate::erdos_renyi;
+use cagnet::sparse::{Coo, Csr};
 
 fn low_degree_problem() -> (Problem, GcnConfig) {
     // Average degree ~2 on 64 vertices: each sparse block references only
@@ -212,12 +214,104 @@ fn inference_honors_comm_mode() {
     }
 }
 
+/// The 2D/3D SUMMA cases: square, rectangular, and cubic grids,
+/// including the degenerate single-rank grids where both modes are free.
+fn summa_cases() -> Vec<(Algorithm, usize)> {
+    vec![
+        (Algorithm::TwoD, 1),
+        (Algorithm::TwoD, 4),
+        (Algorithm::TwoDRect { pr: 3, pc: 3 }, 9),
+        (Algorithm::ThreeD, 1),
+        (Algorithm::ThreeD, 8),
+    ]
+}
+
 #[test]
-fn column_distributed_algorithms_ignore_comm_mode() {
-    // 2D and 3D have no broadcast-of-blocks stage to specialize; the
-    // knob must be inert there, not an error.
+fn summa_trainers_honor_comm_mode() {
+    // Tentpole acceptance for the 2D/3D stage-panel specialization: each
+    // SUMMA stage's dense-panel broadcast becomes a gather of only the
+    // rows the receivers' sparse panels touch. Must be bit-identical to
+    // dense mode — with and without comm/compute overlap — while
+    // metering strictly fewer DenseComm words whenever the stage
+    // communicators are non-singleton.
     let (problem, cfg) = low_degree_problem();
-    for (algo, p) in [(Algorithm::TwoD, 4), (Algorithm::ThreeD, 8)] {
+    for (algo, p) in summa_cases() {
+        for overlap in [true, false] {
+            let tc = |mode| TrainConfig {
+                epochs: 3,
+                comm_mode: mode,
+                overlap,
+                ..Default::default()
+            };
+            let dense = train_distributed(
+                &problem,
+                &cfg,
+                algo,
+                p,
+                CostModel::summit_like(),
+                &tc(CommMode::Dense),
+            );
+            let sparse = train_distributed(
+                &problem,
+                &cfg,
+                algo,
+                p,
+                CostModel::summit_like(),
+                &tc(CommMode::SparsityAware),
+            );
+            assert_eq!(
+                dense.losses,
+                sparse.losses,
+                "{} P={p} overlap={overlap}: per-epoch losses must be bit-identical",
+                algo.name()
+            );
+            assert_eq!(
+                dense.weights,
+                sparse.weights,
+                "{} P={p} overlap={overlap}: final weights must be bit-identical",
+                algo.name()
+            );
+            assert_eq!(
+                dense.accuracy,
+                sparse.accuracy,
+                "{} P={p} overlap={overlap}: accuracy must be bit-identical",
+                algo.name()
+            );
+            let (dw, sw) = (dense_words(&dense), dense_words(&sparse));
+            if p > 1 {
+                assert!(
+                    sw < dw,
+                    "{} P={p} overlap={overlap}: sparsity-aware DenseComm words {sw} must \
+                     be strictly below dense {dw} on a low-degree graph",
+                    algo.name()
+                );
+            } else {
+                // Single-rank grid: every collective is a local no-op.
+                assert_eq!(
+                    sw,
+                    dw,
+                    "{} P={p}: modes must meter equally on one rank",
+                    algo.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn summa_empty_needed_sets_are_handled() {
+    // An edge-free graph normalizes to the identity (self-loops only), so
+    // every off-diagonal SUMMA panel has *zero* nonzero columns: the
+    // sparsity-aware gather requests no rows at all for those stages.
+    // Zero-row gathers must still rendezvous (the fingerprint and α cost
+    // remain) and produce bit-identical results.
+    let raw = Csr::from_coo(Coo::new(12, 12));
+    let problem = Problem::synthetic(&raw, 8, 3, 1.0, 17);
+    let cfg = GcnConfig::three_layer(8, 6, 3);
+    for (algo, p) in summa_cases() {
+        if p == 1 {
+            continue;
+        }
         let dense = train_distributed(
             &problem,
             &cfg,
@@ -234,11 +328,22 @@ fn column_distributed_algorithms_ignore_comm_mode() {
             CostModel::summit_like(),
             &config(CommMode::SparsityAware),
         );
-        assert_eq!(dense.losses, sparse.losses, "{} P={p}", algo.name());
         assert_eq!(
-            dense_words(&dense),
-            dense_words(&sparse),
-            "{} P={p}: inert knob must not change metering",
+            dense.losses,
+            sparse.losses,
+            "{} P={p}: identity-graph losses must be bit-identical",
+            algo.name()
+        );
+        assert_eq!(
+            dense.weights,
+            sparse.weights,
+            "{} P={p}: identity-graph weights must be bit-identical",
+            algo.name()
+        );
+        let (dw, sw) = (dense_words(&dense), dense_words(&sparse));
+        assert!(
+            sw < dw,
+            "{} P={p}: zero-row gathers must undercut full broadcasts ({sw} vs {dw})",
             algo.name()
         );
     }
