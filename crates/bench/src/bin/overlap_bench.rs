@@ -5,11 +5,19 @@
 //! `BENCH_overlap.json` (override with `--out <path>`) so CI can archive
 //! the perf history as an artifact.
 //!
+//! With `--transport socket` the same grid runs over the multi-process
+//! socket backend at P ∈ {2, 4} on a smaller graph: ranks are real
+//! worker processes, so the `wall_seconds_*` columns become the repo's
+//! first true wall-clock epoch timings (modeled columns are bit-identical
+//! to the shared backend by construction).
+//!
 //! ```text
-//! cargo run --release -p cagnet-bench --bin overlap_bench [-- --out <path>]
+//! cargo run --release -p cagnet-bench --bin overlap_bench \
+//!     [-- --out <path>] [-- --transport shared|socket]
 //! ```
 
 use cagnet_bench::measure_epochs_cfg;
+use cagnet_comm::TransportKind;
 use cagnet_core::trainer::{Algorithm, TrainConfig};
 use cagnet_core::{GcnConfig, Problem};
 use cagnet_sparse::generate::{rmat_symmetric, RmatParams};
@@ -18,12 +26,16 @@ use std::time::Instant;
 
 const EPOCHS: usize = 3;
 const PROCESS_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Socket-transport process counts (matches the CI `socket-tests` job).
+const SOCKET_PROCESS_COUNTS: [usize; 2] = [2, 4];
 
 /// One overlap-on/off measurement pair for a (trainer, P) cell.
 #[derive(Serialize)]
 struct OverlapRow {
     algorithm: String,
     processes: usize,
+    /// Which transport carried the collectives (`shared` or `socket`).
+    transport: String,
     /// Modeled seconds per epoch, overlap off / on.
     epoch_seconds_off: f64,
     epoch_seconds_on: f64,
@@ -53,21 +65,35 @@ fn algorithms(p: usize) -> Vec<Algorithm> {
 }
 
 fn main() {
-    let out_path = {
-        let args: Vec<String> = std::env::args().skip(1).collect();
-        match args.iter().position(|a| a == "--out") {
-            Some(i) => args.get(i + 1).cloned().unwrap_or_else(|| {
-                eprintln!("missing value for --out");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |name: &str| {
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
                 std::process::exit(2);
-            }),
-            None => "BENCH_overlap.json".to_string(),
+            })
+        })
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_overlap.json".to_string());
+    let transport = match flag_value("--transport").as_deref() {
+        None | Some("shared") => TransportKind::Shared,
+        Some("socket") => TransportKind::Socket,
+        Some(other) => {
+            eprintln!("--transport must be shared|socket, got '{other}'");
+            std::process::exit(2);
         }
+    };
+    // Socket runs pay real process spawns and replay per worker, so they
+    // measure a smaller graph at the CI process counts.
+    let (scale, process_counts): (u32, &[usize]) = match transport {
+        TransportKind::Shared => (11, &PROCESS_COUNTS),
+        TransportKind::Socket => (9, &SOCKET_PROCESS_COUNTS),
     };
 
     // Mid-size R-MAT with the figure-scale network balance: large enough
     // that the broadcast pipelines have stages to hide, small enough for
     // a CI smoke job.
-    let g = rmat_symmetric(11, 8, RmatParams::default(), 7);
+    let g = rmat_symmetric(scale, 8, RmatParams::default(), 7);
     let f = 64;
     let classes = 16;
     let problem = Problem::synthetic(&g, f, classes, 1.0, 8);
@@ -75,10 +101,15 @@ fn main() {
     let model = cagnet_bench::figure_model();
 
     println!(
-        "overlap bench: n={}, nnz={}, dims={:?}, {EPOCHS} epochs, P in {PROCESS_COUNTS:?}",
+        "overlap bench [{} transport]: n={}, nnz={}, dims={:?}, {EPOCHS} epochs, P in {:?}",
+        match transport {
+            TransportKind::Shared => "shared",
+            TransportKind::Socket => "socket",
+        },
         problem.vertices(),
         problem.adj.nnz(),
-        gcn.dims
+        gcn.dims,
+        process_counts
     );
     println!(
         "{:<10} {:>3}  {:>12} {:>12} {:>8} {:>10}  {:>9} {:>9}",
@@ -86,13 +117,14 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for p in PROCESS_COUNTS {
+    for &p in process_counts {
         for algo in algorithms(p) {
             let run = |overlap: bool| {
                 let tc = TrainConfig {
                     epochs: EPOCHS,
                     collect_outputs: false,
                     overlap,
+                    transport: Some(transport),
                     ..Default::default()
                 };
                 let start = Instant::now();
@@ -109,6 +141,10 @@ fn main() {
             let row = OverlapRow {
                 algorithm: algo.name(),
                 processes: p,
+                transport: match transport {
+                    TransportKind::Shared => "shared".to_string(),
+                    TransportKind::Socket => "socket".to_string(),
+                },
                 epoch_seconds_off: off.epoch_seconds,
                 epoch_seconds_on: on.epoch_seconds,
                 modeled_speedup: off.epoch_seconds / on.epoch_seconds.max(1e-12),

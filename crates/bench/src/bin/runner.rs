@@ -16,12 +16,18 @@
 //!   --hidden    <width>      hidden layer width              (default 16)
 //!   --overlap   on|off       nonblocking comm/compute overlap (default on)
 //!   --comm-mode dense|sparse dense bcasts or sparsity-aware gathers (default dense)
+//!   --transport shared|socket ranks as threads, or real worker processes
+//!                            over Unix sockets (default: CAGNET_TRANSPORT,
+//!                            shared when unset)
 //!   --trace <out.json>       write a Chrome/Perfetto trace of the timed epochs
 //!   --json                   print only the JSON row (no human tables)
+//!   --worker                 internal: accepted so spawned worker processes
+//!                            (re-executions of this binary, identified by the
+//!                            CAGNET_WORKER_* environment) parse cleanly
 //! ```
 
 use cagnet_bench::{bench_dataset, bench_gcn, measure_epochs_traced};
-use cagnet_comm::CostModel;
+use cagnet_comm::{CostModel, TransportKind};
 use cagnet_core::trainer::{Algorithm, TrainConfig};
 use cagnet_core::{CommMode, GcnConfig, Problem};
 use cagnet_sparse::datasets;
@@ -29,7 +35,7 @@ use cagnet_sparse::generate::{rmat_symmetric, RmatParams};
 use std::collections::HashMap;
 
 /// Flags that take no value.
-const BOOL_FLAGS: [&str; 1] = ["json"];
+const BOOL_FLAGS: [&str; 2] = ["json", "worker"];
 
 fn parse_args() -> HashMap<String, String> {
     let mut out = HashMap::new();
@@ -105,6 +111,15 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let transport = match get("transport", "").as_str() {
+        "" => None,
+        "shared" => Some(TransportKind::Shared),
+        "socket" => Some(TransportKind::Socket),
+        other => {
+            eprintln!("--transport must be shared|socket, got '{other}'");
+            std::process::exit(2);
+        }
+    };
     let trace_path = args.get("trace").cloned();
     let json_only = args.contains_key("json");
 
@@ -155,6 +170,7 @@ fn main() {
         overlap,
         comm_mode,
         trace: trace_path.is_some(),
+        transport,
         ..Default::default()
     };
     if !json_only {

@@ -4,6 +4,8 @@
 //! [`CommMode`]s and compare the metered `Cat::DenseComm` words.
 //!
 //! Run with: `cargo run --release -p cagnet-bench --bin sparsity_volume`
+//! — writes the measurement rows to `BENCH_sparsity.json` (override with
+//! `--out <path>`) so CI can archive the volume history as an artifact.
 //!
 //! The binary is also a CI smoke check: it *asserts* that sparsity-aware
 //! metering never exceeds dense, that it wins strictly on the low-degree
@@ -47,6 +49,16 @@ fn run(
 
 fn main() {
     const F: usize = 16;
+    let out_path = {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match args.iter().position(|a| a == "--out") {
+            Some(i) => args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for --out");
+                std::process::exit(2);
+            }),
+            None => "BENCH_sparsity.json".to_string(),
+        }
+    };
     let graphs = vec![
         // Low degree: requested-row sets are tiny, sparsity-aware must
         // win strictly.
@@ -143,5 +155,12 @@ fn main() {
         println!();
     }
     println!("all modes bit-identical; sparsity-aware words <= dense everywhere");
+    // lint:allow(unwrap): the serde shim only errors on non-string map keys
+    let json = serde_json::to_string(&rows).expect("serialize");
+    if let Err(e) = std::fs::write(&out_path, format!("{json}\n")) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {} rows to {out_path}", rows.len());
     cagnet_bench::emit_json(&rows);
 }

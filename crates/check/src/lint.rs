@@ -2,7 +2,7 @@
 //! `cargo run -p xtask -- lint`.
 //!
 //! Plain token/line scanning over `crates/*/src` — no `syn`, no rustc
-//! plumbing — enforcing four invariants the compiler cannot:
+//! plumbing — enforcing five invariants the compiler cannot:
 //!
 //! * **`unwrap`**: no `.unwrap()` / `.expect(` in library code outside
 //!   `#[cfg(test)]` modules and `src/bin/` entrypoints. A panic in a
@@ -22,6 +22,12 @@
 //!   `.wait(` on it (or return the `PendingOp` to its caller), and must
 //!   never discard one into `let _`. A dropped pending op aborts the run
 //!   at runtime; this catches it statically.
+//! * **`raw-socket-io`**: comm-layer code (`crates/comm/src/`) never
+//!   reads or writes a raw byte stream outside `frame.rs`. Every byte
+//!   on the wire must pass through the framed codec — its header
+//!   validation (magic, version, length-before-allocation) is the only
+//!   defense against truncated or hostile peers, and a bare
+//!   `.read_exact(`/`.write_all(` elsewhere would bypass it.
 //!
 //! Suppress a finding by appending
 //! `// lint:allow(<rule>): <reason>` on the offending line or the line
@@ -47,6 +53,8 @@ pub enum Rule {
     /// the same function (and not returned to the caller), or discarded
     /// into `let _`.
     UnwaitedPending,
+    /// Raw byte-stream read/write in `comm/src/` outside `frame.rs`.
+    RawSocketIo,
 }
 
 impl Rule {
@@ -57,6 +65,7 @@ impl Rule {
             Rule::SerialKernelInDist => "serial-kernel",
             Rule::UncategorizedCollective => "uncategorized-collective",
             Rule::UnwaitedPending => "unwaited-pending",
+            Rule::RawSocketIo => "raw-socket-io",
         }
     }
 }
@@ -128,6 +137,19 @@ const PENDING_ISSUERS: [&str; 4] = [
     ".ibcast_shared(",
     ".igather_rows(",
     ".iallreduce_mat(",
+];
+
+/// Raw byte-stream calls that belong only in `frame.rs` — anywhere
+/// else in `comm/src/` they would move wire bytes around the framed
+/// codec's header validation.
+const RAW_STREAM_CALLS: [&str; 7] = [
+    ".read(",
+    ".read_exact(",
+    ".read_to_end(",
+    ".read_to_string(",
+    ".write(",
+    ".write_all(",
+    ".write_vectored(",
 ];
 
 /// Strip line comments and blank out string-literal contents so needle
@@ -235,6 +257,7 @@ pub fn lint_file(path: &Path, content: &str) -> Vec<Violation> {
     let is_bin = norm.contains("/src/bin/");
     let is_dist = norm.contains("core/src/dist/");
     let is_core = norm.contains("core/src/");
+    let is_comm_nonframe = norm.contains("comm/src/") && !norm.ends_with("frame.rs");
 
     let raw: Vec<&str> = content.lines().collect();
     let sanitized: Vec<String> = raw.iter().map(|l| sanitize(l)).collect();
@@ -314,6 +337,14 @@ pub fn lint_file(path: &Path, content: &str) -> Vec<Violation> {
                     from = from + pos + needle.len();
                 }
             }
+        }
+
+        // Rule 5: raw stream I/O in comm/ outside the framed codec.
+        if is_comm_nonframe
+            && RAW_STREAM_CALLS.iter().any(|n| code.contains(n))
+            && !allowed(idx, Rule::RawSocketIo)
+        {
+            out.push(report(Rule::RawSocketIo));
         }
 
         // Rule 4 (statement form): a PendingOp bound to `_` is dropped
@@ -674,6 +705,59 @@ mod tests {
     fn unwaited_pending_outside_dist_is_fine() {
         let src = "fn f() {\n    let op = self.ibcast_shared(j, p, Cat::DenseComm);\n}\n";
         assert!(lint("crates/comm/src/comm.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_raw_socket_io_in_comm() {
+        let path = "crates/comm/src/proc.rs";
+        for call in [
+            "stream.read_exact(&mut header)?;\n",
+            "let n = stream.read(&mut buf)?;\n",
+            "stream.read_to_end(&mut body)?;\n",
+            "writer.write_all(&bytes)?;\n",
+            "let n = writer.write(&bytes)?;\n",
+        ] {
+            let v = lint(path, call);
+            assert_eq!(v.len(), 1, "for {call}");
+            assert_eq!(v[0].rule, Rule::RawSocketIo);
+        }
+    }
+
+    #[test]
+    fn frame_rs_may_do_raw_io() {
+        let src = "r.read_exact(&mut header)?;\nw.write_all(&body)?;\n";
+        assert!(lint("crates/comm/src/frame.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_io_outside_comm_is_fine() {
+        assert!(lint(
+            "crates/bench/src/lib.rs",
+            "file.write_all(json.as_bytes())?;\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn framed_calls_in_comm_pass() {
+        let path = "crates/comm/src/proc.rs";
+        let src = "let frame = frame::read_frame(&mut stream)?;\nframe::write_frame(&mut w, kind, &body)?;\n";
+        assert!(lint(path, src).is_empty());
+    }
+
+    #[test]
+    fn raw_socket_io_allow_marker_suppresses() {
+        let path = "crates/comm/src/proc.rs";
+        let src =
+            "// lint:allow(raw-socket-io): probing liveness, no payload\nstream.read(&mut [0u8; 1])?;\n";
+        assert!(lint(path, src).is_empty());
+    }
+
+    #[test]
+    fn raw_socket_io_in_comm_tests_is_exempt() {
+        let path = "crates/comm/src/proc.rs";
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { s.read_exact(&mut b).unwrap(); }\n}\n";
+        assert!(lint(path, src).is_empty());
     }
 
     #[test]

@@ -15,7 +15,9 @@ use std::time::Duration;
 use crate::comm::{Communicator, Registry};
 use crate::cost::{Cat, CostModel};
 use crate::diag::FirstPanic;
+use crate::frame::Wire;
 use crate::timeline::{Meter, Timeline, TimelineReport};
+use crate::transport::{SharedLink, TransportKind};
 use cagnet_check::waitgraph::{deadlock_report, is_quiescent_deadlock, RankPhase, RankSnapshot};
 use cagnet_check::CheckMode;
 use cagnet_parallel::ParallelCtx;
@@ -39,6 +41,22 @@ pub struct Ctx {
 }
 
 impl Ctx {
+    pub(crate) fn for_rank(
+        rank: usize,
+        size: usize,
+        world: Communicator,
+        parallel: ParallelCtx,
+        meter: Rc<RefCell<Meter>>,
+    ) -> Self {
+        Ctx {
+            rank,
+            size,
+            world,
+            parallel,
+            meter,
+        }
+    }
+
     /// Charge `dt` modeled seconds to `cat` on this rank.
     pub fn charge(&self, cat: Cat, dt: f64) {
         self.meter.borrow_mut().timeline.charge(cat, dt);
@@ -120,11 +138,12 @@ impl Ctx {
 /// }
 /// ```
 pub struct Cluster {
-    size: usize,
-    model: Arc<CostModel>,
-    timeout: Duration,
-    threads_per_rank: usize,
-    check: CheckMode,
+    pub(crate) size: usize,
+    pub(crate) model: Arc<CostModel>,
+    pub(crate) timeout: Duration,
+    pub(crate) threads_per_rank: usize,
+    pub(crate) check: CheckMode,
+    pub(crate) transport: TransportKind,
 }
 
 impl Cluster {
@@ -140,7 +159,18 @@ impl Cluster {
             timeout: Duration::from_secs(120),
             threads_per_rank: 1,
             check: CheckMode::from_env(),
+            transport: TransportKind::from_env(),
         }
+    }
+
+    /// Select the transport backend explicitly (default: the
+    /// `CAGNET_TRANSPORT` environment variable, shared memory when
+    /// unset). Only [`Cluster::run_wire`] dispatches on it —
+    /// [`Cluster::run`] always uses the in-process thread backend
+    /// because its results never cross a process boundary.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
     }
 
     /// Enable or disable collective verification (fingerprint matching on
@@ -187,17 +217,73 @@ impl Cluster {
         R: Send,
         F: Fn(&mut Ctx) -> R + Send + Sync,
     {
-        let registry = Arc::new(Registry::new(self.timeout).with_check(self.check));
-        registry.diag.init(self.size);
-        let world_inner = registry.fresh_world(self.size);
-        let size = self.size;
-        let model = if self.threads_per_rank == self.model.threads_per_rank {
+        self.run_threads(f)
+    }
+
+    /// Like [`Cluster::run`], but dispatches on the configured
+    /// [`TransportKind`]: the shared-memory backend runs ranks as
+    /// threads exactly like `run`, while the socket backend launches
+    /// `size - 1` worker processes (re-executions of the current
+    /// binary) connected over a Unix domain socket and ships each
+    /// rank's `(result, report)` back as framed bytes — hence the
+    /// [`Wire`] bound on `R`. Single-rank runs never spawn.
+    ///
+    /// Results are bit-identical across backends: all collective
+    /// semantics live above the transport trait, and every `f64`
+    /// crosses the wire as its exact bit pattern.
+    pub fn run_wire<R, F>(&self, f: F) -> Vec<(R, TimelineReport)>
+    where
+        R: Send + Wire,
+        F: Fn(&mut Ctx) -> R + Send + Sync,
+    {
+        match self.transport {
+            TransportKind::Shared => self.run_threads(f),
+            #[cfg(unix)]
+            TransportKind::Socket => {
+                // Count socket-dispatched runs per test/caller thread so
+                // a spawned worker (which replays the same code path)
+                // can find the run it was forked for.
+                let idx = crate::proc::next_socket_run_idx();
+                if self.size == 1 {
+                    return self.run_threads(f);
+                }
+                match crate::proc::worker_env() {
+                    Some(env) if env.run == idx => crate::proc::run_worker(self, &env, f),
+                    // Earlier runs replay deterministically in-process
+                    // so the worker reaches its target run with
+                    // identical state.
+                    Some(_) => self.run_threads(f),
+                    None => crate::proc::run_launcher(self, idx, f),
+                }
+            }
+            #[cfg(not(unix))]
+            TransportKind::Socket => {
+                panic!("the socket transport requires a Unix platform")
+            }
+        }
+    }
+
+    /// The cost model with the cluster's thread budget folded in.
+    pub(crate) fn effective_model(&self) -> Arc<CostModel> {
+        if self.threads_per_rank == self.model.threads_per_rank {
             self.model.clone()
         } else {
             let mut m = (*self.model).clone();
             m.threads_per_rank = self.threads_per_rank;
             Arc::new(m)
-        };
+        }
+    }
+
+    fn run_threads<R, F>(&self, f: F) -> Vec<(R, TimelineReport)>
+    where
+        R: Send,
+        F: Fn(&mut Ctx) -> R + Send + Sync,
+    {
+        let registry = Arc::new(Registry::new(self.timeout).with_check(self.check));
+        registry.diag.init(self.size);
+        let world_link = SharedLink::world(&registry, self.size);
+        let size = self.size;
+        let model = self.effective_model();
         let parallel = ParallelCtx::new(self.threads_per_rank);
         let f = &f;
 
@@ -212,7 +298,7 @@ impl Cluster {
             let mut handles = Vec::with_capacity(size);
             for rank in 0..size {
                 let registry = registry.clone();
-                let world_inner = world_inner.clone();
+                let world_link = world_link.clone();
                 let model = model.clone();
                 handles.push(scope.spawn(move || {
                     let meter = Rc::new(RefCell::new(Meter {
@@ -221,18 +307,12 @@ impl Cluster {
                     }));
                     let world = Communicator::new_world(
                         registry.clone(),
-                        world_inner,
+                        world_link,
                         size,
                         rank,
                         meter.clone(),
                     );
-                    let mut ctx = Ctx {
-                        rank,
-                        size,
-                        world,
-                        parallel,
-                        meter: meter.clone(),
-                    };
+                    let mut ctx = Ctx::for_rank(rank, size, world, parallel, meter.clone());
                     let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
                     match result {
                         Ok(out) => {
@@ -290,7 +370,7 @@ impl Cluster {
 }
 
 /// Extract a readable message from a panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else {
@@ -305,7 +385,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// run is already aborting); raises the abort flag with a full
 /// wait-for-graph report when the rank states show a quiescent deadlock
 /// stable across [`STABLE_POLLS`] polls.
-fn watchdog(registry: &Registry) {
+pub(crate) fn watchdog(registry: &Registry) {
     let mut stable = 0usize;
     let mut last: Option<Vec<RankSnapshot>> = None;
     loop {

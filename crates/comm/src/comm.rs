@@ -1,47 +1,41 @@
-//! MPI-style communicators over shared memory.
+//! MPI-style communicators, generic over the transport backend.
 //!
 //! Every rank of a simulated cluster holds a [`Communicator`] handle per
 //! process group (world, grid row, grid column, fiber, ...). Collectives
 //! are **bulk-synchronous**: all members must call the same collectives in
 //! the same order, exactly as the paper's NCCL-backed implementation
-//! requires. Payloads move as `Arc`s through a generation-keyed mailbox,
-//! so "communication" is a pointer copy — all *costs* are charged through
-//! the α–β model of [`crate::cost::CostModel`] onto each rank's
-//! [`crate::timeline::Timeline`].
+//! requires. Payloads move through a [`CommLink`] — `Arc` pointer copies
+//! on the shared-memory backend, framed bytes over Unix sockets on the
+//! multi-process backend (see [`crate::transport`]) — while all *costs*
+//! are charged through the α–β model of [`crate::cost::CostModel`] onto
+//! each rank's [`crate::timeline::Timeline`].
 //!
 //! Collective time semantics (BSP): on completion every participant's
 //! clock becomes `max(entry clocks) + modeled collective cost`, and the
 //! bandwidth-term word count is recorded under the caller-supplied
-//! category ([`Cat::DenseComm`] or [`Cat::SparseComm`]).
+//! category ([`Cat::DenseComm`] or [`Cat::SparseComm`]). Entry clocks,
+//! fingerprint verification, and deterministic member-order reductions
+//! all live here, above the transport trait, which is why results are
+//! bit-identical across backends.
 
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use crate::cost::{Cat, CommWords, CostModel};
 use crate::diag::Diagnostics;
+use crate::frame::{FrameError, Reader, Wire};
 use crate::timeline::Meter;
+use crate::transport::{CollectError, CommInner, CommLink, RxPayload, TxDeposit, TxPayload};
 use cagnet_check::fingerprint::{self, CollectiveKind, Fingerprint, Shape};
 use cagnet_check::waitgraph::{deadlock_report, HistoryEntry, SlotId, WaitSlot};
 use cagnet_check::CheckMode;
 use cagnet_dense::Mat;
 use cagnet_sparse::partition::block_range;
-
-type Payload = Arc<dyn Any + Send + Sync>;
-
-/// Poll granularity of blocked collective waits: how quickly a parked
-/// rank observes the run-wide abort flag.
-const WAIT_TICK: Duration = Duration::from_millis(25);
-
-struct CallSlot {
-    deposits: Vec<Option<(f64, Option<Fingerprint>, Payload)>>,
-    arrived: usize,
-    consumed: usize,
-}
 
 /// One participant's deposit in a [`Communicator::gather_rows`]
 /// rendezvous: the row indices it requests from the root, plus — at the
@@ -49,6 +43,19 @@ struct CallSlot {
 struct GatherRowsDeposit {
     needed: Vec<usize>,
     data: Option<Arc<Mat>>,
+}
+
+impl Wire for GatherRowsDeposit {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.needed.put(out);
+        self.data.put(out);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        Ok(GatherRowsDeposit {
+            needed: Vec::take(r)?,
+            data: <Option<Arc<Mat>> as Wire>::take(r)?,
+        })
+    }
 }
 
 /// Result of a [`Communicator::gather_rows`] /
@@ -106,25 +113,6 @@ impl GatheredRows {
     }
 }
 
-/// State shared by all member threads of one communicator.
-pub(crate) struct CommInner {
-    id: u64,
-    size: usize,
-    slots: Mutex<HashMap<u64, CallSlot>>,
-    cv: Condvar,
-}
-
-impl CommInner {
-    fn new(id: u64, size: usize) -> Self {
-        CommInner {
-            id,
-            size,
-            slots: Mutex::new(HashMap::new()),
-            cv: Condvar::new(),
-        }
-    }
-}
-
 /// Global registry: creates communicator state on first touch so that
 /// `split` needs no out-of-band coordination.
 pub struct Registry {
@@ -165,7 +153,7 @@ impl Registry {
         ))
     }
 
-    fn get_or_create(&self, key: (u64, u64, u64), size: usize) -> Arc<CommInner> {
+    pub(crate) fn get_or_create(&self, key: (u64, u64, u64), size: usize) -> Arc<CommInner> {
         // The table stays consistent across a poisoning panic (plain
         // entry/insert), so recover the guard rather than cascading.
         let mut comms = self.comms.lock().unwrap_or_else(PoisonError::into_inner);
@@ -186,7 +174,7 @@ impl Registry {
 /// Cloning is cheap; the handle is deliberately `!Send` (it carries the
 /// rank-local meter) — create communicators inside the rank closure.
 pub struct Communicator {
-    inner: Arc<CommInner>,
+    link: Arc<dyn CommLink>,
     registry: Arc<Registry>,
     /// World ranks of the members, ascending.
     members: Arc<Vec<usize>>,
@@ -198,13 +186,13 @@ pub struct Communicator {
 impl Communicator {
     pub(crate) fn new_world(
         registry: Arc<Registry>,
-        inner: Arc<CommInner>,
+        link: Arc<dyn CommLink>,
         size: usize,
         rank: usize,
         meter: Rc<RefCell<Meter>>,
     ) -> Self {
         Communicator {
-            inner,
+            link,
             registry,
             members: Arc::new((0..size).collect()),
             my_idx: rank,
@@ -264,26 +252,41 @@ impl Communicator {
         })
     }
 
-    /// Abort this rank because a peer failed inside a collective
-    /// (observed as a poisoned rendezvous mutex). Names the rank and
-    /// collective that panicked first instead of cascading PoisonErrors.
-    fn peer_failure(&self, kind: CollectiveKind, seq: u64) -> ! {
-        let why = self
-            .registry
-            .diag
-            .first_panic_render()
-            .unwrap_or_else(|| "a peer rank panicked inside a collective".to_string());
-        panic!(
-            "rank {} aborting {kind} at comm {} seq {seq}: {why}",
-            self.world_rank(),
-            self.inner.id
-        )
-    }
-
-    fn lock_slots(&self, kind: CollectiveKind, seq: u64) -> MutexGuard<'_, HashMap<u64, CallSlot>> {
-        match self.inner.slots.lock() {
-            Ok(guard) => guard,
-            Err(_) => self.peer_failure(kind, seq),
+    /// Abort this rank because the transport reported a failure. Each
+    /// [`CollectError`] variant maps onto the exact panic the
+    /// shared-memory backend has always raised — abort cascades name the
+    /// rank/collective that failed first, rendezvous timeouts carry the
+    /// wait-for-graph deadlock report — so failures read identically on
+    /// both backends.
+    fn link_failure(&self, kind: CollectiveKind, seq: u64, err: CollectError) -> ! {
+        let slot_id = SlotId {
+            comm: self.link.id(),
+            seq,
+        };
+        let my_world = self.world_rank();
+        match err {
+            CollectError::Abort(why) => {
+                panic!("rank {my_world} aborting {kind} at {slot_id}: {why}")
+            }
+            CollectError::Timeout { arrived } => {
+                let diag = &self.registry.diag;
+                let report = deadlock_report(&diag.snapshot(), &diag.histories());
+                panic!(
+                    "collective deadlock: comm {} seq {seq}: only {arrived}/{} ranks \
+                     arrived within {:?} — ranks are calling collectives in different \
+                     orders\n{report}",
+                    self.link.id(),
+                    self.size(),
+                    self.registry.timeout
+                );
+            }
+            CollectError::Transport(detail) => {
+                // Prefer the recorded first failure (names the rank and
+                // collective that panicked first) over the raw transport
+                // detail, matching the old poisoned-mutex path.
+                let why = self.registry.diag.first_panic_render().unwrap_or(detail);
+                panic!("rank {my_world} aborting {kind} at {slot_id}: {why}")
+            }
         }
     }
 
@@ -299,16 +302,16 @@ impl Communicator {
         &self,
         kind: CollectiveKind,
         fp: Option<Fingerprint>,
-        payload: Payload,
-    ) -> (Vec<Payload>, f64) {
+        payload: TxPayload,
+    ) -> (Vec<RxPayload>, f64) {
         let size = self.size();
         let entry = self.meter.borrow().timeline.clock();
         if size == 1 {
-            return (vec![payload], entry);
+            return (vec![RxPayload::Local(payload.local)], entry);
         }
         let seq = self.next_seq();
         let slot_id = SlotId {
-            comm: self.inner.id,
+            comm: self.link.id(),
             seq,
         };
         let diag = &self.registry.diag;
@@ -342,14 +345,14 @@ impl Communicator {
     /// watchdog treats as progress, so an in-flight pending op can never
     /// be misread as a stuck rendezvous; the wait registration happens in
     /// [`Communicator::complete_raw`] when the op is actually awaited.
-    fn issue_raw(&self, kind: CollectiveKind, fp: Option<Fingerprint>, payload: Payload) -> u64 {
+    fn issue_raw(&self, kind: CollectiveKind, fp: Option<Fingerprint>, payload: TxPayload) -> u64 {
         let entry = self.meter.borrow().timeline.clock();
         let seq = self.next_seq();
         self.registry.diag.record_history(
             self.world_rank(),
             HistoryEntry {
                 slot: SlotId {
-                    comm: self.inner.id,
+                    comm: self.link.id(),
                     seq,
                 },
                 kind,
@@ -363,12 +366,12 @@ impl Communicator {
     /// Wait half of a split-phase collective: register the wait (for
     /// deadlock diagnostics) and block until every member's deposit for
     /// `seq` is present. Returns all deposits plus the max entry clock.
-    fn complete_raw(&self, kind: CollectiveKind, seq: u64) -> (Vec<Payload>, f64) {
+    fn complete_raw(&self, kind: CollectiveKind, seq: u64) -> (Vec<RxPayload>, f64) {
         let _wait = self.registry.diag.enter_wait(
             self.world_rank(),
             WaitSlot {
                 slot: SlotId {
-                    comm: self.inner.id,
+                    comm: self.link.id(),
                     seq,
                 },
                 kind,
@@ -379,119 +382,66 @@ impl Communicator {
     }
 
     /// Place this rank's deposit (entry clock, fingerprint, payload) into
-    /// the rendezvous slot for `seq`, waking the group when it is the
-    /// last arrival.
+    /// the rendezvous slot for `seq` through the transport link, waking
+    /// (or notifying) the group when it is the last arrival.
     fn deposit(
         &self,
         kind: CollectiveKind,
         seq: u64,
         entry: f64,
         fp: Option<Fingerprint>,
-        payload: Payload,
+        payload: TxPayload,
     ) {
-        let size = self.size();
-        let mut slots = self.lock_slots(kind, seq);
-        let slot = slots.entry(seq).or_insert_with(|| CallSlot {
-            deposits: vec![None; size],
-            arrived: 0,
-            consumed: 0,
-        });
-        assert!(
-            slot.deposits[self.my_idx].is_none(),
-            "rank deposited twice at comm {} seq {seq} — collective misuse",
-            self.inner.id
-        );
-        slot.deposits[self.my_idx] = Some((entry, fp, payload));
-        slot.arrived += 1;
-        if slot.arrived == size {
-            self.inner.cv.notify_all();
+        let dep = TxDeposit { entry, fp, payload };
+        if let Err(e) = self
+            .link
+            .deposit(kind, seq, self.my_idx, &self.members, dep)
+        {
+            self.link_failure(kind, seq, e);
         }
     }
 
     /// Block until the rendezvous for `seq` is full, then consume it:
-    /// returns all deposits in member order plus the max entry clock, and
+    /// returns all payloads in member order plus the max entry clock, and
     /// verifies fingerprints when checking is on. The caller must have
     /// already deposited (and, for diagnostics, registered its wait).
-    fn await_and_collect(&self, kind: CollectiveKind, seq: u64) -> (Vec<Payload>, f64) {
+    ///
+    /// Fingerprint verification runs here — above the transport — so
+    /// CheckMode gives the identical guarantee whether the fingerprints
+    /// arrived through shared memory or piggybacked on socket frames.
+    fn await_and_collect(&self, kind: CollectiveKind, seq: u64) -> (Vec<RxPayload>, f64) {
         let size = self.size();
         let slot_id = SlotId {
-            comm: self.inner.id,
+            comm: self.link.id(),
             seq,
         };
         let diag = &self.registry.diag;
-        let my_world = self.world_rank();
-        let mut slots = self.lock_slots(kind, seq);
-        // Wait for the full group, waking every WAIT_TICK to observe the
-        // run-wide abort flag (set when a peer panics or the watchdog
-        // declares deadlock) so one failure stops the whole run quickly.
-        let mut waited = Duration::ZERO;
-        loop {
-            let ready = slots.get(&seq).map(|s| s.arrived == size).unwrap_or(false);
-            if ready {
-                break;
-            }
-            if let Some(why) = diag.abort_message() {
-                drop(slots);
-                panic!("rank {my_world} aborting {kind} at {slot_id}: {why}");
-            }
-            let (guard, result) = match self.inner.cv.wait_timeout(slots, WAIT_TICK) {
-                Ok(pair) => pair,
-                Err(_) => self.peer_failure(kind, seq),
-            };
-            slots = guard;
-            if result.timed_out() {
-                waited += WAIT_TICK;
-                if waited >= self.registry.timeout {
-                    // A spurious-looking timeout can race the final
-                    // arrival; recheck under the lock before declaring
-                    // deadlock.
-                    if slots.get(&seq).map(|s| s.arrived == size).unwrap_or(false) {
-                        break;
-                    }
-                    let arrived = slots.get(&seq).map(|s| s.arrived).unwrap_or(0);
-                    drop(slots);
-                    let report = deadlock_report(&diag.snapshot(), &diag.histories());
-                    panic!(
-                        "collective deadlock: comm {} seq {seq}: only {arrived}/{size} ranks \
-                         arrived within {:?} — ranks are calling collectives in different \
-                         orders\n{report}",
-                        self.inner.id, self.registry.timeout
-                    );
-                }
-            }
-        }
-        let (out, fps, tmax, done) = {
-            let Some(slot) = slots.get_mut(&seq) else {
-                unreachable!(
-                    "comm {} seq {seq}: slot vanished before consumption",
-                    self.inner.id
-                )
-            };
-            let mut out = Vec::with_capacity(size);
-            let mut fps = Vec::with_capacity(size);
-            let mut tmax = f64::NEG_INFINITY;
-            for (idx, d) in slot.deposits.iter().enumerate() {
-                let Some((t, dep_fp, p)) = d.as_ref() else {
-                    unreachable!(
-                        "comm {} seq {seq}: member {idx} deposit missing",
-                        self.inner.id
-                    )
-                };
-                tmax = tmax.max(*t);
-                if let Some(f) = dep_fp {
-                    fps.push((self.members[idx], f.clone()));
-                }
-                out.push(p.clone());
-            }
-            slot.consumed += 1;
-            (out, fps, tmax, slot.consumed == size)
+        let deposits = match self.link.collect(
+            kind,
+            seq,
+            self.my_idx,
+            &self.members,
+            &|| diag.abort_message(),
+            self.registry.timeout,
+        ) {
+            Ok(d) => d,
+            Err(e) => self.link_failure(kind, seq, e),
         };
-        if done {
-            slots.remove(&seq);
+        debug_assert_eq!(
+            deposits.len(),
+            size,
+            "collect returned a partial rendezvous"
+        );
+        let mut out = Vec::with_capacity(size);
+        let mut fps = Vec::with_capacity(size);
+        let mut tmax = f64::NEG_INFINITY;
+        for (idx, d) in deposits.into_iter().enumerate() {
+            tmax = tmax.max(d.entry);
+            if let Some(f) = d.fp {
+                fps.push((self.members[idx], f));
+            }
+            out.push(d.payload);
         }
-        drop(slots);
-        // Verify outside the lock: a mismatch panic must not poison the
-        // rendezvous table out from under the other participants.
         if fps.len() == size {
             if let Err(mismatch) = fingerprint::verify(&fps) {
                 panic!(
@@ -503,9 +453,8 @@ impl Communicator {
         (out, tmax)
     }
 
-    fn downcast<T: Any + Send + Sync>(p: Payload) -> Arc<T> {
-        p.downcast::<T>()
-            .unwrap_or_else(|_| panic!("collective payload type mismatch across ranks"))
+    fn downcast<T: Any + Send + Sync + Wire>(p: RxPayload) -> Arc<T> {
+        p.extract()
     }
 
     /// Settle a blocking collective: align the clock to the group max
@@ -534,7 +483,7 @@ impl Communicator {
     /// Barrier across the group.
     pub fn barrier(&self) {
         let fp = self.fingerprint(CollectiveKind::Barrier, None, None, "()", Shape::Words(0));
-        let (_, tmax) = self.exchange_raw(CollectiveKind::Barrier, fp, Arc::new(()));
+        let (_, tmax) = self.exchange_raw(CollectiveKind::Barrier, fp, TxPayload::unit());
         let cost = self.model().barrier_time(self.size());
         self.settle(tmax, Cat::Misc, cost, 0);
     }
@@ -543,7 +492,7 @@ impl Communicator {
     /// everyone receives the root's payload.
     ///
     /// Charged `α + β·w` (pipelined) or `α·lg p + β·w` per the model.
-    pub fn bcast<T: Any + Send + Sync + CommWords>(
+    pub fn bcast<T: Any + Send + Sync + CommWords + Wire>(
         &self,
         root_idx: usize,
         data: Option<T>,
@@ -557,7 +506,7 @@ impl Communicator {
     /// block a trainer keeps resident (its own `H` slice) rides into the
     /// rendezvous without being copied. Fingerprinting and charging are
     /// identical to `bcast`.
-    pub fn bcast_shared<T: Any + Send + Sync + CommWords>(
+    pub fn bcast_shared<T: Any + Send + Sync + CommWords + Wire>(
         &self,
         root_idx: usize,
         data: Option<Arc<T>>,
@@ -582,9 +531,9 @@ impl Communicator {
             std::any::type_name::<T>(),
             shape,
         );
-        let payload: Payload = match data {
-            Some(d) => d,
-            None => Arc::new(()),
+        let payload = match data {
+            Some(d) => TxPayload::of(d),
+            None => TxPayload::unit(),
         };
         let (items, tmax) = self.exchange_raw(CollectiveKind::Bcast, fp, payload);
         let out = Self::downcast::<T>(items[root_idx].clone());
@@ -653,7 +602,11 @@ impl Communicator {
             needed: needed.to_vec(),
             data,
         };
-        let (items, tmax) = self.exchange_raw(CollectiveKind::GatherRows, fp, Arc::new(deposit));
+        let (items, tmax) = self.exchange_raw(
+            CollectiveKind::GatherRows,
+            fp,
+            TxPayload::of(Arc::new(deposit)),
+        );
         let (out, cost, words) = self.gather_rows_finish(root_idx, needed, expect, items);
         self.settle(tmax, cat, cost, words);
         out
@@ -680,7 +633,7 @@ impl Communicator {
         root_idx: usize,
         needed: &[usize],
         expect: Option<(usize, usize)>,
-        items: Vec<Payload>,
+        items: Vec<RxPayload>,
     ) -> (GatheredRows, f64, u64) {
         let deposits: Vec<Arc<GatherRowsDeposit>> = items
             .into_iter()
@@ -747,7 +700,7 @@ impl Communicator {
     /// determinism are unchanged) and the payload plus α–β charge arrive
     /// at [`PendingOp::wait`]. Fingerprinted as `ibcast`, so every rank
     /// must agree on blocking vs. nonblocking at each call site.
-    pub fn ibcast<T: Any + Send + Sync + CommWords>(
+    pub fn ibcast<T: Any + Send + Sync + CommWords + Wire>(
         &self,
         root_idx: usize,
         data: Option<T>,
@@ -760,7 +713,7 @@ impl Communicator {
     /// [`PendingOp::wait`]. Identical results, words, and messages to the
     /// blocking form; the cost lands on the network lane, so compute
     /// charged between issue and wait hides it (see DESIGN.md §10).
-    pub fn ibcast_shared<T: Any + Send + Sync + CommWords>(
+    pub fn ibcast_shared<T: Any + Send + Sync + CommWords + Wire>(
         &self,
         root_idx: usize,
         data: Option<Arc<T>>,
@@ -789,9 +742,9 @@ impl Communicator {
             std::any::type_name::<T>(),
             shape,
         );
-        let payload: Payload = match data {
-            Some(d) => d,
-            None => Arc::new(()),
+        let payload = match data {
+            Some(d) => TxPayload::of(d),
+            None => TxPayload::unit(),
         };
         let seq = self.issue_raw(CollectiveKind::IBcast, fp, payload);
         PendingOp::in_flight(
@@ -858,7 +811,11 @@ impl Communicator {
             needed: needed.to_vec(),
             data,
         };
-        let seq = self.issue_raw(CollectiveKind::IGatherRows, fp, Arc::new(deposit));
+        let seq = self.issue_raw(
+            CollectiveKind::IGatherRows,
+            fp,
+            TxPayload::of(Arc::new(deposit)),
+        );
         let needed = needed.to_vec();
         PendingOp::in_flight(
             self,
@@ -882,7 +839,11 @@ impl Communicator {
             std::any::type_name::<Mat>(),
             Shape::Dims(m.rows(), m.cols()),
         );
-        let seq = self.issue_raw(CollectiveKind::IAllreduceMat, fp, Arc::new(m.clone()));
+        let seq = self.issue_raw(
+            CollectiveKind::IAllreduceMat,
+            fp,
+            TxPayload::of(Arc::new(m.clone())),
+        );
         PendingOp::in_flight(
             self,
             CollectiveKind::IAllreduceMat,
@@ -911,7 +872,11 @@ impl Communicator {
 
     /// All-gather: every member contributes `data`; returns all
     /// contributions in member order.
-    pub fn allgather<T: Any + Send + Sync + CommWords>(&self, data: T, cat: Cat) -> Vec<Arc<T>> {
+    pub fn allgather<T: Any + Send + Sync + CommWords + Wire>(
+        &self,
+        data: T,
+        cat: Cat,
+    ) -> Vec<Arc<T>> {
         self.allgather_shared(Arc::new(data), cat)
     }
 
@@ -921,7 +886,7 @@ impl Communicator {
     /// (its activation slice, its output row block) rides into the
     /// rendezvous without being copied. Fingerprinting and charging are
     /// identical to `allgather`.
-    pub fn allgather_shared<T: Any + Send + Sync + CommWords>(
+    pub fn allgather_shared<T: Any + Send + Sync + CommWords + Wire>(
         &self,
         data: Arc<T>,
         cat: Cat,
@@ -934,7 +899,7 @@ impl Communicator {
             std::any::type_name::<T>(),
             Shape::Unknown,
         );
-        let (items, tmax) = self.exchange_raw(CollectiveKind::Allgather, fp, data);
+        let (items, tmax) = self.exchange_raw(CollectiveKind::Allgather, fp, TxPayload::of(data));
         let out: Vec<Arc<T>> = items.into_iter().map(Self::downcast::<T>).collect();
         let p = self.size();
         let total: u64 = out.iter().map(|x| x.comm_words()).sum();
@@ -958,8 +923,11 @@ impl Communicator {
             std::any::type_name::<Mat>(),
             Shape::Dims(m.rows(), m.cols()),
         );
-        let (items, tmax) =
-            self.exchange_raw(CollectiveKind::AllreduceMat, fp, Arc::new(m.clone()));
+        let (items, tmax) = self.exchange_raw(
+            CollectiveKind::AllreduceMat,
+            fp,
+            TxPayload::of(Arc::new(m.clone())),
+        );
         let mut acc: Option<Mat> = None;
         for p in items {
             let part = Self::downcast::<Mat>(p);
@@ -992,7 +960,11 @@ impl Communicator {
             "f64",
             Shape::Words(1),
         );
-        let (items, tmax) = self.exchange_raw(CollectiveKind::AllreduceScalar, fp, Arc::new(x));
+        let (items, tmax) = self.exchange_raw(
+            CollectiveKind::AllreduceScalar,
+            fp,
+            TxPayload::of(Arc::new(x)),
+        );
         let sum: f64 = items.into_iter().map(|p| *Self::downcast::<f64>(p)).sum();
         let cost = self.model().allreduce_time(self.size(), 1);
         self.settle(tmax, cat, cost, if self.size() > 1 { 2 } else { 0 });
@@ -1015,8 +987,11 @@ impl Communicator {
             std::any::type_name::<Mat>(),
             Shape::Dims(m.rows(), m.cols()),
         );
-        let (items, tmax) =
-            self.exchange_raw(CollectiveKind::ReduceScatterRows, fp, Arc::new(m.clone()));
+        let (items, tmax) = self.exchange_raw(
+            CollectiveKind::ReduceScatterRows,
+            fp,
+            TxPayload::of(Arc::new(m.clone())),
+        );
         let mats: Vec<Arc<Mat>> = items.into_iter().map(Self::downcast::<Mat>).collect();
         let (r0, r1) = block_range(m.rows(), p, self.my_idx);
         let mut out = Mat::zeros(r1 - r0, m.cols());
@@ -1043,7 +1018,7 @@ impl Communicator {
     /// All-to-all personalized exchange: `parts[j]` is sent to member `j`;
     /// returns what each member sent to me, in member order. `parts` must
     /// have exactly `size` entries.
-    pub fn alltoall<T: Any + Send + Sync + CommWords + Clone>(
+    pub fn alltoall<T: Any + Send + Sync + CommWords + Clone + Wire>(
         &self,
         parts: Vec<T>,
         cat: Cat,
@@ -1060,7 +1035,8 @@ impl Communicator {
             std::any::type_name::<T>(),
             Shape::Count(parts.len()),
         );
-        let (items, tmax) = self.exchange_raw(CollectiveKind::Alltoall, fp, Arc::new(parts));
+        let (items, tmax) =
+            self.exchange_raw(CollectiveKind::Alltoall, fp, TxPayload::of(Arc::new(parts)));
         let all: Vec<Arc<Vec<T>>> = items.into_iter().map(Self::downcast::<Vec<T>>).collect();
         let out: Vec<T> = all.iter().map(|v| v[self.my_idx].clone()).collect();
         let p = self.size();
@@ -1082,7 +1058,7 @@ impl Communicator {
     /// Gather: every member contributes; only `root_idx` receives the
     /// full vector (others get `None`). Charged like an all-gather's
     /// bandwidth at the root, `α + β·w` at leaves.
-    pub fn gather<T: Any + Send + Sync + CommWords>(
+    pub fn gather<T: Any + Send + Sync + CommWords + Wire>(
         &self,
         root_idx: usize,
         data: T,
@@ -1096,7 +1072,8 @@ impl Communicator {
             std::any::type_name::<T>(),
             Shape::Unknown,
         );
-        let (items, tmax) = self.exchange_raw(CollectiveKind::Gather, fp, Arc::new(data));
+        let (items, tmax) =
+            self.exchange_raw(CollectiveKind::Gather, fp, TxPayload::of(Arc::new(data)));
         let out: Vec<Arc<T>> = items.into_iter().map(Self::downcast::<T>).collect();
         let p = self.size();
         let total: u64 = out.iter().map(|x| x.comm_words()).sum();
@@ -1114,7 +1091,7 @@ impl Communicator {
 
     /// Scatter: `root_idx` supplies one part per member (`Some(parts)` of
     /// length `size`); every member receives its part.
-    pub fn scatter<T: Any + Send + Sync + CommWords + Clone>(
+    pub fn scatter<T: Any + Send + Sync + CommWords + Clone + Wire>(
         &self,
         root_idx: usize,
         parts: Option<Vec<T>>,
@@ -1140,9 +1117,9 @@ impl Communicator {
             std::any::type_name::<T>(),
             shape,
         );
-        let payload: Payload = match parts {
-            Some(p) => Arc::new(p),
-            None => Arc::new(()),
+        let payload = match parts {
+            Some(p) => TxPayload::of(Arc::new(p)),
+            None => TxPayload::unit(),
         };
         let (items, tmax) = self.exchange_raw(CollectiveKind::Scatter, fp, payload);
         let all = Self::downcast::<Vec<T>>(items[root_idx].clone());
@@ -1174,7 +1151,7 @@ impl Communicator {
     ///
     /// This is the bulk-synchronous send/recv used e.g. for pairwise
     /// block swaps in a distributed transpose (§IV-A.7).
-    pub fn sendrecv<T: Any + Send + Sync + CommWords>(
+    pub fn sendrecv<T: Any + Send + Sync + CommWords + Wire>(
         &self,
         partner_idx: Option<usize>,
         outgoing: Option<T>,
@@ -1195,9 +1172,9 @@ impl Communicator {
             std::any::type_name::<T>(),
             Shape::Unknown,
         );
-        let payload: Payload = match outgoing {
-            Some(d) => Arc::new(d),
-            None => Arc::new(()),
+        let payload = match outgoing {
+            Some(d) => TxPayload::of(Arc::new(d)),
+            None => TxPayload::unit(),
         };
         let (items, tmax) = self.exchange_raw(CollectiveKind::Sendrecv, fp, payload);
         match partner_idx {
@@ -1221,7 +1198,8 @@ impl Communicator {
         let seq_for_key = self.seq.get(); // same at every member pre-exchange
                                           // Colors are legitimately rank-dependent: wildcard shape.
         let fp = self.fingerprint(CollectiveKind::Split, None, None, "u64", Shape::Unknown);
-        let (items, _tmax) = self.exchange_raw(CollectiveKind::Split, fp, Arc::new(color));
+        let (items, _tmax) =
+            self.exchange_raw(CollectiveKind::Split, fp, TxPayload::of(Arc::new(color)));
         let colors: Vec<u64> = items
             .into_iter()
             .map(|p| *Self::downcast::<u64>(p))
@@ -1233,12 +1211,9 @@ impl Communicator {
         let Some(my_pos) = group.iter().position(|&w| w == self.members[self.my_idx]) else {
             unreachable!("split: own color missing from own group")
         };
-        let inner = self
-            .registry
-            .get_or_create((self.inner.id, seq_for_key, color), group.len());
-        assert_eq!(inner.size, group.len(), "split group size disagreement");
+        let link = self.link.derive(seq_for_key, color, group.len());
         Communicator {
-            inner,
+            link,
             registry: self.registry.clone(),
             members: Arc::new(group),
             my_idx: my_pos,
@@ -1250,7 +1225,7 @@ impl Communicator {
 
 /// Maps the full set of rendezvous deposits to this rank's result plus
 /// the op's α–β cost and recordable words.
-type Finisher<'c, T> = Box<dyn FnOnce(&Communicator, Vec<Payload>) -> (T, f64, u64) + 'c>;
+type Finisher<'c, T> = Box<dyn FnOnce(&Communicator, Vec<RxPayload>) -> (T, f64, u64) + 'c>;
 
 enum PendingState<'c, T> {
     /// Single-rank fast path: the result was available at issue and the
@@ -1349,7 +1324,7 @@ impl<T> Drop for PendingOp<'_, T> {
              nonblocking collective must be completed on all control-flow paths",
             self.comm.world_rank(),
             self.kind,
-            self.comm.inner.id
+            self.comm.link.id()
         );
     }
 }

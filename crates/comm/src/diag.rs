@@ -85,6 +85,18 @@ impl Diagnostics {
         WaitGuard { diag: self, rank }
     }
 
+    /// Mark `rank` blocked on `wait` with no guard: used by the socket
+    /// hub to mirror a remote worker's WAIT frame into the launcher's
+    /// diagnostics (the matching transition back to running happens when
+    /// the hub serves the collect or the rank reports a result).
+    pub fn set_blocked(&self, rank: usize, wait: WaitSlot) {
+        let mut s = lock(&self.states);
+        if let Some(snap) = s.get_mut(rank) {
+            snap.phase = RankPhase::Blocked;
+            snap.wait = Some(wait);
+        }
+    }
+
     /// Clone the current rank states.
     pub fn snapshot(&self) -> Vec<RankSnapshot> {
         lock(&self.states).clone()

@@ -1,0 +1,1075 @@
+//! The wire codec of the socket transport: a length-prefixed binary
+//! frame protocol plus the [`Wire`] serialization trait for every
+//! payload type that can ride through a collective.
+//!
+//! **All raw socket I/O in `cagnet-comm` lives in this module** — the
+//! rest of the transport layer (`proc.rs`, `transport.rs`) speaks only
+//! in [`Frame`]s through [`read_frame`] / [`write_frame`]. The repo's
+//! `xtask lint` pass enforces this boundary (`raw-socket-io` rule), so
+//! partial reads, header parsing, and allocation-size validation are
+//! audited in exactly one place.
+//!
+//! ## Frame format
+//!
+//! ```text
+//! +--------+---------+------+----------+------------------+
+//! | magic  | version | kind | body_len | body (body_len B)|
+//! | 4 B    | 1 B     | 1 B  | 4 B LE   |                  |
+//! +--------+---------+------+----------+------------------+
+//! ```
+//!
+//! The header is validated **before** the body is allocated: bad magic,
+//! unknown version/kind, or a length above [`MAX_FRAME`] is rejected
+//! without reserving a byte — a truncated or corrupt header can never
+//! drive an attacker-controlled allocation (mirroring the hardened
+//! checkpoint loader).
+//!
+//! A `Deposit` body carries `{comm id, seq, collective kind, rank,
+//! members, entry clock, dtype, optional CheckMode fingerprint,
+//! payload}` — the fingerprint piggybacks on the frame exactly as it
+//! piggybacks on in-memory rendezvous deposits, so checked mode works
+//! unchanged over the wire.
+//!
+//! ## Determinism
+//!
+//! `f64` values cross the wire as `to_bits` (IEEE-754 bit patterns), so
+//! entry clocks, matrix entries, and losses survive the round trip
+//! bit-exactly — the foundation of the cross-backend bit-identity
+//! guarantee.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::io::{Read, Write};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use cagnet_check::fingerprint::{CollectiveKind, Fingerprint, Shape};
+use cagnet_dense::Mat;
+use cagnet_sparse::Csr;
+
+use crate::cost::Cat;
+use crate::trace::TraceEvent;
+
+/// Frame header magic bytes (`CGNT`).
+pub const MAGIC: [u8; 4] = *b"CGNT";
+/// Wire protocol version.
+pub const VERSION: u8 = 1;
+/// Maximum accepted frame body length (1 GiB). Validated before any
+/// allocation happens.
+pub const MAX_FRAME: u32 = 1 << 30;
+/// Fixed header length in bytes: magic + version + kind + body length.
+pub const HEADER_LEN: usize = 10;
+
+/// A decoding or I/O failure at the frame layer.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying socket/pipe error (includes EOF mid-frame).
+    Io(std::io::Error),
+    /// Header magic bytes did not match [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unknown protocol version.
+    BadVersion(u8),
+    /// Unknown frame kind byte.
+    BadKind(u8),
+    /// Declared body length exceeds [`MAX_FRAME`].
+    Oversize(u32),
+    /// Body failed structural validation while decoding.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported frame version {v}"),
+            FrameError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::Oversize(n) => {
+                write!(
+                    f,
+                    "frame body of {n} bytes exceeds the {MAX_FRAME}-byte cap"
+                )
+            }
+            FrameError::Malformed(what) => write!(f, "malformed frame body: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// The role of a frame in the rendezvous protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → hub: identify `{rank, world size, run index}` right
+    /// after connecting.
+    Hello,
+    /// Client → hub: one rank's deposit into a collective rendezvous.
+    Deposit,
+    /// Client → hub: block until the rendezvous for `{comm, seq}` is
+    /// full; the hub answers with exactly one `Collect` or `Error`.
+    Wait,
+    /// Hub → client: the full deposit set of a completed rendezvous.
+    Collect,
+    /// Client → hub: the rank's final `(result, timeline report)`.
+    Result,
+    /// Hub → client: the rendezvous cannot complete (peer death, abort,
+    /// deadlock); the message names the failing rank where known.
+    Error,
+    /// Client → hub: the rank panicked; carries `{during, message}` so
+    /// the launcher's first-panic record matches the thread backend.
+    Panic,
+}
+
+impl FrameKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            FrameKind::Hello => 1,
+            FrameKind::Deposit => 2,
+            FrameKind::Wait => 3,
+            FrameKind::Collect => 4,
+            FrameKind::Result => 5,
+            FrameKind::Error => 6,
+            FrameKind::Panic => 7,
+        }
+    }
+
+    fn from_u8(b: u8) -> Option<Self> {
+        Some(match b {
+            1 => FrameKind::Hello,
+            2 => FrameKind::Deposit,
+            3 => FrameKind::Wait,
+            4 => FrameKind::Collect,
+            5 => FrameKind::Result,
+            6 => FrameKind::Error,
+            7 => FrameKind::Panic,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded frame: a kind tag plus its raw body bytes.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// What the frame means in the protocol.
+    pub kind: FrameKind,
+    /// The undecoded body; interpret with [`decode`] per kind.
+    pub body: Vec<u8>,
+}
+
+/// Write one frame (header + body) and flush.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, body: &[u8]) -> Result<(), FrameError> {
+    let len = u32::try_from(body.len()).map_err(|_| FrameError::Oversize(u32::MAX))?;
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversize(len));
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(&MAGIC);
+    header[4] = VERSION;
+    header[5] = kind.to_u8();
+    header[6..10].copy_from_slice(&len.to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame. The header is fully validated — magic, version,
+/// kind, and the body-length cap — **before** the body buffer is
+/// allocated, so corrupt input cannot trigger an oversized allocation.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let magic: [u8; 4] = [header[0], header[1], header[2], header[3]];
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    if header[4] != VERSION {
+        return Err(FrameError::BadVersion(header[4]));
+    }
+    let Some(kind) = FrameKind::from_u8(header[5]) else {
+        return Err(FrameError::BadKind(header[5]));
+    };
+    let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]);
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversize(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(Frame { kind, body })
+}
+
+/// Encode a [`Wire`] value into a fresh byte vector.
+pub fn encode<T: Wire>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.put(&mut out);
+    out
+}
+
+/// Decode a [`Wire`] value from `bytes`, requiring full consumption.
+pub fn decode<T: Wire>(bytes: &[u8]) -> Result<T, FrameError> {
+    let mut r = Reader::new(bytes);
+    let v = T::take(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(FrameError::Malformed("trailing bytes after value"));
+    }
+    Ok(v)
+}
+
+/// Bounds-checked cursor over a frame body.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.remaining() < n {
+            return Err(FrameError::Malformed("body truncated"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        let b = self.bytes(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn f64(&mut self) -> Result<f64, FrameError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+/// Wire serialization for collective payloads and protocol bodies.
+///
+/// Invariant relied on by the `Vec<T>` codec's pre-allocation guard:
+/// **every encoding occupies at least one byte** (even `()` writes a
+/// marker byte), so a declared element count can never exceed the
+/// remaining body length.
+pub trait Wire: Sized {
+    /// Append this value's encoding to `out`.
+    fn put(&self, out: &mut Vec<u8>);
+    /// Decode one value from the reader.
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError>;
+}
+
+impl Wire for () {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.push(0);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        match r.u8()? {
+            0 => Ok(()),
+            _ => Err(FrameError::Malformed("unit marker")),
+        }
+    }
+}
+
+impl Wire for bool {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(FrameError::Malformed("bool out of range")),
+        }
+    }
+}
+
+impl Wire for u8 {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        r.u8()
+    }
+}
+
+impl Wire for u64 {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        r.u64()
+    }
+}
+
+impl Wire for usize {
+    fn put(&self, out: &mut Vec<u8>) {
+        (*self as u64).put(out);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        usize::try_from(r.u64()?).map_err(|_| FrameError::Malformed("usize overflow"))
+    }
+}
+
+impl Wire for f64 {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        r.f64()
+    }
+}
+
+impl Wire for String {
+    fn put(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).put(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        let n = usize::take(r)?;
+        if n > r.remaining() {
+            return Err(FrameError::Malformed("string length exceeds body"));
+        }
+        let bytes = r.bytes(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| FrameError::Malformed("string not UTF-8"))
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.put(out);
+            }
+        }
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::take(r)?)),
+            _ => Err(FrameError::Malformed("option tag out of range")),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).put(out);
+        for v in self {
+            v.put(out);
+        }
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        let n = usize::take(r)?;
+        // Every Wire encoding is ≥ 1 byte, so a valid count can never
+        // exceed the bytes left — reject before reserving capacity.
+        if n > r.remaining() {
+            return Err(FrameError::Malformed("element count exceeds body"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::take(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Arc<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.as_ref().put(out);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        Ok(Arc::new(T::take(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.0.put(out);
+        self.1.put(out);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        Ok((A::take(r)?, B::take(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.0.put(out);
+        self.1.put(out);
+        self.2.put(out);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        Ok((A::take(r)?, B::take(r)?, C::take(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.0.put(out);
+        self.1.put(out);
+        self.2.put(out);
+        self.3.put(out);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        Ok((A::take(r)?, B::take(r)?, C::take(r)?, D::take(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire, D: Wire, E: Wire> Wire for (A, B, C, D, E) {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.0.put(out);
+        self.1.put(out);
+        self.2.put(out);
+        self.3.put(out);
+        self.4.put(out);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        Ok((
+            A::take(r)?,
+            B::take(r)?,
+            C::take(r)?,
+            D::take(r)?,
+            E::take(r)?,
+        ))
+    }
+}
+
+impl Wire for Mat {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.rows().put(out);
+        self.cols().put(out);
+        for &x in self.as_slice() {
+            x.put(out);
+        }
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        let rows = usize::take(r)?;
+        let cols = usize::take(r)?;
+        let n = rows
+            .checked_mul(cols)
+            .ok_or(FrameError::Malformed("matrix dims overflow"))?;
+        let bytes = n
+            .checked_mul(8)
+            .ok_or(FrameError::Malformed("matrix dims overflow"))?;
+        if bytes > r.remaining() {
+            return Err(FrameError::Malformed("matrix data exceeds body"));
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(r.f64()?);
+        }
+        Ok(Mat::from_vec(rows, cols, data))
+    }
+}
+
+impl Wire for Csr {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.rows().put(out);
+        self.cols().put(out);
+        self.row_ptr().to_vec().put(out);
+        self.col_idx().to_vec().put(out);
+        self.vals().to_vec().put(out);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        let rows = usize::take(r)?;
+        let cols = usize::take(r)?;
+        let row_ptr = Vec::<usize>::take(r)?;
+        let col_idx = Vec::<usize>::take(r)?;
+        let vals = Vec::<f64>::take(r)?;
+        if row_ptr.len() != rows + 1
+            || col_idx.len() != vals.len()
+            || row_ptr.last().copied() != Some(col_idx.len())
+        {
+            return Err(FrameError::Malformed("inconsistent CSR arrays"));
+        }
+        // Deep structural validation (monotonicity, column bounds) is
+        // `from_raw`'s own contract; its panic aborts the run exactly
+        // like any other poisoned-payload panic.
+        Ok(Csr::from_raw(rows, cols, row_ptr, col_idx, vals))
+    }
+}
+
+impl Wire for CollectiveKind {
+    fn put(&self, out: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            CollectiveKind::Barrier => 0,
+            CollectiveKind::Bcast => 1,
+            CollectiveKind::Allgather => 2,
+            CollectiveKind::AllreduceMat => 3,
+            CollectiveKind::AllreduceScalar => 4,
+            CollectiveKind::ReduceScatterRows => 5,
+            CollectiveKind::Alltoall => 6,
+            CollectiveKind::Gather => 7,
+            CollectiveKind::Scatter => 8,
+            CollectiveKind::Sendrecv => 9,
+            CollectiveKind::GatherRows => 10,
+            CollectiveKind::Split => 11,
+            CollectiveKind::IBcast => 12,
+            CollectiveKind::IGatherRows => 13,
+            CollectiveKind::IAllreduceMat => 14,
+        };
+        out.push(tag);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        Ok(match r.u8()? {
+            0 => CollectiveKind::Barrier,
+            1 => CollectiveKind::Bcast,
+            2 => CollectiveKind::Allgather,
+            3 => CollectiveKind::AllreduceMat,
+            4 => CollectiveKind::AllreduceScalar,
+            5 => CollectiveKind::ReduceScatterRows,
+            6 => CollectiveKind::Alltoall,
+            7 => CollectiveKind::Gather,
+            8 => CollectiveKind::Scatter,
+            9 => CollectiveKind::Sendrecv,
+            10 => CollectiveKind::GatherRows,
+            11 => CollectiveKind::Split,
+            12 => CollectiveKind::IBcast,
+            13 => CollectiveKind::IGatherRows,
+            14 => CollectiveKind::IAllreduceMat,
+            _ => return Err(FrameError::Malformed("collective kind out of range")),
+        })
+    }
+}
+
+impl Wire for Shape {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            Shape::Unknown => out.push(0),
+            Shape::Words(w) => {
+                out.push(1);
+                w.put(out);
+            }
+            Shape::Dims(r, c) => {
+                out.push(2);
+                r.put(out);
+                c.put(out);
+            }
+            Shape::Count(n) => {
+                out.push(3);
+                n.put(out);
+            }
+        }
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        Ok(match r.u8()? {
+            0 => Shape::Unknown,
+            1 => Shape::Words(u64::take(r)?),
+            2 => Shape::Dims(usize::take(r)?, usize::take(r)?),
+            3 => Shape::Count(usize::take(r)?),
+            _ => return Err(FrameError::Malformed("shape tag out of range")),
+        })
+    }
+}
+
+impl Wire for Fingerprint {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.kind.put(out);
+        self.root.put(out);
+        self.partner.put(out);
+        self.dtype.to_string().put(out);
+        self.shape.put(out);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        Ok(Fingerprint {
+            kind: CollectiveKind::take(r)?,
+            root: <Option<usize> as Wire>::take(r)?,
+            partner: <Option<usize> as Wire>::take(r)?,
+            dtype: intern(String::take(r)?),
+            shape: Shape::take(r)?,
+        })
+    }
+}
+
+impl Wire for Cat {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.push(self.index() as u8);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        let idx = r.u8()? as usize;
+        crate::cost::ALL_CATS
+            .get(idx)
+            .copied()
+            .ok_or(FrameError::Malformed("category out of range"))
+    }
+}
+
+impl Wire for TraceEvent {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.cat.put(out);
+        // Names are &'static str; almost all are the category label or
+        // one of the two fixed wait/overlap markers, so a tag byte
+        // avoids shipping strings for the common cases.
+        if self.name == self.cat.label() {
+            out.push(0);
+        } else if self.name == "wait" {
+            out.push(1);
+        } else if self.name == "ovlp" {
+            out.push(2);
+        } else {
+            out.push(3);
+            self.name.to_string().put(out);
+        }
+        self.start.put(out);
+        self.end.put(out);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        let cat = Cat::take(r)?;
+        let name: &'static str = match r.u8()? {
+            0 => cat.label(),
+            1 => "wait",
+            2 => "ovlp",
+            3 => intern(String::take(r)?),
+            _ => return Err(FrameError::Malformed("trace name tag out of range")),
+        };
+        Ok(TraceEvent {
+            name,
+            cat,
+            start: f64::take(r)?,
+            end: f64::take(r)?,
+        })
+    }
+}
+
+/// Intern a decoded string as `&'static str`. The set of distinct
+/// strings crossing the wire (dtype names, trace labels) is small and
+/// fixed by the program text, so the leaked total is bounded.
+fn intern(s: String) -> &'static str {
+    static SET: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let set = SET.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut guard = set.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(&existing) = guard.get(s.as_str()) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.into_boxed_str());
+    guard.insert(leaked);
+    leaked
+}
+
+// ---------------------------------------------------------------------
+// Protocol message bodies.
+// ---------------------------------------------------------------------
+
+/// `Hello` body: who is connecting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HelloMsg {
+    /// World rank of the connecting client.
+    pub rank: usize,
+    /// Expected world size (cross-checked by the hub).
+    pub world: usize,
+    /// Index of the cluster run this connection serves.
+    pub run: u64,
+}
+
+impl Wire for HelloMsg {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.rank.put(out);
+        self.world.put(out);
+        self.run.put(out);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        Ok(HelloMsg {
+            rank: usize::take(r)?,
+            world: usize::take(r)?,
+            run: u64::take(r)?,
+        })
+    }
+}
+
+/// `Deposit` body: one rank's contribution to a rendezvous — the wire
+/// twin of the in-memory deposit tuple, with the CheckMode fingerprint
+/// piggybacked when verification is on.
+#[derive(Clone, Debug)]
+pub struct DepositMsg {
+    /// Communicator id.
+    pub comm: u64,
+    /// Per-communicator collective sequence number.
+    pub seq: u64,
+    /// Which collective the rank claims to be entering.
+    pub kind: CollectiveKind,
+    /// Depositor's index within the communicator.
+    pub my_idx: usize,
+    /// World ranks of all communicator members, ascending.
+    pub members: Vec<usize>,
+    /// Depositor's modeled entry clock (bit-exact via `to_bits`).
+    pub entry: f64,
+    /// `std::any::type_name` of the payload type.
+    pub dtype: String,
+    /// CheckMode fingerprint (present exactly when checking is on).
+    pub fp: Option<Fingerprint>,
+    /// [`Wire`]-encoded payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Wire for DepositMsg {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.comm.put(out);
+        self.seq.put(out);
+        self.kind.put(out);
+        self.my_idx.put(out);
+        self.members.put(out);
+        self.entry.put(out);
+        self.dtype.put(out);
+        self.fp.put(out);
+        self.payload.put(out);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        Ok(DepositMsg {
+            comm: u64::take(r)?,
+            seq: u64::take(r)?,
+            kind: CollectiveKind::take(r)?,
+            my_idx: usize::take(r)?,
+            members: Vec::<usize>::take(r)?,
+            entry: f64::take(r)?,
+            dtype: String::take(r)?,
+            fp: <Option<Fingerprint> as Wire>::take(r)?,
+            payload: Vec::<u8>::take(r)?,
+        })
+    }
+}
+
+/// `Wait` body: block for the rendezvous `{comm, seq}`.
+#[derive(Clone, Debug)]
+pub struct WaitMsg {
+    /// Communicator id.
+    pub comm: u64,
+    /// Collective sequence number being awaited.
+    pub seq: u64,
+    /// Collective kind (for the hub's wait-for-graph mirror).
+    pub kind: CollectiveKind,
+    /// Waiter's index within the communicator.
+    pub my_idx: usize,
+    /// World ranks of all communicator members, ascending.
+    pub members: Vec<usize>,
+}
+
+impl Wire for WaitMsg {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.comm.put(out);
+        self.seq.put(out);
+        self.kind.put(out);
+        self.my_idx.put(out);
+        self.members.put(out);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        Ok(WaitMsg {
+            comm: u64::take(r)?,
+            seq: u64::take(r)?,
+            kind: CollectiveKind::take(r)?,
+            my_idx: usize::take(r)?,
+            members: Vec::<usize>::take(r)?,
+        })
+    }
+}
+
+/// `Collect` body: the completed rendezvous — every member's `(entry
+/// clock, fingerprint, payload bytes)` in member order.
+#[derive(Clone, Debug)]
+pub struct CollectMsg {
+    /// Communicator id (echoed for cross-checking).
+    pub comm: u64,
+    /// Collective sequence number (echoed for cross-checking).
+    pub seq: u64,
+    /// Per-member deposits in member order.
+    pub deposits: Vec<(f64, Option<Fingerprint>, Vec<u8>)>,
+}
+
+impl Wire for CollectMsg {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.comm.put(out);
+        self.seq.put(out);
+        self.deposits.put(out);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        Ok(CollectMsg {
+            comm: u64::take(r)?,
+            seq: u64::take(r)?,
+            deposits: Vec::take(r)?,
+        })
+    }
+}
+
+/// `Error` body: why a wait cannot be satisfied.
+#[derive(Clone, Debug)]
+pub struct ErrorMsg {
+    /// Human-readable failure, naming the responsible rank when known.
+    pub message: String,
+}
+
+impl Wire for ErrorMsg {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.message.put(out);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        Ok(ErrorMsg {
+            message: String::take(r)?,
+        })
+    }
+}
+
+/// `Panic` body: a worker rank's panic, mirrored into the launcher's
+/// first-panic record.
+#[derive(Clone, Debug)]
+pub struct PanicMsg {
+    /// The collective (or phase) the rank was in when it panicked.
+    pub during: String,
+    /// The original panic message.
+    pub message: String,
+}
+
+impl Wire for PanicMsg {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.during.put(out);
+        self.message.put(out);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        Ok(PanicMsg {
+            during: String::take(r)?,
+            message: String::take(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = encode(&v);
+        assert!(!bytes.is_empty(), "every encoding must occupy >= 1 byte");
+        let back: T = decode(&bytes).expect("roundtrip decode");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        roundtrip(());
+        roundtrip(true);
+        roundtrip(42u8);
+        roundtrip(u64::MAX);
+        roundtrip(12345usize);
+        roundtrip(-1.5e-300f64);
+        roundtrip(String::from("héllo"));
+        roundtrip(Some(7u64));
+        roundtrip(Option::<u64>::None);
+        roundtrip(vec![1.0f64, -2.0, f64::MIN_POSITIVE]);
+        roundtrip((1u64, 2.0f64, String::from("x")));
+    }
+
+    #[test]
+    fn f64_is_bit_exact() {
+        for v in [0.0, -0.0, f64::INFINITY, f64::MIN_POSITIVE, 1.0 / 3.0] {
+            let bytes = encode(&v);
+            let back: f64 = decode(&bytes).expect("decode");
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn mat_roundtrips() {
+        let m = Mat::from_fn(3, 4, |i, j| (i * 10 + j) as f64 / 7.0);
+        let bytes = encode(&m);
+        let back: Mat = decode(&bytes).expect("decode");
+        assert_eq!(back.shape(), m.shape());
+        assert_eq!(back.as_slice(), m.as_slice());
+    }
+
+    #[test]
+    fn csr_roundtrips() {
+        let c = Csr::from_raw(3, 3, vec![0, 2, 2, 3], vec![0, 2, 1], vec![1.0, 2.5, -3.0]);
+        let bytes = encode(&c);
+        let back: Csr = decode(&bytes).expect("decode");
+        assert_eq!(back.rows(), 3);
+        assert_eq!(back.nnz(), 3);
+        assert_eq!(back.vals(), c.vals());
+        assert_eq!(back.col_idx(), c.col_idx());
+    }
+
+    #[test]
+    fn fingerprint_roundtrips() {
+        let fp = Fingerprint {
+            kind: CollectiveKind::GatherRows,
+            root: Some(3),
+            partner: None,
+            dtype: "cagnet_dense::matrix::Mat",
+            shape: Shape::Dims(8, 16),
+        };
+        let bytes = encode(&fp);
+        let back: Fingerprint = decode(&bytes).expect("decode");
+        assert_eq!(back, fp);
+    }
+
+    #[test]
+    fn trace_event_roundtrips() {
+        for ev in [
+            TraceEvent {
+                name: "spmm",
+                cat: Cat::Spmm,
+                start: 0.25,
+                end: 0.5,
+            },
+            TraceEvent {
+                name: "wait",
+                cat: Cat::Idle,
+                start: 1.0,
+                end: 2.0,
+            },
+            TraceEvent {
+                name: "ovlp",
+                cat: Cat::Overlapped,
+                start: 0.0,
+                end: 0.125,
+            },
+        ] {
+            let bytes = encode(&ev);
+            let back: TraceEvent = decode(&bytes).expect("decode");
+            assert_eq!(back, ev);
+        }
+    }
+
+    #[test]
+    fn frame_roundtrips_through_a_stream() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, FrameKind::Deposit, b"hello").expect("write");
+        write_frame(&mut buf, FrameKind::Wait, b"").expect("write");
+        let mut cursor = &buf[..];
+        let f1 = read_frame(&mut cursor).expect("read 1");
+        assert_eq!(f1.kind, FrameKind::Deposit);
+        assert_eq!(f1.body, b"hello");
+        let f2 = read_frame(&mut cursor).expect("read 2");
+        assert_eq!(f2.kind, FrameKind::Wait);
+        assert!(f2.body.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Hello, b"x").expect("write");
+        buf[0] = b'X';
+        let err = read_frame(&mut &buf[..]).expect_err("must reject");
+        assert!(matches!(err, FrameError::BadMagic(_)), "{err}");
+    }
+
+    #[test]
+    fn bad_version_and_kind_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Hello, b"x").expect("write");
+        let mut v = buf.clone();
+        v[4] = 99;
+        assert!(matches!(
+            read_frame(&mut &v[..]).expect_err("version"),
+            FrameError::BadVersion(99)
+        ));
+        let mut k = buf;
+        k[5] = 200;
+        assert!(matches!(
+            read_frame(&mut &k[..]).expect_err("kind"),
+            FrameError::BadKind(200)
+        ));
+    }
+
+    #[test]
+    fn oversize_header_rejected_before_allocation() {
+        // A header declaring a body near u32::MAX must be rejected from
+        // the 10 header bytes alone — no body allocation, no read.
+        let mut header = [0u8; HEADER_LEN];
+        header[..4].copy_from_slice(&MAGIC);
+        header[4] = VERSION;
+        header[5] = 2; // Deposit
+        header[6..10].copy_from_slice(&(u32::MAX).to_le_bytes());
+        let err = read_frame(&mut &header[..]).expect_err("must reject");
+        assert!(matches!(err, FrameError::Oversize(_)), "{err}");
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Hello, b"abc").expect("write");
+        let cut = &buf[..HEADER_LEN - 3];
+        let err = read_frame(&mut &cut[..]).expect_err("must reject");
+        assert!(matches!(err, FrameError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Hello, b"abcdef").expect("write");
+        let cut = &buf[..buf.len() - 2];
+        let err = read_frame(&mut &cut[..]).expect_err("must reject");
+        assert!(matches!(err, FrameError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn hostile_vec_length_rejected_before_allocation() {
+        // A Vec<f64> body claiming u64::MAX elements in a 16-byte body
+        // must fail the remaining-bytes guard, not attempt a reserve.
+        let mut body = Vec::new();
+        u64::MAX.put(&mut body);
+        body.extend_from_slice(&[0u8; 8]);
+        let err = decode::<Vec<f64>>(&body).expect_err("must reject");
+        assert!(matches!(err, FrameError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn hostile_mat_dims_rejected() {
+        let mut body = Vec::new();
+        usize::MAX.put(&mut body);
+        2usize.put(&mut body);
+        let err = decode::<Mat>(&body).expect_err("must reject");
+        assert!(matches!(err, FrameError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn deposit_msg_roundtrips() {
+        let msg = DepositMsg {
+            comm: 1,
+            seq: 7,
+            kind: CollectiveKind::Bcast,
+            my_idx: 2,
+            members: vec![0, 1, 2, 3],
+            entry: 0.125,
+            dtype: "f64".into(),
+            fp: Some(Fingerprint {
+                kind: CollectiveKind::Bcast,
+                root: Some(0),
+                partner: None,
+                dtype: "f64",
+                shape: Shape::Words(1),
+            }),
+            payload: vec![1, 2, 3],
+        };
+        let back: DepositMsg = decode(&encode(&msg)).expect("decode");
+        assert_eq!(back.comm, 1);
+        assert_eq!(back.seq, 7);
+        assert_eq!(back.members, msg.members);
+        assert_eq!(back.entry, 0.125);
+        assert_eq!(back.fp, msg.fp);
+        assert_eq!(back.payload, msg.payload);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode(&42u64);
+        bytes.push(0);
+        assert!(decode::<u64>(&bytes).is_err());
+    }
+}

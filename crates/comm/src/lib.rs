@@ -19,13 +19,21 @@ pub mod cluster;
 pub mod comm;
 pub mod cost;
 mod diag;
+pub mod frame;
 pub mod grid;
+#[cfg(unix)]
+mod proc;
 pub mod timeline;
 pub mod trace;
+pub mod transport;
 
 pub use cagnet_check::CheckMode;
 pub use cluster::{Cluster, Ctx};
 pub use comm::{Communicator, GatheredRows, PendingOp};
 pub use cost::{Cat, CommWords, CostModel};
+pub use frame::Wire;
 pub use grid::{Grid2D, Grid3D};
+#[cfg(unix)]
+pub use proc::connect_with_retry;
 pub use timeline::{Timeline, TimelineReport};
+pub use transport::TransportKind;

@@ -1,0 +1,1129 @@
+//! The multi-process socket transport: real worker processes behind
+//! [`CommLink`].
+//!
+//! Topology is hub-and-spoke. The launcher (the process that called
+//! [`Cluster::run_wire`](crate::cluster::Cluster::run_wire)) binds a
+//! Unix domain socket, spawns `size - 1` worker processes by
+//! re-executing the current binary, and runs a **hub** that owns every
+//! rendezvous: clients send `DEPOSIT` and `WAIT` frames, the hub
+//! answers each `WAIT` with exactly one `COLLECT` (the full
+//! member-ordered deposit set) or `ERROR`. Rank 0 itself participates
+//! as an ordinary client over the same socket, so the protocol is
+//! exercised uniformly.
+//!
+//! Everything above [`CommLink`] is shared with the thread backend:
+//! entry clocks travel as exact `f64` bit patterns, CheckMode
+//! fingerprints piggyback on `DEPOSIT` frames, and the deadlock
+//! watchdog runs unmodified in the launcher because the hub mirrors
+//! every remote deposit/wait/result/panic into the launcher's
+//! [`Diagnostics`](crate::diag) tables.
+//!
+//! Workers are re-executions of the current binary (test runner or
+//! bench binary) with `CAGNET_WORKER_*` environment variables. A worker
+//! replays every socket-dispatched run before its target index through
+//! the deterministic thread backend, so it reaches the target run with
+//! identical program state; at the target it connects, runs its rank
+//! closure, ships `(result, timeline report)` back as a `RESULT` frame,
+//! and exits without returning to the caller.
+//!
+//! All wire I/O in this module goes through [`frame::read_frame`] /
+//! [`frame::write_frame`] — the `raw-socket-io` lint rule keeps raw
+//! socket reads/writes confined to `frame.rs`.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::net::Shutdown;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use cagnet_check::fingerprint::Fingerprint;
+use cagnet_check::waitgraph::{HistoryEntry, RankPhase, SlotId, WaitSlot};
+use cagnet_parallel::ParallelCtx;
+
+use crate::cluster::{panic_message, watchdog, Cluster, Ctx};
+use crate::comm::{Communicator, Registry};
+use crate::diag::FirstPanic;
+use crate::frame::{
+    self, CollectMsg, DepositMsg, ErrorMsg, Frame, FrameKind, HelloMsg, PanicMsg, WaitMsg, Wire,
+};
+use crate::timeline::{Meter, Timeline, TimelineReport};
+use crate::transport::{
+    CollectError, CommLink, Payload, RxDeposit, RxPayload, TxDeposit, WAIT_TICK,
+};
+use cagnet_check::fingerprint::CollectiveKind;
+
+/// How long clients retry connecting to the hub socket (covers worker
+/// process startup and run replay).
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// The world communicator's id on the socket backend — matches the
+/// first id the shared backend's registry hands out, so slot labels in
+/// diagnostics read identically across transports.
+const WORLD_COMM_ID: u64 = 1;
+
+// ---------------------------------------------------------------------
+// Run indexing and worker identity.
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static SOCKET_RUN_IDX: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Next socket-dispatched run index for this thread. Thread-local, not
+/// global: `cargo test` executes many tests concurrently in one
+/// process, and each test's sequence of socket runs must be counted
+/// independently for worker replay to find the right run.
+pub(crate) fn next_socket_run_idx() -> u64 {
+    SOCKET_RUN_IDX.with(|c| {
+        let v = c.get();
+        c.set(v + 1);
+        v
+    })
+}
+
+/// A worker process's identity, decoded from the `CAGNET_WORKER_*`
+/// environment variables set by [`spawn_workers`].
+pub(crate) struct WorkerEnv {
+    /// This worker's world rank (`1..size`).
+    pub rank: usize,
+    /// Expected world size.
+    pub world: usize,
+    /// Path of the launcher's hub socket.
+    pub socket: PathBuf,
+    /// Index of the socket run this worker was forked for.
+    pub run: u64,
+}
+
+/// Decode the worker identity, or `None` when this process is a
+/// launcher (the variables are unset).
+pub(crate) fn worker_env() -> Option<WorkerEnv> {
+    let rank = std::env::var("CAGNET_WORKER_RANK").ok()?.parse().ok()?;
+    let world = std::env::var("CAGNET_WORKER_WORLD").ok()?.parse().ok()?;
+    let socket = PathBuf::from(std::env::var("CAGNET_WORKER_SOCKET").ok()?);
+    let run = std::env::var("CAGNET_WORKER_RUN").ok()?.parse().ok()?;
+    Some(WorkerEnv {
+        rank,
+        world,
+        socket,
+        run,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Client side: one socket connection per rank.
+// ---------------------------------------------------------------------
+
+/// Connect to `path`, retrying until `timeout` — the listener may not
+/// be bound yet when a freshly spawned worker first tries.
+pub fn connect_with_retry(path: &Path, timeout: Duration) -> Result<UnixStream, String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match UnixStream::connect(path) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(format!(
+                        "could not connect to {} within {timeout:?}: {e}",
+                        path.display()
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// What the reader thread hands the collecting rank.
+enum Event {
+    Frame(Frame),
+    Closed(String),
+}
+
+/// One rank's connection to the hub: a writer half guarded by a mutex
+/// plus a dedicated reader thread feeding a channel. The reader thread
+/// exists so blocked collects can poll the abort flag every wait tick
+/// without read timeouts ever landing mid-frame on the socket.
+struct SocketClient {
+    rank: usize,
+    writer: Mutex<UnixStream>,
+    rx: Mutex<Receiver<Event>>,
+    /// This rank's own deposits, keyed by `(comm, seq)`: handed back as
+    /// the same `Arc` at collect time so a rank's view of its own
+    /// payload is zero-copy, exactly like the shared backend.
+    pending: Mutex<HashMap<(u64, u64), Payload>>,
+}
+
+impl SocketClient {
+    fn connect(
+        path: &Path,
+        rank: usize,
+        world: usize,
+        run: u64,
+        timeout: Duration,
+    ) -> Result<Arc<Self>, String> {
+        let stream = connect_with_retry(path, timeout)?;
+        let mut writer = stream
+            .try_clone()
+            .map_err(|e| format!("rank {rank}: could not clone socket: {e}"))?;
+        frame::write_frame(
+            &mut writer,
+            FrameKind::Hello,
+            &frame::encode(&HelloMsg { rank, world, run }),
+        )
+        .map_err(|e| format!("rank {rank}: hello failed: {e}"))?;
+        let (tx, rx) = mpsc::channel();
+        let mut reader = stream;
+        std::thread::spawn(move || loop {
+            match frame::read_frame(&mut reader) {
+                Ok(f) => {
+                    if tx.send(Event::Frame(f)).is_err() {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    let _ = tx.send(Event::Closed(format!("{e}")));
+                    return;
+                }
+            }
+        });
+        Ok(Arc::new(SocketClient {
+            rank,
+            writer: Mutex::new(writer),
+            rx: Mutex::new(rx),
+            pending: Mutex::new(HashMap::new()),
+        }))
+    }
+
+    fn send(&self, kind: FrameKind, body: &[u8]) -> Result<(), String> {
+        let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        frame::write_frame(&mut *w, kind, body)
+            .map_err(|e| format!("rank {}: sending {kind:?} frame failed: {e}", self.rank))
+    }
+
+    /// Shut the connection down so the hub's per-connection thread (and
+    /// our reader thread) unblock; used by rank 0, whose result never
+    /// travels through the hub.
+    fn close(&self) {
+        let w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = w.shutdown(Shutdown::Both);
+    }
+}
+
+/// [`CommLink`] over a [`SocketClient`]. Splitting a communicator
+/// derives a new id deterministically from `(parent id, key seq,
+/// color)` — every member computes the same id with no extra round
+/// trip, and the hub just sees a fresh `(comm, seq)` keyspace.
+struct SocketLink {
+    id: u64,
+    client: Arc<SocketClient>,
+}
+
+impl SocketLink {
+    fn world(client: Arc<SocketClient>) -> Arc<dyn CommLink> {
+        Arc::new(SocketLink {
+            id: WORLD_COMM_ID,
+            client,
+        })
+    }
+}
+
+/// FNV-1a over the three split coordinates, with the top bit forced so
+/// derived ids can never collide with the small world id.
+fn derived_id(parent: u64, key_seq: u64, color: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in [parent, key_seq, color] {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h | (1 << 63)
+}
+
+impl CommLink for SocketLink {
+    fn id(&self) -> u64 {
+        self.id
+    }
+
+    fn deposit(
+        &self,
+        kind: CollectiveKind,
+        seq: u64,
+        my_idx: usize,
+        members: &[usize],
+        dep: TxDeposit,
+    ) -> Result<(), CollectError> {
+        let msg = DepositMsg {
+            comm: self.id,
+            seq,
+            kind,
+            my_idx,
+            members: members.to_vec(),
+            entry: dep.entry,
+            dtype: dep.payload.dtype.to_string(),
+            fp: dep.fp,
+            payload: dep.payload.encode_wire(),
+        };
+        self.client
+            .pending
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert((self.id, seq), dep.payload.local.clone());
+        self.client
+            .send(FrameKind::Deposit, &frame::encode(&msg))
+            .map_err(CollectError::Transport)
+    }
+
+    fn collect(
+        &self,
+        kind: CollectiveKind,
+        seq: u64,
+        my_idx: usize,
+        members: &[usize],
+        abort: &dyn Fn() -> Option<String>,
+        timeout: Duration,
+    ) -> Result<Vec<RxDeposit>, CollectError> {
+        let msg = WaitMsg {
+            comm: self.id,
+            seq,
+            kind,
+            my_idx,
+            members: members.to_vec(),
+        };
+        self.client
+            .send(FrameKind::Wait, &frame::encode(&msg))
+            .map_err(CollectError::Transport)?;
+        let rx = self
+            .client
+            .rx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut waited = Duration::ZERO;
+        loop {
+            match rx.recv_timeout(WAIT_TICK) {
+                Ok(Event::Frame(fr)) => {
+                    return match fr.kind {
+                        FrameKind::Collect => self.accept_collect(fr, seq, my_idx, members.len()),
+                        FrameKind::Error => match frame::decode::<ErrorMsg>(&fr.body) {
+                            Ok(e) => Err(CollectError::Transport(e.message)),
+                            Err(e) => Err(CollectError::Transport(format!("bad error frame: {e}"))),
+                        },
+                        other => Err(CollectError::Transport(format!(
+                            "protocol error: unexpected {other:?} frame while awaiting a collect"
+                        ))),
+                    };
+                }
+                Ok(Event::Closed(why)) => {
+                    return Err(CollectError::Transport(format!(
+                        "connection to the launcher hub lost: {why}"
+                    )));
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(why) = abort() {
+                        return Err(CollectError::Abort(why));
+                    }
+                    waited += WAIT_TICK;
+                    if waited >= timeout {
+                        // The hub holds the arrival counts; a socket
+                        // client only knows its own wait expired.
+                        return Err(CollectError::Timeout { arrived: 0 });
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CollectError::Transport(
+                        "connection to the launcher hub lost".to_string(),
+                    ));
+                }
+            }
+        }
+    }
+
+    fn derive(&self, key_seq: u64, color: u64, _size: usize) -> Arc<dyn CommLink> {
+        Arc::new(SocketLink {
+            id: derived_id(self.id, key_seq, color),
+            client: self.client.clone(),
+        })
+    }
+}
+
+impl SocketLink {
+    /// Turn a `COLLECT` frame into member-ordered deposits, substituting
+    /// this rank's own stored `Arc` at its member index.
+    fn accept_collect(
+        &self,
+        fr: Frame,
+        seq: u64,
+        my_idx: usize,
+        size: usize,
+    ) -> Result<Vec<RxDeposit>, CollectError> {
+        let msg = frame::decode::<CollectMsg>(&fr.body)
+            .map_err(|e| CollectError::Transport(format!("bad collect frame: {e}")))?;
+        if msg.comm != self.id || msg.seq != seq {
+            return Err(CollectError::Transport(format!(
+                "protocol error: collect for comm {} seq {} while awaiting comm {} seq {seq}",
+                msg.comm, msg.seq, self.id
+            )));
+        }
+        if msg.deposits.len() != size {
+            return Err(CollectError::Transport(format!(
+                "protocol error: collect carried {} deposits for a {size}-member rendezvous",
+                msg.deposits.len()
+            )));
+        }
+        let own = self
+            .client
+            .pending
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&(self.id, seq));
+        Ok(msg
+            .deposits
+            .into_iter()
+            .enumerate()
+            .map(|(idx, (entry, fp, bytes))| {
+                let payload = match (&own, idx == my_idx) {
+                    (Some(local), true) => RxPayload::Local(local.clone()),
+                    _ => RxPayload::Remote(Arc::new(bytes)),
+                };
+                RxDeposit { entry, fp, payload }
+            })
+            .collect())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hub: the launcher-side rendezvous broker.
+// ---------------------------------------------------------------------
+
+/// A remote rank's contribution as the hub stores it: issue-time
+/// clock, optional CheckMode fingerprint, encoded payload bytes.
+type HubDeposit = (f64, Option<Fingerprint>, Vec<u8>);
+
+/// One in-flight rendezvous on the hub.
+struct HubSlot {
+    members: Vec<usize>,
+    deposits: Vec<Option<HubDeposit>>,
+    /// World ranks whose `WAIT` arrived before the slot completed.
+    waiters: Vec<usize>,
+    /// How many `COLLECT`s have been served; the slot is dropped when
+    /// every member has been answered.
+    served: usize,
+}
+
+struct HubState {
+    conns: Vec<Option<UnixStream>>,
+    slots: HashMap<(u64, u64), HubSlot>,
+    /// Encoded `(result, report)` per worker rank; index 0 is unused
+    /// (rank 0's result never travels through the hub).
+    results: Vec<Option<Vec<u8>>>,
+    /// Death reason per rank, for fail-fast answers to later waits.
+    dead: Vec<Option<String>>,
+}
+
+/// The rendezvous broker. Mirrors every remote rank's protocol traffic
+/// into the launcher's diagnostics so the watchdog and failure reports
+/// work identically to the thread backend; rank 0's own thread
+/// maintains its diagnostics directly, so its frames are not mirrored.
+struct Hub {
+    registry: Arc<Registry>,
+    size: usize,
+    state: Mutex<HubState>,
+}
+
+impl Hub {
+    fn new(registry: Arc<Registry>, size: usize) -> Self {
+        Hub {
+            registry,
+            size,
+            state: Mutex::new(HubState {
+                conns: (0..size).map(|_| None).collect(),
+                slots: HashMap::new(),
+                results: vec![None; size],
+                dead: vec![None; size],
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HubState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn send_locked(&self, state: &mut HubState, rank: usize, kind: FrameKind, body: &[u8]) {
+        if let Some(conn) = state.conns.get_mut(rank).and_then(|c| c.as_mut()) {
+            // A send failure means the peer died; the connection reader
+            // will notice and take the run down with a named error.
+            let _ = frame::write_frame(conn, kind, body);
+        }
+    }
+
+    fn register_conn(&self, rank: usize, writer: UnixStream) {
+        let mut state = self.lock();
+        if let Some(slot) = state.conns.get_mut(rank) {
+            *slot = Some(writer);
+        }
+    }
+
+    fn on_frame(&self, rank: usize, fr: Frame) {
+        match fr.kind {
+            FrameKind::Deposit => match frame::decode::<DepositMsg>(&fr.body) {
+                Ok(m) => self.on_deposit(rank, m),
+                Err(e) => self.protocol_error(rank, format!("bad deposit frame: {e}")),
+            },
+            FrameKind::Wait => match frame::decode::<WaitMsg>(&fr.body) {
+                Ok(m) => self.on_wait(rank, m),
+                Err(e) => self.protocol_error(rank, format!("bad wait frame: {e}")),
+            },
+            FrameKind::Result => self.on_result(rank, fr.body),
+            FrameKind::Panic => match frame::decode::<PanicMsg>(&fr.body) {
+                Ok(m) => self.on_panic(rank, m),
+                Err(e) => self.protocol_error(rank, format!("bad panic frame: {e}")),
+            },
+            other => self.protocol_error(rank, format!("unexpected {other:?} frame from a client")),
+        }
+    }
+
+    fn protocol_error(&self, rank: usize, why: String) {
+        let body = frame::encode(&ErrorMsg { message: why });
+        let mut state = self.lock();
+        self.send_locked(&mut state, rank, FrameKind::Error, &body);
+    }
+
+    fn on_deposit(&self, rank: usize, msg: DepositMsg) {
+        if rank != 0 {
+            self.registry.diag.record_history(
+                rank,
+                HistoryEntry {
+                    slot: SlotId {
+                        comm: msg.comm,
+                        seq: msg.seq,
+                    },
+                    kind: msg.kind,
+                    clock: msg.entry,
+                },
+            );
+        }
+        let key = (msg.comm, msg.seq);
+        let mut state = self.lock();
+        let slot = state.slots.entry(key).or_insert_with(|| HubSlot {
+            members: msg.members.clone(),
+            deposits: vec![None; msg.members.len()],
+            waiters: Vec::new(),
+            served: 0,
+        });
+        if msg.my_idx >= slot.deposits.len() || slot.deposits[msg.my_idx].is_some() {
+            drop(state);
+            self.protocol_error(
+                rank,
+                format!(
+                    "rank deposited twice at comm {} seq {} — collective misuse",
+                    msg.comm, msg.seq
+                ),
+            );
+            return;
+        }
+        slot.deposits[msg.my_idx] = Some((msg.entry, msg.fp, msg.payload));
+        let mut to_serve = Vec::new();
+        let mut body = Vec::new();
+        if slot.deposits.iter().all(|d| d.is_some()) {
+            to_serve = std::mem::take(&mut slot.waiters);
+            slot.served += to_serve.len();
+            let done = slot.served == slot.members.len();
+            body = frame::encode(&CollectMsg {
+                comm: key.0,
+                seq: key.1,
+                deposits: slot.deposits.iter().flatten().cloned().collect(),
+            });
+            if done {
+                state.slots.remove(&key);
+            }
+        }
+        for &w in &to_serve {
+            self.send_locked(&mut state, w, FrameKind::Collect, &body);
+        }
+        drop(state);
+        for w in to_serve {
+            if w != 0 {
+                self.registry.diag.set_phase(w, RankPhase::Running);
+            }
+        }
+    }
+
+    fn on_wait(&self, rank: usize, msg: WaitMsg) {
+        if rank != 0 {
+            self.registry.diag.set_blocked(
+                rank,
+                WaitSlot {
+                    slot: SlotId {
+                        comm: msg.comm,
+                        seq: msg.seq,
+                    },
+                    kind: msg.kind,
+                    members: msg.members.clone(),
+                },
+            );
+        }
+        let key = (msg.comm, msg.seq);
+        let mut state = self.lock();
+        if let Some(why) = self.wait_error(&state, &msg.members) {
+            let body = frame::encode(&ErrorMsg { message: why });
+            self.send_locked(&mut state, rank, FrameKind::Error, &body);
+            return;
+        }
+        let Some(slot) = state.slots.get_mut(&key) else {
+            // The waiter deposits before waiting, so its slot must still
+            // exist; a missing slot means the protocol was violated.
+            let body = frame::encode(&ErrorMsg {
+                message: format!(
+                    "protocol error: wait for unknown rendezvous comm {} seq {}",
+                    msg.comm, msg.seq
+                ),
+            });
+            self.send_locked(&mut state, rank, FrameKind::Error, &body);
+            return;
+        };
+        if slot.deposits.iter().all(|d| d.is_some()) {
+            slot.served += 1;
+            let done = slot.served == slot.members.len();
+            let body = frame::encode(&CollectMsg {
+                comm: key.0,
+                seq: key.1,
+                deposits: slot.deposits.iter().flatten().cloned().collect(),
+            });
+            if done {
+                state.slots.remove(&key);
+            }
+            self.send_locked(&mut state, rank, FrameKind::Collect, &body);
+            drop(state);
+            if rank != 0 {
+                self.registry.diag.set_phase(rank, RankPhase::Running);
+            }
+        } else {
+            slot.waiters.push(rank);
+        }
+    }
+
+    fn wait_error(&self, state: &HubState, members: &[usize]) -> Option<String> {
+        if let Some(why) = self.registry.diag.abort_message() {
+            return Some(why);
+        }
+        for &m in members {
+            if let Some(reason) = state.dead.get(m).and_then(|d| d.as_ref()) {
+                return Some(format!("rank {m} worker process died ({reason})"));
+            }
+        }
+        None
+    }
+
+    fn on_result(&self, rank: usize, body: Vec<u8>) {
+        {
+            let mut state = self.lock();
+            if let Some(slot) = state.results.get_mut(rank) {
+                *slot = Some(body);
+            }
+        }
+        if rank != 0 {
+            self.registry.diag.set_phase(rank, RankPhase::Done);
+        }
+    }
+
+    fn on_panic(&self, rank: usize, msg: PanicMsg) {
+        let diag = &self.registry.diag;
+        diag.record_first_panic(FirstPanic {
+            rank,
+            during: msg.during.clone(),
+            message: msg.message,
+        });
+        diag.set_phase(rank, RankPhase::Panicked);
+        let why = format!("rank {rank} panicked during {}", msg.during);
+        diag.set_abort(why.clone());
+        self.flush_waiters(&why);
+    }
+
+    /// A client connection closed (or its process exited) without a
+    /// result: record the death, raise the abort flag, and answer every
+    /// parked waiter with a named error so no peer hangs until timeout.
+    /// Rank 0 lives in the launcher process, so its connection closing
+    /// is never a death. Idempotent.
+    fn rank_closed(&self, rank: usize, reason: String) {
+        if rank == 0 {
+            return;
+        }
+        {
+            let mut state = self.lock();
+            let finished = state.results.get(rank).is_some_and(|r| r.is_some());
+            let already = state.dead.get(rank).is_some_and(|d| d.is_some());
+            if finished || already {
+                return;
+            }
+            if let Some(slot) = state.dead.get_mut(rank) {
+                *slot = Some(reason.clone());
+            }
+        }
+        let diag = &self.registry.diag;
+        let during = diag.last_collective_label(rank);
+        diag.record_first_panic(FirstPanic {
+            rank,
+            during,
+            message: format!("worker process died ({reason})"),
+        });
+        diag.set_phase(rank, RankPhase::Panicked);
+        let why = format!("rank {rank} worker process died ({reason})");
+        diag.set_abort(why.clone());
+        self.flush_waiters(&why);
+    }
+
+    /// Answer every parked waiter with `why`. Called on panic, death,
+    /// and whenever the abort flag is observed by the monitor thread
+    /// (covering rank-0 panics and watchdog-declared deadlocks).
+    fn flush_waiters(&self, why: &str) {
+        let body = frame::encode(&ErrorMsg {
+            message: why.to_string(),
+        });
+        let mut state = self.lock();
+        let keys: Vec<(u64, u64)> = state.slots.keys().copied().collect();
+        for key in keys {
+            let waiters = match state.slots.get_mut(&key) {
+                Some(slot) => std::mem::take(&mut slot.waiters),
+                None => Vec::new(),
+            };
+            for w in waiters {
+                self.send_locked(&mut state, w, FrameKind::Error, &body);
+            }
+        }
+    }
+
+    fn all_worker_results(&self) -> bool {
+        let state = self.lock();
+        state.results.iter().skip(1).all(|r| r.is_some())
+    }
+
+    fn take_results(&self) -> Vec<Option<Vec<u8>>> {
+        std::mem::take(&mut self.lock().results)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection handling.
+// ---------------------------------------------------------------------
+
+fn accept_loop(listener: UnixListener, hub: Arc<Hub>) {
+    for _ in 0..hub.size {
+        let Ok((stream, _)) = listener.accept() else {
+            return;
+        };
+        let hub = hub.clone();
+        std::thread::spawn(move || handle_conn(stream, hub));
+    }
+}
+
+fn handle_conn(mut stream: UnixStream, hub: Arc<Hub>) {
+    let hello: HelloMsg = match frame::read_frame(&mut stream) {
+        Ok(fr) if fr.kind == FrameKind::Hello => match frame::decode(&fr.body) {
+            Ok(h) => h,
+            Err(_) => return,
+        },
+        _ => return,
+    };
+    let rank = hello.rank;
+    if rank >= hub.size || hello.world != hub.size {
+        return;
+    }
+    let Ok(writer) = stream.try_clone() else {
+        return;
+    };
+    hub.register_conn(rank, writer);
+    loop {
+        match frame::read_frame(&mut stream) {
+            Ok(fr) => hub.on_frame(rank, fr),
+            Err(e) => {
+                hub.rank_closed(rank, format!("connection lost: {e}"));
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker processes.
+// ---------------------------------------------------------------------
+
+static SOCKET_SALT: AtomicU64 = AtomicU64::new(0);
+
+fn socket_path() -> PathBuf {
+    let n = SOCKET_SALT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("cagnet-{}-{n}.sock", std::process::id()))
+}
+
+/// Removes the hub's socket file when the launcher exits, even by
+/// panic.
+struct SocketGuard(PathBuf);
+
+impl Drop for SocketGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Spawn `size - 1` worker processes by re-executing the current binary
+/// with the original arguments. Under `cargo test` (detected by the
+/// thread name libtest assigns), the re-execution is narrowed to
+/// exactly the current test on one thread, so the worker replays only
+/// the runs that matter. Worker output is discarded — their panics
+/// travel back over the socket as `PANIC` frames.
+fn spawn_workers(sock: &Path, size: usize, run_idx: u64) -> std::io::Result<Vec<(usize, Child)>> {
+    let exe = std::env::current_exe()?;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let test_filter = std::thread::current()
+        .name()
+        .filter(|n| !n.is_empty() && *n != "main")
+        .map(str::to_string);
+    let mut children = Vec::with_capacity(size - 1);
+    for rank in 1..size {
+        let mut cmd = Command::new(&exe);
+        cmd.args(&args);
+        if let Some(name) = &test_filter {
+            cmd.arg("--exact").arg(name).arg("--test-threads").arg("1");
+        }
+        cmd.env("CAGNET_WORKER_RANK", rank.to_string())
+            .env("CAGNET_WORKER_WORLD", size.to_string())
+            .env("CAGNET_WORKER_SOCKET", sock.as_os_str())
+            .env("CAGNET_WORKER_RUN", run_idx.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        children.push((rank, cmd.spawn()?));
+    }
+    Ok(children)
+}
+
+/// Kill (when the run failed) and reap every worker, with a bounded
+/// wait so a wedged child can never hang the launcher.
+fn reap_children(children: &Mutex<Vec<(usize, Child)>>, kill: bool) {
+    let mut kids = children.lock().unwrap_or_else(PoisonError::into_inner);
+    if kill {
+        for (_, child) in kids.iter_mut() {
+            let _ = child.kill();
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    for (_, child) in kids.iter_mut() {
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) | Err(_) => break,
+                Ok(None) => {
+                    if Instant::now() >= deadline {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+    }
+    kids.clear();
+}
+
+/// The monitor thread: pumps the abort flag out to parked waiters
+/// (covering rank-0 panics and watchdog verdicts, which never pass
+/// through the hub) and detects worker processes that exit without
+/// reporting.
+fn monitor_loop(
+    hub: &Hub,
+    children: &Mutex<Vec<(usize, Child)>>,
+    registry: &Registry,
+    stop: &AtomicBool,
+) {
+    // When a child exits its RESULT frame may still be in flight: the
+    // connection reader observes EOF only after draining every buffered
+    // frame, so it — not `try_wait` — is the authoritative death signal
+    // for ranks that connected. The exit observation here is a delayed
+    // backstop for workers that die before ever reaching the hub.
+    const EXIT_GRACE: Duration = Duration::from_secs(1);
+    let mut exited_at: HashMap<usize, (Instant, String)> = HashMap::new();
+    while !stop.load(Ordering::Relaxed) {
+        if let Some(why) = registry.diag.abort_message() {
+            hub.flush_waiters(&why);
+        }
+        {
+            let mut kids = children.lock().unwrap_or_else(PoisonError::into_inner);
+            for (rank, child) in kids.iter_mut() {
+                if let Ok(Some(status)) = child.try_wait() {
+                    exited_at
+                        .entry(*rank)
+                        .or_insert_with(|| (Instant::now(), format!("{status}")));
+                }
+            }
+        }
+        for (rank, (seen, status)) in &exited_at {
+            if seen.elapsed() >= EXIT_GRACE {
+                hub.rank_closed(*rank, format!("exited with {status} before reporting"));
+            }
+        }
+        std::thread::sleep(WAIT_TICK);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Launcher and worker entry points.
+// ---------------------------------------------------------------------
+
+/// Run a socket-transport cluster from the launcher side: bind the hub,
+/// spawn workers, run rank 0 in-process as an ordinary socket client,
+/// and assemble every rank's `(result, report)` — decoding the workers'
+/// from their `RESULT` frames — in rank order, exactly like
+/// `run_threads`.
+pub(crate) fn run_launcher<R, F>(cl: &Cluster, run_idx: u64, f: F) -> Vec<(R, TimelineReport)>
+where
+    R: Send + Wire,
+    F: Fn(&mut Ctx) -> R + Send + Sync,
+{
+    let size = cl.size;
+    let registry = Arc::new(Registry::new(cl.timeout).with_check(cl.check));
+    registry.diag.init(size);
+    let sock_path = socket_path();
+    let _ = std::fs::remove_file(&sock_path);
+    let _guard = SocketGuard(sock_path.clone());
+    let listener = match UnixListener::bind(&sock_path) {
+        Ok(l) => l,
+        Err(e) => panic!("socket transport: bind {} failed: {e}", sock_path.display()),
+    };
+    let hub = Arc::new(Hub::new(registry.clone(), size));
+    {
+        let hub = hub.clone();
+        std::thread::spawn(move || accept_loop(listener, hub));
+    }
+    let children = match spawn_workers(&sock_path, size, run_idx) {
+        Ok(c) => Arc::new(Mutex::new(c)),
+        Err(e) => panic!("socket transport: spawning workers failed: {e}"),
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    {
+        let hub = hub.clone();
+        let children = children.clone();
+        let registry = registry.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || monitor_loop(&hub, &children, &registry, &stop));
+    }
+
+    let model = cl.effective_model();
+    let parallel = ParallelCtx::new(cl.threads_per_rank);
+    let f = &f;
+    let registry_ref = &registry;
+    let sock_ref = &sock_path;
+    let rank0_res: Option<(R, TimelineReport)> = std::thread::scope(|scope| {
+        if cl.check.is_on() {
+            let registry = registry.clone();
+            scope.spawn(move || watchdog(&registry));
+        }
+        let handle = scope.spawn(move || {
+            let client = match SocketClient::connect(sock_ref, 0, size, run_idx, CONNECT_TIMEOUT) {
+                Ok(c) => c,
+                Err(e) => {
+                    registry_ref
+                        .diag
+                        .set_abort(format!("rank 0 could not reach its own hub: {e}"));
+                    return None;
+                }
+            };
+            let meter = Rc::new(RefCell::new(Meter {
+                model,
+                timeline: Timeline::new(),
+            }));
+            let world = Communicator::new_world(
+                registry_ref.clone(),
+                SocketLink::world(client.clone()),
+                size,
+                0,
+                meter.clone(),
+            );
+            let mut ctx = Ctx::for_rank(0, size, world, parallel, meter.clone());
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+            let out = match result {
+                Ok(out) => {
+                    registry_ref.diag.set_phase(0, RankPhase::Done);
+                    let report = meter.borrow().timeline.report();
+                    Some((out, report))
+                }
+                Err(payload) => {
+                    let during = registry_ref.diag.last_collective_label(0);
+                    let message = panic_message(payload.as_ref());
+                    registry_ref.diag.record_first_panic(FirstPanic {
+                        rank: 0,
+                        during: during.clone(),
+                        message,
+                    });
+                    registry_ref.diag.set_phase(0, RankPhase::Panicked);
+                    registry_ref
+                        .diag
+                        .set_abort(format!("rank 0 panicked during {during}"));
+                    None
+                }
+            };
+            // Unblock the hub's reader for rank 0 — the launcher keeps
+            // no long-lived client once rank 0 is finished.
+            client.close();
+            out
+        });
+        handle.join().ok().flatten()
+    });
+
+    // Wait for every worker's RESULT (bounded by the collective timeout
+    // plus reporting slack), unless the run already failed.
+    let failed = rank0_res.is_none();
+    let mut aborted = registry.diag.abort_message();
+    if !failed && aborted.is_none() {
+        let deadline = Instant::now() + cl.timeout + Duration::from_secs(10);
+        loop {
+            if hub.all_worker_results() {
+                break;
+            }
+            aborted = registry.diag.abort_message();
+            if aborted.is_some() {
+                break;
+            }
+            if Instant::now() >= deadline {
+                registry
+                    .diag
+                    .set_abort("timed out waiting for worker results".to_string());
+                aborted = registry.diag.abort_message();
+                break;
+            }
+            std::thread::sleep(WAIT_TICK);
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    reap_children(&children, failed || aborted.is_some());
+
+    if failed || aborted.is_some() {
+        let why = registry
+            .diag
+            .first_panic_render()
+            .or(aborted)
+            .unwrap_or_else(|| "socket transport run failed".to_string());
+        panic!("{why}");
+    }
+    let mut results = hub.take_results();
+    let mut out = Vec::with_capacity(size);
+    match rank0_res {
+        Some(r0) => out.push(r0),
+        None => panic!("socket transport run failed"),
+    }
+    for (rank, slot) in results.iter_mut().enumerate().skip(1) {
+        let Some(bytes) = slot.take() else {
+            panic!("rank {rank} produced no result despite a clean run");
+        };
+        match frame::decode::<(R, TimelineReport)>(&bytes) {
+            Ok(pair) => out.push(pair),
+            Err(e) => panic!("rank {rank}: result frame failed to decode: {e}"),
+        }
+    }
+    out
+}
+
+/// Run this process's rank closure as a socket worker and exit. Never
+/// returns: a worker exists only to serve one rank of one run, so on
+/// success it ships `(result, report)` back as a `RESULT` frame and
+/// exits 0, and on panic it ships a `PANIC` frame and exits nonzero.
+pub(crate) fn run_worker<R, F>(cl: &Cluster, env: &WorkerEnv, f: F) -> !
+where
+    R: Send + Wire,
+    F: Fn(&mut Ctx) -> R + Send + Sync,
+{
+    assert_eq!(
+        cl.size, env.world,
+        "socket worker run {}: cluster size {} != spawned world size {}",
+        env.run, cl.size, env.world
+    );
+    let registry = Arc::new(Registry::new(cl.timeout).with_check(cl.check));
+    registry.diag.init(cl.size);
+    let client =
+        match SocketClient::connect(&env.socket, env.rank, env.world, env.run, CONNECT_TIMEOUT) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cagnet socket worker rank {}: {e}", env.rank);
+                std::process::exit(3);
+            }
+        };
+    let meter = Rc::new(RefCell::new(Meter {
+        model: cl.effective_model(),
+        timeline: Timeline::new(),
+    }));
+    let world = Communicator::new_world(
+        registry.clone(),
+        SocketLink::world(client.clone()),
+        cl.size,
+        env.rank,
+        meter.clone(),
+    );
+    let mut ctx = Ctx::for_rank(
+        env.rank,
+        cl.size,
+        world,
+        ParallelCtx::new(cl.threads_per_rank),
+        meter.clone(),
+    );
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+    match result {
+        Ok(out) => {
+            let report = meter.borrow().timeline.report();
+            let body = frame::encode(&(out, report));
+            match client.send(FrameKind::Result, &body) {
+                Ok(()) => std::process::exit(0),
+                Err(e) => {
+                    eprintln!("cagnet socket worker rank {}: {e}", env.rank);
+                    std::process::exit(4);
+                }
+            }
+        }
+        Err(payload) => {
+            let msg = PanicMsg {
+                during: registry.diag.last_collective_label(env.rank),
+                message: panic_message(payload.as_ref()),
+            };
+            let _ = client.send(FrameKind::Panic, &frame::encode(&msg));
+            std::process::exit(101);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ids_are_stable_and_distinct() {
+        let a = derived_id(1, 7, 0);
+        assert_eq!(a, derived_id(1, 7, 0));
+        assert_ne!(a, derived_id(1, 7, 1));
+        assert_ne!(a, derived_id(1, 8, 0));
+        assert_ne!(a, WORLD_COMM_ID);
+        // The top bit keeps derived ids clear of small world ids.
+        assert!(a & (1 << 63) != 0);
+    }
+
+    #[test]
+    fn run_indices_count_per_thread() {
+        let first = next_socket_run_idx();
+        assert_eq!(next_socket_run_idx(), first + 1);
+        let other = std::thread::spawn(next_socket_run_idx)
+            .join()
+            .expect("counter thread");
+        assert_eq!(other, 0, "each thread counts its own socket runs");
+    }
+
+    #[test]
+    fn connect_with_retry_reports_timeout() {
+        let path = std::env::temp_dir().join("cagnet-no-such-hub.sock");
+        let err = connect_with_retry(&path, Duration::from_millis(50))
+            .expect_err("dead socket must not connect");
+        assert!(err.contains("could not connect"), "got: {err}");
+    }
+}

@@ -195,6 +195,41 @@ pub struct TimelineReport {
     messages: [u64; 8],
 }
 
+impl crate::frame::Wire for TimelineReport {
+    // Lives here (not in frame.rs) because the per-category arrays are
+    // private; f64 fields cross as exact bit patterns, preserving the
+    // cross-backend bit-identity of reports.
+    fn put(&self, out: &mut Vec<u8>) {
+        self.clock.put(out);
+        for v in self.seconds {
+            v.put(out);
+        }
+        for v in self.words {
+            v.put(out);
+        }
+        for v in self.messages {
+            v.put(out);
+        }
+    }
+    fn take(r: &mut crate::frame::Reader<'_>) -> Result<Self, crate::frame::FrameError> {
+        let clock = f64::take(r)?;
+        let mut rep = TimelineReport {
+            clock,
+            ..TimelineReport::default()
+        };
+        for v in rep.seconds.iter_mut() {
+            *v = f64::take(r)?;
+        }
+        for v in rep.words.iter_mut() {
+            *v = u64::take(r)?;
+        }
+        for v in rep.messages.iter_mut() {
+            *v = u64::take(r)?;
+        }
+        Ok(rep)
+    }
+}
+
 impl TimelineReport {
     /// Seconds attributed to a category.
     pub fn seconds(&self, cat: Cat) -> f64 {

@@ -10,7 +10,7 @@ use crate::model::GcnConfig;
 use crate::optimizer::OptimizerKind;
 use crate::problem::Problem;
 use cagnet_comm::trace::TraceEvent;
-use cagnet_comm::{Cluster, CostModel, TimelineReport};
+use cagnet_comm::{Cluster, CostModel, TimelineReport, TransportKind};
 use cagnet_dense::activation::Activation;
 use cagnet_dense::Mat;
 
@@ -106,6 +106,12 @@ pub struct TrainConfig {
     /// with [`cagnet_comm::trace::to_chrome_json`]). Off by default —
     /// tracing retains every charged interval in memory.
     pub trace: bool,
+    /// Transport backend for the distributed run: `None` (default)
+    /// defers to the `CAGNET_TRANSPORT` environment variable (shared
+    /// memory when unset); `Some(TransportKind::Socket)` forces real
+    /// worker processes over Unix domain sockets. Results are
+    /// bit-identical across backends.
+    pub transport: Option<TransportKind>,
 }
 
 impl Default for TrainConfig {
@@ -121,6 +127,7 @@ impl Default for TrainConfig {
             comm_mode: CommMode::default(),
             overlap: true,
             trace: false,
+            transport: None,
         }
     }
 }
@@ -185,60 +192,63 @@ pub fn infer_distributed(
     tc: &TrainConfig,
 ) -> InferResult {
     assert!(algo.supports(p), "{} does not support P={p}", algo.name());
-    let per_rank = Cluster::new(p)
+    let mut cluster = Cluster::new(p)
         .with_model(model)
-        .with_threads_per_rank(tc.threads_per_rank)
-        .run(|ctx| {
-            macro_rules! run_forward {
-                ($t:expr) => {{
-                    let mut t = $t;
-                    t.set_weights(weights.to_vec());
-                    let loss = t.forward(ctx);
-                    let report = ctx.report();
-                    let accuracy = t.accuracy(ctx);
-                    let embeddings = t.gather_embeddings(ctx);
-                    (loss, accuracy, report, embeddings)
-                }};
+        .with_threads_per_rank(tc.threads_per_rank);
+    if let Some(t) = tc.transport {
+        cluster = cluster.with_transport(t);
+    }
+    let per_rank = cluster.run_wire(|ctx| {
+        macro_rules! run_forward {
+            ($t:expr) => {{
+                let mut t = $t;
+                t.set_weights(weights.to_vec());
+                let loss = t.forward(ctx);
+                let report = ctx.report();
+                let accuracy = t.accuracy(ctx);
+                let embeddings = t.gather_embeddings(ctx);
+                (loss, accuracy, report, embeddings)
+            }};
+        }
+        match algo {
+            Algorithm::OneD => {
+                let mut t = OneDimTrainer::setup(ctx, problem, gcn);
+                t.set_comm_mode(tc.comm_mode);
+                t.set_overlap(tc.overlap);
+                run_forward!(t)
             }
-            match algo {
-                Algorithm::OneD => {
-                    let mut t = OneDimTrainer::setup(ctx, problem, gcn);
-                    t.set_comm_mode(tc.comm_mode);
-                    t.set_overlap(tc.overlap);
-                    run_forward!(t)
-                }
-                Algorithm::OneDRow => {
-                    let mut t = OneDimRowTrainer::setup(ctx, problem, gcn);
-                    t.set_comm_mode(tc.comm_mode);
-                    t.set_overlap(tc.overlap);
-                    run_forward!(t)
-                }
-                Algorithm::One5D { c } => {
-                    let mut t = One5DTrainer::setup(ctx, problem, gcn, c);
-                    t.set_comm_mode(tc.comm_mode);
-                    t.set_overlap(tc.overlap);
-                    run_forward!(t)
-                }
-                Algorithm::TwoD => {
-                    let mut t = TwoDimTrainer::setup(ctx, problem, gcn, tc.twod);
-                    t.set_comm_mode(tc.comm_mode);
-                    t.set_overlap(tc.overlap);
-                    run_forward!(t)
-                }
-                Algorithm::TwoDRect { pr, pc } => {
-                    let mut t = TwoDimTrainer::setup_rect(ctx, problem, gcn, tc.twod, pr, pc);
-                    t.set_comm_mode(tc.comm_mode);
-                    t.set_overlap(tc.overlap);
-                    run_forward!(t)
-                }
-                Algorithm::ThreeD => {
-                    let mut t = ThreeDimTrainer::setup(ctx, problem, gcn);
-                    t.set_comm_mode(tc.comm_mode);
-                    t.set_overlap(tc.overlap);
-                    run_forward!(t)
-                }
+            Algorithm::OneDRow => {
+                let mut t = OneDimRowTrainer::setup(ctx, problem, gcn);
+                t.set_comm_mode(tc.comm_mode);
+                t.set_overlap(tc.overlap);
+                run_forward!(t)
             }
-        });
+            Algorithm::One5D { c } => {
+                let mut t = One5DTrainer::setup(ctx, problem, gcn, c);
+                t.set_comm_mode(tc.comm_mode);
+                t.set_overlap(tc.overlap);
+                run_forward!(t)
+            }
+            Algorithm::TwoD => {
+                let mut t = TwoDimTrainer::setup(ctx, problem, gcn, tc.twod);
+                t.set_comm_mode(tc.comm_mode);
+                t.set_overlap(tc.overlap);
+                run_forward!(t)
+            }
+            Algorithm::TwoDRect { pr, pc } => {
+                let mut t = TwoDimTrainer::setup_rect(ctx, problem, gcn, tc.twod, pr, pc);
+                t.set_comm_mode(tc.comm_mode);
+                t.set_overlap(tc.overlap);
+                run_forward!(t)
+            }
+            Algorithm::ThreeD => {
+                let mut t = ThreeDimTrainer::setup(ctx, problem, gcn);
+                t.set_comm_mode(tc.comm_mode);
+                t.set_overlap(tc.overlap);
+                run_forward!(t)
+            }
+        }
+    });
     let (loss, accuracy, _, embeddings) = per_rank[0].0.clone();
     InferResult {
         embeddings,
@@ -270,115 +280,114 @@ pub fn train_distributed(
         ThreeD(Box<ThreeDimTrainer>),
     }
 
-    let per_rank = Cluster::new(p)
+    let mut cluster = Cluster::new(p)
         .with_model(model)
-        .with_threads_per_rank(tc.threads_per_rank)
-        .run(|ctx| {
-            let mut tr = match algo {
-                Algorithm::OneD => AnyTrainer::OneD(OneDimTrainer::setup(ctx, problem, gcn)),
-                Algorithm::OneDRow => {
-                    AnyTrainer::OneDRow(OneDimRowTrainer::setup(ctx, problem, gcn))
-                }
-                Algorithm::One5D { c } => {
-                    AnyTrainer::One5D(One5DTrainer::setup(ctx, problem, gcn, c))
-                }
-                Algorithm::TwoD => {
-                    AnyTrainer::TwoD(Box::new(TwoDimTrainer::setup(ctx, problem, gcn, tc.twod)))
-                }
-                Algorithm::TwoDRect { pr, pc } => AnyTrainer::TwoD(Box::new(
-                    TwoDimTrainer::setup_rect(ctx, problem, gcn, tc.twod, pr, pc),
-                )),
-                Algorithm::ThreeD => {
-                    AnyTrainer::ThreeD(Box::new(ThreeDimTrainer::setup(ctx, problem, gcn)))
-                }
-            };
-            match &mut tr {
-                AnyTrainer::OneD(t) => {
-                    t.set_optimizer(tc.optimizer);
-                    t.set_hidden_activation(tc.activation);
-                    t.set_dropout(tc.dropout);
-                    t.set_comm_mode(tc.comm_mode);
-                    t.set_overlap(tc.overlap);
-                }
-                AnyTrainer::OneDRow(t) => {
-                    t.set_optimizer(tc.optimizer);
-                    t.set_hidden_activation(tc.activation);
-                    t.set_dropout(tc.dropout);
-                    t.set_comm_mode(tc.comm_mode);
-                    t.set_overlap(tc.overlap);
-                }
-                AnyTrainer::One5D(t) => {
-                    t.set_optimizer(tc.optimizer);
-                    t.set_hidden_activation(tc.activation);
-                    t.set_dropout(tc.dropout);
-                    t.set_comm_mode(tc.comm_mode);
-                    t.set_overlap(tc.overlap);
-                }
-                AnyTrainer::TwoD(t) => {
-                    t.set_optimizer(tc.optimizer);
-                    t.set_hidden_activation(tc.activation);
-                    t.set_dropout(tc.dropout);
-                    t.set_comm_mode(tc.comm_mode);
-                    t.set_overlap(tc.overlap);
-                }
-                AnyTrainer::ThreeD(t) => {
-                    t.set_optimizer(tc.optimizer);
-                    t.set_hidden_activation(tc.activation);
-                    t.set_dropout(tc.dropout);
-                    t.set_comm_mode(tc.comm_mode);
-                    t.set_overlap(tc.overlap);
-                }
+        .with_threads_per_rank(tc.threads_per_rank);
+    if let Some(t) = tc.transport {
+        cluster = cluster.with_transport(t);
+    }
+    let per_rank = cluster.run_wire(|ctx| {
+        let mut tr = match algo {
+            Algorithm::OneD => AnyTrainer::OneD(OneDimTrainer::setup(ctx, problem, gcn)),
+            Algorithm::OneDRow => AnyTrainer::OneDRow(OneDimRowTrainer::setup(ctx, problem, gcn)),
+            Algorithm::One5D { c } => AnyTrainer::One5D(One5DTrainer::setup(ctx, problem, gcn, c)),
+            Algorithm::TwoD => {
+                AnyTrainer::TwoD(Box::new(TwoDimTrainer::setup(ctx, problem, gcn, tc.twod)))
             }
-            if tc.trace {
-                ctx.enable_tracing();
+            Algorithm::TwoDRect { pr, pc } => AnyTrainer::TwoD(Box::new(
+                TwoDimTrainer::setup_rect(ctx, problem, gcn, tc.twod, pr, pc),
+            )),
+            Algorithm::ThreeD => {
+                AnyTrainer::ThreeD(Box::new(ThreeDimTrainer::setup(ctx, problem, gcn)))
             }
-            let mut losses = Vec::with_capacity(tc.epochs);
-            for _ in 0..tc.epochs {
-                let loss = match &mut tr {
-                    AnyTrainer::OneD(t) => t.epoch(ctx),
-                    AnyTrainer::OneDRow(t) => t.epoch(ctx),
-                    AnyTrainer::One5D(t) => t.epoch(ctx),
-                    AnyTrainer::TwoD(t) => t.epoch(ctx),
-                    AnyTrainer::ThreeD(t) => t.epoch(ctx),
-                };
-                losses.push(loss);
+        };
+        match &mut tr {
+            AnyTrainer::OneD(t) => {
+                t.set_optimizer(tc.optimizer);
+                t.set_hidden_activation(tc.activation);
+                t.set_dropout(tc.dropout);
+                t.set_comm_mode(tc.comm_mode);
+                t.set_overlap(tc.overlap);
             }
-            // Snapshot the timed-epoch ledger (and trace) before the
-            // (untimed-in-spirit) evaluation pass.
-            let report = ctx.report();
-            let trace = if tc.trace {
-                ctx.take_trace()
-            } else {
-                Vec::new()
+            AnyTrainer::OneDRow(t) => {
+                t.set_optimizer(tc.optimizer);
+                t.set_hidden_activation(tc.activation);
+                t.set_dropout(tc.dropout);
+                t.set_comm_mode(tc.comm_mode);
+                t.set_overlap(tc.overlap);
+            }
+            AnyTrainer::One5D(t) => {
+                t.set_optimizer(tc.optimizer);
+                t.set_hidden_activation(tc.activation);
+                t.set_dropout(tc.dropout);
+                t.set_comm_mode(tc.comm_mode);
+                t.set_overlap(tc.overlap);
+            }
+            AnyTrainer::TwoD(t) => {
+                t.set_optimizer(tc.optimizer);
+                t.set_hidden_activation(tc.activation);
+                t.set_dropout(tc.dropout);
+                t.set_comm_mode(tc.comm_mode);
+                t.set_overlap(tc.overlap);
+            }
+            AnyTrainer::ThreeD(t) => {
+                t.set_optimizer(tc.optimizer);
+                t.set_hidden_activation(tc.activation);
+                t.set_dropout(tc.dropout);
+                t.set_comm_mode(tc.comm_mode);
+                t.set_overlap(tc.overlap);
+            }
+        }
+        if tc.trace {
+            ctx.enable_tracing();
+        }
+        let mut losses = Vec::with_capacity(tc.epochs);
+        for _ in 0..tc.epochs {
+            let loss = match &mut tr {
+                AnyTrainer::OneD(t) => t.epoch(ctx),
+                AnyTrainer::OneDRow(t) => t.epoch(ctx),
+                AnyTrainer::One5D(t) => t.epoch(ctx),
+                AnyTrainer::TwoD(t) => t.epoch(ctx),
+                AnyTrainer::ThreeD(t) => t.epoch(ctx),
             };
-            let accuracy = match &mut tr {
-                AnyTrainer::OneD(t) => t.accuracy(ctx),
-                AnyTrainer::OneDRow(t) => t.accuracy(ctx),
-                AnyTrainer::One5D(t) => t.accuracy(ctx),
-                AnyTrainer::TwoD(t) => t.accuracy(ctx),
-                AnyTrainer::ThreeD(t) => t.accuracy(ctx),
+            losses.push(loss);
+        }
+        // Snapshot the timed-epoch ledger (and trace) before the
+        // (untimed-in-spirit) evaluation pass.
+        let report = ctx.report();
+        let trace = if tc.trace {
+            ctx.take_trace()
+        } else {
+            Vec::new()
+        };
+        let accuracy = match &mut tr {
+            AnyTrainer::OneD(t) => t.accuracy(ctx),
+            AnyTrainer::OneDRow(t) => t.accuracy(ctx),
+            AnyTrainer::One5D(t) => t.accuracy(ctx),
+            AnyTrainer::TwoD(t) => t.accuracy(ctx),
+            AnyTrainer::ThreeD(t) => t.accuracy(ctx),
+        };
+        let outputs = if tc.collect_outputs {
+            let weights = match &tr {
+                AnyTrainer::OneD(t) => t.weights().to_vec(),
+                AnyTrainer::OneDRow(t) => t.weights().to_vec(),
+                AnyTrainer::One5D(t) => t.weights().to_vec(),
+                AnyTrainer::TwoD(t) => t.weights().to_vec(),
+                AnyTrainer::ThreeD(t) => t.weights().to_vec(),
             };
-            let outputs = if tc.collect_outputs {
-                let weights = match &tr {
-                    AnyTrainer::OneD(t) => t.weights().to_vec(),
-                    AnyTrainer::OneDRow(t) => t.weights().to_vec(),
-                    AnyTrainer::One5D(t) => t.weights().to_vec(),
-                    AnyTrainer::TwoD(t) => t.weights().to_vec(),
-                    AnyTrainer::ThreeD(t) => t.weights().to_vec(),
-                };
-                let embeddings = match &tr {
-                    AnyTrainer::OneD(t) => t.gather_embeddings(ctx),
-                    AnyTrainer::OneDRow(t) => t.gather_embeddings(ctx),
-                    AnyTrainer::One5D(t) => t.gather_embeddings(ctx),
-                    AnyTrainer::TwoD(t) => t.gather_embeddings(ctx),
-                    AnyTrainer::ThreeD(t) => t.gather_embeddings(ctx),
-                };
-                Some((weights, embeddings))
-            } else {
-                None
+            let embeddings = match &tr {
+                AnyTrainer::OneD(t) => t.gather_embeddings(ctx),
+                AnyTrainer::OneDRow(t) => t.gather_embeddings(ctx),
+                AnyTrainer::One5D(t) => t.gather_embeddings(ctx),
+                AnyTrainer::TwoD(t) => t.gather_embeddings(ctx),
+                AnyTrainer::ThreeD(t) => t.gather_embeddings(ctx),
             };
-            (losses, accuracy, report, trace, outputs)
-        });
+            Some((weights, embeddings))
+        } else {
+            None
+        };
+        (losses, accuracy, report, trace, outputs)
+    });
 
     let ((losses0, accuracy, _, _, _), _) = &per_rank[0];
     let reports: Vec<TimelineReport> = per_rank.iter().map(|((_, _, r, _, _), _)| *r).collect();

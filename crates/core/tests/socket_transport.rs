@@ -1,0 +1,167 @@
+//! Cross-backend bit-identity: every trainer must produce *identical*
+//! losses, weights, accuracy, and per-rank timelines (words, messages,
+//! modeled seconds) whether ranks are threads sharing memory or real
+//! worker processes exchanging framed bytes over Unix sockets.
+//!
+//! This is the socket transport's correctness contract: all collective
+//! semantics live above the transport trait, and every `f64` crosses
+//! the wire as its exact bit pattern, so nothing — not one ULP — may
+//! differ. Each comparison runs a full training job twice (shared, then
+//! socket) and asserts exact equality with `==`.
+
+#![cfg(unix)]
+
+use cagnet_comm::TransportKind;
+use cagnet_core::dist::CommMode;
+use cagnet_core::trainer::{train_distributed, Algorithm, TrainConfig};
+use cagnet_core::{GcnConfig, Problem};
+use cagnet_sparse::generate::erdos_renyi;
+
+fn small_problem() -> (Problem, GcnConfig) {
+    let g = erdos_renyi(48, 3.0, 0xC0FFEE);
+    let problem = Problem::synthetic(&g, 6, 3, 1.0, 7);
+    let gcn = GcnConfig::three_layer(6, 8, 3);
+    (problem, gcn)
+}
+
+/// Train once per backend and assert the results are bit-identical.
+fn assert_bit_identical(algo: Algorithm, p: usize, comm_mode: CommMode, overlap: bool) {
+    let (problem, gcn) = small_problem();
+    let run = |transport| {
+        let tc = TrainConfig {
+            epochs: 3,
+            comm_mode,
+            overlap,
+            transport: Some(transport),
+            ..TrainConfig::default()
+        };
+        train_distributed(
+            &problem,
+            &gcn,
+            algo,
+            p,
+            cagnet_comm::CostModel::summit_like(),
+            &tc,
+        )
+    };
+    let shared = run(TransportKind::Shared);
+    let socket = run(TransportKind::Socket);
+
+    // Losses and accuracy: exact equality, not tolerance.
+    assert_eq!(shared.losses, socket.losses, "losses diverged");
+    assert_eq!(shared.accuracy, socket.accuracy, "accuracy diverged");
+
+    // Final weights, element-for-element.
+    assert_eq!(shared.weights.len(), socket.weights.len());
+    for (layer, (a, b)) in shared.weights.iter().zip(socket.weights.iter()).enumerate() {
+        assert_eq!(a, b, "weights diverged at layer {layer}");
+    }
+    assert_eq!(shared.embeddings, socket.embeddings, "embeddings diverged");
+
+    // Per-rank timelines: modeled clock, seconds, words, and messages
+    // per category all compare equal (TimelineReport's PartialEq).
+    assert_eq!(shared.reports.len(), socket.reports.len());
+    for (rank, (a, b)) in shared.reports.iter().zip(socket.reports.iter()).enumerate() {
+        assert_eq!(a, b, "rank {rank} timeline diverged");
+        assert_eq!(
+            a.clock.to_bits(),
+            b.clock.to_bits(),
+            "rank {rank} clock not bit-exact"
+        );
+    }
+}
+
+// ------------------------------------------------------------------
+// 1D (column) trainer.
+// ------------------------------------------------------------------
+
+#[test]
+fn oned_dense_p2() {
+    assert_bit_identical(Algorithm::OneD, 2, CommMode::Dense, true);
+}
+
+#[test]
+fn oned_dense_p4_no_overlap() {
+    assert_bit_identical(Algorithm::OneD, 4, CommMode::Dense, false);
+}
+
+#[test]
+fn oned_sparsity_aware_p4() {
+    assert_bit_identical(Algorithm::OneD, 4, CommMode::SparsityAware, true);
+}
+
+// ------------------------------------------------------------------
+// 1D (row) trainer.
+// ------------------------------------------------------------------
+
+#[test]
+fn oned_row_dense_p2() {
+    assert_bit_identical(Algorithm::OneDRow, 2, CommMode::Dense, true);
+}
+
+#[test]
+fn oned_row_sparsity_aware_p4_no_overlap() {
+    assert_bit_identical(Algorithm::OneDRow, 4, CommMode::SparsityAware, false);
+}
+
+// ------------------------------------------------------------------
+// 1.5D trainer (replication factor 2).
+// ------------------------------------------------------------------
+
+#[test]
+fn one5d_dense_p4() {
+    assert_bit_identical(Algorithm::One5D { c: 2 }, 4, CommMode::Dense, true);
+}
+
+#[test]
+fn one5d_sparsity_aware_p4() {
+    assert_bit_identical(Algorithm::One5D { c: 2 }, 4, CommMode::SparsityAware, true);
+}
+
+// ------------------------------------------------------------------
+// 2D (square and rectangular) trainer.
+// ------------------------------------------------------------------
+
+#[test]
+fn twod_dense_p4() {
+    assert_bit_identical(Algorithm::TwoD, 4, CommMode::Dense, true);
+}
+
+#[test]
+fn twod_sparsity_aware_p4_no_overlap() {
+    assert_bit_identical(Algorithm::TwoD, 4, CommMode::SparsityAware, false);
+}
+
+#[test]
+fn twod_rect_dense_p2() {
+    assert_bit_identical(
+        Algorithm::TwoDRect { pr: 2, pc: 1 },
+        2,
+        CommMode::Dense,
+        true,
+    );
+}
+
+// ------------------------------------------------------------------
+// 3D trainer.
+// ------------------------------------------------------------------
+
+#[test]
+fn threed_dense_p8() {
+    assert_bit_identical(Algorithm::ThreeD, 8, CommMode::Dense, true);
+}
+
+#[test]
+fn threed_sparsity_aware_p8() {
+    assert_bit_identical(Algorithm::ThreeD, 8, CommMode::SparsityAware, true);
+}
+
+// ------------------------------------------------------------------
+// Degenerate world: P=1 never spawns processes but must still work
+// through the socket-configured path.
+// ------------------------------------------------------------------
+
+#[test]
+fn single_rank_socket_config_runs_in_process() {
+    assert_bit_identical(Algorithm::OneD, 1, CommMode::Dense, true);
+}
