@@ -14,11 +14,16 @@
 //!    graph over blocked ranks — cycle/stall detection plus a report that
 //!    dumps each rank's last-N collective history, so cross-communicator
 //!    ordering bugs are caught in milliseconds instead of by CI timeout.
-//! 3. **Static lint pass** ([`lint`]): a source-level analyzer (plain
-//!    token scanning, no rustc plumbing) enforcing repo invariants:
-//!    no `unwrap`/`expect` in library code outside tests, no serial
-//!    kernel calls where a `_with` ParallelCtx variant exists, and every
-//!    collective call site paired with a cost-model category.
+//! 3. **Static analysis** ([`lint`]): a token-level source analyzer
+//!    (own lexer + brace-aware item model, no rustc plumbing) enforcing
+//!    repo invariants clippy cannot express: no `unwrap`/`expect` in
+//!    library code outside tests, no serial kernel calls where a
+//!    `_with` ParallelCtx variant exists, every collective call site
+//!    paired with a cost-model category — plus three semantic analyses
+//!    (sibling branches issue identical collective sequences, Mutex
+//!    acquisition orders are acyclic, every `FrameKind` variant is
+//!    dispatched). Findings carry severities and byte spans, render to
+//!    JSON, and gate against a committed baseline file.
 //!
 //! This crate is dependency-free and is depended on *by* `cagnet-comm`
 //! (never the reverse): the runtime feeds it plain data, it returns

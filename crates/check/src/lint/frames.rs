@@ -1,0 +1,154 @@
+//! Frame-exhaustiveness analysis: every `FrameKind` variant declared in
+//! `crates/comm/src/frame.rs` must appear in at least one *dispatch*
+//! match arm pattern in `crates/comm/src/proc.rs` (the hub's `on_frame`
+//! and the worker's collect loop). A variant that is constructed and
+//! sent but never matched on the receive side is half-wired: the hub
+//! would route it into the catch-all protocol-error arm at runtime.
+//!
+//! Only match *arm patterns* count as handling (including `if` guards,
+//! which is how `Hello` is matched). Construction or comparison sites
+//! in send paths do not.
+
+use super::lexer::TokKind;
+use super::model::FileModel;
+use super::{Finding, Rule, SourceFile};
+
+/// Enum variant names of `enum FrameKind { … }` in `frame.rs`, with
+/// their name spans.
+fn frame_kind_variants<'s>(m: &FileModel<'s>) -> Vec<(usize, &'s str)> {
+    let n = m.code.len();
+    for i in 0..n {
+        if !(m.code[i].kind == TokKind::Ident && m.text(i) == "enum") {
+            continue;
+        }
+        if !(i + 1 < n && m.code[i + 1].kind == TokKind::Ident && m.text(i + 1) == "FrameKind") {
+            continue;
+        }
+        // Body: first `{` after the name.
+        let mut open = None;
+        for j in i + 2..n {
+            if m.code[j].is_punct(b'{') {
+                open = Some(j);
+                break;
+            }
+            if m.code[j].is_punct(b';') {
+                break;
+            }
+        }
+        let Some(open) = open else { continue };
+        let Some(close) = m.matching_close(open) else {
+            continue;
+        };
+        // Variants: identifiers at depth 1 directly preceded by `{` or
+        // `,` (skipping `= <discriminant>` tails and attributes).
+        let mut out = Vec::new();
+        let mut j = open + 1;
+        let mut expect_variant = true;
+        let mut depth = 0i32;
+        while j < close {
+            match m.code[j].kind {
+                TokKind::Punct(b'(') | TokKind::Punct(b'[') | TokKind::Punct(b'{') => {
+                    depth += 1;
+                }
+                TokKind::Punct(b')') | TokKind::Punct(b']') | TokKind::Punct(b'}') => {
+                    depth -= 1;
+                }
+                TokKind::Punct(b',') if depth == 0 => expect_variant = true,
+                // Skip attributes on variants.
+                TokKind::Punct(b'#')
+                    if depth == 0 && j + 1 < close && m.code[j + 1].is_punct(b'[') =>
+                {
+                    if let Some(c) = m.matching_close(j + 1) {
+                        j = c;
+                    }
+                }
+                TokKind::Ident if depth == 0 && expect_variant => {
+                    out.push((j, m.text(j)));
+                    expect_variant = false;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        return out;
+    }
+    Vec::new()
+}
+
+/// Variant names appearing as `FrameKind::<V>` inside any match arm
+/// pattern (guards included) in `m`.
+fn dispatched_variants<'s>(m: &FileModel<'s>) -> Vec<&'s str> {
+    let mut out = Vec::new();
+    for ma in &m.matches {
+        for arm in &ma.arms {
+            let (s, e) = arm.pattern;
+            for j in s..e {
+                if m.code[j].kind == TokKind::Ident
+                    && m.text(j) == "FrameKind"
+                    && j + 3 < e
+                    && m.is_path_sep(j + 1)
+                    && m.code[j + 3].kind == TokKind::Ident
+                {
+                    out.push(m.text(j + 3));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Run the frame-exhaustiveness analysis. Requires both `frame.rs`
+/// (the enum) and `proc.rs` (the dispatchers) to be present in the
+/// source set; does nothing otherwise so single-file lints and
+/// fixtures that don't model the protocol stay quiet.
+pub(super) fn run(files: &[SourceFile<'_>], out: &mut Vec<Finding>) {
+    let frame = files
+        .iter()
+        .position(|f| f.flags.norm.ends_with("comm/src/frame.rs"));
+    let proc_ = files
+        .iter()
+        .position(|f| f.flags.norm.ends_with("comm/src/proc.rs"));
+    let (Some(frame), Some(proc_)) = (frame, proc_) else {
+        return;
+    };
+    let fm = &files[frame].model;
+    let pm = &files[proc_].model;
+    let variants = frame_kind_variants(fm);
+    if variants.is_empty() {
+        return;
+    }
+    let dispatched = dispatched_variants(pm);
+    if dispatched.is_empty() {
+        out.push(super::finding(
+            fm,
+            &files[frame].flags,
+            fm.code
+                .first()
+                .map(|t| t.span)
+                .unwrap_or(super::lexer::Span { start: 0, end: 0 }),
+            Rule::FrameExhaustiveness,
+            "FrameKind is declared but proc.rs has no dispatch match over it".to_string(),
+        ));
+        return;
+    }
+    for (idx, name) in variants {
+        if dispatched.contains(&name) {
+            continue;
+        }
+        let span = fm.code[idx].span;
+        let line = fm.line_of(span.start);
+        if fm.allow_on(line, Rule::FrameExhaustiveness.name()) {
+            continue;
+        }
+        out.push(super::finding(
+            fm,
+            &files[frame].flags,
+            span,
+            Rule::FrameExhaustiveness,
+            format!(
+                "FrameKind::{name} is never matched in a dispatch arm in \
+                 crates/comm/src/proc.rs — the variant is half-wired"
+            ),
+        ));
+    }
+}

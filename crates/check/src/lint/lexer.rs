@@ -1,0 +1,453 @@
+//! A small Rust lexer for the lint pass.
+//!
+//! Produces a flat token stream with byte spans. It understands exactly
+//! the lexical shapes that broke the old line-scanner: string literals
+//! with escapes, raw (and byte) strings `r"…"` / `r#"…"#` / `br#"…"#`,
+//! char literals including `'"'`, lifetimes vs. char literals, raw
+//! identifiers `r#match`, and *nested* block comments. It does not
+//! attempt full fidelity (numeric suffixes and exotic literals are
+//! lexed loosely) — the rules only need identifiers, punctuation, and a
+//! correct classification of "this byte range is a comment/string, not
+//! code".
+
+/// A half-open byte range into the lexed source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// First byte of the token.
+    pub start: usize,
+    /// One past the last byte of the token.
+    pub end: usize,
+}
+
+/// Lexical class of a token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers `r#ident`).
+    Ident,
+    /// A lifetime such as `'a` or `'_` (no closing quote).
+    Lifetime,
+    /// Any string-ish literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// A char or byte-char literal: `'x'`, `'\n'`, `'"'`, `b'x'`.
+    Char,
+    /// A numeric literal (lexed loosely, suffix included).
+    Num,
+    /// A `// …` comment (doc comments included), newline excluded.
+    LineComment,
+    /// A `/* … */` comment, nesting respected.
+    BlockComment,
+    /// A single punctuation byte. Multi-byte operators (`=>`, `::`)
+    /// appear as adjacent single-byte tokens.
+    Punct(u8),
+}
+
+/// One lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Byte range in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// The token's text.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.span.start..self.span.end]
+    }
+
+    /// True for comment tokens (excluded from the code-token stream).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// True when this is the punctuation byte `b`.
+    pub fn is_punct(&self, b: u8) -> bool {
+        self.kind == TokKind::Punct(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into tokens (whitespace dropped, comments kept). Never
+/// fails: malformed input degrades to punctuation tokens or an
+/// EOF-terminated literal, which is the right behavior for a linter
+/// that may see mid-edit files.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        // Comments.
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            out.push(tok(TokKind::LineComment, start, i));
+            continue;
+        }
+        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.push(tok(TokKind::BlockComment, start, i));
+            continue;
+        }
+        // Raw strings, byte strings, raw identifiers.
+        if c == b'r' || c == b'b' {
+            if let Some(end) = try_string_prefix(b, i) {
+                out.push(tok(TokKind::Str, start, end));
+                i = end;
+                continue;
+            }
+            if c == b'b' && i + 1 < n && b[i + 1] == b'\'' {
+                let end = scan_char(b, i + 1);
+                out.push(tok(TokKind::Char, start, end));
+                i = end;
+                continue;
+            }
+            if c == b'r' && i + 1 < n && b[i + 1] == b'#' && i + 2 < n && is_ident_start(b[i + 2]) {
+                // Raw identifier r#match.
+                i += 2;
+                while i < n && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                out.push(tok(TokKind::Ident, start, i));
+                continue;
+            }
+        }
+        if is_ident_start(c) {
+            while i < n && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            out.push(tok(TokKind::Ident, start, i));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            while i < n
+                && (is_ident_continue(b[i])
+                    || (b[i] == b'.' && i + 1 < n && b[i + 1].is_ascii_digit()))
+            {
+                i += 1;
+                // Consume one fractional part at most; `0..n` must stop
+                // before the range operator.
+                if i < n && b[i] == b'.' && i + 1 < n && b[i + 1] == b'.' {
+                    break;
+                }
+            }
+            out.push(tok(TokKind::Num, start, i));
+            continue;
+        }
+        if c == b'"' {
+            let end = scan_string(b, i);
+            out.push(tok(TokKind::Str, start, end));
+            i = end;
+            continue;
+        }
+        if c == b'\'' {
+            let (kind, end) = scan_quote(b, i);
+            out.push(tok(kind, start, end));
+            i = end;
+            continue;
+        }
+        i += 1;
+        out.push(tok(TokKind::Punct(c), start, i));
+    }
+    out
+}
+
+fn tok(kind: TokKind, start: usize, end: usize) -> Token {
+    Token {
+        kind,
+        span: Span { start, end },
+    }
+}
+
+/// Raw / byte string starting at `i` (`r"`, `r#"`, `b"`, `br"`, `br#"`)?
+/// Returns the end offset when one is present.
+fn try_string_prefix(b: &[u8], i: usize) -> Option<usize> {
+    let n = b.len();
+    let mut j = i;
+    let mut raw = false;
+    if b[j] == b'b' {
+        j += 1;
+        if j < n && b[j] == b'r' {
+            raw = true;
+            j += 1;
+        }
+    } else if b[j] == b'r' {
+        raw = true;
+        j += 1;
+    }
+    if raw {
+        let mut hashes = 0;
+        while j < n && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < n && b[j] == b'"' {
+            // Scan to `"` followed by `hashes` hash marks.
+            j += 1;
+            while j < n {
+                if b[j] == b'"'
+                    && b[j + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&h| h == b'#')
+                        .count()
+                        == hashes
+                {
+                    return Some(j + 1 + hashes);
+                }
+                j += 1;
+            }
+            return Some(n);
+        }
+        return None;
+    }
+    // Plain byte string b"…".
+    if j < n && b[j] == b'"' {
+        return Some(scan_string(b, j));
+    }
+    None
+}
+
+/// Cooked string starting at the `"` at `i`; returns the end offset.
+fn scan_string(b: &[u8], i: usize) -> usize {
+    let n = b.len();
+    let mut j = i + 1;
+    while j < n {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+/// Char literal starting at the `'` at `i`; returns the end offset (the
+/// byte after the closing quote, or a best-effort end for malformed
+/// input).
+fn scan_char(b: &[u8], i: usize) -> usize {
+    let n = b.len();
+    let mut j = i + 1;
+    if j < n && b[j] == b'\\' {
+        let esc = j + 1;
+        j = esc + 1;
+        // \u{…} escapes run to the closing brace.
+        if esc < n && b[esc] == b'u' && j < n && b[j] == b'{' {
+            while j < n && b[j] != b'}' {
+                j += 1;
+            }
+            j += 1;
+        }
+    } else if j < n {
+        // Skip one (possibly multi-byte) character.
+        j += 1;
+        while j < n && (b[j] & 0xC0) == 0x80 {
+            j += 1;
+        }
+    }
+    if j < n && b[j] == b'\'' {
+        j + 1
+    } else {
+        j.min(n)
+    }
+}
+
+/// Disambiguate `'` between a char literal and a lifetime.
+fn scan_quote(b: &[u8], i: usize) -> (TokKind, usize) {
+    let n = b.len();
+    if i + 1 >= n {
+        return (TokKind::Punct(b'\''), i + 1);
+    }
+    if b[i + 1] == b'\\' {
+        return (TokKind::Char, scan_char(b, i));
+    }
+    if is_ident_start(b[i + 1]) {
+        // Identifier run after the quote: a trailing `'` right after one
+        // character means a char literal ('a', '"' handled below); any
+        // longer run (or none) is a lifetime.
+        let mut j = i + 1;
+        while j < n && is_ident_continue(b[j]) {
+            j += 1;
+        }
+        // Multi-byte char start also lands in is_ident_start via >=0x80.
+        let one_char_end = {
+            let mut k = i + 2;
+            while k < n && (b[k] & 0xC0) == 0x80 {
+                k += 1;
+            }
+            k
+        };
+        if j == one_char_end && j < n && b[j] == b'\'' {
+            return (TokKind::Char, j + 1);
+        }
+        return (TokKind::Lifetime, j);
+    }
+    // Non-identifier char: '"', ' ', '(' … — a char literal.
+    (TokKind::Char, scan_char(b, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).iter().map(|t| t.text(src).to_string()).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(
+            texts("let x = foo.bar();"),
+            vec!["let", "x", "=", "foo", ".", "bar", "(", ")", ";"]
+        );
+    }
+
+    #[test]
+    fn strings_are_single_tokens() {
+        let toks = lex("call(\"a ) b \\\" c\")");
+        assert_eq!(
+            toks.iter().map(|t| t.kind).collect::<Vec<_>>(),
+            vec![
+                TokKind::Ident,
+                TokKind::Punct(b'('),
+                TokKind::Str,
+                TokKind::Punct(b')')
+            ]
+        );
+    }
+
+    #[test]
+    fn char_literal_with_quote_does_not_poison() {
+        // The old sanitize() treated the `"` inside '"' as opening a
+        // string for the rest of the line.
+        let src = "let c = '\"'; x.unwrap();";
+        let t = texts(src);
+        assert!(t.contains(&".".to_string()));
+        assert!(t.contains(&"unwrap".to_string()));
+        let toks = lex(src);
+        assert_eq!(toks[3].kind, TokKind::Char);
+        assert_eq!(toks[3].text(src), "'\"'");
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        let src = "let s = r\"x.unwrap()\"; let t = r#\"y.expect(\"z\")\"#;";
+        let toks = lex(src);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(strs, vec!["r\"x.unwrap()\"", "r#\"y.expect(\"z\")\"#"]);
+        // No unwrap/expect identifier leaks out of the raw strings.
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && matches!(t.text(src), "unwrap" | "expect")));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "let a = b\"abc\"; let c = b'x'; let r = br#\"d\"e\"#;";
+        let toks = lex(src);
+        assert_eq!(toks[3].kind, TokKind::Str);
+        assert_eq!(toks[3].text(src), "b\"abc\"");
+        assert_eq!(toks[8].kind, TokKind::Char);
+        assert_eq!(toks[8].text(src), "b'x'");
+        assert_eq!(toks[13].kind, TokKind::Str);
+        assert_eq!(toks[13].text(src), "br#\"d\"e\"#");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'c'; let u = '_'; let l: &'_ str = x; }";
+        let toks = lex(src);
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'_"]);
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(chars, vec!["'c'", "'_'"]);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let src = r"let a = '\n'; let b = '\''; let c = '\u{1F600}';";
+        let chars: Vec<TokKind> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(chars.len(), 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "before /* outer /* inner */ still-comment */ after";
+        let t = texts(src);
+        assert_eq!(t[0], "before");
+        assert_eq!(t[2], "after");
+        assert_eq!(lex(src)[1].kind, TokKind::BlockComment);
+    }
+
+    #[test]
+    fn line_comments_stop_at_newline() {
+        let src = "a // comment .unwrap()\nb";
+        let toks = lex(src);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].kind, TokKind::LineComment);
+        assert_eq!(toks[2].text(src), "b");
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let src = "let r#match = 1;";
+        let toks = lex(src);
+        assert_eq!(toks[1].kind, TokKind::Ident);
+        assert_eq!(toks[1].text(src), "r#match");
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_operator() {
+        assert_eq!(texts("0..n"), vec!["0", ".", ".", "n"]);
+        assert_eq!(texts("1.5e3 2.0_f64")[0], "1.5e3");
+    }
+
+    #[test]
+    fn unterminated_literals_reach_eof() {
+        assert_eq!(lex("\"abc").len(), 1);
+        assert_eq!(lex("r#\"abc").len(), 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Tree-level gate: the real repository must lint clean against the
+//! committed `lint.baseline`. This is the same pass CI runs via
+//! `cargo run -p xtask -- lint`, pinned here so `cargo test` alone
+//! catches a regression in either the sources or the engine.
+
+use std::path::PathBuf;
+
+use cagnet_check::lint;
+
+fn repo_root() -> PathBuf {
+    // crates/check/../.. is the workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+#[test]
+fn repository_is_clean_against_committed_baseline() {
+    let root = repo_root();
+    let findings = lint::lint_tree(&root).expect("scan crates/*/src");
+    let baseline = std::fs::read_to_string(root.join("lint.baseline")).unwrap_or_default();
+    let report = lint::apply_baseline(findings, &baseline);
+    assert!(
+        report.fresh.is_empty(),
+        "fresh lint findings on the tree:\n{}",
+        report
+            .fresh
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn committed_baseline_has_no_stale_entries() {
+    let root = repo_root();
+    let findings = lint::lint_tree(&root).expect("scan crates/*/src");
+    let baseline = std::fs::read_to_string(root.join("lint.baseline")).unwrap_or_default();
+    let report = lint::apply_baseline(findings, &baseline);
+    assert!(
+        report.stale.is_empty(),
+        "stale baseline entries (regenerate with `cargo run -p xtask -- lint --write-baseline`):\n{}",
+        report.stale.join("\n")
+    );
+}
+
+#[test]
+fn json_report_for_tree_matches_documented_schema() {
+    let root = repo_root();
+    let findings = lint::lint_tree(&root).expect("scan crates/*/src");
+    let baseline = std::fs::read_to_string(root.join("lint.baseline")).unwrap_or_default();
+    let report = lint::apply_baseline(findings, &baseline);
+    let json = lint::render_json(&root.display().to_string(), &report);
+    // Hand-rolled writer; pin the schema envelope the CI artifact
+    // consumers rely on.
+    assert!(json.starts_with("{\"version\":1,\"tool\":\"cagnet-xtask-lint\""));
+    for key in [
+        "\"root\":",
+        "\"counts\":",
+        "\"total\":",
+        "\"fresh\":",
+        "\"baselined\":",
+        "\"error\":",
+        "\"warning\":",
+        "\"findings\":",
+        "\"stale_baseline\":",
+    ] {
+        assert!(json.contains(key), "missing key {key} in {json}");
+    }
+}

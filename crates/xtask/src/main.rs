@@ -1,57 +1,168 @@
 //! Repo automation entrypoint (the `cargo xtask` pattern).
 //!
 //! ```text
-//! cargo run -p xtask -- lint [repo-root]
+//! cargo run -p xtask -- lint [--json PATH] [--baseline PATH] [--write-baseline] [repo-root]
 //! ```
 //!
-//! runs the [`cagnet_check::lint`] source pass over `crates/*/src` and
-//! exits nonzero if any invariant is violated. See `crates/check/src/
-//! lint.rs` for the rules and the `lint:allow(<rule>)` suppression
-//! marker.
+//! runs the [`cagnet_check::lint`] token-level source pass over
+//! `crates/*/src` and exits nonzero if any *fresh* finding (one not
+//! covered by the baseline file) remains. See `crates/check/src/lint/`
+//! for the rule catalog, the three semantic analyses, and the
+//! `lint:allow(<rule>)` suppression marker.
+//!
+//! Flags:
+//!
+//! - `--json PATH` — also write a machine-readable report (schema
+//!   documented on [`cagnet_check::lint::render_json`]); CI uploads it
+//!   as an artifact.
+//! - `--baseline PATH` — match findings against an explicit baseline
+//!   file. Without the flag, `ROOT/lint.baseline` is used when it
+//!   exists.
+//! - `--write-baseline` — rewrite the baseline file from the current
+//!   findings (accept everything) instead of failing.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-fn repo_root(explicit: Option<&str>) -> PathBuf {
-    match explicit {
-        Some(p) => PathBuf::from(p),
-        // crates/xtask/../.. is the workspace root.
-        None => PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-            .join("..")
-            .join(".."),
-    }
+use cagnet_check::lint;
+
+struct LintArgs {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
 }
 
-fn lint(root: PathBuf) -> ExitCode {
-    match cagnet_check::lint::lint_tree(&root) {
-        Ok(violations) if violations.is_empty() => {
-            println!("xtask lint: clean");
-            ExitCode::SUCCESS
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo run -p xtask -- lint [--json PATH] [--baseline PATH] \
+         [--write-baseline] [repo-root]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_lint_args(args: &[String]) -> Result<LintArgs, ExitCode> {
+    let mut root = None;
+    let mut json = None;
+    let mut baseline = None;
+    let mut write_baseline = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => match it.next() {
+                Some(p) => json = Some(PathBuf::from(p)),
+                None => return Err(usage()),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => return Err(usage()),
+            },
+            "--write-baseline" => write_baseline = true,
+            p if !p.starts_with('-') && root.is_none() => root = Some(PathBuf::from(p)),
+            _ => return Err(usage()),
         }
-        Ok(violations) => {
-            for v in &violations {
-                println!("{v}");
-            }
-            println!(
-                "xtask lint: {} violation(s); fix or add `// lint:allow(<rule>): <reason>`",
-                violations.len()
-            );
-            ExitCode::FAILURE
-        }
+    }
+    // crates/xtask/../.. is the workspace root.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+    Ok(LintArgs {
+        root,
+        json,
+        baseline,
+        write_baseline,
+    })
+}
+
+fn run_lint(args: LintArgs) -> ExitCode {
+    let findings = match lint::lint_tree(&args.root) {
+        Ok(f) => f,
         Err(e) => {
-            eprintln!("xtask lint: cannot scan {}: {e}", root.display());
-            ExitCode::FAILURE
+            eprintln!("xtask lint: cannot scan {}: {e}", args.root.display());
+            return ExitCode::FAILURE;
         }
+    };
+
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint.baseline"));
+
+    if args.write_baseline {
+        let body = lint::render_baseline(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, body) {
+            eprintln!(
+                "xtask lint: cannot write baseline {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "xtask lint: wrote {} accepted finding(s) to {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // An explicit --baseline must exist; the default one is optional.
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) if args.baseline.is_some() => {
+            eprintln!(
+                "xtask lint: cannot read baseline {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        Err(_) => String::new(),
+    };
+    let report = lint::apply_baseline(findings, &baseline_text);
+
+    if let Some(json_path) = &args.json {
+        let body = lint::render_json(&args.root.display().to_string(), &report);
+        if let Err(e) = std::fs::write(json_path, body) {
+            eprintln!("xtask lint: cannot write {}: {e}", json_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("xtask lint: report written to {}", json_path.display());
+    }
+
+    for f in &report.fresh {
+        println!("{f}");
+    }
+    for key in &report.stale {
+        println!("note: stale baseline entry (finding fixed or moved): {key}");
+    }
+    if !report.baselined.is_empty() {
+        println!(
+            "xtask lint: {} baselined finding(s) accepted via {}",
+            report.baselined.len(),
+            baseline_path.display()
+        );
+    }
+    if report.fresh.is_empty() {
+        println!("xtask lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "xtask lint: {} fresh violation(s); fix, add `// lint:allow(<rule>): <reason>`, \
+             or accept with --write-baseline",
+            report.fresh.len()
+        );
+        ExitCode::FAILURE
     }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
-        Some("lint") => lint(repo_root(args.get(2).map(String::as_str))),
-        _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [repo-root]");
-            ExitCode::from(2)
-        }
+        Some("lint") => match parse_lint_args(&args[2..]) {
+            Ok(a) => run_lint(a),
+            Err(code) => code,
+        },
+        _ => usage(),
     }
 }
