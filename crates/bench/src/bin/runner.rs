@@ -15,7 +15,10 @@
 //!   --beta-gbps <GB/s>       network bandwidth               (default 10)
 //!   --hidden    <width>      hidden layer width              (default 16)
 //!   --overlap   on|off       nonblocking comm/compute overlap (default on)
-//!   --comm-mode dense|sparse dense bcasts or sparsity-aware gathers (default dense)
+//!   --comm-mode dense|sparse|cached:<k>
+//!                            dense bcasts, sparsity-aware gathers, or the
+//!                            cached halo tier refreshing every k epochs
+//!                            (cached:1 = sparse, bit-identical) (default dense)
 //!   --transport shared|socket ranks as threads, or real worker processes
 //!                            over Unix sockets (default: CAGNET_TRANSPORT,
 //!                            shared when unset)
@@ -37,6 +40,23 @@ use std::collections::HashMap;
 /// Flags that take no value.
 const BOOL_FLAGS: [&str; 2] = ["json", "worker"];
 
+/// Flags that take a value. A flag name outside this list (or
+/// [`BOOL_FLAGS`]) is a named error: a typo like `--comm-node` must not
+/// silently fall back to the default.
+const VALUE_FLAGS: [&str; 11] = [
+    "dataset",
+    "algo",
+    "processes",
+    "epochs",
+    "alpha",
+    "beta-gbps",
+    "hidden",
+    "overlap",
+    "comm-mode",
+    "transport",
+    "trace",
+];
+
 fn parse_args() -> HashMap<String, String> {
     let mut out = HashMap::new();
     let mut args = std::env::args().skip(1);
@@ -45,6 +65,10 @@ fn parse_args() -> HashMap<String, String> {
         if BOOL_FLAGS.contains(&key.as_str()) {
             out.insert(key, "true".to_string());
             continue;
+        }
+        if !VALUE_FLAGS.contains(&key.as_str()) {
+            eprintln!("unknown flag '--{key}' (see the header of runner.rs for the option list)");
+            std::process::exit(2);
         }
         match args.next() {
             Some(val) => {
@@ -57,6 +81,32 @@ fn parse_args() -> HashMap<String, String> {
         }
     }
     out
+}
+
+/// Parse a `--comm-mode` value: `dense`, `sparse`, or `cached:<k>` with
+/// a refresh period of `k >= 1` epochs.
+fn parse_comm_mode(s: &str) -> Result<CommMode, String> {
+    match s {
+        "dense" => Ok(CommMode::Dense),
+        "sparse" => Ok(CommMode::SparsityAware),
+        _ => {
+            if let Some(k) = s.strip_prefix("cached:") {
+                let refresh: usize = k.parse().map_err(|_| {
+                    format!("--comm-mode cached:<k> needs an integer refresh period, got '{k}'")
+                })?;
+                if refresh == 0 {
+                    return Err("--comm-mode cached:<k> refresh period must be >= 1 \
+                         (cached:1 refreshes every epoch)"
+                        .to_string());
+                }
+                Ok(CommMode::Cached { refresh })
+            } else {
+                Err(format!(
+                    "--comm-mode must be dense|sparse|cached:<k>, got '{s}'"
+                ))
+            }
+        }
+    }
 }
 
 fn parse_algo(s: &str) -> Algorithm {
@@ -103,11 +153,10 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let comm_mode = match get("comm-mode", "dense").as_str() {
-        "dense" => CommMode::Dense,
-        "sparse" => CommMode::SparsityAware,
-        other => {
-            eprintln!("--comm-mode must be dense|sparse, got '{other}'");
+    let comm_mode = match parse_comm_mode(&get("comm-mode", "dense")) {
+        Ok(mode) => mode,
+        Err(e) => {
+            eprintln!("{e}");
             std::process::exit(2);
         }
     };
@@ -222,4 +271,33 @@ fn main() {
         b.ovlp * 1e3
     );
     cagnet_bench::emit_json(&[row]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_mode_accepts_the_three_tiers() {
+        assert_eq!(parse_comm_mode("dense"), Ok(CommMode::Dense));
+        assert_eq!(parse_comm_mode("sparse"), Ok(CommMode::SparsityAware));
+        assert_eq!(
+            parse_comm_mode("cached:4"),
+            Ok(CommMode::Cached { refresh: 4 })
+        );
+        assert_eq!(
+            parse_comm_mode("cached:1"),
+            Ok(CommMode::Cached { refresh: 1 })
+        );
+    }
+
+    #[test]
+    fn comm_mode_rejects_bad_values_by_name() {
+        let e = parse_comm_mode("cached:0").unwrap_err();
+        assert!(e.contains(">= 1"), "zero refresh must be named: {e}");
+        let e = parse_comm_mode("cached:x").unwrap_err();
+        assert!(e.contains("integer refresh"), "non-integer named: {e}");
+        let e = parse_comm_mode("cachd:2").unwrap_err();
+        assert!(e.contains("dense|sparse|cached:<k>"), "typo named: {e}");
+    }
 }

@@ -1,0 +1,84 @@
+//! CLI contract of the `runner` binary: bad flag *names* and bad flag
+//! *values* both fail loudly with exit code 2 and a named error, never
+//! silently falling back to a default, and the cached comm tier parses
+//! end to end.
+
+use std::process::Command;
+
+fn runner() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_runner"))
+}
+
+/// Run with the given args and return (exit code, stderr).
+fn run_err(args: &[&str]) -> (i32, String) {
+    let out = runner().args(args).output().expect("spawn runner");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn unknown_flag_name_is_a_named_error() {
+    // A typo like --comm-node must not be swallowed into the arg map
+    // (which would silently train with the default mode).
+    let (code, err) = run_err(&["--comm-node", "sparse"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("unknown flag '--comm-node'"), "stderr: {err}");
+}
+
+#[test]
+fn bad_comm_mode_values_are_named_errors() {
+    let (code, err) = run_err(&["--comm-mode", "spares"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("dense|sparse|cached:<k>"), "stderr: {err}");
+
+    let (code, err) = run_err(&["--comm-mode", "cached:0"]);
+    assert_eq!(code, 2);
+    assert!(err.contains(">= 1"), "stderr: {err}");
+
+    let (code, err) = run_err(&["--comm-mode", "cached:two"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("integer refresh period"), "stderr: {err}");
+}
+
+#[test]
+fn bad_overlap_and_transport_values_are_named_errors() {
+    let (code, err) = run_err(&["--overlap", "maybe"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("--overlap must be on|off"), "stderr: {err}");
+
+    let (code, err) = run_err(&["--transport", "tcp"]);
+    assert_eq!(code, 2);
+    assert!(
+        err.contains("--transport must be shared|socket"),
+        "stderr: {err}"
+    );
+}
+
+#[test]
+fn cached_mode_runs_end_to_end() {
+    let out = runner()
+        .args([
+            "--dataset",
+            "rmat:6:4",
+            "--algo",
+            "1d",
+            "--processes",
+            "2",
+            "--epochs",
+            "2",
+            "--comm-mode",
+            "cached:2",
+            "--json",
+        ])
+        .output()
+        .expect("spawn runner");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "runner failed: {err}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.trim_start().starts_with('['),
+        "expected a JSON row, got: {stdout}"
+    );
+}

@@ -48,6 +48,13 @@ pub enum CollectiveKind {
     IGatherRows,
     /// `iallreduce_mat(m, cat)` — nonblocking matrix all-reduce.
     IAllreduceMat,
+    /// `gather_rows_refresh(...)` — the cached-mode refresh-epoch
+    /// variant of [`CollectiveKind::GatherRows`]. A distinct kind so a
+    /// rank serving stale cache while a peer refreshes is a fingerprint
+    /// mismatch, not a silent divergence.
+    GatherRowsRefresh,
+    /// `igather_rows_refresh(...)` — nonblocking cached-mode refresh.
+    IGatherRowsRefresh,
 }
 
 impl CollectiveKind {
@@ -69,6 +76,8 @@ impl CollectiveKind {
             CollectiveKind::IBcast => "ibcast",
             CollectiveKind::IGatherRows => "igather_rows",
             CollectiveKind::IAllreduceMat => "iallreduce_mat",
+            CollectiveKind::GatherRowsRefresh => "gather_rows_refresh",
+            CollectiveKind::IGatherRowsRefresh => "igather_rows_refresh",
         }
     }
 }

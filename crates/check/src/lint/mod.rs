@@ -1043,6 +1043,116 @@ fn forward(&self, ctx: &Ctx, pending: Option<Op>) {
     }
 
     #[test]
+    fn cached_arm_with_clean_serve_branch_passes() {
+        // The canonical cached-tier shape (DESIGN.md §13): the serve
+        // branch issues nothing, the refresh and eval branches each
+        // issue the same fetch as the SparsityAware sibling.
+        let src = "\
+fn issue<'c>(&self, ctx: &'c Ctx, j: usize) -> Fetch<'c> {
+    match self.comm_mode {
+        CommMode::Dense => Fetch::Dense(ctx.world.ibcast_shared(j, p, Cat::DenseComm)),
+        CommMode::SparsityAware => {
+            Fetch::Sparse(ctx.world.igather_rows(j, p, &n, e, Cat::DenseComm))
+        }
+        CommMode::Cached { .. } => {
+            if self.cached_serving() {
+                Fetch::Cached(self.serve_cached(ctx, l, j))
+            } else if self.training {
+                Fetch::Sparse(ctx.world.igather_rows_refresh(j, p, &n, e, Cat::DenseComm))
+            } else {
+                Fetch::Sparse(ctx.world.igather_rows(j, p, &n, e, Cat::DenseComm))
+            }
+        }
+    }
+}
+";
+        assert!(lint(DIST, src).is_empty(), "{:?}", lint(DIST, src));
+    }
+
+    #[test]
+    fn cached_refresh_branch_missing_fetch_is_flagged() {
+        // The refresh branch of the Cached arm drops the gather its
+        // SparsityAware sibling issues — a seq-number desync on refresh
+        // epochs.
+        let src = "\
+fn issue<'c>(&self, ctx: &'c Ctx, j: usize) -> Fetch<'c> {
+    match self.comm_mode {
+        CommMode::SparsityAware => {
+            Fetch::Sparse(ctx.world.igather_rows(j, p, &n, e, Cat::DenseComm))
+        }
+        CommMode::Cached { .. } => {
+            if self.cached_serving() {
+                Fetch::Cached(self.serve_cached(ctx, l, j))
+            } else {
+                Fetch::Cached(self.serve_cached(ctx, l, j))
+            }
+        }
+    }
+}
+";
+        let v = lint(DIST, src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::CollectiveOrder);
+        assert!(v[0].message.contains("different collective sequences"));
+    }
+
+    #[test]
+    fn cached_serve_branch_issuing_collective_is_flagged() {
+        // Serving from cache must be collective-free: a gather inside
+        // the cached_serving branch defeats the tier and desyncs peers
+        // that refresh.
+        let src = "\
+fn issue<'c>(&self, ctx: &'c Ctx, j: usize) -> Fetch<'c> {
+    match self.comm_mode {
+        CommMode::SparsityAware => {
+            Fetch::Sparse(ctx.world.igather_rows(j, p, &n, e, Cat::DenseComm))
+        }
+        CommMode::Cached { .. } => {
+            if self.cached_serving() {
+                Fetch::Sparse(ctx.world.igather_rows(j, p, &n, e, Cat::DenseComm))
+            } else {
+                Fetch::Sparse(ctx.world.igather_rows_refresh(j, p, &n, e, Cat::DenseComm))
+            }
+        }
+    }
+}
+";
+        let v = lint(DIST, src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::CollectiveOrder);
+        assert!(v[0].message.contains("cache-serve branch"), "{v:?}");
+    }
+
+    #[test]
+    fn cached_eval_branch_diverging_is_flagged() {
+        // The eval (final else) branch issues a different class than the
+        // sibling reference: refresh and eval branches are checked
+        // independently.
+        let src = "\
+fn issue<'c>(&self, ctx: &'c Ctx, j: usize) -> Fetch<'c> {
+    match self.comm_mode {
+        CommMode::SparsityAware => {
+            Fetch::Sparse(ctx.world.igather_rows(j, p, &n, e, Cat::DenseComm))
+        }
+        CommMode::Cached { .. } => {
+            if self.cached_serving() {
+                Fetch::Cached(self.serve_cached(ctx, l, j))
+            } else if self.training {
+                Fetch::Sparse(ctx.world.igather_rows_refresh(j, p, &n, e, Cat::DenseComm))
+            } else {
+                Fetch::Dense(ctx.world.allgather(z, Cat::DenseComm))
+            }
+        }
+    }
+}
+";
+        let v = lint(DIST, src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::CollectiveOrder);
+        assert!(v[0].message.contains("branch 3"), "{v:?}");
+    }
+
+    #[test]
     fn pipelined_some_arm_reissue_passes() {
         // Some arm re-issues the next stage's fetch before waiting —
         // the classes still match the None arm's blocking fetch.

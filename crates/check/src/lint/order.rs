@@ -35,9 +35,14 @@ pub(super) struct Event {
 /// step share a class.
 fn normalize(name: &str) -> Option<&'static str> {
     Some(match name {
-        "bcast" | "bcast_shared" | "ibcast" | "ibcast_shared" | "gather_rows" | "igather_rows" => {
-            "fetch"
-        }
+        "bcast"
+        | "bcast_shared"
+        | "ibcast"
+        | "ibcast_shared"
+        | "gather_rows"
+        | "igather_rows"
+        | "gather_rows_refresh"
+        | "igather_rows_refresh" => "fetch",
         "allreduce_mat" | "iallreduce_mat" => "allreduce_mat",
         "allgather" | "allgather_shared" => "allgather",
         "allreduce_scalar" => "allreduce_scalar",
@@ -217,6 +222,52 @@ fn render(seq: &[Event]) -> String {
     }
 }
 
+/// One `if`/`else` branch: `(cond, body)` code-token ranges (a bare
+/// `else` gets an empty cond range).
+type Branch = ((usize, usize), (usize, usize));
+
+/// Parse an `if cond { … } else if cond { … } else { … }` chain at the
+/// start of code-token range `[bs, be)`. Returns one [`Branch`] per
+/// arm, or `None` when the range does not start with `if`.
+fn if_chain(m: &FileModel<'_>, bs: usize, be: usize) -> Option<Vec<Branch>> {
+    let mut out = Vec::new();
+    let mut i = bs;
+    let mut be = be;
+    // A braced arm body `=> { if … }` hands us the outer braces too.
+    if i < be && m.code[i].is_punct(b'{') && m.matching_close(i) == Some(be - 1) {
+        i += 1;
+        be -= 1;
+    }
+    loop {
+        if !(i < be && m.code[i].kind == TokKind::Ident && m.text(i) == "if") {
+            return None;
+        }
+        let cond_start = i + 1;
+        let mut j = cond_start;
+        while j < be && !m.code[j].is_punct(b'{') {
+            j += 1;
+        }
+        let close = m.matching_close(j)?;
+        out.push(((cond_start, j), (j + 1, close)));
+        i = close + 1;
+        if !(i < be && m.code[i].kind == TokKind::Ident && m.text(i) == "else") {
+            return Some(out);
+        }
+        i += 1;
+        if i < be && m.code[i].is_punct(b'{') {
+            let close = m.matching_close(i)?;
+            out.push(((i, i), (i + 1, close)));
+            return Some(out);
+        }
+        // `else if …`: continue the chain.
+    }
+}
+
+/// Does the token range mention the identifier `name`?
+fn range_mentions(m: &FileModel<'_>, range: (usize, usize), name: &str) -> bool {
+    (range.0..range.1).any(|i| m.code[i].kind == TokKind::Ident && m.text(i) == name)
+}
+
 /// Is this arm pattern "enum-like": a `::` path, or a single bare
 /// uppercase identifier (a unit variant brought into scope)?
 fn enum_like(m: &FileModel<'_>, pat: (usize, usize)) -> bool {
@@ -354,6 +405,16 @@ pub(super) fn run(m: &FileModel<'_>, flags: &PathFlags, out: &mut Vec<Finding>) 
         // Rule A: enum-variant siblings (CommMode::Dense vs
         // SparsityAware, Fetch::Dense vs Sparse, …) must issue identical
         // normalized sequences.
+        //
+        // A `CommMode::Cached` arm is special (DESIGN.md §13): its body
+        // is an `if cached_serving() { serve } else if training
+        // { refresh gather } else { exact gather }` chain. The serve
+        // branch legitimately issues *nothing* — the whole point of the
+        // tier is to skip the collective — so it is exempt from the
+        // comparison but must stay collective-free; every other branch
+        // is checked against the `SparsityAware`/`Dense` siblings
+        // independently (the refresh spellings normalize to the same
+        // "fetch" class).
         let enum_arms: Vec<usize> = (0..ma.arms.len())
             .filter(|&i| enum_like(m, ma.arms[i].pattern))
             .collect();
@@ -366,18 +427,54 @@ pub(super) fn run(m: &FileModel<'_>, flags: &PathFlags, out: &mut Vec<Finding>) 
                 considered.push(i);
             }
         }
-        if considered.iter().all(|&i| arm_events[i].is_empty()) {
+        // (label, events) sequences to compare; a Cached arm contributes
+        // one entry per non-serving branch of its chain.
+        let mut comparables: Vec<(String, Vec<Event>)> = Vec::new();
+        for &i in &considered {
+            let (ps, pe) = ma.arms[i].pattern;
+            let pat = if ps < pe {
+                m.src[m.code[ps].span.start..m.code[pe - 1].span.end].trim()
+            } else {
+                ""
+            };
+            let (bs, be) = ma.arms[i].body;
+            let chain = if range_mentions(m, ma.arms[i].pattern, "Cached") {
+                if_chain(m, bs, be)
+            } else {
+                None
+            };
+            match chain {
+                Some(branches) => {
+                    for (n, (cond, body)) in branches.iter().enumerate() {
+                        let events = ex.walk(body.0, body.1, scope);
+                        if range_mentions(m, *cond, "cached_serving") {
+                            if !events.is_empty() {
+                                out.push(super::finding(
+                                    m,
+                                    flags,
+                                    m.code[ma.kw].span,
+                                    Rule::CollectiveOrder,
+                                    format!(
+                                        "the cache-serve branch of a `Cached` arm issues {} — \
+                                         serving from cache must skip the exchange entirely",
+                                        render(&events),
+                                    ),
+                                ));
+                            }
+                        } else {
+                            comparables.push((format!("{pat} branch {}", n + 1), events));
+                        }
+                    }
+                }
+                None => comparables.push((pat.to_string(), arm_events[i].clone())),
+            }
+        }
+        if comparables.iter().all(|(_, ev)| ev.is_empty()) {
             continue;
         }
-        let reference = &arm_events[considered[0]];
-        for &i in &considered[1..] {
-            if classes(&arm_events[i]) != classes(reference) {
-                let (ps, pe) = ma.arms[i].pattern;
-                let pat = if ps < pe {
-                    &m.src[m.code[ps].span.start..m.code[pe - 1].span.end]
-                } else {
-                    ""
-                };
+        let (_, reference) = &comparables[0];
+        for (label, events) in &comparables[1..] {
+            if classes(events) != classes(reference) {
                 out.push(super::finding(
                     m,
                     flags,
@@ -388,8 +485,8 @@ pub(super) fn run(m: &FileModel<'_>, flags: &PathFlags, out: &mut Vec<Finding>) 
                          arm 1 issues {}, arm `{}` issues {} — all variants must issue \
                          the same kinds in the same order",
                         render(reference),
-                        pat.trim(),
-                        render(&arm_events[i]),
+                        label,
+                        render(events),
                     ),
                 ));
                 break;

@@ -44,8 +44,13 @@ pub(super) const CATEGORIZED_COLLECTIVES: [&str; 16] = [
 
 /// Nonblocking collective issue sites — each returns a `PendingOp` that
 /// must be `.wait(`ed on every control-flow path.
-pub(super) const PENDING_ISSUERS: [&str; 4] =
-    ["ibcast", "ibcast_shared", "igather_rows", "iallreduce_mat"];
+pub(super) const PENDING_ISSUERS: [&str; 5] = [
+    "ibcast",
+    "ibcast_shared",
+    "igather_rows",
+    "igather_rows_refresh",
+    "iallreduce_mat",
+];
 
 /// Raw byte-stream calls that belong only in `frame.rs` — anywhere
 /// else in `comm/src/` they would move wire bytes around the framed

@@ -73,6 +73,14 @@ pub struct GatheredRows {
 }
 
 impl GatheredRows {
+    /// Wrap a rank-resident full block with the identity row map — the
+    /// same payload the root of a [`Communicator::gather_rows`] receives.
+    /// Cached-mode serve epochs use this to compact the rank's own fresh
+    /// block through the exact code path of a root-side gather result.
+    pub fn full(mat: Arc<Mat>) -> Self {
+        GatheredRows { mat, rows: None }
+    }
+
     /// The gathered payload: compact `k × f` at receivers, the root's
     /// full block at the root and at `P = 1`.
     pub fn mat(&self) -> &Arc<Mat> {
@@ -578,6 +586,48 @@ impl Communicator {
         expect: Option<(usize, usize)>,
         cat: Cat,
     ) -> GatheredRows {
+        self.gather_rows_kind(
+            CollectiveKind::GatherRows,
+            root_idx,
+            data,
+            needed,
+            expect,
+            cat,
+        )
+    }
+
+    /// Cached-mode refresh epoch variant of [`Communicator::gather_rows`]:
+    /// identical exchange, costs, and words, but fingerprinted as
+    /// `gather_rows_refresh` so — under CheckMode — a rank serving its
+    /// stale cache while a peer refreshes is reported as a kind mismatch
+    /// instead of hanging or silently diverging (DESIGN.md §13).
+    pub fn gather_rows_refresh(
+        &self,
+        root_idx: usize,
+        data: Option<Arc<Mat>>,
+        needed: &[usize],
+        expect: Option<(usize, usize)>,
+        cat: Cat,
+    ) -> GatheredRows {
+        self.gather_rows_kind(
+            CollectiveKind::GatherRowsRefresh,
+            root_idx,
+            data,
+            needed,
+            expect,
+            cat,
+        )
+    }
+
+    fn gather_rows_kind(
+        &self,
+        kind: CollectiveKind,
+        root_idx: usize,
+        data: Option<Arc<Mat>>,
+        needed: &[usize],
+        expect: Option<(usize, usize)>,
+        cat: Cat,
+    ) -> GatheredRows {
         assert!(root_idx < self.size(), "gather_rows root out of range");
         assert_eq!(
             data.is_some(),
@@ -592,7 +642,7 @@ impl Communicator {
         }
         let shape = Self::gather_rows_shape(&data, expect);
         let fp = self.fingerprint(
-            CollectiveKind::GatherRows,
+            kind,
             Some(root_idx),
             None,
             std::any::type_name::<Mat>(),
@@ -602,11 +652,7 @@ impl Communicator {
             needed: needed.to_vec(),
             data,
         };
-        let (items, tmax) = self.exchange_raw(
-            CollectiveKind::GatherRows,
-            fp,
-            TxPayload::of(Arc::new(deposit)),
-        );
+        let (items, tmax) = self.exchange_raw(kind, fp, TxPayload::of(Arc::new(deposit)));
         let (out, cost, words) = self.gather_rows_finish(root_idx, needed, expect, items);
         self.settle(tmax, cat, cost, words);
         out
@@ -773,6 +819,47 @@ impl Communicator {
         expect: Option<(usize, usize)>,
         cat: Cat,
     ) -> PendingOp<'_, GatheredRows> {
+        self.igather_rows_kind(
+            CollectiveKind::IGatherRows,
+            root_idx,
+            data,
+            needed,
+            expect,
+            cat,
+        )
+    }
+
+    /// Cached-mode refresh epoch variant of
+    /// [`Communicator::igather_rows`]: identical exchange, costs, and
+    /// words, fingerprinted as `igather_rows_refresh` (see
+    /// [`Communicator::gather_rows_refresh`]).
+    pub fn igather_rows_refresh(
+        &self,
+        root_idx: usize,
+        data: Option<Arc<Mat>>,
+        needed: &[usize],
+        expect: Option<(usize, usize)>,
+        cat: Cat,
+    ) -> PendingOp<'_, GatheredRows> {
+        self.igather_rows_kind(
+            CollectiveKind::IGatherRowsRefresh,
+            root_idx,
+            data,
+            needed,
+            expect,
+            cat,
+        )
+    }
+
+    fn igather_rows_kind(
+        &self,
+        kind: CollectiveKind,
+        root_idx: usize,
+        data: Option<Arc<Mat>>,
+        needed: &[usize],
+        expect: Option<(usize, usize)>,
+        cat: Cat,
+    ) -> PendingOp<'_, GatheredRows> {
         assert!(root_idx < self.size(), "igather_rows root out of range");
         assert_eq!(
             data.is_some(),
@@ -791,7 +878,7 @@ impl Communicator {
             };
             return PendingOp::ready(
                 self,
-                CollectiveKind::IGatherRows,
+                kind,
                 cat,
                 GatheredRows {
                     mat: block,
@@ -801,7 +888,7 @@ impl Communicator {
         }
         let shape = Self::gather_rows_shape(&data, expect);
         let fp = self.fingerprint(
-            CollectiveKind::IGatherRows,
+            kind,
             Some(root_idx),
             None,
             std::any::type_name::<Mat>(),
@@ -811,19 +898,27 @@ impl Communicator {
             needed: needed.to_vec(),
             data,
         };
-        let seq = self.issue_raw(
-            CollectiveKind::IGatherRows,
-            fp,
-            TxPayload::of(Arc::new(deposit)),
-        );
+        let seq = self.issue_raw(kind, fp, TxPayload::of(Arc::new(deposit)));
         let needed = needed.to_vec();
         PendingOp::in_flight(
             self,
-            CollectiveKind::IGatherRows,
+            kind,
             cat,
             seq,
             Box::new(move |comm, items| comm.gather_rows_finish(root_idx, &needed, expect, items)),
         )
+    }
+
+    /// Meter a cache-served stage operand: record the words the skipped
+    /// gather would have moved (plus one message) under [`Cat::CacheHit`].
+    /// Purely bookkeeping — no rendezvous, no clock movement, and no
+    /// effect on `comm_words()`, so the dense-word collapse of cached
+    /// training stays honest (DESIGN.md §13).
+    pub fn cache_hit(&self, words: u64) {
+        self.meter
+            .borrow_mut()
+            .timeline
+            .record_traffic(Cat::CacheHit, words);
     }
 
     /// Nonblocking [`Communicator::allreduce_mat`]: deposit now, sum (in

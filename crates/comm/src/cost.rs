@@ -51,10 +51,21 @@ pub enum Cat {
     /// per-category seconds (excluding [`Cat::Overlapped`]) reconcile
     /// with [`crate::timeline::Timeline::clock`].
     Idle,
+    /// Stage operand served from a rank-local halo cache ("cache"):
+    /// meters the words the skipped gather *would* have moved and one
+    /// message per served stage, but never charges seconds — a cache hit
+    /// costs no modeled time, so `Σ categories == clock()` holds
+    /// trivially. Populated only by cached-mode training (DESIGN.md §13);
+    /// excluded from `comm_words()` so the dense-word collapse stays
+    /// visible.
+    CacheHit,
 }
 
+/// Number of categories (array-backed accumulators are sized by this).
+pub const NUM_CATS: usize = 9;
+
 /// All categories, for iteration.
-pub const ALL_CATS: [Cat; 8] = [
+pub const ALL_CATS: [Cat; NUM_CATS] = [
     Cat::Spmm,
     Cat::DenseComm,
     Cat::SparseComm,
@@ -63,6 +74,7 @@ pub const ALL_CATS: [Cat; 8] = [
     Cat::Misc,
     Cat::Overlapped,
     Cat::Idle,
+    Cat::CacheHit,
 ];
 
 impl Cat {
@@ -77,6 +89,7 @@ impl Cat {
             Cat::Misc => 5,
             Cat::Overlapped => 6,
             Cat::Idle => 7,
+            Cat::CacheHit => 8,
         }
     }
 
@@ -91,6 +104,7 @@ impl Cat {
             Cat::Misc => "misc",
             Cat::Overlapped => "ovlp",
             Cat::Idle => "idle",
+            Cat::CacheHit => "cache",
         }
     }
 }
@@ -481,7 +495,7 @@ mod tests {
 
     #[test]
     fn cat_indices_unique() {
-        let mut seen = [false; 8];
+        let mut seen = [false; NUM_CATS];
         for c in ALL_CATS {
             assert!(!seen[c.index()]);
             seen[c.index()] = true;

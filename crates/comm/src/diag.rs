@@ -64,9 +64,21 @@ impl Diagnostics {
     }
 
     /// Set a rank's lifecycle phase (clears any wait registration).
+    ///
+    /// `Done` and `Panicked` are terminal. On the socket transport a
+    /// rank's frames are handled by per-connection threads: the peer
+    /// that completes a collective marks the served members `Running`
+    /// *after* sending their collect frames, so a fast member can ship
+    /// its `RESULT` (→ `Done`) in that window and then be stomped back
+    /// to `Running` by the slower thread. The watchdog only exits when
+    /// every rank is terminal, so that lost update would hang the
+    /// launcher; refusing to leave a terminal phase closes the race.
     pub fn set_phase(&self, rank: usize, phase: RankPhase) {
         let mut s = lock(&self.states);
         if let Some(snap) = s.get_mut(rank) {
+            if terminal(snap.phase) {
+                return;
+            }
             snap.phase = phase;
             snap.wait = None;
         }
@@ -92,6 +104,9 @@ impl Diagnostics {
     pub fn set_blocked(&self, rank: usize, wait: WaitSlot) {
         let mut s = lock(&self.states);
         if let Some(snap) = s.get_mut(rank) {
+            if terminal(snap.phase) {
+                return;
+            }
             snap.phase = RankPhase::Blocked;
             snap.wait = Some(wait);
         }
@@ -167,6 +182,12 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Whether a phase is terminal: the rank has reported a result or a
+/// failure and can never re-enter the run.
+fn terminal(phase: RankPhase) -> bool {
+    matches!(phase, RankPhase::Done | RankPhase::Panicked)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +229,32 @@ mod tests {
         let h = d.histories();
         assert_eq!(h[0].len(), HISTORY_LEN);
         assert_eq!(h[0][0].slot.seq, 5);
+    }
+
+    #[test]
+    fn done_and_panicked_are_terminal() {
+        // The socket hub's lost-update race: a rank reports its RESULT
+        // (→ Done) while the peer thread that completed its last
+        // collective is about to mark it Running. The late transition
+        // must lose, or the CheckMode watchdog waits forever.
+        let d = Diagnostics::default();
+        d.init(2);
+        d.set_phase(1, RankPhase::Done);
+        d.set_phase(1, RankPhase::Running);
+        assert_eq!(d.snapshot()[1].phase, RankPhase::Done);
+        d.set_blocked(
+            1,
+            WaitSlot {
+                slot: SlotId { comm: 1, seq: 3 },
+                kind: CollectiveKind::Barrier,
+                members: vec![0, 1],
+            },
+        );
+        assert_eq!(d.snapshot()[1].phase, RankPhase::Done);
+        assert!(d.snapshot()[1].wait.is_none());
+        d.set_phase(0, RankPhase::Panicked);
+        d.set_phase(0, RankPhase::Running);
+        assert_eq!(d.snapshot()[0].phase, RankPhase::Panicked);
     }
 
     #[test]

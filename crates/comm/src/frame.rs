@@ -526,6 +526,8 @@ impl Wire for CollectiveKind {
             CollectiveKind::IBcast => 12,
             CollectiveKind::IGatherRows => 13,
             CollectiveKind::IAllreduceMat => 14,
+            CollectiveKind::GatherRowsRefresh => 15,
+            CollectiveKind::IGatherRowsRefresh => 16,
         };
         out.push(tag);
     }
@@ -546,6 +548,8 @@ impl Wire for CollectiveKind {
             12 => CollectiveKind::IBcast,
             13 => CollectiveKind::IGatherRows,
             14 => CollectiveKind::IAllreduceMat,
+            15 => CollectiveKind::GatherRowsRefresh,
+            16 => CollectiveKind::IGatherRowsRefresh,
             _ => return Err(FrameError::Malformed("collective kind out of range")),
         })
     }

@@ -30,7 +30,7 @@ pub mod transport;
 pub use cagnet_check::CheckMode;
 pub use cluster::{Cluster, Ctx};
 pub use comm::{Communicator, GatheredRows, PendingOp};
-pub use cost::{Cat, CommWords, CostModel};
+pub use cost::{Cat, CommWords, CostModel, ALL_CATS, NUM_CATS};
 pub use frame::Wire;
 pub use grid::{Grid2D, Grid3D};
 #[cfg(unix)]

@@ -18,7 +18,7 @@
 //! and only the uncovered remainder advances the clock, making a
 //! pipelined stage cost `max(compute, comm)` instead of their sum.
 
-use crate::cost::{Cat, CostModel, ALL_CATS};
+use crate::cost::{Cat, CostModel, ALL_CATS, NUM_CATS};
 use crate::trace::TraceEvent;
 
 /// Modeled-time ledger for one rank.
@@ -29,9 +29,9 @@ pub struct Timeline {
     /// lane of the dual-lane model. Never ahead of `clock` unless a
     /// pending (nonblocking) op is in flight.
     net_free: f64,
-    seconds: [f64; 8],
-    words: [u64; 8],
-    messages: [u64; 8],
+    seconds: [f64; NUM_CATS],
+    words: [u64; NUM_CATS],
+    messages: [u64; NUM_CATS],
     /// When `Some`, every charge/wait is recorded as a trace event.
     trace: Option<Vec<TraceEvent>>,
 }
@@ -190,9 +190,9 @@ impl Timeline {
 pub struct TimelineReport {
     /// Final BSP clock.
     pub clock: f64,
-    seconds: [f64; 8],
-    words: [u64; 8],
-    messages: [u64; 8],
+    seconds: [f64; NUM_CATS],
+    words: [u64; NUM_CATS],
+    messages: [u64; NUM_CATS],
 }
 
 impl crate::frame::Wire for TimelineReport {
@@ -475,6 +475,22 @@ mod tests {
         assert_eq!(t.comm_words(), 160);
         // Traffic does not advance the clock.
         assert_eq!(t.clock(), 0.0);
+    }
+
+    #[test]
+    fn cache_hits_meter_words_but_not_clock_or_comm_words() {
+        let mut t = Timeline::new();
+        t.record_traffic(Cat::CacheHit, 500);
+        t.record_traffic(Cat::DenseComm, 10);
+        assert_eq!(t.words(Cat::CacheHit), 500);
+        assert_eq!(t.messages(Cat::CacheHit), 1);
+        // Served stages cost no modeled time and stay out of the
+        // dense+sparse wire total — the collapse remains visible.
+        assert_eq!(t.clock(), 0.0);
+        assert_eq!(t.comm_words(), 10);
+        let rep = t.report();
+        assert_eq!(rep.words(Cat::CacheHit), 500);
+        assert!((rep.busy_seconds() - rep.clock).abs() < 1e-12);
     }
 
     #[test]

@@ -51,6 +51,19 @@ use std::sync::Arc;
 /// side of every SUMMA stage. See DESIGN.md §9 for the cost accounting,
 /// the per-stage needed-row derivation, and when `Dense` still wins.
 ///
+/// `Cached` layers DistGNN-style halo caching (arXiv:2104.06700) on top
+/// of the sparsity-aware exchange: each rank keeps an epoch-stamped cache
+/// of the compact row blocks it fetched, refreshes them every `refresh`
+/// training epochs through the nonblocking prefetch lane, and on the
+/// epochs in between skips the collective entirely, serving the (stale)
+/// cached rows. Remote rows are then up to `refresh − 1` epochs stale;
+/// the rank's own block is always fresh. Training results are **not**
+/// bit-identical to exact training for `refresh > 1` — see DESIGN.md §13
+/// for the staleness semantics and the convergence harness
+/// (`cached_bench`). `refresh: 1` refreshes every epoch and is
+/// bit-identical to `SparsityAware`. Evaluation forward passes never
+/// read or write the cache.
+///
 /// [`gather_rows`]: cagnet_comm::comm::Communicator::gather_rows
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum CommMode {
@@ -59,6 +72,32 @@ pub enum CommMode {
     Dense,
     /// Exchange only the rows each receiver's sparse block references.
     SparsityAware,
+    /// Sparsity-aware exchange with rank-local halo caching: gather
+    /// fresh rows every `refresh` training epochs, serve the cache on
+    /// the epochs in between. `refresh` must be ≥ 1.
+    Cached {
+        /// Refresh period in training epochs (1 = refresh every epoch,
+        /// bit-identical to [`CommMode::SparsityAware`]).
+        refresh: usize,
+    },
+}
+
+impl CommMode {
+    /// The cached tier's refresh period, if this is [`CommMode::Cached`].
+    pub fn cached_refresh(self) -> Option<usize> {
+        match self {
+            CommMode::Cached { refresh } => Some(refresh),
+            _ => None,
+        }
+    }
+
+    /// Whether stage operands move as compact needed-row sets (the
+    /// sparsity-aware and cached tiers) rather than full-block
+    /// broadcasts. Trainers use this to decide when to build and
+    /// multiply against column-compacted sparse panels.
+    pub(crate) fn sparse_exchange(self) -> bool {
+        !matches!(self, CommMode::Dense)
+    }
 }
 
 /// Why a distributed trainer cannot be constructed on this cluster
@@ -102,8 +141,13 @@ impl std::error::Error for SetupError {}
 pub(crate) enum Fetch<'c> {
     /// Pending full-block broadcast (`CommMode::Dense`).
     Dense(PendingOp<'c, Arc<Mat>>),
-    /// Pending row gather (`CommMode::SparsityAware`).
+    /// Pending row gather (`CommMode::SparsityAware`, and cached-mode
+    /// refresh epochs).
     Sparse(PendingOp<'c, GatheredRows>),
+    /// Stage operand already resident: a cached compact block served
+    /// without any collective (`CommMode::Cached` non-refresh epochs),
+    /// or a fresh locally-extracted compact of the rank's own block.
+    Cached(Arc<Mat>),
 }
 
 impl Fetch<'_> {
@@ -116,6 +160,78 @@ impl Fetch<'_> {
         match self {
             Fetch::Dense(op) => op.wait(),
             Fetch::Sparse(op) => op.wait().compact(needed),
+            Fetch::Cached(mat) => mat,
+        }
+    }
+}
+
+/// Rank-local cache of the compact stage operands a trainer fetched on
+/// its last refresh epoch (`CommMode::Cached`, DESIGN.md §13). One slot
+/// per (layer, stage) — trainers compute the slot index. The
+/// refresh-vs-serve decision is taken **once per training epoch**
+/// ([`HaloCache::begin_epoch`]) and replicated across ranks (epoch
+/// counters and refresh periods are identical everywhere), so on serve
+/// epochs no rank issues the collective and the BSP sequence stays
+/// aligned; on refresh epochs every rank gathers through the
+/// `*_refresh`-fingerprinted collectives.
+#[derive(Debug, Default)]
+pub(crate) struct HaloCache {
+    slots: Vec<Option<Arc<Mat>>>,
+    /// Whether the current training epoch refreshes (gathers fresh rows)
+    /// instead of serving the cache.
+    refresh_now: bool,
+    /// A refresh epoch has completed since construction/invalidation.
+    valid: bool,
+}
+
+impl HaloCache {
+    /// Decide once, at the top of training epoch `epoch` (1-based), and
+    /// for the whole forward+backward pass, whether this epoch refreshes.
+    /// Refresh is due when the cache has never been filled (or was
+    /// invalidated) or when the periodic schedule hits: epochs `1`,
+    /// `1 + refresh`, `1 + 2·refresh`, ...
+    pub(crate) fn begin_epoch(&mut self, refresh: usize, epoch: usize) {
+        assert!(refresh >= 1, "CommMode::Cached refresh must be >= 1");
+        self.refresh_now = !self.valid || (epoch.max(1) - 1).is_multiple_of(refresh);
+        // The pass ahead repopulates every slot it will later serve, and
+        // while `refresh_now` holds no slot is read — so the cache can be
+        // declared valid immediately.
+        if self.refresh_now {
+            self.valid = true;
+        }
+    }
+
+    /// Whether the current epoch gathers fresh rows (true) or serves the
+    /// cache (false). Stable for the whole pass.
+    pub(crate) fn refreshing(&self) -> bool {
+        self.refresh_now
+    }
+
+    /// Drop every cached block and force the next training epoch to
+    /// refresh — required whenever the precomputed needed-row sets or the
+    /// adjacency may have changed (re-setup, `set_comm_mode`).
+    pub(crate) fn invalidate(&mut self) {
+        self.slots.clear();
+        self.valid = false;
+        self.refresh_now = false;
+    }
+
+    /// Store the compact block fetched for `slot` on a refresh epoch.
+    pub(crate) fn store(&mut self, slot: usize, block: Arc<Mat>) {
+        if self.slots.len() <= slot {
+            self.slots.resize(slot + 1, None);
+        }
+        self.slots[slot] = Some(block);
+    }
+
+    /// Serve the cached compact block for `slot`.
+    pub(crate) fn get(&self, slot: usize) -> Arc<Mat> {
+        match self.slots.get(slot) {
+            Some(Some(b)) => b.clone(),
+            _ => panic!(
+                "halo cache: serve of slot {slot} before any refresh epoch populated it \
+                 (cache invalidation or refresh scheduling bug)"
+            ),
         }
     }
 }

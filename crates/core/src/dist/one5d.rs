@@ -33,13 +33,14 @@ use crate::model::GcnConfig;
 use crate::optimizer::{Optimizer, OptimizerKind};
 use crate::problem::Problem;
 use cagnet_comm::comm::Communicator;
-use cagnet_comm::{Cat, Ctx};
+use cagnet_comm::{Cat, Ctx, GatheredRows};
 use cagnet_dense::activation::{log_softmax_rows, Activation};
 use cagnet_dense::ops::hadamard_assign;
 use cagnet_dense::{matmul_nt_with, matmul_tn_with, matmul_with, Mat};
 use cagnet_sparse::partition::block_ranges;
 use cagnet_sparse::spmm::{outer_product_from_transposed, spmm_acc_with};
 use cagnet_sparse::Csr;
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Per-rank state of the 1.5D trainer.
@@ -72,6 +73,9 @@ pub struct One5DTrainer {
     /// Dense broadcast vs sparsity-aware row exchange for the forward
     /// stages.
     comm_mode: super::CommMode,
+    /// Cached-mode halo cache: one slot per (layer, forward stage)
+    /// replica-group fetch (see [`super::HaloCache`]; DESIGN.md §13).
+    cache: RefCell<super::HaloCache>,
     /// Issue-ahead pipelining: prefetch stage `i'+1`'s fine block with a
     /// nonblocking collective while stage `i'` computes (DESIGN.md §10).
     overlap: bool,
@@ -187,6 +191,7 @@ impl One5DTrainer {
             needed,
             at_compact: Vec::new(),
             comm_mode: super::CommMode::Dense,
+            cache: RefCell::new(super::HaloCache::default()),
             overlap: true,
             at_bwd,
             labels: Arc::new(problem.labels.clone()),
@@ -214,9 +219,57 @@ impl One5DTrainer {
         (self.at_fwd[ip].cols(), self.hs[l].cols())
     }
 
+    /// Cache slot of the (layer `l`, forward stage `ip`) fetch.
+    fn slot(&self, l: usize, ip: usize) -> usize {
+        l * self.p1 + ip
+    }
+
+    /// Whether the current pass serves stage operands from the halo cache
+    /// (cached mode, training, non-refresh epoch).
+    fn cached_serving(&self) -> bool {
+        matches!(self.comm_mode, super::CommMode::Cached { .. })
+            && self.training
+            && !self.cache.borrow().refreshing()
+    }
+
+    /// Whether the current pass must store its gathered blocks into the
+    /// halo cache (cached mode, training, refresh epoch).
+    fn cached_refreshing(&self) -> bool {
+        matches!(self.comm_mode, super::CommMode::Cached { .. })
+            && self.training
+            && self.cache.borrow().refreshing()
+    }
+
+    /// Serve stage `ip` of layer `l` with no replica-group collective:
+    /// the team's own fine block compacts fresh locally (zero words);
+    /// remote blocks come from the cache, metering the skipped gather's
+    /// words under [`Cat::CacheHit`].
+    fn serve_cached(&self, l: usize, ip: usize) -> Arc<Mat> {
+        if ip == self.ti {
+            GatheredRows::full(self.hs[l].clone()).compact(&self.needed[ip])
+        } else {
+            let row_words = self.hs[l].cols() as u64 + 1;
+            self.rep.cache_hit(self.needed[ip].len() as u64 * row_words);
+            self.cache.borrow().get(self.slot(l, ip))
+        }
+    }
+
+    /// Store a freshly gathered compact block on refresh epochs (remote
+    /// stages only).
+    fn maybe_store(&self, l: usize, ip: usize, block: &Arc<Mat>) {
+        if self.cached_refreshing() && ip != self.ti {
+            self.cache
+                .borrow_mut()
+                .store(self.slot(l, ip), block.clone());
+        }
+    }
+
     /// Issue the stage-`ip` replica-group fetch of layer `l`'s fine `H`
     /// block as a nonblocking collective (dense broadcast or
-    /// sparsity-aware row gather, per [`Self::set_comm_mode`]).
+    /// sparsity-aware row gather, per [`Self::set_comm_mode`]). In cached
+    /// mode, refresh epochs gather through the `igather_rows_refresh`
+    /// prefetch lane and serve epochs return the resident block with no
+    /// collective.
     fn issue_fetch(&self, l: usize, ip: usize) -> super::Fetch<'_> {
         let payload = (ip == self.ti).then(|| self.hs[l].clone());
         match self.comm_mode {
@@ -230,6 +283,27 @@ impl One5DTrainer {
                 Some(self.stage_dims(l, ip)),
                 Cat::DenseComm,
             )),
+            super::CommMode::Cached { .. } => {
+                if self.cached_serving() {
+                    super::Fetch::Cached(self.serve_cached(l, ip))
+                } else if self.training {
+                    super::Fetch::Sparse(self.rep.igather_rows_refresh(
+                        ip,
+                        payload,
+                        &self.needed[ip],
+                        Some(self.stage_dims(l, ip)),
+                        Cat::DenseComm,
+                    ))
+                } else {
+                    super::Fetch::Sparse(self.rep.igather_rows(
+                        ip,
+                        payload,
+                        &self.needed[ip],
+                        Some(self.stage_dims(l, ip)),
+                        Cat::DenseComm,
+                    ))
+                }
+            }
         }
     }
 
@@ -266,14 +340,41 @@ impl One5DTrainer {
                                 Cat::DenseComm,
                             )
                             .compact(&self.needed[ip]),
+                        super::CommMode::Cached { .. } => {
+                            if self.cached_serving() {
+                                self.serve_cached(l, ip)
+                            } else if self.training {
+                                self.rep
+                                    .gather_rows_refresh(
+                                        ip,
+                                        payload,
+                                        &self.needed[ip],
+                                        Some(self.stage_dims(l, ip)),
+                                        Cat::DenseComm,
+                                    )
+                                    .compact(&self.needed[ip])
+                            } else {
+                                self.rep
+                                    .gather_rows(
+                                        ip,
+                                        payload,
+                                        &self.needed[ip],
+                                        Some(self.stage_dims(l, ip)),
+                                        Cat::DenseComm,
+                                    )
+                                    .compact(&self.needed[ip])
+                            }
+                        }
                     }
                 }
             };
+            self.maybe_store(l, ip, &h_b);
             // Same nnz/rows either way (compact only renumbers columns):
             // identical charged cost and accumulation order.
-            let a = match self.comm_mode {
-                super::CommMode::Dense => &self.at_fwd[ip],
-                super::CommMode::SparsityAware => &self.at_compact[ip],
+            let a = if self.comm_mode.sparse_exchange() {
+                &self.at_compact[ip]
+            } else {
+                &self.at_fwd[ip]
             };
             ctx.charge_spmm(a.nnz(), coarse_rows, f_in);
             spmm_acc_with(ctx.parallel(), a, &h_b, &mut partial);
@@ -375,6 +476,11 @@ impl One5DTrainer {
     pub fn epoch(&mut self, ctx: &Ctx) -> f64 {
         self.training = true;
         self.epoch_counter += 1;
+        if let Some(refresh) = self.comm_mode.cached_refresh() {
+            self.cache
+                .borrow_mut()
+                .begin_epoch(refresh, self.epoch_counter as usize);
+        }
         let loss = self.forward(ctx);
         self.backward(ctx);
         self.training = false;
@@ -430,12 +536,14 @@ impl One5DTrainer {
         self.dropout = rate;
     }
 
-    /// Choose dense broadcasts or the sparsity-aware row exchange for the
-    /// forward stages (see [`super::CommMode`]). Training results are
-    /// bit-identical in both modes; only the metered communication
-    /// changes. Must be set identically on every rank.
+    /// Choose dense broadcasts, the sparsity-aware row exchange, or the
+    /// cached tier for the forward stages (see [`super::CommMode`]).
+    /// `Dense` and `SparsityAware` train bit-identically; `Cached` is
+    /// bit-identical only at `refresh: 1` (DESIGN.md §13). Must be set
+    /// identically on every rank. Always drops any halo cache, so a mode
+    /// change can never serve stale blocks.
     pub fn set_comm_mode(&mut self, mode: super::CommMode) {
-        if mode == super::CommMode::SparsityAware && self.at_compact.is_empty() {
+        if mode.sparse_exchange() && self.at_compact.is_empty() {
             self.at_compact = self
                 .at_fwd
                 .iter()
@@ -443,6 +551,7 @@ impl One5DTrainer {
                 .map(|(a, nd)| a.compact_cols(nd))
                 .collect();
         }
+        self.cache.borrow_mut().invalidate();
         self.comm_mode = mode;
     }
 

@@ -17,13 +17,14 @@ use crate::loss::{accuracy_counts, nll_sum, output_gradient};
 use crate::model::GcnConfig;
 use crate::optimizer::{Optimizer, OptimizerKind};
 use crate::problem::Problem;
-use cagnet_comm::{Cat, Ctx};
+use cagnet_comm::{Cat, Ctx, GatheredRows};
 use cagnet_dense::activation::{log_softmax_rows, Activation};
 use cagnet_dense::ops::hadamard_assign;
 use cagnet_dense::{matmul_nt_with, matmul_tn_with, matmul_with, Mat};
 use cagnet_sparse::partition::{block_range, block_ranges};
 use cagnet_sparse::spmm::{outer_product_from_transposed, spmm_acc_with};
 use cagnet_sparse::Csr;
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Per-rank state of the 1D trainer.
@@ -46,6 +47,10 @@ pub struct OneDimTrainer {
     /// Dense broadcast vs sparsity-aware row exchange for the forward
     /// stages.
     comm_mode: super::CommMode,
+    /// Cached-mode halo cache: one slot per (layer, stage) forward fetch
+    /// (see [`super::HaloCache`]; DESIGN.md §13). Interior-mutable so the
+    /// `&self` fetch helpers can store refreshed blocks.
+    cache: RefCell<super::HaloCache>,
     /// Issue-ahead pipelining: prefetch stage `j+1`'s block with a
     /// nonblocking collective while stage `j` computes (DESIGN.md §10).
     overlap: bool,
@@ -117,6 +122,7 @@ impl OneDimTrainer {
             needed,
             at_compact: Vec::new(),
             comm_mode: super::CommMode::Dense,
+            cache: RefCell::new(super::HaloCache::default()),
             overlap: true,
             at_row,
             labels: Arc::new(problem.labels.clone()),
@@ -148,9 +154,58 @@ impl OneDimTrainer {
         (self.at_blocks[j].cols(), self.hs[l].cols())
     }
 
+    /// Cache slot of the (layer `l`, stage `j`) forward fetch.
+    fn slot(&self, l: usize, j: usize) -> usize {
+        l * self.at_blocks.len() + j
+    }
+
+    /// Whether the current pass serves stage operands from the halo cache
+    /// (cached mode, training, non-refresh epoch). Evaluation forwards
+    /// always gather fresh.
+    fn cached_serving(&self) -> bool {
+        matches!(self.comm_mode, super::CommMode::Cached { .. })
+            && self.training
+            && !self.cache.borrow().refreshing()
+    }
+
+    /// Whether the current pass must store its gathered blocks into the
+    /// halo cache (cached mode, training, refresh epoch).
+    fn cached_refreshing(&self) -> bool {
+        matches!(self.comm_mode, super::CommMode::Cached { .. })
+            && self.training
+            && self.cache.borrow().refreshing()
+    }
+
+    /// Serve stage `j` of layer `l` without any collective: the rank's
+    /// own block compacts fresh from local state (zero words, like the
+    /// root of the skipped gather); remote blocks come from the cache,
+    /// metering the words the skipped gather would have moved under
+    /// [`Cat::CacheHit`].
+    fn serve_cached(&self, ctx: &Ctx, l: usize, j: usize) -> Arc<Mat> {
+        if j == ctx.rank {
+            GatheredRows::full(self.hs[l].clone()).compact(&self.needed[j])
+        } else {
+            let row_words = self.hs[l].cols() as u64 + 1;
+            ctx.world.cache_hit(self.needed[j].len() as u64 * row_words);
+            self.cache.borrow().get(self.slot(l, j))
+        }
+    }
+
+    /// Store a freshly gathered compact block on refresh epochs (remote
+    /// stages only — the rank's own block is always served fresh).
+    fn maybe_store(&self, ctx: &Ctx, l: usize, j: usize, block: &Arc<Mat>) {
+        if self.cached_refreshing() && j != ctx.rank {
+            self.cache
+                .borrow_mut()
+                .store(self.slot(l, j), block.clone());
+        }
+    }
+
     /// Issue the stage-`j` fetch of layer `l`'s activation block as a
     /// nonblocking collective (dense broadcast or sparsity-aware row
-    /// gather, per [`Self::set_comm_mode`]).
+    /// gather, per [`Self::set_comm_mode`]). In cached mode, refresh
+    /// epochs gather through the `igather_rows_refresh` prefetch lane and
+    /// serve epochs return the resident block with no collective at all.
     fn issue_fetch<'c>(&self, ctx: &'c Ctx, l: usize, j: usize) -> super::Fetch<'c> {
         let payload = (j == ctx.rank).then(|| self.hs[l].clone());
         match self.comm_mode {
@@ -164,6 +219,27 @@ impl OneDimTrainer {
                 Some(self.stage_dims(l, j)),
                 Cat::DenseComm,
             )),
+            super::CommMode::Cached { .. } => {
+                if self.cached_serving() {
+                    super::Fetch::Cached(self.serve_cached(ctx, l, j))
+                } else if self.training {
+                    super::Fetch::Sparse(ctx.world.igather_rows_refresh(
+                        j,
+                        payload,
+                        &self.needed[j],
+                        Some(self.stage_dims(l, j)),
+                        Cat::DenseComm,
+                    ))
+                } else {
+                    super::Fetch::Sparse(ctx.world.igather_rows(
+                        j,
+                        payload,
+                        &self.needed[j],
+                        Some(self.stage_dims(l, j)),
+                        Cat::DenseComm,
+                    ))
+                }
+            }
         }
     }
 
@@ -210,16 +286,43 @@ impl OneDimTrainer {
                                     Cat::DenseComm,
                                 )
                                 .compact(&self.needed[j]),
+                            super::CommMode::Cached { .. } => {
+                                if self.cached_serving() {
+                                    self.serve_cached(ctx, l, j)
+                                } else if self.training {
+                                    ctx.world
+                                        .gather_rows_refresh(
+                                            j,
+                                            payload,
+                                            &self.needed[j],
+                                            Some(self.stage_dims(l, j)),
+                                            Cat::DenseComm,
+                                        )
+                                        .compact(&self.needed[j])
+                                } else {
+                                    ctx.world
+                                        .gather_rows(
+                                            j,
+                                            payload,
+                                            &self.needed[j],
+                                            Some(self.stage_dims(l, j)),
+                                            Cat::DenseComm,
+                                        )
+                                        .compact(&self.needed[j])
+                                }
+                            }
                         }
                     }
                 };
+                self.maybe_store(ctx, l, j, &hj);
                 // The compact panel has the same nnz/rows as the full
                 // block (columns are only renumbered), so the charged
                 // SpMM cost — and the accumulation order — is identical
                 // in both modes.
-                let a = match self.comm_mode {
-                    super::CommMode::Dense => &self.at_blocks[j],
-                    super::CommMode::SparsityAware => &self.at_compact[j],
+                let a = if self.comm_mode.sparse_exchange() {
+                    &self.at_compact[j]
+                } else {
+                    &self.at_blocks[j]
                 };
                 ctx.charge_spmm(a.nnz(), a.rows(), f_in);
                 spmm_acc_with(ctx.parallel(), a, &hj, &mut t);
@@ -301,6 +404,11 @@ impl OneDimTrainer {
     pub fn epoch(&mut self, ctx: &Ctx) -> f64 {
         self.training = true;
         self.epoch_counter += 1;
+        if let Some(refresh) = self.comm_mode.cached_refresh() {
+            self.cache
+                .borrow_mut()
+                .begin_epoch(refresh, self.epoch_counter as usize);
+        }
         let loss = self.forward(ctx);
         self.backward(ctx);
         self.training = false;
@@ -357,12 +465,15 @@ impl OneDimTrainer {
         self.dropout = rate;
     }
 
-    /// Choose dense broadcasts or the sparsity-aware row exchange for the
-    /// forward stages (see [`super::CommMode`]). Training results are
-    /// bit-identical in both modes; only the metered communication
-    /// changes. Must be set identically on every rank.
+    /// Choose dense broadcasts, the sparsity-aware row exchange, or the
+    /// cached tier for the forward stages (see [`super::CommMode`]).
+    /// `Dense` and `SparsityAware` train bit-identically; `Cached` is
+    /// bit-identical only at `refresh: 1` (DESIGN.md §13). Must be set
+    /// identically on every rank. Always drops any halo cache, so a mode
+    /// change (or re-set after mutating state) can never serve stale
+    /// blocks.
     pub fn set_comm_mode(&mut self, mode: super::CommMode) {
-        if mode == super::CommMode::SparsityAware && self.at_compact.is_empty() {
+        if mode.sparse_exchange() && self.at_compact.is_empty() {
             self.at_compact = self
                 .at_blocks
                 .iter()
@@ -370,6 +481,7 @@ impl OneDimTrainer {
                 .map(|(a, nd)| a.compact_cols(nd))
                 .collect();
         }
+        self.cache.borrow_mut().invalidate();
         self.comm_mode = mode;
     }
 

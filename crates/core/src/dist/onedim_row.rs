@@ -15,13 +15,14 @@ use crate::loss::{accuracy_counts, nll_sum, output_gradient};
 use crate::model::GcnConfig;
 use crate::optimizer::{Optimizer, OptimizerKind};
 use crate::problem::Problem;
-use cagnet_comm::{Cat, Ctx};
+use cagnet_comm::{Cat, Ctx, GatheredRows};
 use cagnet_dense::activation::{log_softmax_rows, Activation};
 use cagnet_dense::ops::hadamard_assign;
 use cagnet_dense::{matmul_nt_with, matmul_tn_with, matmul_with, Mat};
 use cagnet_sparse::partition::{block_range, block_ranges};
 use cagnet_sparse::spmm::{outer_product_from_transposed, spmm_acc_with};
 use cagnet_sparse::Csr;
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Per-rank state of the row-partitioned 1D trainer.
@@ -46,6 +47,9 @@ pub struct OneDimRowTrainer {
     /// Dense broadcast vs sparsity-aware row exchange for the backward
     /// stages.
     comm_mode: super::CommMode,
+    /// Cached-mode halo cache: one slot per (layer, stage) backward
+    /// gradient fetch (see [`super::HaloCache`]; DESIGN.md §13).
+    cache: RefCell<super::HaloCache>,
     /// Issue-ahead pipelining: prefetch stage `j+1`'s gradient block with
     /// a nonblocking collective while stage `j` computes (DESIGN.md §10).
     overlap: bool,
@@ -105,6 +109,7 @@ impl OneDimRowTrainer {
             needed,
             a_compact: Vec::new(),
             comm_mode: super::CommMode::Dense,
+            cache: RefCell::new(super::HaloCache::default()),
             overlap: true,
             labels: Arc::new(problem.labels.clone()),
             mask: Arc::new(problem.train_mask.clone()),
@@ -130,10 +135,58 @@ impl OneDimRowTrainer {
         (self.a_blocks[j].cols(), g.cols())
     }
 
+    /// Cache slot of the (layer `l`, stage `j`) backward fetch.
+    fn slot(&self, l: usize, j: usize) -> usize {
+        l * self.a_blocks.len() + j
+    }
+
+    /// Whether the current pass serves stage operands from the halo cache
+    /// (cached mode, training, non-refresh epoch).
+    fn cached_serving(&self) -> bool {
+        matches!(self.comm_mode, super::CommMode::Cached { .. })
+            && self.training
+            && !self.cache.borrow().refreshing()
+    }
+
+    /// Whether the current pass must store its gathered blocks into the
+    /// halo cache (cached mode, training, refresh epoch).
+    fn cached_refreshing(&self) -> bool {
+        matches!(self.comm_mode, super::CommMode::Cached { .. })
+            && self.training
+            && self.cache.borrow().refreshing()
+    }
+
+    /// Serve stage `j` from the halo cache with no collective: the rank's
+    /// own gradient block compacts fresh locally (zero words); remote
+    /// blocks come from the cache, metering the skipped gather's words
+    /// under [`Cat::CacheHit`]. The served gradients are up to
+    /// `refresh − 1` epochs stale (DESIGN.md §13).
+    fn serve_cached(&self, ctx: &Ctx, g: &Arc<Mat>, l: usize, j: usize) -> Arc<Mat> {
+        if j == ctx.rank {
+            GatheredRows::full(g.clone()).compact(&self.needed[j])
+        } else {
+            let row_words = g.cols() as u64 + 1;
+            ctx.world.cache_hit(self.needed[j].len() as u64 * row_words);
+            self.cache.borrow().get(self.slot(l, j))
+        }
+    }
+
+    /// Store a freshly gathered compact block on refresh epochs (remote
+    /// stages only).
+    fn maybe_store(&self, ctx: &Ctx, l: usize, j: usize, block: &Arc<Mat>) {
+        if self.cached_refreshing() && j != ctx.rank {
+            self.cache
+                .borrow_mut()
+                .store(self.slot(l, j), block.clone());
+        }
+    }
+
     /// Issue the stage-`j` fetch of the gradient block `G_j` as a
     /// nonblocking collective (dense broadcast or sparsity-aware row
-    /// gather, per [`Self::set_comm_mode`]).
-    fn issue_fetch<'c>(&self, ctx: &'c Ctx, g: &Arc<Mat>, j: usize) -> super::Fetch<'c> {
+    /// gather, per [`Self::set_comm_mode`]). In cached mode, refresh
+    /// epochs gather through the `igather_rows_refresh` prefetch lane and
+    /// serve epochs return the resident block with no collective.
+    fn issue_fetch<'c>(&self, ctx: &'c Ctx, g: &Arc<Mat>, l: usize, j: usize) -> super::Fetch<'c> {
         let payload = (j == ctx.rank).then(|| g.clone());
         match self.comm_mode {
             super::CommMode::Dense => {
@@ -146,6 +199,27 @@ impl OneDimRowTrainer {
                 Some(self.stage_dims(g, j)),
                 Cat::DenseComm,
             )),
+            super::CommMode::Cached { .. } => {
+                if self.cached_serving() {
+                    super::Fetch::Cached(self.serve_cached(ctx, g, l, j))
+                } else if self.training {
+                    super::Fetch::Sparse(ctx.world.igather_rows_refresh(
+                        j,
+                        payload,
+                        &self.needed[j],
+                        Some(self.stage_dims(g, j)),
+                        Cat::DenseComm,
+                    ))
+                } else {
+                    super::Fetch::Sparse(ctx.world.igather_rows(
+                        j,
+                        payload,
+                        &self.needed[j],
+                        Some(self.stage_dims(g, j)),
+                        Cat::DenseComm,
+                    ))
+                }
+            }
         }
     }
 
@@ -208,12 +282,12 @@ impl OneDimRowTrainer {
             // flight while stage j's SpMM computes (mirror of the column
             // variant's forward loop).
             let mut ag = Mat::zeros(self.a_row.rows(), f_out);
-            let mut pending = self.overlap.then(|| self.issue_fetch(ctx, &g, 0));
+            let mut pending = self.overlap.then(|| self.issue_fetch(ctx, &g, l, 0));
             for j in 0..p {
                 let gj = match pending.take() {
                     Some(op) => {
                         if j + 1 < p {
-                            pending = Some(self.issue_fetch(ctx, &g, j + 1));
+                            pending = Some(self.issue_fetch(ctx, &g, l, j + 1));
                         }
                         op.wait(&self.needed[j])
                     }
@@ -233,14 +307,41 @@ impl OneDimRowTrainer {
                                     Cat::DenseComm,
                                 )
                                 .compact(&self.needed[j]),
+                            super::CommMode::Cached { .. } => {
+                                if self.cached_serving() {
+                                    self.serve_cached(ctx, &g, l, j)
+                                } else if self.training {
+                                    ctx.world
+                                        .gather_rows_refresh(
+                                            j,
+                                            payload,
+                                            &self.needed[j],
+                                            Some(self.stage_dims(&g, j)),
+                                            Cat::DenseComm,
+                                        )
+                                        .compact(&self.needed[j])
+                                } else {
+                                    ctx.world
+                                        .gather_rows(
+                                            j,
+                                            payload,
+                                            &self.needed[j],
+                                            Some(self.stage_dims(&g, j)),
+                                            Cat::DenseComm,
+                                        )
+                                        .compact(&self.needed[j])
+                                }
+                            }
                         }
                     }
                 };
+                self.maybe_store(ctx, l, j, &gj);
                 // Same nnz/rows either way (compact only renumbers
                 // columns): identical charged cost and accumulation order.
-                let a = match self.comm_mode {
-                    super::CommMode::Dense => &self.a_blocks[j],
-                    super::CommMode::SparsityAware => &self.a_compact[j],
+                let a = if self.comm_mode.sparse_exchange() {
+                    &self.a_compact[j]
+                } else {
+                    &self.a_blocks[j]
                 };
                 ctx.charge_spmm(a.nnz(), a.rows(), f_out);
                 spmm_acc_with(ctx.parallel(), a, &gj, &mut ag);
@@ -276,6 +377,11 @@ impl OneDimRowTrainer {
     pub fn epoch(&mut self, ctx: &Ctx) -> f64 {
         self.training = true;
         self.epoch_counter += 1;
+        if let Some(refresh) = self.comm_mode.cached_refresh() {
+            self.cache
+                .borrow_mut()
+                .begin_epoch(refresh, self.epoch_counter as usize);
+        }
         let loss = self.forward(ctx);
         self.backward(ctx);
         self.training = false;
@@ -331,12 +437,14 @@ impl OneDimRowTrainer {
         self.dropout = rate;
     }
 
-    /// Choose dense broadcasts or the sparsity-aware row exchange for the
-    /// backward stages (see [`super::CommMode`]). Training results are
-    /// bit-identical in both modes; only the metered communication
-    /// changes. Must be set identically on every rank.
+    /// Choose dense broadcasts, the sparsity-aware row exchange, or the
+    /// cached tier for the backward stages (see [`super::CommMode`]).
+    /// `Dense` and `SparsityAware` train bit-identically; `Cached` is
+    /// bit-identical only at `refresh: 1` (DESIGN.md §13). Must be set
+    /// identically on every rank. Always drops any halo cache, so a mode
+    /// change can never serve stale blocks.
     pub fn set_comm_mode(&mut self, mode: super::CommMode) {
-        if mode == super::CommMode::SparsityAware && self.a_compact.is_empty() {
+        if mode.sparse_exchange() && self.a_compact.is_empty() {
             self.a_compact = self
                 .a_blocks
                 .iter()
@@ -344,6 +452,7 @@ impl OneDimRowTrainer {
                 .map(|(a, nd)| a.compact_cols(nd))
                 .collect();
         }
+        self.cache.borrow_mut().invalidate();
         self.comm_mode = mode;
     }
 

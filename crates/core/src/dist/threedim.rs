@@ -23,13 +23,14 @@ use crate::optimizer::{Optimizer, OptimizerKind};
 use crate::problem::Problem;
 use cagnet_comm::comm::Communicator;
 use cagnet_comm::grid::int_cbrt;
-use cagnet_comm::{Cat, Ctx, Grid3D};
+use cagnet_comm::{Cat, Ctx, GatheredRows, Grid3D};
 use cagnet_dense::activation::{log_softmax_rows, softmax_rows, Activation};
 use cagnet_dense::ops::hadamard_assign;
 use cagnet_dense::{matmul_acc_with, matmul_nt_with, matmul_tn_with, Mat};
 use cagnet_sparse::partition::block_range;
 use cagnet_sparse::spmm::spmm_acc_with;
 use cagnet_sparse::Csr;
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Per-rank state of the 3D trainer.
@@ -69,6 +70,13 @@ pub struct ThreeDimTrainer {
     /// Dense block broadcasts vs sparsity-aware row exchange for the
     /// SUMMA stages.
     comm_mode: super::CommMode,
+    /// Cached-mode halo cache: one slot per (layer, stage) `D` block
+    /// fetch, forward layers first, backward layers after (see
+    /// [`super::HaloCache`]; DESIGN.md §13). `S` broadcasts, partial-W
+    /// stages, and the fiber/j-group reductions are never cached.
+    /// Interior-mutable so the `&self` stage helpers can store refreshed
+    /// blocks.
+    cache: RefCell<super::HaloCache>,
     /// Issue-ahead pipelining: prefetch the next SUMMA stage's panels
     /// with nonblocking broadcasts while the current stage's SpMM
     /// computes (DESIGN.md §10).
@@ -175,6 +183,7 @@ impl ThreeDimTrainer {
             needed_bwd,
             stage_rows,
             comm_mode: super::CommMode::Dense,
+            cache: RefCell::new(super::HaloCache::default()),
             overlap: true,
             labels: Arc::new(problem.labels.clone()),
             mask: Arc::new(problem.train_mask.clone()),
@@ -202,15 +211,68 @@ impl ThreeDimTrainer {
 
     /// The sparse block to serve as stage owner on the row broadcast:
     /// the full block in dense mode, the column-compacted one (same nnz,
-    /// identical SparseComm words) in sparsity-aware mode.
+    /// identical SparseComm words) in the sparse-exchange modes.
     fn bcast_block<'a>(
         &'a self,
         full: &'a Arc<Csr>,
         compact: &'a Option<Arc<Csr>>,
     ) -> &'a Arc<Csr> {
-        match (self.comm_mode, compact) {
-            (super::CommMode::SparsityAware, Some(c)) => c,
+        match (self.comm_mode.sparse_exchange(), compact) {
+            (true, Some(c)) => c,
             _ => full,
+        }
+    }
+
+    /// Cache slot base of layer `l`'s forward Split-3D-SpMM (`q` stage
+    /// slots per layer).
+    fn fwd_slot_base(&self, l: usize) -> usize {
+        l * self.grid.q
+    }
+
+    /// Cache slot base of layer `l`'s backward Split-3D-SpMM (after all
+    /// forward layers).
+    fn bwd_slot_base(&self, l: usize) -> usize {
+        (self.cfg.layers() + l) * self.grid.q
+    }
+
+    /// Whether the current pass serves `D` blocks from the halo cache
+    /// (cached mode, training, non-refresh epoch). Evaluation forwards
+    /// always gather fresh.
+    fn cached_serving(&self) -> bool {
+        matches!(self.comm_mode, super::CommMode::Cached { .. })
+            && self.training
+            && !self.cache.borrow().refreshing()
+    }
+
+    /// Whether the current pass must store its gathered blocks into the
+    /// halo cache (cached mode, training, refresh epoch).
+    fn cached_refreshing(&self) -> bool {
+        matches!(self.comm_mode, super::CommMode::Cached { .. })
+            && self.training
+            && self.cache.borrow().refreshing()
+    }
+
+    /// Serve stage `s`'s `D` block without any collective: the owning
+    /// mesh row compacts fresh from its resident block (zero words, like
+    /// the root of the skipped gather); other rows read the cache,
+    /// metering the words the skipped gather would have moved under
+    /// [`Cat::CacheHit`].
+    fn serve_cached(&self, d_mine: &Arc<Mat>, needed: &[usize], s: usize, slot: usize) -> Arc<Mat> {
+        if self.grid.i == s {
+            GatheredRows::full(d_mine.clone()).compact(needed)
+        } else {
+            let row_words = d_mine.cols() as u64 + 1;
+            self.grid.col.cache_hit(needed.len() as u64 * row_words);
+            self.cache.borrow().get(slot)
+        }
+    }
+
+    /// Store a freshly gathered compact `D` block on refresh epochs
+    /// (blocks owned by other mesh rows only — the owner's block is
+    /// always served fresh).
+    fn maybe_store(&self, s: usize, slot: usize, block: &Arc<Mat>) {
+        if self.cached_refreshing() && self.grid.i != s {
+            self.cache.borrow_mut().store(slot, block.clone());
         }
     }
 
@@ -227,6 +289,7 @@ impl ThreeDimTrainer {
         s_mine: &Arc<Csr>,
         d_mine: &Arc<Mat>,
         needed_tbl: &[Vec<usize>],
+        slot_base: usize,
     ) -> Mat {
         let q = self.grid.q;
         let f_cols = d_mine.cols();
@@ -240,19 +303,45 @@ impl ThreeDimTrainer {
                 (self.grid.j == s).then(|| s_mine.clone()),
                 Cat::SparseComm,
             );
+            let d_payload = || (self.grid.i == s).then(|| d_mine.clone());
+            let dims = Some((self.stage_rows[s], f_cols));
             let d_op = match self.comm_mode {
-                super::CommMode::Dense => super::Fetch::Dense(self.grid.col.ibcast_shared(
-                    s,
-                    (self.grid.i == s).then(|| d_mine.clone()),
-                    Cat::DenseComm,
-                )),
+                super::CommMode::Dense => {
+                    super::Fetch::Dense(self.grid.col.ibcast_shared(s, d_payload(), Cat::DenseComm))
+                }
                 super::CommMode::SparsityAware => super::Fetch::Sparse(self.grid.col.igather_rows(
                     s,
-                    (self.grid.i == s).then(|| d_mine.clone()),
+                    d_payload(),
                     &needed_tbl[s],
-                    Some((self.stage_rows[s], f_cols)),
+                    dims,
                     Cat::DenseComm,
                 )),
+                super::CommMode::Cached { .. } => {
+                    if self.cached_serving() {
+                        super::Fetch::Cached(self.serve_cached(
+                            d_mine,
+                            &needed_tbl[s],
+                            s,
+                            slot_base + s,
+                        ))
+                    } else if self.training {
+                        super::Fetch::Sparse(self.grid.col.igather_rows_refresh(
+                            s,
+                            d_payload(),
+                            &needed_tbl[s],
+                            dims,
+                            Cat::DenseComm,
+                        ))
+                    } else {
+                        super::Fetch::Sparse(self.grid.col.igather_rows(
+                            s,
+                            d_payload(),
+                            &needed_tbl[s],
+                            dims,
+                            Cat::DenseComm,
+                        ))
+                    }
+                }
             };
             (a_op, d_op)
         };
@@ -271,27 +360,43 @@ impl ThreeDimTrainer {
                         (self.grid.j == s).then(|| s_mine.clone()),
                         Cat::SparseComm,
                     );
+                    let d_payload = || (self.grid.i == s).then(|| d_mine.clone());
+                    let dims = Some((self.stage_rows[s], f_cols));
                     let d_hat = match self.comm_mode {
-                        super::CommMode::Dense => self.grid.col.bcast_shared(
-                            s,
-                            (self.grid.i == s).then(|| d_mine.clone()),
-                            Cat::DenseComm,
-                        ),
+                        super::CommMode::Dense => {
+                            self.grid.col.bcast_shared(s, d_payload(), Cat::DenseComm)
+                        }
                         super::CommMode::SparsityAware => self
                             .grid
                             .col
-                            .gather_rows(
-                                s,
-                                (self.grid.i == s).then(|| d_mine.clone()),
-                                needed,
-                                Some((self.stage_rows[s], f_cols)),
-                                Cat::DenseComm,
-                            )
+                            .gather_rows(s, d_payload(), needed, dims, Cat::DenseComm)
                             .compact(needed),
+                        super::CommMode::Cached { .. } => {
+                            if self.cached_serving() {
+                                self.serve_cached(d_mine, needed, s, slot_base + s)
+                            } else if self.training {
+                                self.grid
+                                    .col
+                                    .gather_rows_refresh(
+                                        s,
+                                        d_payload(),
+                                        needed,
+                                        dims,
+                                        Cat::DenseComm,
+                                    )
+                                    .compact(needed)
+                            } else {
+                                self.grid
+                                    .col
+                                    .gather_rows(s, d_payload(), needed, dims, Cat::DenseComm)
+                                    .compact(needed)
+                            }
+                        }
                     };
                     (a_hat, d_hat)
                 }
             };
+            self.maybe_store(s, slot_base + s, &d_hat);
             ctx.charge_spmm(a_hat.nnz(), a_hat.rows(), d_hat.cols());
             spmm_acc_with(ctx.parallel(), &a_hat, &d_hat, &mut partial);
         }
@@ -377,6 +482,7 @@ impl ThreeDimTrainer {
                 self.bcast_block(&self.at_ijk, &self.at_compact),
                 &self.hs[l],
                 &self.needed_fwd,
+                self.fwd_slot_base(l),
             ));
             let z = Arc::new(self.partial_w(ctx, &t, &self.weights[l], f_in, f_out, false));
             let h = if l + 1 == l_total {
@@ -447,6 +553,7 @@ impl ThreeDimTrainer {
                 self.bcast_block(&self.a_ijk, &self.a_compact),
                 &g,
                 &self.needed_bwd,
+                self.bwd_slot_base(l),
             );
             let parts = self.grid.row.allgather_shared(Arc::new(ag), Cat::DenseComm);
             let ag_row = Mat::hstack(&parts.iter().map(|p| (**p).clone()).collect::<Vec<_>>());
@@ -491,6 +598,11 @@ impl ThreeDimTrainer {
     pub fn epoch(&mut self, ctx: &Ctx) -> f64 {
         self.training = true;
         self.epoch_counter += 1;
+        if let Some(refresh) = self.comm_mode.cached_refresh() {
+            self.cache
+                .borrow_mut()
+                .begin_epoch(refresh, self.epoch_counter as usize);
+        }
         let loss = self.forward(ctx);
         self.backward(ctx);
         self.training = false;
@@ -569,11 +681,15 @@ impl ThreeDimTrainer {
     /// the column-compacted sparse block (same nnz — identical SparseComm
     /// words). The trailing weight product (`partial_w`) stays dense in
     /// every mode: the GEMM reads all rows of the broadcast T block, so a
-    /// gather would add index words for zero savings. Results are
-    /// bit-identical across modes. Must be set identically on every rank.
+    /// gather would add index words for zero savings. `Dense` and
+    /// `SparsityAware` train bit-identically; `Cached` is bit-identical
+    /// only at `refresh: 1` (DESIGN.md §13). Must be set identically on
+    /// every rank. Always drops any halo cache, so a mode change (or
+    /// re-set after mutating state) can never serve stale blocks.
     pub fn set_comm_mode(&mut self, mode: super::CommMode) {
+        self.cache.borrow_mut().invalidate();
         self.comm_mode = mode;
-        if mode == super::CommMode::SparsityAware {
+        if mode.sparse_exchange() {
             if self.at_compact.is_none() {
                 self.at_compact = Some(Arc::new(
                     self.at_ijk.compact_cols(&self.needed_fwd[self.grid.j]),

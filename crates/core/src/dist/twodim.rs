@@ -34,13 +34,14 @@ use crate::model::GcnConfig;
 use crate::optimizer::{Optimizer, OptimizerKind};
 use crate::problem::Problem;
 use cagnet_comm::grid::int_sqrt;
-use cagnet_comm::{Cat, Ctx, Grid2D, PendingOp};
+use cagnet_comm::{Cat, Ctx, GatheredRows, Grid2D, PendingOp};
 use cagnet_dense::activation::{log_softmax_rows, softmax_rows, Activation};
 use cagnet_dense::ops::hadamard_assign;
 use cagnet_dense::{matmul_acc_with, matmul_nt_with, matmul_tn_with, Mat};
 use cagnet_sparse::partition::{block_range, block_ranges};
 use cagnet_sparse::spmm::spmm_acc_with;
 use cagnet_sparse::Csr;
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Tuning knobs of the 2D trainer.
@@ -95,6 +96,12 @@ pub struct TwoDimTrainer {
     /// Dense panel broadcasts vs sparsity-aware row exchange for the
     /// SUMMA stages.
     comm_mode: super::CommMode,
+    /// Cached-mode halo cache: one slot per (layer, SUMMA stage) `D`
+    /// panel fetch, forward layers first, backward layers after (see
+    /// [`super::HaloCache`]; DESIGN.md §13). `S` panels (adjacency) and
+    /// the partial-W/reduction stages are never cached. Interior-mutable
+    /// so the `&self` stage helpers can store refreshed panels.
+    cache: RefCell<super::HaloCache>,
     /// Issue-ahead pipelining: prefetch the next SUMMA stage's panels
     /// with nonblocking broadcasts while the current stage's SpMM
     /// computes (DESIGN.md §10).
@@ -240,6 +247,7 @@ impl TwoDimTrainer {
             needed_fwd,
             needed_bwd,
             comm_mode: super::CommMode::Dense,
+            cache: RefCell::new(super::HaloCache::default()),
             overlap: true,
             labels: Arc::new(problem.labels.clone()),
             mask: Arc::new(problem.train_mask.clone()),
@@ -264,6 +272,70 @@ impl TwoDimTrainer {
         self.r1 - self.r0
     }
 
+    /// Cache slot base of layer `l`'s forward SUMMA (`K·sub` slots per
+    /// layer, one per `(k, t)` stage).
+    fn fwd_slot_base(&self, l: usize) -> usize {
+        l * self.fine.len() * self.tcfg.stages_per_block
+    }
+
+    /// Cache slot base of layer `l`'s backward SUMMA (after all forward
+    /// layers).
+    fn bwd_slot_base(&self, l: usize) -> usize {
+        (self.cfg.layers() + l) * self.fine.len() * self.tcfg.stages_per_block
+    }
+
+    /// Whether the current pass serves `D` panels from the halo cache
+    /// (cached mode, training, non-refresh epoch). Evaluation forwards
+    /// always gather fresh.
+    fn cached_serving(&self) -> bool {
+        matches!(self.comm_mode, super::CommMode::Cached { .. })
+            && self.training
+            && !self.cache.borrow().refreshing()
+    }
+
+    /// Whether the current pass must store its gathered panels into the
+    /// halo cache (cached mode, training, refresh epoch).
+    fn cached_refreshing(&self) -> bool {
+        matches!(self.comm_mode, super::CommMode::Cached { .. })
+            && self.training
+            && self.cache.borrow().refreshing()
+    }
+
+    /// Serve a stage `D` panel without any collective: the owning grid
+    /// row compacts fresh from its local block for SUMMA stage
+    /// `(fk0, t0, t1)` (zero words, like the root of the skipped
+    /// gather); other grid rows read the cache, metering the words
+    /// the skipped gather would have moved under
+    /// [`Cat::CacheHit`].
+    fn serve_cached(
+        &self,
+        d_mine: &Mat,
+        needed: &[usize],
+        owner_row: usize,
+        stage: (usize, usize, usize),
+        slot: usize,
+    ) -> Arc<Mat> {
+        let (fk0, t0, t1) = stage;
+        if self.grid.i == owner_row {
+            let lo = fk0 - self.r0;
+            GatheredRows::full(Arc::new(d_mine.block(lo + t0, lo + t1, 0, d_mine.cols())))
+                .compact(needed)
+        } else {
+            let row_words = d_mine.cols() as u64 + 1;
+            self.grid.col.cache_hit(needed.len() as u64 * row_words);
+            self.cache.borrow().get(slot)
+        }
+    }
+
+    /// Store a freshly gathered compact `D` panel on refresh epochs
+    /// (panels owned by other grid rows only — the owner's panel is
+    /// always served fresh).
+    fn maybe_store(&self, owner_row: usize, slot: usize, panel: &Arc<Mat>) {
+        if self.cached_refreshing() && self.grid.i != owner_row {
+            self.cache.borrow_mut().store(slot, panel.clone());
+        }
+    }
+
     /// Issue SUMMA stage `(k, t)`'s two panel exchanges (the `S` panel
     /// along the process row, the `D` panel along the process column) as
     /// nonblocking collectives. In sparsity-aware mode the owner serves
@@ -276,6 +348,7 @@ impl TwoDimTrainer {
         s_mine: &Csr,
         d_mine: &Mat,
         needed_tbl: &[Vec<usize>],
+        slot_base: usize,
         k: usize,
         t: usize,
     ) -> (PendingOp<'s, Arc<Csr>>, super::Fetch<'s>) {
@@ -292,13 +365,21 @@ impl TwoDimTrainer {
                 // Local slice of my Aᵀ block covering fine stage k.
                 let lo = fk0 - self.c0;
                 let panel = s_mine.block(0, s_mine.rows(), lo + t0, lo + t1);
-                match self.comm_mode {
-                    super::CommMode::Dense => panel,
-                    super::CommMode::SparsityAware => panel.compact_cols(needed),
+                if self.comm_mode.sparse_exchange() {
+                    panel.compact_cols(needed)
+                } else {
+                    panel
                 }
             }),
             Cat::SparseComm,
         );
+        let d_payload = || {
+            (self.grid.i == owner_row).then(|| {
+                let lo = fk0 - self.r0;
+                Arc::new(d_mine.block(lo + t0, lo + t1, 0, d_mine.cols()))
+            })
+        };
+        let dims = Some((t1 - t0, d_mine.cols()));
         let d_op = match self.comm_mode {
             super::CommMode::Dense => super::Fetch::Dense(self.grid.col.ibcast(
                 owner_row,
@@ -310,14 +391,38 @@ impl TwoDimTrainer {
             )),
             super::CommMode::SparsityAware => super::Fetch::Sparse(self.grid.col.igather_rows(
                 owner_row,
-                (self.grid.i == owner_row).then(|| {
-                    let lo = fk0 - self.r0;
-                    Arc::new(d_mine.block(lo + t0, lo + t1, 0, d_mine.cols()))
-                }),
+                d_payload(),
                 needed,
-                Some((t1 - t0, d_mine.cols())),
+                dims,
                 Cat::DenseComm,
             )),
+            super::CommMode::Cached { .. } => {
+                if self.cached_serving() {
+                    super::Fetch::Cached(self.serve_cached(
+                        d_mine,
+                        needed,
+                        owner_row,
+                        (fk0, t0, t1),
+                        slot_base + k * sub + t,
+                    ))
+                } else if self.training {
+                    super::Fetch::Sparse(self.grid.col.igather_rows_refresh(
+                        owner_row,
+                        d_payload(),
+                        needed,
+                        dims,
+                        Cat::DenseComm,
+                    ))
+                } else {
+                    super::Fetch::Sparse(self.grid.col.igather_rows(
+                        owner_row,
+                        d_payload(),
+                        needed,
+                        dims,
+                        Cat::DenseComm,
+                    ))
+                }
+            }
         };
         (a_op, d_op)
     }
@@ -335,6 +440,7 @@ impl TwoDimTrainer {
         d_mine: &Mat,
         f_cols: usize,
         needed_tbl: &[Vec<usize>],
+        slot_base: usize,
     ) -> Mat {
         let k_total = self.fine.len();
         let col_per = k_total / self.grid.pc;
@@ -344,15 +450,24 @@ impl TwoDimTrainer {
         let stages: Vec<(usize, usize)> = (0..k_total)
             .flat_map(|k| (0..sub).map(move |t| (k, t)))
             .collect();
-        let mut pending = self
-            .overlap
-            .then(|| self.issue_summa_stage(s_mine, d_mine, needed_tbl, stages[0].0, stages[0].1));
+        let mut pending = self.overlap.then(|| {
+            self.issue_summa_stage(
+                s_mine,
+                d_mine,
+                needed_tbl,
+                slot_base,
+                stages[0].0,
+                stages[0].1,
+            )
+        });
         for (idx, &(k, t)) in stages.iter().enumerate() {
             let needed = &needed_tbl[k * sub + t];
             let (a_panel, d_panel) = match pending.take() {
                 Some((a_op, d_op)) => {
                     if let Some(&(nk, nt)) = stages.get(idx + 1) {
-                        pending = Some(self.issue_summa_stage(s_mine, d_mine, needed_tbl, nk, nt));
+                        pending = Some(
+                            self.issue_summa_stage(s_mine, d_mine, needed_tbl, slot_base, nk, nt),
+                        );
                     }
                     (a_op.wait(), d_op.wait(needed))
                 }
@@ -368,13 +483,21 @@ impl TwoDimTrainer {
                             // stage k.
                             let lo = fk0 - self.c0;
                             let panel = s_mine.block(0, s_mine.rows(), lo + t0, lo + t1);
-                            match self.comm_mode {
-                                super::CommMode::Dense => panel,
-                                super::CommMode::SparsityAware => panel.compact_cols(needed),
+                            if self.comm_mode.sparse_exchange() {
+                                panel.compact_cols(needed)
+                            } else {
+                                panel
                             }
                         }),
                         Cat::SparseComm,
                     );
+                    let d_payload = || {
+                        (self.grid.i == owner_row).then(|| {
+                            let lo = fk0 - self.r0;
+                            Arc::new(d_mine.block(lo + t0, lo + t1, 0, d_mine.cols()))
+                        })
+                    };
+                    let dims = Some((t1 - t0, d_mine.cols()));
                     let d_panel = match self.comm_mode {
                         super::CommMode::Dense => self.grid.col.bcast(
                             owner_row,
@@ -387,21 +510,46 @@ impl TwoDimTrainer {
                         super::CommMode::SparsityAware => self
                             .grid
                             .col
-                            .gather_rows(
-                                owner_row,
-                                (self.grid.i == owner_row).then(|| {
-                                    let lo = fk0 - self.r0;
-                                    Arc::new(d_mine.block(lo + t0, lo + t1, 0, d_mine.cols()))
-                                }),
-                                needed,
-                                Some((t1 - t0, d_mine.cols())),
-                                Cat::DenseComm,
-                            )
+                            .gather_rows(owner_row, d_payload(), needed, dims, Cat::DenseComm)
                             .compact(needed),
+                        super::CommMode::Cached { .. } => {
+                            if self.cached_serving() {
+                                self.serve_cached(
+                                    d_mine,
+                                    needed,
+                                    owner_row,
+                                    (fk0, t0, t1),
+                                    slot_base + k * sub + t,
+                                )
+                            } else if self.training {
+                                self.grid
+                                    .col
+                                    .gather_rows_refresh(
+                                        owner_row,
+                                        d_payload(),
+                                        needed,
+                                        dims,
+                                        Cat::DenseComm,
+                                    )
+                                    .compact(needed)
+                            } else {
+                                self.grid
+                                    .col
+                                    .gather_rows(
+                                        owner_row,
+                                        d_payload(),
+                                        needed,
+                                        dims,
+                                        Cat::DenseComm,
+                                    )
+                                    .compact(needed)
+                            }
+                        }
                     };
                     (a_panel, d_panel)
                 }
             };
+            self.maybe_store(k / row_per, slot_base + k * sub + t, &d_panel);
             // In sparse mode both panels are compact: the S panel's
             // columns are renumbered to needed order (same nnz/rows) and
             // the D panel holds exactly those rows, so the accumulation
@@ -492,6 +640,7 @@ impl TwoDimTrainer {
                 &self.hs[l],
                 self.hs[l].cols(),
                 &self.needed_fwd,
+                self.fwd_slot_base(l),
             ));
             // Phase 2: Z = T W (partial SUMMA; W replicated).
             let z = Arc::new(self.partial_summa_w(ctx, &t, &self.weights[l], f_in, f_out, false));
@@ -565,7 +714,14 @@ impl TwoDimTrainer {
             let f_in = self.cfg.dims[l];
             let f_out = self.cfg.dims[l + 1];
             // SUMMA SpMM: AG = A G (saved and reused, §IV-C.4).
-            let ag = self.summa_spmm(ctx, &self.a_ij, &g, g.cols(), &self.needed_bwd);
+            let ag = self.summa_spmm(
+                ctx,
+                &self.a_ij,
+                &g,
+                g.cols(),
+                &self.needed_bwd,
+                self.bwd_slot_base(l),
+            );
             // Row all-gather of AG: serves both Y and A G Wᵀ. The local
             // block moves into the collective, not a copy of it.
             let parts = self.grid.row.allgather_shared(Arc::new(ag), Cat::DenseComm);
@@ -613,6 +769,11 @@ impl TwoDimTrainer {
     pub fn epoch(&mut self, ctx: &Ctx) -> f64 {
         self.training = true;
         self.epoch_counter += 1;
+        if let Some(refresh) = self.comm_mode.cached_refresh() {
+            self.cache
+                .borrow_mut()
+                .begin_epoch(refresh, self.epoch_counter as usize);
+        }
         let loss = self.forward(ctx);
         self.backward(ctx);
         self.training = false;
@@ -674,15 +835,20 @@ impl TwoDimTrainer {
         self.act = act;
     }
 
-    /// Choose dense panel broadcasts or the sparsity-aware row exchange
-    /// for the SUMMA stages (see [`super::CommMode`]): the stage `D`
-    /// panel moves as a per-grid-row gather of the rows its `Aᵀ`/`A`
-    /// panel references, and the `S` panel is served column-compacted
-    /// (same nnz, so SparseComm words are unchanged). Partial-W stages
-    /// and reductions stay dense — every row is needed there. Training
-    /// results are bit-identical in both modes; only the metered
-    /// communication changes. Must be set identically on every rank.
+    /// Choose dense panel broadcasts, the sparsity-aware row exchange,
+    /// or the cached tier for the SUMMA stages (see
+    /// [`super::CommMode`]): in the sparse modes the stage `D` panel
+    /// moves as a per-grid-row gather of the rows its `Aᵀ`/`A` panel
+    /// references, and the `S` panel is served column-compacted (same
+    /// nnz, so SparseComm words are unchanged). Partial-W stages and
+    /// reductions stay dense — every row is needed there — and are never
+    /// cached. `Dense` and `SparsityAware` train bit-identically;
+    /// `Cached` is bit-identical only at `refresh: 1` (DESIGN.md §13).
+    /// Must be set identically on every rank. Always drops any halo
+    /// cache, so a mode change (or re-set after mutating state) can
+    /// never serve stale panels.
     pub fn set_comm_mode(&mut self, mode: super::CommMode) {
+        self.cache.borrow_mut().invalidate();
         self.comm_mode = mode;
     }
 
