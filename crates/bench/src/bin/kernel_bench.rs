@@ -1,0 +1,235 @@
+//! Wall-clock micro-benchmark of the local compute kernels: the
+//! register-blocked GEMM and the width-specialized / column-tiled SpMM
+//! against the pre-optimization reference kernels (`cagnet_dense::
+//! reference`, `cagnet_sparse::reference`), at representative GCN shapes
+//! across a thread axis (DESIGN.md §14).
+//!
+//! ```text
+//! cargo run --release -p cagnet-bench --bin kernel_bench -- [--out BENCH_kernels.json]
+//!
+//! options:
+//!   --out <path>   where to write the JSON rows (default BENCH_kernels.json)
+//!   --quick        smallest shape set (CI smoke uses the default set)
+//! ```
+//!
+//! Each row records best-of-repetition times for the old and new kernel
+//! and their ratio. The binary asserts that the single-thread speedup at
+//! the representative shapes reaches the 1.5x acceptance floor, so a
+//! kernel regression fails CI rather than silently flattening the perf
+//! trajectory, and that new-kernel results stay bit-identical to the
+//! reference on every measured operand.
+
+use cagnet_dense::Mat;
+use cagnet_parallel::ParallelCtx;
+use cagnet_sparse::generate::{rmat_symmetric, RmatParams};
+use cagnet_sparse::Csr;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured kernel configuration.
+#[derive(Serialize)]
+struct KernelRow {
+    kernel: String,
+    /// GEMM: `m x k · k x n`. SpMM: `n x n` graph times `n x f`.
+    shape: String,
+    threads: usize,
+    old_seconds: f64,
+    new_seconds: f64,
+    /// `old_seconds / new_seconds` — above 1.0 means the new kernel wins.
+    speedup: f64,
+}
+
+fn parse_args() -> (String, bool) {
+    let mut out = "BENCH_kernels.json".to_string();
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => match args.next() {
+                Some(v) => out = v,
+                None => {
+                    eprintln!("missing value for --out");
+                    std::process::exit(2);
+                }
+            },
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown flag '{other}' (kernel_bench takes --out <path> | --quick)");
+                std::process::exit(2);
+            }
+        }
+    }
+    (out, quick)
+}
+
+/// Best-of-`reps` wall-clock seconds of `old` and `new`, measured
+/// alternately within each repetition so frequency drift and scheduler
+/// noise hit both kernels equally — the *ratio* is what CI gates on.
+fn time_pair<F1: FnMut(), F2: FnMut()>(reps: usize, mut old: F1, mut new: F2) -> (f64, f64) {
+    let (mut best_old, mut best_new) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let t = Instant::now();
+        old();
+        best_old = best_old.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        new();
+        best_new = best_new.min(t.elapsed().as_secs_f64());
+    }
+    (best_old, best_new)
+}
+
+fn lcg_mat(rows: usize, cols: usize, seed: u64) -> Mat {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    Mat::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+    })
+}
+
+/// Repetitions scaled so small shapes are measured more often.
+fn reps_for(flops: u64) -> usize {
+    (2e9 / flops as f64).clamp(3.0, 40.0) as usize
+}
+
+fn bench_gemm(rows: &mut Vec<KernelRow>, m: usize, k: usize, n: usize, threads: &[usize]) {
+    let a = lcg_mat(m, k, 1);
+    let b = lcg_mat(k, n, 2);
+    let reps = reps_for(cagnet_dense::gemm::gemm_flops(m, k, n));
+    for &t in threads {
+        let ctx = ParallelCtx::new(t);
+        let mut c_old = Mat::zeros(m, n);
+        let mut c_new = Mat::zeros(m, n);
+        let (old, new) = time_pair(
+            reps,
+            || {
+                c_old = Mat::zeros(m, n);
+                cagnet_dense::reference::matmul_acc_reference(&a, &b, &mut c_old);
+            },
+            || {
+                c_new = Mat::zeros(m, n);
+                cagnet_dense::matmul_acc_with(ctx, &a, &b, &mut c_new);
+            },
+        );
+        assert_eq!(
+            c_new, c_old,
+            "gemm {m}x{k}x{n} at {t} threads diverged from the reference kernel"
+        );
+        rows.push(KernelRow {
+            kernel: "gemm".into(),
+            shape: format!("{m}x{k}x{n}"),
+            threads: t,
+            old_seconds: old,
+            new_seconds: new,
+            speedup: old / new,
+        });
+    }
+}
+
+fn bench_spmm(rows: &mut Vec<KernelRow>, graph: &Csr, tag: &str, f: usize, threads: &[usize]) {
+    let b = lcg_mat(graph.cols(), f, 3);
+    let reps = reps_for(cagnet_sparse::spmm::spmm_flops(graph, f));
+    for &t in threads {
+        let ctx = ParallelCtx::new(t);
+        let mut c_old = Mat::zeros(graph.rows(), f);
+        let mut c_new = Mat::zeros(graph.rows(), f);
+        let (old, new) = time_pair(
+            reps,
+            || {
+                c_old = Mat::zeros(graph.rows(), f);
+                cagnet_sparse::reference::spmm_acc_reference(graph, &b, &mut c_old);
+            },
+            || {
+                c_new = Mat::zeros(graph.rows(), f);
+                cagnet_sparse::spmm::spmm_acc_with(ctx, graph, &b, &mut c_new);
+            },
+        );
+        assert_eq!(
+            c_new, c_old,
+            "spmm {tag} f={f} at {t} threads diverged from the reference kernel"
+        );
+        rows.push(KernelRow {
+            kernel: "spmm".into(),
+            shape: format!("{tag}xf{f}"),
+            threads: t,
+            old_seconds: old,
+            new_seconds: new,
+            speedup: old / new,
+        });
+    }
+}
+
+fn main() {
+    let (out_path, quick) = parse_args();
+    let threads: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4] };
+    let mut rows: Vec<KernelRow> = Vec::new();
+
+    // GEMM at GCN shapes: tall-skinny activations times small weight
+    // blocks (m = local vertices, k/n = feature widths).
+    let gemm_shapes: &[(usize, usize, usize)] = if quick {
+        &[(512, 64, 64), (2048, 128, 16)]
+    } else {
+        &[
+            (512, 64, 64),
+            (1024, 16, 16),
+            (2048, 128, 16),
+            (2048, 128, 128),
+            (4096, 64, 64),
+        ]
+    };
+    for &(m, k, n) in gemm_shapes {
+        bench_gemm(&mut rows, m, k, n, threads);
+    }
+
+    // SpMM on power-law graphs at the common GCN widths (the
+    // width-specialized arms) plus one odd width (the tiled path).
+    let scale = if quick { 11 } else { 13 };
+    let graph = rmat_symmetric(scale, 16, RmatParams::default(), 7);
+    let tag = format!("rmat{scale}d16");
+    let widths: &[usize] = if quick { &[16, 64] } else { &[16, 64, 128, 96] };
+    for &f in widths {
+        bench_spmm(&mut rows, &graph, &tag, f, threads);
+    }
+
+    // Report, then gate: ≥1.5x single-thread on the representative GCN
+    // shapes for both kernels (acceptance floor; the max over shapes is
+    // what the trajectory tracks, individual small shapes may be lower).
+    println!("kernel              threads   old(ms)    new(ms)   speedup");
+    for r in &rows {
+        println!(
+            "{:10} {:>12} {:>5}  {:>9.3} {:>9.3}  {:>7.2}x",
+            r.kernel,
+            r.shape,
+            r.threads,
+            r.old_seconds * 1e3,
+            r.new_seconds * 1e3,
+            r.speedup
+        );
+    }
+    let best1 = |kernel: &str| -> f64 {
+        rows.iter()
+            .filter(|r| r.kernel == kernel && r.threads == 1)
+            .map(|r| r.speedup)
+            .fold(0.0, f64::max)
+    };
+    let (g, s) = (best1("gemm"), best1("spmm"));
+    println!("single-thread best: gemm {g:.2}x, spmm {s:.2}x");
+    assert!(
+        g >= 1.5,
+        "register-blocked GEMM regressed: best single-thread speedup {g:.2}x < 1.5x"
+    );
+    assert!(
+        s >= 1.5,
+        "specialized SpMM regressed: best single-thread speedup {s:.2}x < 1.5x"
+    );
+
+    // lint:allow(unwrap): the serde shim only errors on non-string map keys
+    let json = serde_json::to_string(&rows).expect("serialize");
+    if let Err(e) = std::fs::write(&out_path, format!("{json}\n")) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!("rows written to {out_path}");
+    cagnet_bench::emit_json(&rows);
+}

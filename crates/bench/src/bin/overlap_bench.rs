@@ -11,13 +11,19 @@
 //! first true wall-clock epoch timings (modeled columns are bit-identical
 //! to the shared backend by construction).
 //!
+//! With `--precision f32|bf16` the dense collectives ride the
+//! compressed wire (DESIGN.md §14), so the overlap grid doubles as a
+//! wire-width ablation; the default `f64` is the exact historical
+//! behaviour.
+//!
 //! ```text
 //! cargo run --release -p cagnet-bench --bin overlap_bench \
-//!     [-- --out <path>] [-- --transport shared|socket]
+//!     [-- --out <path>] [-- --transport shared|socket] \
+//!     [-- --precision f64|f32|bf16]
 //! ```
 
 use cagnet_bench::measure_epochs_cfg;
-use cagnet_comm::TransportKind;
+use cagnet_comm::{Precision, TransportKind};
 use cagnet_core::trainer::{Algorithm, TrainConfig};
 use cagnet_core::{GcnConfig, Problem};
 use cagnet_sparse::generate::{rmat_symmetric, RmatParams};
@@ -36,6 +42,8 @@ struct OverlapRow {
     processes: usize,
     /// Which transport carried the collectives (`shared` or `socket`).
     transport: String,
+    /// Wire precision of the dense collectives (`f64`, `f32`, `bf16`).
+    precision: String,
     /// Modeled seconds per epoch, overlap off / on.
     epoch_seconds_off: f64,
     epoch_seconds_on: f64,
@@ -83,6 +91,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let precision = match flag_value("--precision").as_deref() {
+        None => Precision::F64,
+        Some(s) => Precision::parse(s).unwrap_or_else(|e| {
+            eprintln!("--precision: {e}");
+            std::process::exit(2);
+        }),
+    };
     // Socket runs pay real process spawns and replay per worker, so they
     // measure a smaller graph at the CI process counts.
     let (scale, process_counts): (u32, &[usize]) = match transport {
@@ -101,11 +116,13 @@ fn main() {
     let model = cagnet_bench::figure_model();
 
     println!(
-        "overlap bench [{} transport]: n={}, nnz={}, dims={:?}, {EPOCHS} epochs, P in {:?}",
+        "overlap bench [{} transport, {} wire]: n={}, nnz={}, dims={:?}, {EPOCHS} epochs, \
+         P in {:?}",
         match transport {
             TransportKind::Shared => "shared",
             TransportKind::Socket => "socket",
         },
+        precision.name(),
         problem.vertices(),
         problem.adj.nnz(),
         gcn.dims,
@@ -125,6 +142,7 @@ fn main() {
                     collect_outputs: false,
                     overlap,
                     transport: Some(transport),
+                    precision,
                     ..Default::default()
                 };
                 let start = Instant::now();
@@ -145,6 +163,7 @@ fn main() {
                     TransportKind::Shared => "shared".to_string(),
                     TransportKind::Socket => "socket".to_string(),
                 },
+                precision: precision.name().to_string(),
                 epoch_seconds_off: off.epoch_seconds,
                 epoch_seconds_on: on.epoch_seconds,
                 modeled_speedup: off.epoch_seconds / on.epoch_seconds.max(1e-12),

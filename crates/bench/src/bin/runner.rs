@@ -22,6 +22,10 @@
 //!   --transport shared|socket ranks as threads, or real worker processes
 //!                            over Unix sockets (default: CAGNET_TRANSPORT,
 //!                            shared when unset)
+//!   --precision f64|f32|bf16 wire precision for dense collectives: f64 is
+//!                            exact, f32/bf16 round payloads at the
+//!                            communicator boundary only (DESIGN.md §14)
+//!                            (default f64)
 //!   --trace <out.json>       write a Chrome/Perfetto trace of the timed epochs
 //!   --json                   print only the JSON row (no human tables)
 //!   --worker                 internal: accepted so spawned worker processes
@@ -30,7 +34,7 @@
 //! ```
 
 use cagnet_bench::{bench_dataset, bench_gcn, measure_epochs_traced};
-use cagnet_comm::{CostModel, TransportKind};
+use cagnet_comm::{CostModel, Precision, TransportKind};
 use cagnet_core::trainer::{Algorithm, TrainConfig};
 use cagnet_core::{CommMode, GcnConfig, Problem};
 use cagnet_sparse::datasets;
@@ -43,7 +47,7 @@ const BOOL_FLAGS: [&str; 2] = ["json", "worker"];
 /// Flags that take a value. A flag name outside this list (or
 /// [`BOOL_FLAGS`]) is a named error: a typo like `--comm-node` must not
 /// silently fall back to the default.
-const VALUE_FLAGS: [&str; 11] = [
+const VALUE_FLAGS: [&str; 12] = [
     "dataset",
     "algo",
     "processes",
@@ -55,6 +59,7 @@ const VALUE_FLAGS: [&str; 11] = [
     "comm-mode",
     "transport",
     "trace",
+    "precision",
 ];
 
 fn parse_args() -> HashMap<String, String> {
@@ -109,6 +114,12 @@ fn parse_comm_mode(s: &str) -> Result<CommMode, String> {
     }
 }
 
+/// Parse a `--precision` value with the flag named in the error, so a
+/// typo like `--precision f16` fails loudly instead of defaulting.
+fn parse_precision(s: &str) -> Result<Precision, String> {
+    Precision::parse(s).map_err(|e| format!("--precision: {e}"))
+}
+
 fn parse_algo(s: &str) -> Algorithm {
     if s == "1d" {
         Algorithm::OneD
@@ -155,6 +166,13 @@ fn main() {
     };
     let comm_mode = match parse_comm_mode(&get("comm-mode", "dense")) {
         Ok(mode) => mode,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let precision = match parse_precision(&get("precision", "f64")) {
+        Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(2);
@@ -220,17 +238,19 @@ fn main() {
         comm_mode,
         trace: trace_path.is_some(),
         transport,
+        precision,
         ..Default::default()
     };
     if !json_only {
         println!(
             "{name}: n={}, nnz={}, dims={:?}, {} on P={p}, {epochs} epochs, α={alpha:.1e}, \
-             {gbps} GB/s, overlap {}",
+             {gbps} GB/s, overlap {}, wire {}",
             problem.vertices(),
             problem.adj.nnz(),
             gcn.dims,
             algo.name(),
-            if overlap { "on" } else { "off" }
+            if overlap { "on" } else { "off" },
+            precision.name()
         );
     }
     let (row, traces) = measure_epochs_traced(&problem, &gcn, &name, algo, p, model, &tc);
@@ -299,5 +319,20 @@ mod tests {
         assert!(e.contains("integer refresh"), "non-integer named: {e}");
         let e = parse_comm_mode("cachd:2").unwrap_err();
         assert!(e.contains("dense|sparse|cached:<k>"), "typo named: {e}");
+    }
+
+    #[test]
+    fn precision_accepts_the_three_wire_widths() {
+        assert_eq!(parse_precision("f64"), Ok(Precision::F64));
+        assert_eq!(parse_precision("f32"), Ok(Precision::F32));
+        assert_eq!(parse_precision("bf16"), Ok(Precision::Bf16));
+    }
+
+    #[test]
+    fn precision_rejects_unknown_widths_by_name() {
+        let e = parse_precision("f16").unwrap_err();
+        assert!(e.contains("--precision"), "flag named: {e}");
+        assert!(e.contains("'f16'"), "bad input named: {e}");
+        assert!(e.contains("f64 | f32 | bf16"), "accepted set named: {e}");
     }
 }

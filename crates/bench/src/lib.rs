@@ -127,7 +127,13 @@ impl Breakdown {
         let e = epochs.max(1) as f64;
         Breakdown {
             spmm: r.seconds(Cat::Spmm) / e,
-            dcomm: r.seconds(Cat::DenseComm) / e,
+            // Compressed-wire runs meter dense payloads under the
+            // precision-specific categories; the Figure 3 bar is still
+            // "dense communication" regardless of wire width.
+            dcomm: (r.seconds(Cat::DenseComm)
+                + r.seconds(Cat::DenseComm32)
+                + r.seconds(Cat::DenseComm16))
+                / e,
             scomm: r.seconds(Cat::SparseComm) / e,
             trpose: r.seconds(Cat::Transpose) / e,
             misc: (r.seconds(Cat::Misc) + r.seconds(Cat::Gemm) + r.seconds(Cat::Idle)) / e,
@@ -198,7 +204,10 @@ pub fn measure_epochs_traced(
         overlap: tc.overlap,
         epoch_seconds,
         epochs_per_second: 1.0 / epoch_seconds.max(1e-12),
-        dcomm_words: mean.words(Cat::DenseComm) as f64 / epochs as f64,
+        dcomm_words: (mean.words(Cat::DenseComm)
+            + mean.words(Cat::DenseComm32)
+            + mean.words(Cat::DenseComm16)) as f64
+            / epochs as f64,
         scomm_words: mean.words(Cat::SparseComm) as f64 / epochs as f64,
         breakdown: Breakdown::from_report(&mean, epochs),
     };

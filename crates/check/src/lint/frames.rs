@@ -1,9 +1,16 @@
-//! Frame-exhaustiveness analysis: every `FrameKind` variant declared in
-//! `crates/comm/src/frame.rs` must appear in at least one *dispatch*
-//! match arm pattern in `crates/comm/src/proc.rs` (the hub's `on_frame`
-//! and the worker's collect loop). A variant that is constructed and
-//! sent but never matched on the receive side is half-wired: the hub
-//! would route it into the catch-all protocol-error arm at runtime.
+//! Frame-exhaustiveness analysis, two coverage obligations:
+//!
+//! * Every `FrameKind` variant declared in `crates/comm/src/frame.rs`
+//!   must appear in at least one *dispatch* match arm pattern in
+//!   `crates/comm/src/proc.rs` (the hub's `on_frame` and the worker's
+//!   collect loop). A variant that is constructed and sent but never
+//!   matched on the receive side is half-wired: the hub would route it
+//!   into the catch-all protocol-error arm at runtime.
+//! * Every wire-precision tag (`Precision` variant) declared in
+//!   `frame.rs` must appear in a match arm pattern *in `frame.rs`
+//!   itself* — the pack/widen/codec matches. A precision added without
+//!   codec coverage would ride a wildcard arm and ship mis-sized or
+//!   mis-tagged payloads.
 //!
 //! Only match *arm patterns* count as handling (including `if` guards,
 //! which is how `Hello` is matched). Construction or comparison sites
@@ -13,15 +20,15 @@ use super::lexer::TokKind;
 use super::model::FileModel;
 use super::{Finding, Rule, SourceFile};
 
-/// Enum variant names of `enum FrameKind { … }` in `frame.rs`, with
-/// their name spans.
-fn frame_kind_variants<'s>(m: &FileModel<'s>) -> Vec<(usize, &'s str)> {
+/// Enum variant names of `enum <name> { … }` in `m`, with their name
+/// spans.
+fn enum_variants<'s>(m: &FileModel<'s>, name: &str) -> Vec<(usize, &'s str)> {
     let n = m.code.len();
     for i in 0..n {
         if !(m.code[i].kind == TokKind::Ident && m.text(i) == "enum") {
             continue;
         }
-        if !(i + 1 < n && m.code[i + 1].kind == TokKind::Ident && m.text(i + 1) == "FrameKind") {
+        if !(i + 1 < n && m.code[i + 1].kind == TokKind::Ident && m.text(i + 1) == name) {
             continue;
         }
         // Body: first `{` after the name.
@@ -75,16 +82,16 @@ fn frame_kind_variants<'s>(m: &FileModel<'s>) -> Vec<(usize, &'s str)> {
     Vec::new()
 }
 
-/// Variant names appearing as `FrameKind::<V>` inside any match arm
+/// Variant names appearing as `<enum_name>::<V>` inside any match arm
 /// pattern (guards included) in `m`.
-fn dispatched_variants<'s>(m: &FileModel<'s>) -> Vec<&'s str> {
+fn dispatched_variants<'s>(m: &FileModel<'s>, enum_name: &str) -> Vec<&'s str> {
     let mut out = Vec::new();
     for ma in &m.matches {
         for arm in &ma.arms {
             let (s, e) = arm.pattern;
             for j in s..e {
                 if m.code[j].kind == TokKind::Ident
-                    && m.text(j) == "FrameKind"
+                    && m.text(j) == enum_name
                     && j + 3 < e
                     && m.is_path_sep(j + 1)
                     && m.code[j + 3].kind == TokKind::Ident
@@ -97,42 +104,89 @@ fn dispatched_variants<'s>(m: &FileModel<'s>) -> Vec<&'s str> {
     out
 }
 
-/// Run the frame-exhaustiveness analysis. Requires both `frame.rs`
-/// (the enum) and `proc.rs` (the dispatchers) to be present in the
-/// source set; does nothing otherwise so single-file lints and
-/// fixtures that don't model the protocol stay quiet.
+/// Run the frame-exhaustiveness analysis. The `FrameKind` obligation
+/// requires both `frame.rs` (the enum) and `proc.rs` (the dispatchers)
+/// to be present in the source set; the `Precision` obligation is
+/// self-contained to `frame.rs`. Absent files skip their obligation so
+/// single-file lints and fixtures that don't model the protocol stay
+/// quiet.
 pub(super) fn run(files: &[SourceFile<'_>], out: &mut Vec<Finding>) {
     let frame = files
         .iter()
         .position(|f| f.flags.norm.ends_with("comm/src/frame.rs"));
-    let proc_ = files
-        .iter()
-        .position(|f| f.flags.norm.ends_with("comm/src/proc.rs"));
-    let (Some(frame), Some(proc_)) = (frame, proc_) else {
+    let Some(frame) = frame else {
         return;
     };
     let fm = &files[frame].model;
-    let pm = &files[proc_].model;
-    let variants = frame_kind_variants(fm);
-    if variants.is_empty() {
+    let fflags = &files[frame].flags;
+
+    // Obligation 1: FrameKind variants dispatched in proc.rs.
+    let proc_ = files
+        .iter()
+        .position(|f| f.flags.norm.ends_with("comm/src/proc.rs"));
+    if let Some(proc_) = proc_ {
+        let pm = &files[proc_].model;
+        let variants = enum_variants(fm, "FrameKind");
+        if !variants.is_empty() {
+            let dispatched = dispatched_variants(pm, "FrameKind");
+            if dispatched.is_empty() {
+                out.push(super::finding(
+                    fm,
+                    fflags,
+                    fm.code
+                        .first()
+                        .map(|t| t.span)
+                        .unwrap_or(super::lexer::Span { start: 0, end: 0 }),
+                    Rule::FrameExhaustiveness,
+                    "FrameKind is declared but proc.rs has no dispatch match over it".to_string(),
+                ));
+            } else {
+                for (idx, name) in variants {
+                    if dispatched.contains(&name) {
+                        continue;
+                    }
+                    let span = fm.code[idx].span;
+                    let line = fm.line_of(span.start);
+                    if fm.allow_on(line, Rule::FrameExhaustiveness.name()) {
+                        continue;
+                    }
+                    out.push(super::finding(
+                        fm,
+                        fflags,
+                        span,
+                        Rule::FrameExhaustiveness,
+                        format!(
+                            "FrameKind::{name} is never matched in a dispatch arm in \
+                             crates/comm/src/proc.rs — the variant is half-wired"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Obligation 2: Precision wire tags covered by frame.rs's own
+    // pack/widen/codec matches.
+    let precisions = enum_variants(fm, "Precision");
+    if precisions.is_empty() {
         return;
     }
-    let dispatched = dispatched_variants(pm);
-    if dispatched.is_empty() {
+    let matched = dispatched_variants(fm, "Precision");
+    if matched.is_empty() {
         out.push(super::finding(
             fm,
-            &files[frame].flags,
+            fflags,
             fm.code
                 .first()
                 .map(|t| t.span)
                 .unwrap_or(super::lexer::Span { start: 0, end: 0 }),
             Rule::FrameExhaustiveness,
-            "FrameKind is declared but proc.rs has no dispatch match over it".to_string(),
+            "Precision is declared but frame.rs has no codec match over it".to_string(),
         ));
         return;
     }
-    for (idx, name) in variants {
-        if dispatched.contains(&name) {
+    for (idx, name) in precisions {
+        if matched.contains(&name) {
             continue;
         }
         let span = fm.code[idx].span;
@@ -142,12 +196,12 @@ pub(super) fn run(files: &[SourceFile<'_>], out: &mut Vec<Finding>) {
         }
         out.push(super::finding(
             fm,
-            &files[frame].flags,
+            fflags,
             span,
             Rule::FrameExhaustiveness,
             format!(
-                "FrameKind::{name} is never matched in a dispatch arm in \
-                 crates/comm/src/proc.rs — the variant is half-wired"
+                "wire-precision tag Precision::{name} has no codec match arm in \
+                 frame.rs — pack/widen/wire dispatch would wildcard it"
             ),
         ));
     }

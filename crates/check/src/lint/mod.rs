@@ -26,6 +26,11 @@
 //! * **`raw-socket-io`**: comm-layer code never reads or writes a raw
 //!   byte stream outside `frame.rs` — every wire byte passes through
 //!   the framed codec's header validation.
+//! * **`scalar-hot-loop`**: no raw per-element multiply-accumulate
+//!   loops in `dense/src/` or `sparse/src/` outside the blessed
+//!   microkernel modules (`gemm.rs`, `spmm.rs`, the `reference.rs`
+//!   oracles). Scalar MAC loops silently forfeit the register-blocked
+//!   kernels' throughput; route the math through them instead.
 //!
 //! **Semantic analyses** — the invariants behind the runtime
 //! bit-identity and deadlock tests, checked statically:
@@ -38,7 +43,9 @@
 //!   held, and `.lock().unwrap()` never bypasses the blessed
 //!   poison-recovering helpers.
 //! * **`frame-exhaustiveness`** ([`frames`]): every `FrameKind`
-//!   variant is handled in a dispatch match in `proc.rs`.
+//!   variant is handled in a dispatch match in `proc.rs`, and every
+//!   wire-precision tag (`Precision` variant) declared in `frame.rs`
+//!   is handled by the pack/widen/codec matches in `frame.rs` itself.
 //!
 //! Suppress a finding with `// lint:allow(<rule>): <reason>` on the
 //! offending line or the line above it. Markers only count inside
@@ -109,8 +116,12 @@ pub enum Rule {
     /// Cyclic or re-entrant Mutex acquisition, or an unblessed
     /// `.lock().unwrap()`.
     LockOrder,
-    /// A `FrameKind` variant with no dispatch match arm in `proc.rs`.
+    /// A `FrameKind` variant with no dispatch match arm in `proc.rs`,
+    /// or a `Precision` wire tag with no codec match arm in `frame.rs`.
     FrameExhaustiveness,
+    /// Raw per-element multiply-accumulate loop in `dense/src/` or
+    /// `sparse/src/` outside the blessed microkernel modules.
+    ScalarHotLoop,
 }
 
 impl Rule {
@@ -128,6 +139,7 @@ impl Rule {
             Rule::CollectiveOrder => "collective-order",
             Rule::LockOrder => "lock-order",
             Rule::FrameExhaustiveness => "frame-exhaustiveness",
+            Rule::ScalarHotLoop => "scalar-hot-loop",
         }
     }
 
@@ -140,7 +152,7 @@ impl Rule {
     }
 
     /// All rules, for marker validation and docs.
-    pub fn all() -> [Rule; 10] {
+    pub fn all() -> [Rule; 11] {
         [
             Rule::UnwrapInLib,
             Rule::SerialKernelInDist,
@@ -152,6 +164,7 @@ impl Rule {
             Rule::CollectiveOrder,
             Rule::LockOrder,
             Rule::FrameExhaustiveness,
+            Rule::ScalarHotLoop,
         ]
     }
 }
@@ -211,11 +224,26 @@ pub(crate) struct PathFlags {
     pub is_comm: bool,
     /// Under `comm/src/` but not `frame.rs` — raw-I/O rule applies.
     pub is_comm_nonframe: bool,
+    /// Under `dense/src/` or `sparse/src/` but outside the blessed
+    /// microkernel modules — the scalar-hot-loop rule applies.
+    pub is_kernel_hot: bool,
 }
+
+/// The modules allowed to spell out per-element multiply-accumulate
+/// loops: the register-blocked kernels themselves and the
+/// transparently-slow reference oracles they are tested against.
+const BLESSED_KERNEL_MODULES: [&str; 4] = [
+    "dense/src/gemm.rs",
+    "dense/src/reference.rs",
+    "sparse/src/spmm.rs",
+    "sparse/src/reference.rs",
+];
 
 impl PathFlags {
     fn new(path: &Path) -> PathFlags {
         let norm = path.to_string_lossy().replace('\\', "/");
+        let is_kernel_crate = norm.contains("dense/src/") || norm.contains("sparse/src/");
+        let is_blessed = BLESSED_KERNEL_MODULES.iter().any(|b| norm.ends_with(b));
         PathFlags {
             path: path.to_path_buf(),
             is_bin: norm.contains("/src/bin/"),
@@ -223,6 +251,7 @@ impl PathFlags {
             is_core: norm.contains("core/src/"),
             is_comm: norm.contains("comm/src/"),
             is_comm_nonframe: norm.contains("comm/src/") && !norm.ends_with("frame.rs"),
+            is_kernel_hot: is_kernel_crate && !is_blessed,
             norm,
         }
     }
@@ -1452,6 +1481,208 @@ fn on_frame(&self, fr: Frame) {
         let frame = "pub enum FrameKind { Hello = 1, Orphan = 2 }\n";
         let v = lint_sources(&[(PathBuf::from("crates/comm/src/frame.rs"), frame.to_string())]);
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn uncovered_precision_tag_is_flagged() {
+        // The Precision obligation is self-contained to frame.rs: a
+        // variant without a codec match arm rides a wildcard.
+        let frame = "\
+pub enum Precision { F64, F32, Bf16 }
+impl Precision {
+    fn bytes(self) -> usize {
+        match self {
+            Precision::F64 => 8,
+            _ => 4,
+        }
+    }
+}
+";
+        let v = lint_sources(&[(PathBuf::from("crates/comm/src/frame.rs"), frame.to_string())]);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|f| f.rule == Rule::FrameExhaustiveness));
+        assert!(v.iter().any(|f| f.message.contains("Precision::F32")));
+        assert!(v.iter().any(|f| f.message.contains("Precision::Bf16")));
+    }
+
+    #[test]
+    fn fully_matched_precision_tags_pass() {
+        let frame = "\
+pub enum Precision { F64, F32 }
+impl Precision {
+    fn tag(self) -> u8 {
+        match self {
+            Precision::F64 => 0,
+            Precision::F32 => 1,
+        }
+    }
+}
+";
+        let v = lint_sources(&[(PathBuf::from("crates/comm/src/frame.rs"), frame.to_string())]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn precision_construction_sites_do_not_count_as_coverage() {
+        let frame = "\
+pub enum Precision { F64, F32 }
+fn default_precision() -> Precision { Precision::F64 }
+fn narrow() -> Precision { Precision::F32 }
+";
+        let v = lint_sources(&[(PathBuf::from("crates/comm/src/frame.rs"), frame.to_string())]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("no codec match over it"));
+    }
+
+    #[test]
+    fn precision_outside_frame_rs_is_not_checked() {
+        // Only frame.rs declares wire tags; a Precision enum elsewhere
+        // (e.g. a fixture or an unrelated crate) is out of scope.
+        let v = lint(LIB, "pub enum Precision { F64, F32 }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    // ---- Rule: scalar-hot-loop -----------------------------------------
+
+    const KERNEL_HOT: &str = "crates/dense/src/ops.rs";
+
+    #[test]
+    fn flags_indexed_mac_loop_outside_blessed_modules() {
+        let src = "\
+fn naive(c: &mut [f64], a: &[f64], b: &[f64], n: usize) {
+    for i in 0..n {
+        for j in 0..n {
+            c[i * n + j] += a[i] * b[j];
+        }
+    }
+}
+";
+        let v = lint(KERNEL_HOT, src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::ScalarHotLoop);
+        assert_eq!(v[0].severity, Severity::Error);
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn flags_deref_store_mac_loop() {
+        let src = "\
+fn axpy_rows(crow: &mut [f64], brow: &[f64], aval: f64) {
+    for (cj, &bval) in crow.iter_mut().zip(brow) {
+        *cj += aval * bval;
+    }
+}
+";
+        let v = lint(KERNEL_HOT, src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::ScalarHotLoop);
+    }
+
+    #[test]
+    fn blessed_microkernel_modules_are_exempt() {
+        let src = "\
+fn micro(c: &mut [f64], a: &[f64], b: &[f64]) {
+    for j in 0..8 {
+        c[j] += a[j] * b[j];
+    }
+}
+";
+        for blessed in [
+            "crates/dense/src/gemm.rs",
+            "crates/dense/src/reference.rs",
+            "crates/sparse/src/spmm.rs",
+            "crates/sparse/src/reference.rs",
+        ] {
+            assert!(lint(blessed, src).is_empty(), "{blessed} must be blessed");
+        }
+        // The same loop in a non-kernel crate is also out of scope.
+        assert!(lint("crates/core/src/gcn.rs", src).is_empty());
+    }
+
+    #[test]
+    fn scalar_offset_arithmetic_passes() {
+        // No element access on either side: index bookkeeping, not a
+        // per-element MAC.
+        let src = "\
+fn walk(rows: usize, stride: usize) -> usize {
+    let mut off = 0;
+    for i in 0..rows {
+        off += i * stride;
+    }
+    off
+}
+";
+        assert!(lint(KERNEL_HOT, src).is_empty());
+    }
+
+    #[test]
+    fn mac_outside_any_loop_passes() {
+        let src = "fn fma1(c: &mut [f64], a: f64, b: f64) { c[0] += a * b; }\n";
+        assert!(lint(KERNEL_HOT, src).is_empty());
+    }
+
+    #[test]
+    fn deref_rhs_without_multiply_passes() {
+        let src = "\
+fn accumulate(c: &mut [f64], parts: &[f64]) {
+    for (i, p) in parts.iter().enumerate() {
+        c[i] += *p;
+    }
+}
+";
+        assert!(lint(KERNEL_HOT, src).is_empty());
+    }
+
+    #[test]
+    fn impl_for_blocks_are_not_loops() {
+        // `impl … for T { … }` and HRTB `for<'a>` must not be mistaken
+        // for loop bodies.
+        let src = "\
+impl AddMul for Acc {
+    fn step(&mut self, c: &mut [f64], a: f64, b: f64) {
+        c[0] += a * b;
+    }
+}
+";
+        assert!(lint(KERNEL_HOT, src).is_empty());
+    }
+
+    #[test]
+    fn scalar_hot_loop_allow_marker_and_tests_are_exempt() {
+        let allowed = "\
+fn special(c: &mut [f64], a: &[f64], b: &[f64]) {
+    for j in 0..c.len() {
+        // lint:allow(scalar-hot-loop): pattern-dependent fold order
+        c[j] += a[j] * b[j];
+    }
+}
+";
+        assert!(lint(KERNEL_HOT, allowed).is_empty());
+        let in_test = "\
+#[cfg(test)]
+mod tests {
+    fn oracle(c: &mut [f64], a: &[f64], b: &[f64]) {
+        for j in 0..c.len() {
+            c[j] += a[j] * b[j];
+        }
+    }
+}
+";
+        assert!(lint(KERNEL_HOT, in_test).is_empty());
+    }
+
+    #[test]
+    fn sparse_crate_is_covered_by_scalar_hot_loop() {
+        let src = "\
+fn scatter(c: &mut [f64], vals: &[f64], idx: &[usize], x: f64) {
+    for (k, &j) in idx.iter().enumerate() {
+        c[j] += vals[k] * x;
+    }
+}
+";
+        let v = lint("crates/sparse/src/coo.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::ScalarHotLoop);
     }
 
     // ---- Baseline and JSON ---------------------------------------------

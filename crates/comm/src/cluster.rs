@@ -15,7 +15,7 @@ use std::time::Duration;
 use crate::comm::{Communicator, Registry};
 use crate::cost::{Cat, CostModel};
 use crate::diag::FirstPanic;
-use crate::frame::Wire;
+use crate::frame::{Precision, Wire};
 use crate::timeline::{Meter, Timeline, TimelineReport};
 use crate::transport::{SharedLink, TransportKind};
 use cagnet_check::waitgraph::{deadlock_report, is_quiescent_deadlock, RankPhase, RankSnapshot};
@@ -144,6 +144,7 @@ pub struct Cluster {
     pub(crate) threads_per_rank: usize,
     pub(crate) check: CheckMode,
     pub(crate) transport: TransportKind,
+    pub(crate) precision: Precision,
 }
 
 impl Cluster {
@@ -160,7 +161,18 @@ impl Cluster {
             threads_per_rank: 1,
             check: CheckMode::from_env(),
             transport: TransportKind::from_env(),
+            precision: Precision::default(),
         }
+    }
+
+    /// Select the wire precision for dense collectives (default
+    /// [`Precision::F64`], the exact pre-compression behaviour). Sub-f64
+    /// precisions round dense payloads at the communicator boundary only
+    /// — local compute and reduction accumulation stay f64 throughout
+    /// (DESIGN.md §14).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
     }
 
     /// Select the transport backend explicitly (default: the
@@ -279,7 +291,11 @@ impl Cluster {
         R: Send,
         F: Fn(&mut Ctx) -> R + Send + Sync,
     {
-        let registry = Arc::new(Registry::new(self.timeout).with_check(self.check));
+        let registry = Arc::new(
+            Registry::new(self.timeout)
+                .with_check(self.check)
+                .with_precision(self.precision),
+        );
         registry.diag.init(self.size);
         let world_link = SharedLink::world(&registry, self.size);
         let size = self.size;

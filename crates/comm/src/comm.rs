@@ -28,7 +28,7 @@ use std::time::Duration;
 
 use crate::cost::{Cat, CommWords, CostModel};
 use crate::diag::Diagnostics;
-use crate::frame::{FrameError, Reader, Wire};
+use crate::frame::{FrameError, PackedMat, Precision, Reader, Wire};
 use crate::timeline::Meter;
 use crate::transport::{CollectError, CommInner, CommLink, RxPayload, TxDeposit, TxPayload};
 use cagnet_check::fingerprint::{self, CollectiveKind, Fingerprint, Shape};
@@ -54,6 +54,28 @@ impl Wire for GatherRowsDeposit {
         Ok(GatherRowsDeposit {
             needed: Vec::take(r)?,
             data: <Option<Arc<Mat>> as Wire>::take(r)?,
+        })
+    }
+}
+
+/// Compressed-precision analog of [`GatherRowsDeposit`]: the root's
+/// block crosses the wire as a [`PackedMat`]. The root keeps its own
+/// full-precision `Arc` locally — root-resident data never rides the
+/// wire, so it is never rounded (DESIGN.md §14).
+struct PackedRowsDeposit {
+    needed: Vec<usize>,
+    data: Option<PackedMat>,
+}
+
+impl Wire for PackedRowsDeposit {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.needed.put(out);
+        self.data.put(out);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        Ok(PackedRowsDeposit {
+            needed: Vec::take(r)?,
+            data: <Option<PackedMat> as Wire>::take(r)?,
         })
     }
 }
@@ -131,6 +153,8 @@ pub struct Registry {
     pub timeout: Duration,
     /// Whether collective fingerprint verification is enabled.
     pub(crate) check: CheckMode,
+    /// Wire precision every rank's communicators start with.
+    pub(crate) precision: Precision,
     /// Run-wide rank states, histories, first-panic record, abort flag.
     pub(crate) diag: Diagnostics,
 }
@@ -144,6 +168,7 @@ impl Registry {
             next_id: AtomicU64::new(1),
             timeout,
             check: CheckMode::Off,
+            precision: Precision::F64,
             diag: Diagnostics::default(),
         }
     }
@@ -151,6 +176,12 @@ impl Registry {
     /// Enable or disable collective fingerprint verification.
     pub fn with_check(mut self, check: CheckMode) -> Self {
         self.check = check;
+        self
+    }
+
+    /// Select the wire precision of dense collectives (DESIGN.md §14).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 
@@ -189,6 +220,10 @@ pub struct Communicator {
     my_idx: usize,
     meter: Rc<RefCell<Meter>>,
     seq: Cell<u64>,
+    /// Wire precision of dense-matrix collectives on this handle.
+    /// Per-handle and mutable so fault-injection tests can desynchronize
+    /// one rank; normal runs inherit the registry-wide setting.
+    precision: Cell<Precision>,
 }
 
 impl Communicator {
@@ -199,6 +234,7 @@ impl Communicator {
         rank: usize,
         meter: Rc<RefCell<Meter>>,
     ) -> Self {
+        let precision = Cell::new(registry.precision);
         Communicator {
             link,
             registry,
@@ -206,6 +242,7 @@ impl Communicator {
             my_idx: rank,
             meter,
             seq: Cell::new(0),
+            precision,
         }
     }
 
@@ -227,6 +264,57 @@ impl Communicator {
     /// The cost model used for charging.
     pub fn model(&self) -> Arc<CostModel> {
         self.meter.borrow().model.clone()
+    }
+
+    /// Wire precision of this handle's dense collectives.
+    pub fn precision(&self) -> Precision {
+        self.precision.get()
+    }
+
+    /// Override the wire precision on this handle. Every member of the
+    /// communicator must make the same change before the next dense
+    /// collective — under `CheckMode` a mismatched pair is caught by the
+    /// fingerprint dtype cross-check (the override exists for exactly
+    /// that fault-injection test, and for trainers that want a lower
+    /// precision on one sub-communicator only).
+    pub fn set_precision(&self, precision: Precision) {
+        self.precision.set(precision);
+    }
+
+    /// The active compression, if any, for a collective carrying `T`
+    /// metered under `cat`: packing engages exactly when the handle's
+    /// precision is narrow, the payload is a [`Mat`], the traffic is
+    /// dense-matrix communication ([`Cat::DenseComm`] — weights and
+    /// control payloads under other categories stay exact), and the
+    /// group actually crosses the wire (`size > 1`). Decidable on every
+    /// rank without payload inspection, so all members take the same
+    /// branch.
+    fn packed_precision<T: Any>(&self, cat: Cat) -> Option<Precision> {
+        let p = self.precision.get();
+        (p != Precision::F64
+            && cat == Cat::DenseComm
+            && self.size() > 1
+            && std::any::TypeId::of::<T>() == std::any::TypeId::of::<Mat>())
+        .then_some(p)
+    }
+
+    /// `Arc<T> -> Arc<Mat>` when [`Communicator::packed_precision`] has
+    /// already proven `T == Mat` via `TypeId`.
+    fn arc_as_mat<T: Any + Send + Sync>(data: Arc<T>) -> Arc<Mat> {
+        let any: Arc<dyn Any + Send + Sync> = data;
+        match any.downcast::<Mat>() {
+            Ok(m) => m,
+            Err(_) => unreachable!("packed dispatch proved T == Mat by TypeId"),
+        }
+    }
+
+    /// The inverse coercion of [`Communicator::arc_as_mat`].
+    fn arc_from_mat<T: Any + Send + Sync>(mat: Arc<Mat>) -> Arc<T> {
+        let any: Arc<dyn Any + Send + Sync> = mat;
+        match any.downcast::<T>() {
+            Ok(t) => t,
+            Err(_) => unreachable!("packed dispatch proved T == Mat by TypeId"),
+        }
     }
 
     fn next_seq(&self) -> u64 {
@@ -526,6 +614,10 @@ impl Communicator {
             root_idx == self.my_idx,
             "bcast: exactly the root must supply data"
         );
+        if let Some(prec) = self.packed_precision::<T>(cat) {
+            let mat = data.map(Self::arc_as_mat);
+            return Self::arc_from_mat(self.bcast_packed(root_idx, mat, prec));
+        }
         // The root declares the payload size; everyone else cannot know
         // it yet and declares a wildcard shape.
         let shape = match &data {
@@ -548,6 +640,39 @@ impl Communicator {
         let words = out.comm_words();
         let cost = self.model().bcast_time(self.size(), words);
         self.settle(tmax, cat, cost, if self.size() > 1 { words } else { 0 });
+        out
+    }
+
+    /// Compressed-precision broadcast: the root rounds its matrix to the
+    /// wire precision once, and **every** rank — the root included —
+    /// widens the packed payload back to `f64`, so all members hold
+    /// bit-identical replicas (the replication invariant every dense
+    /// collective keeps). Metered under the precision's own category
+    /// with the packed word count, so the β term halves (f32) or
+    /// quarters (bf16).
+    fn bcast_packed(&self, root_idx: usize, data: Option<Arc<Mat>>, prec: Precision) -> Arc<Mat> {
+        let packed = data.map(|m| Arc::new(PackedMat::pack(&m, prec)));
+        let shape = match &packed {
+            Some(d) => Shape::Words(d.comm_words()),
+            None => Shape::Unknown,
+        };
+        let fp = self.fingerprint(
+            CollectiveKind::Bcast,
+            Some(root_idx),
+            None,
+            prec.packed_dtype(),
+            shape,
+        );
+        let payload = match packed {
+            Some(d) => TxPayload::of(d),
+            None => TxPayload::unit(),
+        };
+        let (items, tmax) = self.exchange_raw(CollectiveKind::Bcast, fp, payload);
+        let packed = Self::downcast::<PackedMat>(items[root_idx].clone());
+        let out = Arc::new(packed.widen());
+        let words = packed.comm_words();
+        let cost = self.model().bcast_time(self.size(), words);
+        self.settle(tmax, prec.dense_cat(), cost, words);
         out
     }
 
@@ -639,6 +764,23 @@ impl Communicator {
                 w[0] < w[1],
                 "gather_rows: needed rows must be sorted and distinct"
             );
+        }
+        if let Some(prec) = self.packed_precision::<Mat>(cat) {
+            // The root's own result must stay exact: capture its
+            // full-precision Arc before packing — root-local data never
+            // crosses the wire, so it is never rounded.
+            let root_block = data.clone();
+            let shape = Self::gather_rows_shape(&data, expect);
+            let fp = self.fingerprint(kind, Some(root_idx), None, prec.packed_dtype(), shape);
+            let deposit = PackedRowsDeposit {
+                needed: needed.to_vec(),
+                data: data.map(|m| PackedMat::pack(&m, prec)),
+            };
+            let (items, tmax) = self.exchange_raw(kind, fp, TxPayload::of(Arc::new(deposit)));
+            let (out, cost, words) =
+                self.gather_rows_finish_packed(root_idx, needed, expect, items, root_block, prec);
+            self.settle(tmax, prec.dense_cat(), cost, words);
+            return out;
         }
         let shape = Self::gather_rows_shape(&data, expect);
         let fp = self.fingerprint(
@@ -741,6 +883,83 @@ impl Communicator {
         (out, cost, words)
     }
 
+    /// Packed-precision completion of `gather_rows`/`igather_rows`. Same
+    /// structure as [`Communicator::gather_rows_finish`], with two wire
+    /// differences: requested row data is metered at the packed width
+    /// (indices stay full-price u64 words), and the root's result is the
+    /// captured full-precision block — root-resident data never crossed
+    /// the wire, so it is never rounded (DESIGN.md §14).
+    fn gather_rows_finish_packed(
+        &self,
+        root_idx: usize,
+        needed: &[usize],
+        expect: Option<(usize, usize)>,
+        items: Vec<RxPayload>,
+        root_block: Option<Arc<Mat>>,
+        prec: Precision,
+    ) -> (GatheredRows, f64, u64) {
+        let deposits: Vec<Arc<PackedRowsDeposit>> = items
+            .into_iter()
+            .map(Self::downcast::<PackedRowsDeposit>)
+            .collect();
+        let Some(packed) = deposits[root_idx].data.as_ref() else {
+            panic!("gather_rows: payload missing at declared root — collective misuse")
+        };
+        let (brows, bcols) = packed.shape();
+        if let Some((er, ec)) = expect {
+            assert_eq!(
+                (brows, bcols),
+                (er, ec),
+                "gather_rows: root block shape differs from the receiver-declared dims"
+            );
+        }
+        let p = self.size();
+        // Wire words per requested row: the packed row data (rounded up
+        // to whole words per row — rows are framed individually) plus
+        // one full-price index word.
+        let row_words = 1 + (bcols * prec.bytes_per_value()).div_ceil(8) as u64;
+        let (cost, words) = if self.my_idx == root_idx {
+            let served: u64 = deposits
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != root_idx)
+                .map(|(_, d)| d.needed.len() as u64 * row_words)
+                .sum();
+            let m = self.model();
+            (m.alpha * (p - 1) as f64 + m.beta * served as f64, 0)
+        } else {
+            let w = needed.len() as u64 * row_words;
+            let m = self.model();
+            (2.0 * m.alpha + m.beta * w as f64, w)
+        };
+        let out = if self.my_idx == root_idx {
+            let Some(block) = root_block else {
+                unreachable!("packed gather_rows root captured its own block at issue time")
+            };
+            GatheredRows {
+                mat: block,
+                rows: None,
+            }
+        } else {
+            if let Some(&last) = needed.last() {
+                assert!(
+                    last < brows,
+                    "gather_rows: requested row {last} out of range for {brows}-row block"
+                );
+            }
+            let block = packed.widen();
+            let mut m = Mat::zeros(needed.len(), bcols);
+            for (i, &r) in needed.iter().enumerate() {
+                m.row_mut(i).copy_from_slice(block.row(r));
+            }
+            GatheredRows {
+                mat: Arc::new(m),
+                rows: Some(Arc::new(needed.to_vec())),
+            }
+        };
+        (out, cost, words)
+    }
+
     /// Nonblocking [`Communicator::bcast`]: the rendezvous deposit
     /// happens now (so CheckMode fingerprints, sequence alignment, and
     /// determinism are unchanged) and the payload plus α–β charge arrive
@@ -777,6 +996,9 @@ impl Communicator {
             };
             return PendingOp::ready(self, CollectiveKind::IBcast, cat, d);
         }
+        if let Some(prec) = self.packed_precision::<T>(cat) {
+            return self.ibcast_packed(root_idx, data.map(Self::arc_as_mat), prec);
+        }
         let shape = match &data {
             Some(d) => Shape::Words(d.comm_words()),
             None => Shape::Unknown,
@@ -801,6 +1023,49 @@ impl Communicator {
             Box::new(move |comm, items| {
                 let out = Communicator::downcast::<T>(items[root_idx].clone());
                 let words = out.comm_words();
+                let cost = comm.model().bcast_time(comm.size(), words);
+                (out, cost, words)
+            }),
+        )
+    }
+
+    /// Compressed-precision [`Communicator::ibcast_shared`]: the root
+    /// packs at issue, every rank (root included) widens at `wait()` —
+    /// identical rounding to the blocking [`Communicator::bcast_packed`]
+    /// — and the packed word count settles under the precision's
+    /// category on the network lane.
+    fn ibcast_packed<T: Any + Send + Sync>(
+        &self,
+        root_idx: usize,
+        data: Option<Arc<Mat>>,
+        prec: Precision,
+    ) -> PendingOp<'_, Arc<T>> {
+        let packed = data.map(|m| Arc::new(PackedMat::pack(&m, prec)));
+        let shape = match &packed {
+            Some(d) => Shape::Words(d.comm_words()),
+            None => Shape::Unknown,
+        };
+        let fp = self.fingerprint(
+            CollectiveKind::IBcast,
+            Some(root_idx),
+            None,
+            prec.packed_dtype(),
+            shape,
+        );
+        let payload = match packed {
+            Some(d) => TxPayload::of(d),
+            None => TxPayload::unit(),
+        };
+        let seq = self.issue_raw(CollectiveKind::IBcast, fp, payload);
+        PendingOp::in_flight(
+            self,
+            CollectiveKind::IBcast,
+            prec.dense_cat(),
+            seq,
+            Box::new(move |comm, items| {
+                let packed = Communicator::downcast::<PackedMat>(items[root_idx].clone());
+                let out = Communicator::arc_from_mat::<T>(Arc::new(packed.widen()));
+                let words = packed.comm_words();
                 let cost = comm.model().bcast_time(comm.size(), words);
                 (out, cost, words)
             }),
@@ -886,6 +1151,35 @@ impl Communicator {
                 },
             );
         }
+        if let Some(prec) = self.packed_precision::<Mat>(cat) {
+            // Same exception as the blocking form: the root's own result
+            // is the captured full-precision Arc, never the packed copy.
+            let root_block = data.clone();
+            let shape = Self::gather_rows_shape(&data, expect);
+            let fp = self.fingerprint(kind, Some(root_idx), None, prec.packed_dtype(), shape);
+            let deposit = PackedRowsDeposit {
+                needed: needed.to_vec(),
+                data: data.map(|m| PackedMat::pack(&m, prec)),
+            };
+            let seq = self.issue_raw(kind, fp, TxPayload::of(Arc::new(deposit)));
+            let needed = needed.to_vec();
+            return PendingOp::in_flight(
+                self,
+                kind,
+                prec.dense_cat(),
+                seq,
+                Box::new(move |comm, items| {
+                    comm.gather_rows_finish_packed(
+                        root_idx,
+                        &needed,
+                        expect,
+                        items,
+                        root_block.clone(),
+                        prec,
+                    )
+                }),
+            );
+        }
         let shape = Self::gather_rows_shape(&data, expect);
         let fp = self.fingerprint(
             kind,
@@ -927,6 +1221,9 @@ impl Communicator {
         if self.size() == 1 {
             return PendingOp::ready(self, CollectiveKind::IAllreduceMat, cat, m.clone());
         }
+        if let Some(prec) = self.packed_precision::<Mat>(cat) {
+            return self.iallreduce_mat_packed(m, prec);
+        }
         let fp = self.fingerprint(
             CollectiveKind::IAllreduceMat,
             None,
@@ -965,6 +1262,45 @@ impl Communicator {
         )
     }
 
+    /// Compressed-precision [`Communicator::iallreduce_mat`]: pack at
+    /// issue, widen-and-sum in `f64` member order at `wait()` — the same
+    /// rounding as the blocking form.
+    fn iallreduce_mat_packed(&self, m: &Mat, prec: Precision) -> PendingOp<'_, Mat> {
+        let packed = Arc::new(PackedMat::pack(m, prec));
+        let w = packed.comm_words();
+        let fp = self.fingerprint(
+            CollectiveKind::IAllreduceMat,
+            None,
+            None,
+            prec.packed_dtype(),
+            Shape::Dims(m.rows(), m.cols()),
+        );
+        let seq = self.issue_raw(CollectiveKind::IAllreduceMat, fp, TxPayload::of(packed));
+        PendingOp::in_flight(
+            self,
+            CollectiveKind::IAllreduceMat,
+            prec.dense_cat(),
+            seq,
+            Box::new(move |comm, items| {
+                let mut acc: Option<Mat> = None;
+                for p in items {
+                    let part = Communicator::downcast::<PackedMat>(p).widen();
+                    match &mut acc {
+                        None => acc = Some(part),
+                        Some(a) => cagnet_dense::ops::add_assign(a, &part),
+                    }
+                }
+                let Some(out) = acc else {
+                    unreachable!("iallreduce over an empty communicator")
+                };
+                let p = comm.size();
+                let cost = comm.model().allreduce_time(p, w);
+                let words = 2 * w * (p as u64 - 1) / p as u64;
+                (out, cost, words)
+            }),
+        )
+    }
+
     /// All-gather: every member contributes `data`; returns all
     /// contributions in member order.
     pub fn allgather<T: Any + Send + Sync + CommWords + Wire>(
@@ -986,6 +1322,13 @@ impl Communicator {
         data: Arc<T>,
         cat: Cat,
     ) -> Vec<Arc<T>> {
+        if let Some(prec) = self.packed_precision::<T>(cat) {
+            return self
+                .allgather_packed(Self::arc_as_mat(data), prec)
+                .into_iter()
+                .map(Self::arc_from_mat)
+                .collect();
+        }
         // Contribution sizes are legitimately rank-dependent: wildcard.
         let fp = self.fingerprint(
             CollectiveKind::Allgather,
@@ -1008,9 +1351,42 @@ impl Communicator {
         out
     }
 
+    /// Compressed-precision all-gather: every member packs its own
+    /// contribution, and every member widens **all** contributions —
+    /// its own included — so the gathered vector is replicated
+    /// bit-identically across ranks.
+    fn allgather_packed(&self, data: Arc<Mat>, prec: Precision) -> Vec<Arc<Mat>> {
+        let packed = Arc::new(PackedMat::pack(&data, prec));
+        let fp = self.fingerprint(
+            CollectiveKind::Allgather,
+            None,
+            None,
+            prec.packed_dtype(),
+            Shape::Unknown,
+        );
+        let (items, tmax) = self.exchange_raw(CollectiveKind::Allgather, fp, TxPayload::of(packed));
+        let parts: Vec<Arc<PackedMat>> =
+            items.into_iter().map(Self::downcast::<PackedMat>).collect();
+        let p = self.size();
+        let total: u64 = parts.iter().map(|x| x.comm_words()).sum();
+        let out: Vec<Arc<Mat>> = parts.iter().map(|x| Arc::new(x.widen())).collect();
+        let cost = self.model().allgather_time(p, total);
+        let words = total * (p as u64 - 1) / p as u64;
+        self.settle(tmax, prec.dense_cat(), cost, words);
+        out
+    }
+
     /// All-reduce (sum) of equally-shaped matrices; every rank returns the
     /// same sum, accumulated in member order (deterministic).
+    ///
+    /// Under a narrow wire precision (and `cat == DenseComm`), each
+    /// contribution is rounded once by its sender and widened back to
+    /// `f64` by every receiver; the sum itself is always accumulated in
+    /// `f64` member order, so all ranks still return identical bits.
     pub fn allreduce_mat(&self, m: &Mat, cat: Cat) -> Mat {
+        if let Some(prec) = self.packed_precision::<Mat>(cat) {
+            return self.allreduce_mat_packed(m, prec);
+        }
         let fp = self.fingerprint(
             CollectiveKind::AllreduceMat,
             None,
@@ -1046,6 +1422,39 @@ impl Communicator {
         out
     }
 
+    /// Compressed-precision [`Communicator::allreduce_mat`]: narrow on
+    /// the wire, `f64` accumulation on receipt, every rank sums the
+    /// identical widened parts in member order.
+    fn allreduce_mat_packed(&self, m: &Mat, prec: Precision) -> Mat {
+        let packed = Arc::new(PackedMat::pack(m, prec));
+        let w = packed.comm_words();
+        let fp = self.fingerprint(
+            CollectiveKind::AllreduceMat,
+            None,
+            None,
+            prec.packed_dtype(),
+            Shape::Dims(m.rows(), m.cols()),
+        );
+        let (items, tmax) =
+            self.exchange_raw(CollectiveKind::AllreduceMat, fp, TxPayload::of(packed));
+        let mut acc: Option<Mat> = None;
+        for p in items {
+            let part = Self::downcast::<PackedMat>(p).widen();
+            match &mut acc {
+                None => acc = Some(part),
+                Some(a) => cagnet_dense::ops::add_assign(a, &part),
+            }
+        }
+        let Some(out) = acc else {
+            unreachable!("allreduce over an empty communicator")
+        };
+        let p = self.size();
+        let cost = self.model().allreduce_time(p, w);
+        let words = 2 * w * (p as u64 - 1) / p as u64;
+        self.settle(tmax, prec.dense_cat(), cost, words);
+        out
+    }
+
     /// All-reduce (sum) of scalars.
     pub fn allreduce_scalar(&self, x: f64, cat: Cat) -> f64 {
         let fp = self.fingerprint(
@@ -1074,6 +1483,9 @@ impl Communicator {
     /// low-rank outer products `A_i G_i` are reduce-scattered into block
     /// rows.
     pub fn reduce_scatter_rows(&self, m: &Mat, cat: Cat) -> Mat {
+        if let Some(prec) = self.packed_precision::<Mat>(cat) {
+            return self.reduce_scatter_rows_packed(m, prec);
+        }
         let p = self.size();
         let fp = self.fingerprint(
             CollectiveKind::ReduceScatterRows,
@@ -1107,6 +1519,43 @@ impl Communicator {
             0
         };
         self.settle(tmax, cat, cost, words);
+        out
+    }
+
+    /// Compressed-precision [`Communicator::reduce_scatter_rows`]: each
+    /// contribution is rounded once by its sender; every rank widens all
+    /// parts and sums its own block rows in `f64` member order, so a
+    /// later all-gather of the blocks reassembles a replica-consistent
+    /// matrix.
+    fn reduce_scatter_rows_packed(&self, m: &Mat, prec: Precision) -> Mat {
+        let p = self.size();
+        let packed = Arc::new(PackedMat::pack(m, prec));
+        let w = packed.comm_words();
+        let fp = self.fingerprint(
+            CollectiveKind::ReduceScatterRows,
+            None,
+            None,
+            prec.packed_dtype(),
+            Shape::Dims(m.rows(), m.cols()),
+        );
+        let (items, tmax) =
+            self.exchange_raw(CollectiveKind::ReduceScatterRows, fp, TxPayload::of(packed));
+        let (r0, r1) = block_range(m.rows(), p, self.my_idx);
+        let mut out = Mat::zeros(r1 - r0, m.cols());
+        for item in items {
+            let part = Self::downcast::<PackedMat>(item);
+            assert_eq!(part.shape(), m.shape(), "reduce_scatter shape mismatch");
+            let part = part.widen();
+            for (oi, gi) in (r0..r1).enumerate() {
+                let dst = out.row_mut(oi);
+                for (d, s) in dst.iter_mut().zip(part.row(gi)) {
+                    *d += s;
+                }
+            }
+        }
+        let cost = self.model().reduce_scatter_time(p, w);
+        let words = w * (p as u64 - 1) / p as u64;
+        self.settle(tmax, prec.dense_cat(), cost, words);
         out
     }
 
@@ -1314,6 +1763,10 @@ impl Communicator {
             my_idx: my_pos,
             meter: self.meter.clone(),
             seq: Cell::new(0),
+            // Sub-communicators inherit the parent handle's *current*
+            // precision, so a grid built after set_precision stays
+            // consistent across all of its row/column groups.
+            precision: Cell::new(self.precision.get()),
         }
     }
 }

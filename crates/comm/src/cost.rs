@@ -59,12 +59,22 @@ pub enum Cat {
     /// excluded from `comm_words()` so the dense-word collapse stays
     /// visible.
     CacheHit,
+    /// Dense-matrix collectives carried at f32 wire precision
+    /// ("dcomm32"): same traffic as [`Cat::DenseComm`] but each payload
+    /// word packs two converted values, so the β term — and the metered
+    /// word count — halves (DESIGN.md §14). Kept distinct from `dcomm`
+    /// so compressed and full-precision traffic never blur in reports.
+    DenseComm32,
+    /// Dense-matrix collectives carried at software-bf16 wire precision
+    /// ("dcomm16"): four converted values per payload word.
+    DenseComm16,
 }
 
 /// Number of categories (array-backed accumulators are sized by this).
-pub const NUM_CATS: usize = 9;
+pub const NUM_CATS: usize = 11;
 
-/// All categories, for iteration.
+/// All categories, for iteration. New categories are appended, never
+/// reordered: [`Cat`]'s wire form is its index in this array.
 pub const ALL_CATS: [Cat; NUM_CATS] = [
     Cat::Spmm,
     Cat::DenseComm,
@@ -75,6 +85,8 @@ pub const ALL_CATS: [Cat; NUM_CATS] = [
     Cat::Overlapped,
     Cat::Idle,
     Cat::CacheHit,
+    Cat::DenseComm32,
+    Cat::DenseComm16,
 ];
 
 impl Cat {
@@ -90,6 +102,8 @@ impl Cat {
             Cat::Overlapped => 6,
             Cat::Idle => 7,
             Cat::CacheHit => 8,
+            Cat::DenseComm32 => 9,
+            Cat::DenseComm16 => 10,
         }
     }
 
@@ -105,6 +119,8 @@ impl Cat {
             Cat::Overlapped => "ovlp",
             Cat::Idle => "idle",
             Cat::CacheHit => "cache",
+            Cat::DenseComm32 => "dcomm32",
+            Cat::DenseComm16 => "dcomm16",
         }
     }
 }
@@ -317,6 +333,12 @@ impl CommWords for cagnet_dense::Mat {
 impl CommWords for cagnet_sparse::Csr {
     fn comm_words(&self) -> u64 {
         2 * self.nnz() as u64
+    }
+}
+
+impl CommWords for crate::frame::PackedMat {
+    fn comm_words(&self) -> u64 {
+        self.wire_words()
     }
 }
 

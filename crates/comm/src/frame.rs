@@ -508,6 +508,230 @@ impl Wire for Csr {
     }
 }
 
+/// Wire precision of dense-matrix collective payloads (DESIGN.md §14).
+///
+/// Ranks always *compute* in `f64`; this selects how many bits each
+/// value occupies while crossing a dense collective. [`Precision::F64`]
+/// is the historical format and takes the exact pre-compression code
+/// path — byte-for-byte identical frames. The narrow modes convert once
+/// on the sending side and widen back to `f64` on receipt, so every
+/// rank still holds identical `f64` replicas after a collective.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Full 64-bit values: one value per 8-byte wire word (default).
+    #[default]
+    F64,
+    /// IEEE-754 binary32: two values per wire word, β term halves.
+    F32,
+    /// Software bfloat16 (the high 16 bits of the binary32 encoding,
+    /// round-to-nearest-even): four values per wire word.
+    Bf16,
+}
+
+impl Precision {
+    /// Parse a `--precision` flag value. Every rejection names the bad
+    /// input and the accepted set, mirroring the other CLI enums.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "f64" => Ok(Precision::F64),
+            "f32" => Ok(Precision::F32),
+            "bf16" => Ok(Precision::Bf16),
+            other => Err(format!(
+                "unknown precision '{other}' (expected f64 | f32 | bf16)"
+            )),
+        }
+    }
+
+    /// The CLI spelling, the inverse of [`Precision::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+            Precision::Bf16 => "bf16",
+        }
+    }
+
+    /// Bytes per value on the wire.
+    pub fn bytes_per_value(self) -> usize {
+        match self {
+            Precision::F64 => 8,
+            Precision::F32 => 4,
+            Precision::Bf16 => 2,
+        }
+    }
+
+    /// Payload dtype recorded in CheckMode fingerprints. Distinct per
+    /// precision, so a precision-mismatched rank pair fails the
+    /// fingerprint cross-check with a *named* dtype mismatch instead of
+    /// a downcast panic.
+    pub fn packed_dtype(self) -> &'static str {
+        match self {
+            Precision::F64 => "packed-f64",
+            Precision::F32 => "packed-f32",
+            Precision::Bf16 => "packed-bf16",
+        }
+    }
+
+    /// Metering category for dense collectives at this precision.
+    pub fn dense_cat(self) -> Cat {
+        match self {
+            Precision::F64 => Cat::DenseComm,
+            Precision::F32 => Cat::DenseComm32,
+            Precision::Bf16 => Cat::DenseComm16,
+        }
+    }
+}
+
+impl Wire for Precision {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Precision::F64 => 0,
+            Precision::F32 => 1,
+            Precision::Bf16 => 2,
+        });
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        Ok(match r.u8()? {
+            0 => Precision::F64,
+            1 => Precision::F32,
+            2 => Precision::Bf16,
+            _ => return Err(FrameError::Malformed("precision tag out of range")),
+        })
+    }
+}
+
+/// Round an `f32` to software bfloat16 (round-to-nearest-even), kept as
+/// the high 16 bits of the binary32 encoding. NaN stays NaN.
+fn bf16_from_f32(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        // Force a quiet-NaN mantissa bit so truncation can't yield inf.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    let rounded = bits.wrapping_add(0x7FFF + ((bits >> 16) & 1));
+    (rounded >> 16) as u16
+}
+
+/// A dense matrix converted to a narrower wire precision — the payload
+/// type dense collectives deposit when compression is on. The sender
+/// rounds exactly once ([`PackedMat::pack`]); [`PackedMat::widen`] is
+/// exact, so every receiving rank reconstructs identical `f64` values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PackedMat {
+    precision: Precision,
+    rows: usize,
+    cols: usize,
+    /// Little-endian packed values, `bytes_per_value` each, row-major.
+    bytes: Vec<u8>,
+}
+
+impl PackedMat {
+    /// Convert `m` for the wire, rounding each value to `precision`.
+    pub fn pack(m: &Mat, precision: Precision) -> Self {
+        let mut bytes = Vec::with_capacity(m.len() * precision.bytes_per_value());
+        match precision {
+            Precision::F64 => {
+                for &x in m.as_slice() {
+                    bytes.extend_from_slice(&x.to_bits().to_le_bytes());
+                }
+            }
+            Precision::F32 => {
+                for &x in m.as_slice() {
+                    bytes.extend_from_slice(&(x as f32).to_bits().to_le_bytes());
+                }
+            }
+            Precision::Bf16 => {
+                for &x in m.as_slice() {
+                    bytes.extend_from_slice(&bf16_from_f32(x as f32).to_le_bytes());
+                }
+            }
+        }
+        PackedMat {
+            precision,
+            rows: m.rows(),
+            cols: m.cols(),
+            bytes,
+        }
+    }
+
+    /// Reconstruct the `f64` matrix. Widening is exact — every `f32`
+    /// and bf16 value is representable in `f64` — so all receivers of
+    /// the same packed payload hold bit-identical replicas.
+    pub fn widen(&self) -> Mat {
+        let n = self.rows * self.cols;
+        let mut data = Vec::with_capacity(n);
+        match self.precision {
+            Precision::F64 => {
+                for c in self.bytes.chunks_exact(8) {
+                    let mut a = [0u8; 8];
+                    a.copy_from_slice(c);
+                    data.push(f64::from_bits(u64::from_le_bytes(a)));
+                }
+            }
+            Precision::F32 => {
+                for c in self.bytes.chunks_exact(4) {
+                    let mut a = [0u8; 4];
+                    a.copy_from_slice(c);
+                    data.push(f64::from(f32::from_bits(u32::from_le_bytes(a))));
+                }
+            }
+            Precision::Bf16 => {
+                for c in self.bytes.chunks_exact(2) {
+                    let h = u16::from_le_bytes([c[0], c[1]]);
+                    data.push(f64::from(f32::from_bits(u32::from(h) << 16)));
+                }
+            }
+        }
+        Mat::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Wire precision of this payload.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Logical matrix shape.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// 8-byte wire words this payload occupies: packed values share
+    /// words, so f32 halves — and bf16 quarters — the `f64` count.
+    pub fn wire_words(&self) -> u64 {
+        (self.bytes.len() as u64).div_ceil(8)
+    }
+}
+
+impl Wire for PackedMat {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.precision.put(out);
+        self.rows.put(out);
+        self.cols.put(out);
+        out.extend_from_slice(&self.bytes);
+    }
+    fn take(r: &mut Reader<'_>) -> Result<Self, FrameError> {
+        let precision = Precision::take(r)?;
+        let rows = usize::take(r)?;
+        let cols = usize::take(r)?;
+        let n = rows
+            .checked_mul(cols)
+            .ok_or(FrameError::Malformed("packed matrix dims overflow"))?;
+        let nbytes = n
+            .checked_mul(precision.bytes_per_value())
+            .ok_or(FrameError::Malformed("packed matrix dims overflow"))?;
+        if nbytes > r.remaining() {
+            return Err(FrameError::Malformed("packed matrix data exceeds body"));
+        }
+        let bytes = r.bytes(nbytes)?.to_vec();
+        Ok(PackedMat {
+            precision,
+            rows,
+            cols,
+            bytes,
+        })
+    }
+}
+
 impl Wire for CollectiveKind {
     fn put(&self, out: &mut Vec<u8>) {
         let tag: u8 = match self {

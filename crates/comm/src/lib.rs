@@ -31,7 +31,7 @@ pub use cagnet_check::CheckMode;
 pub use cluster::{Cluster, Ctx};
 pub use comm::{Communicator, GatheredRows, PendingOp};
 pub use cost::{Cat, CommWords, CostModel, ALL_CATS, NUM_CATS};
-pub use frame::Wire;
+pub use frame::{PackedMat, Precision, Wire};
 pub use grid::{Grid2D, Grid3D};
 #[cfg(unix)]
 pub use proc::connect_with_retry;

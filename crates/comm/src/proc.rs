@@ -886,7 +886,11 @@ where
     F: Fn(&mut Ctx) -> R + Send + Sync,
 {
     let size = cl.size;
-    let registry = Arc::new(Registry::new(cl.timeout).with_check(cl.check));
+    let registry = Arc::new(
+        Registry::new(cl.timeout)
+            .with_check(cl.check)
+            .with_precision(cl.precision),
+    );
     registry.diag.init(size);
     let sock_path = socket_path();
     let _ = std::fs::remove_file(&sock_path);
@@ -1042,7 +1046,11 @@ where
         "socket worker run {}: cluster size {} != spawned world size {}",
         env.run, cl.size, env.world
     );
-    let registry = Arc::new(Registry::new(cl.timeout).with_check(cl.check));
+    let registry = Arc::new(
+        Registry::new(cl.timeout)
+            .with_check(cl.check)
+            .with_precision(cl.precision),
+    );
     registry.diag.init(cl.size);
     let client =
         match SocketClient::connect(&env.socket, env.rank, env.world, env.run, CONNECT_TIMEOUT) {

@@ -166,7 +166,10 @@ impl Timeline {
 
     /// Total communication words (dense + sparse).
     pub fn comm_words(&self) -> u64 {
-        self.words(Cat::DenseComm) + self.words(Cat::SparseComm)
+        self.words(Cat::DenseComm)
+            + self.words(Cat::DenseComm32)
+            + self.words(Cat::DenseComm16)
+            + self.words(Cat::SparseComm)
     }
 
     /// Immutable snapshot for reporting.
@@ -248,7 +251,10 @@ impl TimelineReport {
 
     /// Total communication words (dense + sparse).
     pub fn comm_words(&self) -> u64 {
-        self.words(Cat::DenseComm) + self.words(Cat::SparseComm)
+        self.words(Cat::DenseComm)
+            + self.words(Cat::DenseComm32)
+            + self.words(Cat::DenseComm16)
+            + self.words(Cat::SparseComm)
     }
 
     /// Seconds that advanced the clock: every category except

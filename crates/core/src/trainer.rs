@@ -10,7 +10,7 @@ use crate::model::GcnConfig;
 use crate::optimizer::OptimizerKind;
 use crate::problem::Problem;
 use cagnet_comm::trace::TraceEvent;
-use cagnet_comm::{Cluster, CostModel, TimelineReport, TransportKind};
+use cagnet_comm::{Cluster, CostModel, Precision, TimelineReport, TransportKind};
 use cagnet_dense::activation::Activation;
 use cagnet_dense::Mat;
 
@@ -112,6 +112,12 @@ pub struct TrainConfig {
     /// worker processes over Unix domain sockets. Results are
     /// bit-identical across backends.
     pub transport: Option<TransportKind>,
+    /// Wire precision for dense collectives (default [`Precision::F64`],
+    /// the exact historical behaviour). `F32`/`Bf16` round dense payloads
+    /// at the communicator boundary only — local compute and reduction
+    /// accumulation stay f64 — halving (or quartering) the metered
+    /// dense-comm words. See DESIGN.md §14.
+    pub precision: Precision,
 }
 
 impl Default for TrainConfig {
@@ -128,6 +134,7 @@ impl Default for TrainConfig {
             overlap: true,
             trace: false,
             transport: None,
+            precision: Precision::default(),
         }
     }
 }
@@ -194,7 +201,8 @@ pub fn infer_distributed(
     assert!(algo.supports(p), "{} does not support P={p}", algo.name());
     let mut cluster = Cluster::new(p)
         .with_model(model)
-        .with_threads_per_rank(tc.threads_per_rank);
+        .with_threads_per_rank(tc.threads_per_rank)
+        .with_precision(tc.precision);
     if let Some(t) = tc.transport {
         cluster = cluster.with_transport(t);
     }
@@ -282,7 +290,8 @@ pub fn train_distributed(
 
     let mut cluster = Cluster::new(p)
         .with_model(model)
-        .with_threads_per_rank(tc.threads_per_rank);
+        .with_threads_per_rank(tc.threads_per_rank)
+        .with_precision(tc.precision);
     if let Some(t) = tc.transport {
         cluster = cluster.with_transport(t);
     }

@@ -2,9 +2,21 @@
 //!
 //! These are the local GEMM kernels called by every training algorithm for
 //! the `T·W`, `G·Wᵀ`, and `Hᵀ·(AG)` products of the paper's §III-C/D
-//! equations. The implementation is a cache-blocked i-k-j loop with a
-//! column-panel micro-kernel; no BLAS is linked, per the project's
-//! build-everything rule.
+//! equations. The implementation is a cache-blocked loop nest with a
+//! **register-blocked micro-kernel** (DESIGN.md §14); no BLAS is linked,
+//! per the project's build-everything rule.
+//!
+//! Inside each `MC×KC×NC` cache panel, the micro-kernel computes a fixed
+//! `MR×NR` tile of `C` held entirely in registers: the tile is loaded
+//! once, accumulates all `KC` rank-1 updates of the panel, and is stored
+//! once. The inner loops run over fixed-size arrays so rustc
+//! autovectorizes them (lane = `C` column; no reassociation across the
+//! shared dimension), and edge tiles fall back to a scalar loop with the
+//! identical per-element accumulation order. Zero entries of `A` are
+//! **not** skipped: `0.0 × inf` and `0.0 × NaN` must propagate per IEEE
+//! 754, which the pre-register-blocking kernel got wrong (see
+//! `nan_and_inf_propagate` in `tests/properties.rs` and the reference
+//! kernels kept in [`crate::reference`] for benchmarking).
 //!
 //! Every kernel comes in two flavors: the plain entry point (serial, same
 //! as always) and a `_with` variant taking a
@@ -13,7 +25,8 @@
 //! the identical serial micro-kernel over its own rows, and no thread
 //! touches another panel's rows, so the parallel results are bit-for-bit
 //! identical to serial for every thread count — the floating-point
-//! accumulation order per output element never changes.
+//! accumulation order per output element depends only on the global
+//! `jc`/`pc` tile walk, never on panel or register-tile boundaries.
 
 use crate::matrix::Mat;
 use cagnet_parallel::ParallelCtx;
@@ -25,6 +38,14 @@ use core::ops::Range;
 const MC: usize = 64;
 const KC: usize = 128;
 const NC: usize = 256;
+
+/// Register-tile rows: `A` values per rank-1 step, each broadcast across
+/// the `NR` lanes. `MR·NR` f64 accumulators (4·8 = four 512-bit or eight
+/// 256-bit vectors) stay comfortably within the 16 SIMD registers of
+/// x86-64 alongside the `B` row load.
+const MR: usize = 4;
+/// Register-tile columns: one or two hardware vectors of f64 lanes.
+const NR: usize = 8;
 
 /// Minimum output rows per forked chunk: below this the fork-join
 /// overhead dwarfs the row's flops for GCN-width operands.
@@ -85,7 +106,9 @@ pub fn matmul_acc_with(ctx: ParallelCtx, a: &Mat, b: &Mat, c: &mut Mat) {
 /// `rows.start..rows.end`; `cpanel` holds exactly those rows. The `jc`
 /// (B column tile) and `pc` (shared-dimension tile) loops are identical
 /// for every panel, so each `C[i][j]` accumulates its `k` products in
-/// the same order regardless of which panel row `i` lands in.
+/// the same order — a single accumulator fed in ascending `p` — whether
+/// the element lands in a full `MR×NR` register tile, an edge tile, or a
+/// different row panel.
 fn matmul_acc_panel(
     av: &[f64],
     bv: &[f64],
@@ -102,24 +125,97 @@ fn matmul_acc_panel(
             let mut ic = rows.start;
             while ic < rows.end {
                 let mc = MC.min(rows.end - ic);
-                // Micro kernel: for each row of the A panel, stream the
-                // B panel rows, accumulating into one C row (i-k-j order
-                // keeps the C row hot and B access unit-stride).
-                for i in ic..ic + mc {
-                    let arow = &av[i * k + pc..i * k + pc + kc];
-                    let crow = &mut cpanel[(i - r0) * n + jc..(i - r0) * n + jc + nc];
-                    for (p, &aval) in arow.iter().enumerate() {
-                        if aval == 0.0 {
-                            continue;
-                        }
-                        let brow = &bv[(pc + p) * n + jc..(pc + p) * n + jc + nc];
-                        for (cj, &bval) in crow.iter_mut().zip(brow) {
-                            *cj += aval * bval;
-                        }
+                // Register-blocked walk of this MC×nc block: full MR×NR
+                // tiles through the micro-kernel, edges through the
+                // scalar fallback with the same per-element order.
+                let mut i = ic;
+                while i + MR <= ic + mc {
+                    let mut j = jc;
+                    while j + NR <= jc + nc {
+                        microkernel(av, bv, cpanel, i - r0, i, j, pc, kc, k, n);
+                        j += NR;
                     }
+                    if j < jc + nc {
+                        edge_tile(av, bv, cpanel, i - r0, i, MR, j, jc + nc - j, pc, kc, k, n);
+                    }
+                    i += MR;
+                }
+                if i < ic + mc {
+                    edge_tile(av, bv, cpanel, i - r0, i, ic + mc - i, jc, nc, pc, kc, k, n);
                 }
                 ic += mc;
             }
+        }
+    }
+}
+
+/// `MR×NR` register tile at output rows `i..i+MR`, columns `j..j+NR`:
+/// load the tile, accumulate the `kc` rank-1 updates of the current
+/// cache panel with `p` ascending, store the tile. The fixed-size
+/// accumulator array lives in SIMD registers and the `NR`-lane inner
+/// loops autovectorize; every product `a·b` is added to exactly one
+/// lane, so there is no reassociation and the result is bit-identical
+/// to the scalar fallback.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn microkernel(
+    av: &[f64],
+    bv: &[f64],
+    cpanel: &mut [f64],
+    pr: usize, // panel-relative row of the tile's first row
+    i: usize,  // absolute row in A
+    j: usize,  // absolute column in B/C
+    pc: usize,
+    kc: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut acc = [[0.0f64; NR]; MR];
+    for (r, accr) in acc.iter_mut().enumerate() {
+        accr.copy_from_slice(&cpanel[(pr + r) * n + j..(pr + r) * n + j + NR]);
+    }
+    for p in pc..pc + kc {
+        let brow = &bv[p * n + j..p * n + j + NR];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let aval = av[(i + r) * k + p];
+            for (cj, &bval) in accr.iter_mut().zip(brow) {
+                *cj += aval * bval;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        cpanel[(pr + r) * n + j..(pr + r) * n + j + NR].copy_from_slice(accr);
+    }
+}
+
+/// Edge-tile fallback for the rows/columns left over after the `MR×NR`
+/// walk: one scalar accumulator per element, `p` ascending — the exact
+/// accumulation order of the micro-kernel, so full and edge tiles are
+/// indistinguishable bit-for-bit.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn edge_tile(
+    av: &[f64],
+    bv: &[f64],
+    cpanel: &mut [f64],
+    pr: usize,
+    i: usize,
+    mr: usize,
+    j: usize,
+    nr: usize,
+    pc: usize,
+    kc: usize,
+    k: usize,
+    n: usize,
+) {
+    for r in 0..mr {
+        let arow = &av[(i + r) * k + pc..(i + r) * k + pc + kc];
+        for c in 0..nr {
+            let mut acc = cpanel[(pr + r) * n + j + c];
+            for (p, &aval) in arow.iter().enumerate() {
+                acc += aval * bv[(pc + p) * n + j + c];
+            }
+            cpanel[(pr + r) * n + j + c] = acc;
         }
     }
 }
@@ -170,14 +266,13 @@ pub fn matmul_tn_acc_with(ctx: ParallelCtx, a: &Mat, b: &Mat, c: &mut Mat) {
         // Outer-product accumulation over the shared dimension: each row
         // p of A scatters into the C rows this panel owns, with both A
         // and B rows read unit-stride.
+        // No zero-skip here either: `0.0 × inf` must produce NaN per
+        // IEEE 754, the same contract as `matmul_acc_panel`.
         for p in 0..k {
             let arow = &av[p * m..(p + 1) * m];
             let brow = &bv[p * n..(p + 1) * n];
             for i in rows.clone() {
                 let aval = arow[i];
-                if aval == 0.0 {
-                    continue;
-                }
                 let crow = &mut panel[(i - r0) * n..(i - r0 + 1) * n];
                 for (cj, &bval) in crow.iter_mut().zip(brow) {
                     *cj += aval * bval;

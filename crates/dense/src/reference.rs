@@ -1,0 +1,61 @@
+//! Pre-register-blocking reference kernels, kept for benchmarking.
+//!
+//! These are the scalar cache-blocked loops that `gemm.rs` shipped before
+//! the `MR×NR` micro-kernel landed (DESIGN.md §14), minus the IEEE-breaking
+//! `aval == 0.0` skip. They exist so `kernel_bench` can report an honest
+//! old-vs-new wall-clock ratio on the same shapes, and as a second,
+//! structurally different implementation for differential tests. They are
+//! **not** called by any trainer.
+//!
+//! This module is a blessed micro-kernel module for the `scalar-hot-loop`
+//! lint (see `crates/check/src/lint/rules.rs`): raw multiply-accumulate
+//! loops are expected here.
+
+use crate::matrix::Mat;
+
+/// Blocking sizes matching the historical kernel.
+const MC: usize = 64;
+const KC: usize = 128;
+const NC: usize = 256;
+
+/// `C += A · B` with the pre-register-blocking scalar kernel: the
+/// cache-blocked i-k-j loop streaming one `B` row against one `C` row per
+/// shared-dimension step.
+pub fn matmul_acc_reference(a: &Mat, b: &Mat, c: &mut Mat) {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "matmul_acc_reference: inner dimension mismatch");
+    assert_eq!(c.shape(), (m, n), "matmul_acc_reference: output shape");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let cv = c.as_mut_slice();
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                for i in ic..ic + mc {
+                    let arow = &av[i * k + pc..i * k + pc + kc];
+                    let crow = &mut cv[i * n + jc..i * n + jc + nc];
+                    for (p, &aval) in arow.iter().enumerate() {
+                        let brow = &bv[(pc + p) * n + jc..(pc + p) * n + jc + nc];
+                        for (cj, &bval) in crow.iter_mut().zip(brow) {
+                            *cj += aval * bval;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C = A · B` through [`matmul_acc_reference`].
+pub fn matmul_reference(a: &Mat, b: &Mat) -> Mat {
+    let mut c = Mat::zeros(a.rows(), b.cols());
+    matmul_acc_reference(a, b, &mut c);
+    c
+}

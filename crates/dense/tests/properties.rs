@@ -139,6 +139,68 @@ proptest! {
     }
 
     #[test]
+    fn nan_and_inf_propagate(
+        (a, b, row, col) in (2usize..12, 1usize..12, 2usize..12)
+            .prop_flat_map(|(m, k, n)| {
+                (mat(m, k), mat(k, n), 0..m, 0..n)
+            }),
+        poison_pick in 0usize..2,
+        threads in 1usize..=4,
+    ) {
+        // IEEE 754: any product chain touching a NaN — including
+        // `0.0 × inf` — must yield NaN. The pre-register-blocking kernel
+        // skipped zero entries of A, silently laundering `0 × inf` into
+        // finite output; the micro-kernel must not.
+        let mut a = a;
+        let mut b = b;
+        let poison_zero = poison_pick == 0;
+        if poison_zero {
+            // A zero in A meeting an inf in B: 0 × inf = NaN.
+            for p in 0..a.cols() {
+                a[(row, p)] = 0.0;
+            }
+            b[(0, col)] = f64::INFINITY;
+        } else {
+            b[(0, col)] = f64::NAN;
+        }
+        type MatMulFn<'a> = &'a dyn Fn(&Mat, &Mat) -> Mat;
+        let fns: [MatMulFn; 2] = [
+            &matmul,
+            &|x, y| matmul_with(ParallelCtx::new(threads), x, y),
+        ];
+        for f in fns {
+            let c = f(&a, &b);
+            prop_assert!(
+                c[(row, col)].is_nan(),
+                "expected NaN at ({row},{col}), got {}",
+                c[(row, col)]
+            );
+            // Rows of A without the poisoned entries stay finite-driven:
+            // no cross-element contamination from the register tiles.
+            for i in 0..c.rows() {
+                for j in 0..c.cols() {
+                    if j != col {
+                        prop_assert!(!c[(i, j)].is_nan(), "NaN leaked to ({i},{j})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn microkernel_matches_reference_bits(
+        (a, b) in (1usize..24, 1usize..24, 1usize..24)
+            .prop_flat_map(|(m, k, n)| (mat(m, k), mat(k, n))),
+    ) {
+        // The register-blocked kernel accumulates each element's products
+        // with a single accumulator in ascending shared-dimension order
+        // inside every cache panel — the same order as the scalar
+        // reference kernel — so on these sub-panel shapes the results are
+        // bit-identical, not merely approximately equal.
+        prop_assert_eq!(matmul(&a, &b), cagnet_dense::reference::matmul_reference(&a, &b));
+    }
+
+    #[test]
     fn block_quadrant_roundtrip(
         (m, rsplit, csplit) in (2usize..12, 2usize..12)
             .prop_flat_map(|(r, c)| (mat(r, c), 1..r.max(2), 1..c.max(2)))

@@ -20,6 +20,7 @@ pub mod io;
 pub mod normalize;
 pub mod partition;
 pub mod partitioner;
+pub mod reference;
 pub mod spgemm;
 pub mod spmm;
 

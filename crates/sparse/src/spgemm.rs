@@ -41,6 +41,7 @@ pub fn spgemm(a: &Csr, b: &Csr) -> Csr {
                     mark[j] = true;
                     touched.push(j);
                 }
+                // lint:allow(scalar-hot-loop): sparse-accumulator SpGEMM; the dense row kernels cannot exploit B's sparsity
                 acc[j] += av * bv;
             }
         }
