@@ -26,6 +26,11 @@
 //!                            exact, f32/bf16 round payloads at the
 //!                            communicator boundary only (DESIGN.md §14)
 //!                            (default f64)
+//!   --partition block|edgecut|volume
+//!                            row distribution: the natural-id block layout,
+//!                            or relabel by the BFS/KL partitioner under the
+//!                            edgecut or communication-volume objective
+//!                            (DESIGN.md §15) (default block)
 //!   --trace <out.json>       write a Chrome/Perfetto trace of the timed epochs
 //!   --json                   print only the JSON row (no human tables)
 //!   --worker                 internal: accepted so spawned worker processes
@@ -35,7 +40,9 @@
 
 use cagnet_bench::{bench_dataset, bench_gcn, measure_epochs_traced};
 use cagnet_comm::{CostModel, Precision, TransportKind};
-use cagnet_core::trainer::{Algorithm, TrainConfig};
+use cagnet_core::trainer::{
+    Algorithm, PartitionConfig, PartitionObjective, PartitionSpec, TrainConfig,
+};
 use cagnet_core::{CommMode, GcnConfig, Problem};
 use cagnet_sparse::datasets;
 use cagnet_sparse::generate::{rmat_symmetric, RmatParams};
@@ -47,7 +54,7 @@ const BOOL_FLAGS: [&str; 2] = ["json", "worker"];
 /// Flags that take a value. A flag name outside this list (or
 /// [`BOOL_FLAGS`]) is a named error: a typo like `--comm-node` must not
 /// silently fall back to the default.
-const VALUE_FLAGS: [&str; 12] = [
+const VALUE_FLAGS: [&str; 13] = [
     "dataset",
     "algo",
     "processes",
@@ -60,6 +67,7 @@ const VALUE_FLAGS: [&str; 12] = [
     "transport",
     "trace",
     "precision",
+    "partition",
 ];
 
 fn parse_args() -> HashMap<String, String> {
@@ -120,6 +128,26 @@ fn parse_precision(s: &str) -> Result<Precision, String> {
     Precision::parse(s).map_err(|e| format!("--precision: {e}"))
 }
 
+/// Parse a `--partition` value: `block` keeps the natural-id block
+/// distribution (no relabeling), `edgecut`/`volume` relabel by the
+/// BFS/KL partitioner under the named refinement objective.
+fn parse_partition(s: &str) -> Result<Option<PartitionSpec>, String> {
+    let objective = match s {
+        "block" => return Ok(None),
+        "edgecut" => PartitionObjective::EdgeCut,
+        "volume" => PartitionObjective::Volume,
+        other => {
+            return Err(format!(
+                "--partition must be block|edgecut|volume, got '{other}'"
+            ))
+        }
+    };
+    Ok(Some(PartitionSpec::Auto(PartitionConfig {
+        objective,
+        ..Default::default()
+    })))
+}
+
 fn parse_algo(s: &str) -> Algorithm {
     if s == "1d" {
         Algorithm::OneD
@@ -173,6 +201,13 @@ fn main() {
     };
     let precision = match parse_precision(&get("precision", "f64")) {
         Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let partition = match parse_partition(&get("partition", "block")) {
+        Ok(spec) => spec,
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(2);
@@ -239,6 +274,7 @@ fn main() {
         trace: trace_path.is_some(),
         transport,
         precision,
+        partition,
         ..Default::default()
     };
     if !json_only {
@@ -326,6 +362,36 @@ mod tests {
         assert_eq!(parse_precision("f64"), Ok(Precision::F64));
         assert_eq!(parse_precision("f32"), Ok(Precision::F32));
         assert_eq!(parse_precision("bf16"), Ok(Precision::Bf16));
+    }
+
+    #[test]
+    fn partition_accepts_the_three_layouts() {
+        assert!(matches!(parse_partition("block"), Ok(None)));
+        assert!(matches!(
+            parse_partition("edgecut"),
+            Ok(Some(PartitionSpec::Auto(PartitionConfig {
+                objective: PartitionObjective::EdgeCut,
+                ..
+            })))
+        ));
+        assert!(matches!(
+            parse_partition("volume"),
+            Ok(Some(PartitionSpec::Auto(PartitionConfig {
+                objective: PartitionObjective::Volume,
+                ..
+            })))
+        ));
+    }
+
+    #[test]
+    fn partition_rejects_unknown_layouts_by_name() {
+        let e = parse_partition("metis").unwrap_err();
+        assert!(e.contains("--partition"), "flag named: {e}");
+        assert!(e.contains("'metis'"), "bad input named: {e}");
+        assert!(
+            e.contains("block|edgecut|volume"),
+            "accepted set named: {e}"
+        );
     }
 
     #[test]

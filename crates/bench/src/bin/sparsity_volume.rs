@@ -13,9 +13,16 @@
 //! nonzero on any violation.
 
 use cagnet_comm::{Cat, CostModel};
-use cagnet_core::trainer::{train_distributed, Algorithm, TrainConfig};
+use cagnet_core::trainer::{
+    train_distributed, Algorithm, PartitionConfig, PartitionObjective, PartitionSpec, TrainConfig,
+};
 use cagnet_core::{CommMode, GcnConfig, Problem};
-use cagnet_sparse::generate::{erdos_renyi, rmat_symmetric, RmatParams};
+use cagnet_sparse::edgecut::{block_partition, evaluate_partition};
+use cagnet_sparse::generate::{
+    erdos_renyi, permute_symmetric, planted_partition, rmat_symmetric, PlantedPartitionParams,
+    RmatParams,
+};
+use cagnet_sparse::partitioner::partition_greedy_bfs;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -27,6 +34,24 @@ struct Row {
     sparse_words: u64,
     /// `sparse_words / dense_words` — below 1.0 means the mode pays off.
     ratio: f64,
+}
+
+/// One partitioned-vs-block measurement (ROADMAP item 2): the same
+/// sparsity-aware training run under the natural-id block distribution
+/// and under relabeling by each partitioner objective, plus the static
+/// max-per-part gathered-row metric for the three layouts.
+#[derive(Serialize)]
+struct PartRow {
+    graph: String,
+    algorithm: String,
+    processes: usize,
+    row_groups: usize,
+    block_words: u64,
+    edgecut_words: u64,
+    volume_words: u64,
+    block_max_rows: usize,
+    edgecut_max_rows: usize,
+    volume_max_rows: usize,
 }
 
 fn run(
@@ -45,6 +70,31 @@ fn run(
     let r = train_distributed(problem, gcn, algo, p, CostModel::summit_like(), &tc);
     let words = r.reports.iter().map(|rep| rep.words(Cat::DenseComm)).sum();
     (r.losses, words)
+}
+
+/// Sparsity-aware DenseComm words under an optional partition objective
+/// (`None` = the natural-id block distribution).
+fn run_partitioned(
+    problem: &Problem,
+    gcn: &GcnConfig,
+    algo: Algorithm,
+    p: usize,
+    objective: Option<PartitionObjective>,
+) -> u64 {
+    let tc = TrainConfig {
+        epochs: 2,
+        collect_outputs: false,
+        comm_mode: CommMode::SparsityAware,
+        partition: objective.map(|objective| {
+            PartitionSpec::Auto(PartitionConfig {
+                objective,
+                ..Default::default()
+            })
+        }),
+        ..Default::default()
+    };
+    let r = train_distributed(problem, gcn, algo, p, CostModel::summit_like(), &tc);
+    r.reports.iter().map(|rep| rep.words(Cat::DenseComm)).sum()
 }
 
 fn main() {
@@ -155,12 +205,135 @@ fn main() {
         println!();
     }
     println!("all modes bit-identical; sparsity-aware words <= dense everywhere");
+
+    // ---- partitioned vs block row distribution (§IV-A.8, wired in) ----
+    // A permuted planted-partition graph: real community structure the
+    // partitioner can recover, invisible to the natural-id block layout.
+    let g = planted_partition(
+        256,
+        PlantedPartitionParams {
+            communities: 8,
+            degree_in: 8.0,
+            degree_out: 0.5,
+            hubs: 2,
+            hub_degree: 24,
+        },
+        96,
+    );
+    let (g, _) = permute_symmetric(&g, 97);
+    let pname = "planted";
+    let problem = Problem::synthetic(&g, F, F, 1.0, 98);
+    let gcn = GcnConfig {
+        dims: vec![F, F, F],
+        lr: 0.01,
+        seed: 11,
+    };
+    println!("\nPARTITIONED vs BLOCK ROW DISTRIBUTION — sparsity-aware words (f={F}, L=2)\n");
+    println!(
+        "{:<10} {:<12} {:>3} {:>12} {:>14} {:>13} {:>17}",
+        "graph", "algorithm", "P", "block words", "edgecut words", "volume words", "max rows b/e/v"
+    );
+    let mut part_rows = Vec::new();
+    let part_cells: Vec<(Algorithm, Vec<usize>)> = vec![
+        (Algorithm::OneD, vec![2, 4, 8]),
+        (Algorithm::OneDRow, vec![4]),
+        (Algorithm::One5D { c: 2 }, vec![4, 8]),
+        (Algorithm::TwoD, vec![4]),
+    ];
+    for (algo, ps) in &part_cells {
+        let algo = *algo;
+        for &p in ps {
+            let groups = algo.row_groups(p);
+            let block_words = run_partitioned(&problem, &gcn, algo, p, None);
+            let edgecut_words =
+                run_partitioned(&problem, &gcn, algo, p, Some(PartitionObjective::EdgeCut));
+            let volume_words =
+                run_partitioned(&problem, &gcn, algo, p, Some(PartitionObjective::Volume));
+            // Static §IV-A.8 metric at the same row-group granularity.
+            let metric = |objective| {
+                let cfg = PartitionConfig {
+                    num_parts: groups,
+                    objective,
+                    ..Default::default()
+                };
+                evaluate_partition(&g, &partition_greedy_bfs(&g, &cfg), groups).edgecut_max()
+            };
+            let block_max =
+                evaluate_partition(&g, &block_partition(g.rows(), groups), groups).edgecut_max();
+            let edgecut_max = metric(PartitionObjective::EdgeCut);
+            let volume_max = metric(PartitionObjective::Volume);
+            assert!(
+                edgecut_words <= block_words && volume_words <= block_words,
+                "{pname} {} P={p}: partitioned words (e={edgecut_words}, v={volume_words}) \
+                 above block {block_words}",
+                algo.name()
+            );
+            if groups > 1 {
+                assert!(
+                    volume_words < block_words,
+                    "{pname} {} P={p}: volume partition must win strictly over block \
+                     ({volume_words} vs {block_words})",
+                    algo.name()
+                );
+                assert!(
+                    volume_max < block_max,
+                    "{pname} {} P={p}: volume max rows {volume_max} not below block {block_max}",
+                    algo.name()
+                );
+                assert!(
+                    volume_max <= edgecut_max,
+                    "{pname} {} P={p}: volume max rows {volume_max} above edgecut {edgecut_max}",
+                    algo.name()
+                );
+            }
+            println!(
+                "{:<10} {:<12} {:>3} {:>12} {:>14} {:>13} {:>7}/{}/{}",
+                pname,
+                algo.name(),
+                p,
+                block_words,
+                edgecut_words,
+                volume_words,
+                block_max,
+                edgecut_max,
+                volume_max
+            );
+            part_rows.push(PartRow {
+                graph: pname.to_string(),
+                algorithm: algo.name(),
+                processes: p,
+                row_groups: groups,
+                block_words,
+                edgecut_words,
+                volume_words,
+                block_max_rows: block_max,
+                edgecut_max_rows: edgecut_max,
+                volume_max_rows: volume_max,
+            });
+        }
+    }
+    println!("\npartitioned gathered-row volume <= block at P>1, volume max < block max");
+
+    #[derive(Serialize)]
+    struct Output {
+        modes: Vec<Row>,
+        partition: Vec<PartRow>,
+    }
+    let output = Output {
+        modes: rows,
+        partition: part_rows,
+    };
     // lint:allow(unwrap): the serde shim only errors on non-string map keys
-    let json = serde_json::to_string(&rows).expect("serialize");
+    let json = serde_json::to_string(&output).expect("serialize");
     if let Err(e) = std::fs::write(&out_path, format!("{json}\n")) {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(1);
     }
-    println!("wrote {} rows to {out_path}", rows.len());
-    cagnet_bench::emit_json(&rows);
+    println!(
+        "wrote {} mode rows + {} partition rows to {out_path}",
+        output.modes.len(),
+        output.partition.len()
+    );
+    cagnet_bench::emit_json(&output.modes);
+    cagnet_bench::emit_json(&output.partition);
 }

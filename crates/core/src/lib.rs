@@ -29,4 +29,6 @@ pub use model::GcnConfig;
 pub use optimizer::{Optimizer, OptimizerKind};
 pub use problem::Problem;
 pub use serial::SerialTrainer;
-pub use trainer::{train_distributed, Algorithm, CommMode, DistTrainResult, TrainConfig};
+pub use trainer::{
+    train_distributed, Algorithm, CommMode, DistTrainResult, PartitionSpec, TrainConfig,
+};

@@ -10,6 +10,7 @@ use cagnet_dense::init::{random_labels, uniform};
 use cagnet_dense::Mat;
 use cagnet_sparse::datasets::Dataset;
 use cagnet_sparse::normalize::gcn_normalize;
+use cagnet_sparse::relabel::{apply_partition, Relabeling};
 use cagnet_sparse::Csr;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -128,6 +129,23 @@ impl Problem {
         let train_mask = vec![true; n];
         // ds.adj is already GCN-normalized.
         Self::new(ds.adj.clone(), features, labels, train_mask, ds.spec.labels)
+    }
+
+    /// Relabel the problem part-major under `part` (see
+    /// [`cagnet_sparse::relabel`]): each part's vertices occupy a
+    /// contiguous block of new ids — the layout the trainers' block row
+    /// distribution consumes — with adjacency, features, labels, and
+    /// train mask permuted consistently. Training the returned problem
+    /// is bit-identical to training `self` modulo the id permutation.
+    pub fn relabeled(&self, part: &[usize], num_parts: usize) -> (Problem, Relabeling) {
+        let (adj, rl) = apply_partition(&self.adj, part, num_parts);
+        let features = rl.permute_rows(&self.features);
+        let labels = rl.permute(&self.labels);
+        let train_mask = rl.permute(&self.train_mask);
+        (
+            Self::new(adj, features, labels, train_mask, self.num_classes),
+            rl,
+        )
     }
 
     /// Vertex count.

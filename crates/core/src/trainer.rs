@@ -16,6 +16,8 @@ use cagnet_dense::Mat;
 
 pub use crate::dist::twodim::TwoDimConfig;
 pub use crate::dist::CommMode;
+pub use cagnet_sparse::partitioner::{PartitionConfig, PartitionObjective};
+pub use cagnet_sparse::relabel::Relabeling;
 
 /// Which parallel algorithm to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,6 +70,36 @@ impl Algorithm {
             Algorithm::ThreeD => cagnet_comm::grid::int_cbrt(p).is_some(),
         }
     }
+
+    /// Number of contiguous row blocks this algorithm's geometry splits
+    /// `A`/`H` into at `p` ranks — the part count a vertex partition must
+    /// target so that relabeled parts land on whole row blocks: `p` for
+    /// the 1D family, `p/c` coarse blocks for 1.5D, grid rows for
+    /// 2D/SUMMA, the cube side for 3D. Requires `supports(p)`.
+    pub fn row_groups(&self, p: usize) -> usize {
+        debug_assert!(self.supports(p), "{} does not support P={p}", self.name());
+        match self {
+            Algorithm::OneD | Algorithm::OneDRow => p,
+            Algorithm::One5D { c } => p / (*c).max(1),
+            Algorithm::TwoD => cagnet_comm::grid::int_sqrt(p).unwrap_or(1),
+            Algorithm::TwoDRect { pr, .. } => *pr,
+            Algorithm::ThreeD => cagnet_comm::grid::int_cbrt(p).unwrap_or(1),
+        }
+    }
+}
+
+/// How [`train_distributed`] obtains the vertex partition that drives
+/// its relabeling pass (see [`TrainConfig::partition`]).
+#[derive(Clone, Debug)]
+pub enum PartitionSpec {
+    /// Run [`partition_greedy_bfs`] on the problem's adjacency with this
+    /// configuration. `num_parts` is overridden with the algorithm's
+    /// [`Algorithm::row_groups`] so parts land on whole row blocks.
+    Auto(PartitionConfig),
+    /// A precomputed assignment: `part[v]` = owning part of vertex `v`.
+    /// Length must equal the vertex count and every id must be below
+    /// [`Algorithm::row_groups`] for the run's algorithm and `p`.
+    Explicit(Vec<usize>),
 }
 
 /// Run-level options.
@@ -118,6 +150,16 @@ pub struct TrainConfig {
     /// accumulation stay f64 — halving (or quartering) the metered
     /// dense-comm words. See DESIGN.md §14.
     pub precision: Precision,
+    /// Vertex partition wired into the row distribution (default `None` =
+    /// the historical natural-id block distribution). When set, the
+    /// problem is relabeled part-major before the cluster launches (see
+    /// [`cagnet_sparse::relabel`]): losses, weights, and accuracy are
+    /// bit-identical to training the relabeled problem directly, returned
+    /// embeddings are mapped back to original vertex ids, and under
+    /// [`CommMode::SparsityAware`]/[`CommMode::Cached`] a good partition
+    /// strictly lowers the metered DenseComm words at `P > 1`. See
+    /// DESIGN.md §15.
+    pub partition: Option<PartitionSpec>,
 }
 
 impl Default for TrainConfig {
@@ -135,6 +177,7 @@ impl Default for TrainConfig {
             trace: false,
             transport: None,
             precision: Precision::default(),
+            partition: None,
         }
     }
 }
@@ -158,6 +201,11 @@ pub struct DistTrainResult {
     /// Per-rank execution traces over the timed epochs (empty unless
     /// `TrainConfig::trace` was set).
     pub traces: Vec<Vec<TraceEvent>>,
+    /// The vertex relabeling applied when [`TrainConfig::partition`] was
+    /// set (`None` otherwise). `embeddings` are already mapped back to
+    /// original vertex ids; this exposes the id maps and per-part ranges
+    /// for callers that want to inspect the partition itself.
+    pub relabeling: Option<Relabeling>,
 }
 
 impl DistTrainResult {
@@ -184,11 +232,53 @@ pub struct InferResult {
     pub reports: Vec<TimelineReport>,
 }
 
+/// Resolve `tc.partition` into a relabeled problem plus the id maps
+/// (`None` when no partition was requested). Runs *before* the cluster
+/// launches, so the relabeling is deterministic and identical across
+/// transport backends — socket workers re-derive it when they replay the
+/// binary.
+fn prepare_partition(
+    problem: &Problem,
+    algo: Algorithm,
+    p: usize,
+    tc: &TrainConfig,
+) -> Option<(Problem, Relabeling)> {
+    let spec = tc.partition.as_ref()?;
+    let groups = algo.row_groups(p);
+    let part = match spec {
+        PartitionSpec::Auto(cfg) => {
+            let cfg = PartitionConfig {
+                num_parts: groups,
+                ..*cfg
+            };
+            cagnet_sparse::partitioner::partition_greedy_bfs(&problem.adj, &cfg)
+        }
+        PartitionSpec::Explicit(part) => {
+            assert_eq!(
+                part.len(),
+                problem.vertices(),
+                "explicit partition length does not match vertex count"
+            );
+            for &q in part.iter() {
+                assert!(
+                    q < groups,
+                    "explicit partition id {q} out of range for {groups} row groups"
+                );
+            }
+            part.clone()
+        }
+    };
+    Some(problem.relabeled(&part, groups))
+}
+
 /// Distributed inference: one forward pass of `algo` on `p` ranks with a
 /// *given* weight stack (e.g. from a prior training run). The paper notes
 /// all of its algorithms apply unchanged to inference (§I); this is that
 /// path, with the same communication accounting as training forward
-/// passes.
+/// passes. When [`TrainConfig::partition`] is set the problem is
+/// relabeled exactly as in [`train_distributed`] (the weight stack is
+/// row-id-agnostic, so weights trained either way apply) and the returned
+/// embeddings are mapped back to original vertex ids.
 pub fn infer_distributed(
     problem: &Problem,
     gcn: &GcnConfig,
@@ -199,6 +289,11 @@ pub fn infer_distributed(
     tc: &TrainConfig,
 ) -> InferResult {
     assert!(algo.supports(p), "{} does not support P={p}", algo.name());
+    let prepared = prepare_partition(problem, algo, p, tc);
+    let (problem, relabeling) = match &prepared {
+        Some((prob, rl)) => (prob, Some(rl)),
+        None => (problem, None),
+    };
     let mut cluster = Cluster::new(p)
         .with_model(model)
         .with_threads_per_rank(tc.threads_per_rank)
@@ -258,6 +353,10 @@ pub fn infer_distributed(
         }
     });
     let (loss, accuracy, _, embeddings) = per_rank[0].0.clone();
+    let embeddings = match relabeling {
+        Some(rl) if embeddings.rows() == rl.len() => rl.unpermute_rows(&embeddings),
+        _ => embeddings,
+    };
     InferResult {
         embeddings,
         loss,
@@ -280,6 +379,11 @@ pub fn train_distributed(
     tc: &TrainConfig,
 ) -> DistTrainResult {
     assert!(algo.supports(p), "{} does not support P={p}", algo.name());
+    let prepared = prepare_partition(problem, algo, p, tc);
+    let (problem, relabeling) = match &prepared {
+        Some((prob, rl)) => (prob, Some(rl.clone())),
+        None => (problem, None),
+    };
     enum AnyTrainer {
         OneD(OneDimTrainer),
         OneDRow(OneDimRowTrainer),
@@ -408,6 +512,12 @@ pub fn train_distributed(
         Some((w, e)) => (w.clone(), e.clone()),
         None => (Vec::new(), Mat::zeros(0, 0)),
     };
+    // Hand embeddings back in original vertex ids; weights are
+    // row-id-agnostic and need no mapping.
+    let embeddings = match &relabeling {
+        Some(rl) if embeddings.rows() == rl.len() => rl.unpermute_rows(&embeddings),
+        _ => embeddings,
+    };
     DistTrainResult {
         losses: losses0.clone(),
         accuracy: *accuracy,
@@ -416,5 +526,6 @@ pub fn train_distributed(
         embeddings,
         world: p,
         traces,
+        relabeling,
     }
 }

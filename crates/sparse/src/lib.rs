@@ -21,6 +21,7 @@ pub mod normalize;
 pub mod partition;
 pub mod partitioner;
 pub mod reference;
+pub mod relabel;
 pub mod spgemm;
 pub mod spmm;
 

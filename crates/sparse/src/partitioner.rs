@@ -8,10 +8,38 @@
 //! boundary-refinement pass (Kernighan–Lin flavored), which on scale-free
 //! graphs lands in the same regime: large total-cut wins, much smaller
 //! max-cut wins.
+//!
+//! Two refinement objectives are available (see [`PartitionObjective`]):
+//! the classic *edgecut* connectivity gain, and a *communication-volume*
+//! objective in the spirit of Demirci et al. (arXiv:2212.05009) that
+//! scores every move by the change in per-part gathered-row volume — the
+//! `remote_rows_per_part` of [`crate::edgecut::CutReport`], which is the
+//! exact quantity [`Csr::needed_cols`] measures when the trainers build
+//! their sparsity-aware needed-row sets. Volume refinement maintains an
+//! incremental reference-count ledger so each candidate move is scored in
+//! `O(deg)` and refinement stays near-linear in `nnz` per pass.
 
 use crate::csr::Csr;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+/// What boundary refinement optimizes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PartitionObjective {
+    /// Greedy connectivity gain: move a vertex to the neighboring part it
+    /// has the most edges to. Minimizes (total) cut edges — the classic
+    /// KL/FM objective, and the historical behaviour of this module.
+    #[default]
+    EdgeCut,
+    /// Gathered-row communication volume: after a connectivity-gain
+    /// warm-up, move a vertex only when the `(max-per-part, total)` pair
+    /// of distinct-remote-row counts strictly improves, max first. This
+    /// is the §IV-A.8 metric that governs 1D bulk-synchronous runtime,
+    /// and the exact row counts the sparsity-aware trainers fetch via
+    /// `gather_rows`; under identical config it never scores worse on it
+    /// than [`PartitionObjective::EdgeCut`].
+    Volume,
+}
 
 /// Configuration for [`partition_greedy_bfs`].
 #[derive(Clone, Copy, Debug)]
@@ -33,6 +61,9 @@ pub struct PartitionConfig {
     pub pin_high_degree: Option<f64>,
     /// Seed for tie-breaking and seed-vertex selection.
     pub seed: u64,
+    /// Refinement objective (default [`PartitionObjective::EdgeCut`],
+    /// the historical behaviour).
+    pub objective: PartitionObjective,
 }
 
 impl Default for PartitionConfig {
@@ -43,12 +74,21 @@ impl Default for PartitionConfig {
             refinement_passes: 4,
             pin_high_degree: Some(4.0),
             seed: 0,
+            objective: PartitionObjective::EdgeCut,
         }
     }
 }
 
-/// Grow `num_parts` parts by seeded BFS, then refine boundaries by greedy
-/// gain moves. Returns `part[v]` assignments.
+/// Grow `num_parts` parts by seeded BFS, then refine boundaries under the
+/// configured [`PartitionObjective`]. Returns `part[v]` assignments.
+///
+/// Guarantees, for every input with `n >= num_parts >= 1`:
+///
+/// * every returned id is `< num_parts`;
+/// * every part owns at least one vertex;
+/// * no part exceeds `ceil((n / p) · balance_factor)` vertices — the
+///   documented balance cap — on *every* assignment path, including hub
+///   pinning and the disconnected-remainder fallback.
 ///
 /// The undirected structure of `a` is used (both in- and out-neighbors).
 pub fn partition_greedy_bfs(a: &Csr, cfg: &PartitionConfig) -> Vec<usize> {
@@ -69,14 +109,23 @@ pub fn partition_greedy_bfs(a: &Csr, cfg: &PartitionConfig) -> Vec<usize> {
     // parts stay contiguous regions of the graph where possible.
     let mut frontiers: Vec<Vec<usize>> = vec![Vec::new(); p];
 
-    // Spread-and-pin hubs before growth.
+    // Spread-and-pin hubs before growth. The round-robin cursor skips
+    // parts already at the balance cap, so pinning alone can never
+    // violate it (e.g. many hubs landing on a small `p`).
     if let Some(mult) = cfg.pin_high_degree {
         let deg = |v: usize| a.row_nnz(v) + at.row_nnz(v);
         let avg = (a.nnz() + at.nnz()) as f64 / n.max(1) as f64;
         let mut hubs: Vec<usize> = (0..n).filter(|&v| deg(v) as f64 > mult * avg).collect();
         hubs.sort_unstable_by_key(|&v| std::cmp::Reverse(deg(v)));
-        for (idx, &v) in hubs.iter().enumerate() {
-            let pid = idx % p;
+        let mut cursor = 0usize;
+        for &v in hubs.iter() {
+            // First part with space at or after the cursor; every part
+            // being full means every vertex already fits exactly — stop.
+            let Some(off) = (0..p).find(|off| sizes[(cursor + off) % p] < max_size) else {
+                break;
+            };
+            let pid = (cursor + off) % p;
+            cursor = (pid + 1) % p;
             part[v] = pid;
             pinned[v] = true;
             sizes[pid] += 1;
@@ -98,6 +147,9 @@ pub fn partition_greedy_bfs(a: &Csr, cfg: &PartitionConfig) -> Vec<usize> {
         if part[v] != usize::MAX {
             match (0..n).find(|&u| part[u] == usize::MAX) {
                 Some(u) => v = u,
+                // Pinning plus prior seeding exhausted the vertices: the
+                // part stays seedless for now; ensure_nonempty_parts
+                // donates it a vertex after growth.
                 None => continue,
             }
         }
@@ -144,11 +196,15 @@ pub fn partition_greedy_bfs(a: &Csr, cfg: &PartitionConfig) -> Vec<usize> {
             }
         }
         if !progressed {
-            // Disconnected remainder: assign leftovers to the smallest
-            // parts and restart their frontiers there.
+            // Disconnected remainder: spread leftovers over the smallest
+            // parts *with space* so the balance cap holds even when some
+            // parts are already full, and restart frontiers there.
             for (v, pv) in part.iter_mut().enumerate() {
                 if *pv == usize::MAX {
-                    let pid = (0..p).min_by_key(|&q| sizes[q]).unwrap_or(0);
+                    let pid = (0..p)
+                        .filter(|&q| sizes[q] < max_size)
+                        .min_by_key(|&q| sizes[q])
+                        .unwrap_or(0);
                     *pv = pid;
                     sizes[pid] += 1;
                     unassigned -= 1;
@@ -158,6 +214,8 @@ pub fn partition_greedy_bfs(a: &Csr, cfg: &PartitionConfig) -> Vec<usize> {
         }
     }
 
+    ensure_nonempty_parts(&mut part, &pinned, &mut sizes);
+
     refine(
         a,
         &at,
@@ -166,14 +224,64 @@ pub fn partition_greedy_bfs(a: &Csr, cfg: &PartitionConfig) -> Vec<usize> {
         &mut sizes,
         max_size,
         cfg.refinement_passes,
+        cfg.objective,
     );
     part
 }
 
-/// Greedy boundary refinement: move a vertex to the neighboring part with
-/// the highest connectivity gain, respecting the balance cap. Pinned
-/// vertices never move.
+/// Donate one vertex to every empty part: unpinned vertices from the
+/// largest parts first, falling back to pinned ones only if every
+/// multi-vertex part is all-pinned. With `n >= p` a donor always exists
+/// (some part owns ≥ 2 vertices whenever another owns none), so the
+/// partitioner's every-part-nonempty guarantee holds unconditionally.
+fn ensure_nonempty_parts(part: &mut [usize], pinned: &[bool], sizes: &mut [usize]) {
+    let p = sizes.len();
+    for q in 0..p {
+        if sizes[q] > 0 {
+            continue;
+        }
+        let donor = (0..part.len())
+            .filter(|&v| sizes[part[v]] >= 2)
+            .max_by_key(|&v| (sizes[part[v]], !pinned[v]));
+        if let Some(v) = donor {
+            sizes[part[v]] -= 1;
+            part[v] = q;
+            sizes[q] += 1;
+        }
+    }
+}
+
+/// Greedy boundary refinement dispatcher: pinned vertices never move, no
+/// move may empty a part or push one over the balance cap, under either
+/// objective.
+#[allow(clippy::too_many_arguments)]
 fn refine(
+    a: &Csr,
+    at: &Csr,
+    part: &mut [usize],
+    pinned: &[bool],
+    sizes: &mut [usize],
+    max_size: usize,
+    passes: usize,
+    objective: PartitionObjective,
+) {
+    match objective {
+        PartitionObjective::EdgeCut => refine_edgecut(a, at, part, pinned, sizes, max_size, passes),
+        PartitionObjective::Volume => {
+            // Connectivity refinement first (a cheap, good total-cut
+            // start), then volume polish. The polish only ever accepts
+            // strict `(max, total)` gathered-row improvements, so under
+            // identical config/seeds the volume result never scores
+            // worse than the edgecut result it starts from.
+            refine_edgecut(a, at, part, pinned, sizes, max_size, passes);
+            refine_volume(a, at, part, pinned, sizes, max_size, passes)
+        }
+    }
+}
+
+/// Edge-cut refinement: move a vertex to the neighboring part with the
+/// highest connectivity gain, respecting the balance cap.
+fn refine_edgecut(
     a: &Csr,
     at: &Csr,
     part: &mut [usize],
@@ -223,11 +331,164 @@ fn refine(
     }
 }
 
+/// Incremental per-part gathered-row ledger for volume refinement.
+///
+/// `ref_count[q·n + w]` counts the directed `A` edges `(u, w)` whose row
+/// `u` is owned by part `q`; `remote[q]` is the number of distinct `w`
+/// with `ref_count[q][w] > 0` and `part[w] != q` — exactly
+/// `CutReport::remote_rows_per_part[q]`, the rows part `q` must gather.
+/// [`VolumeLedger::apply_move`] updates both in `O(out-degree)`, which is
+/// what keeps a refinement pass near-linear: scoring a candidate move is
+/// apply + inspect + revert, never a from-scratch recount.
+struct VolumeLedger {
+    n: usize,
+    ref_count: Vec<u32>,
+    remote: Vec<usize>,
+}
+
+impl VolumeLedger {
+    fn new(a: &Csr, part: &[usize], p: usize) -> VolumeLedger {
+        let n = a.rows();
+        let mut ref_count = vec![0u32; p * n];
+        for (u, &pu) in part.iter().enumerate() {
+            let base = pu * n;
+            for (w, _) in a.row_entries(u) {
+                ref_count[base + w] += 1;
+            }
+        }
+        let mut remote = vec![0usize; p];
+        for (q, r) in remote.iter_mut().enumerate() {
+            *r = (0..n)
+                .filter(|&w| ref_count[q * n + w] > 0 && part[w] != q)
+                .count();
+        }
+        VolumeLedger {
+            n,
+            ref_count,
+            remote,
+        }
+    }
+
+    /// Move `v` into part `d`, updating `part` and the ledger. Calling
+    /// again with the old part exactly reverts the move, which is how
+    /// candidate moves are scored without a second bookkeeping path.
+    fn apply_move(&mut self, a: &Csr, part: &mut [usize], v: usize, d: usize) {
+        let s = part[v];
+        if s == d {
+            return;
+        }
+        let n = self.n;
+        // v's references (row v of A) migrate from s's ledger to d's.
+        // `part[v]` is still `s` here, so the self-loop case `w == v`
+        // charges d with a transient remote row that the ownership flip
+        // below cancels.
+        for (w, _) in a.row_entries(v) {
+            let c = &mut self.ref_count[s * n + w];
+            *c -= 1;
+            if *c == 0 && part[w] != s {
+                self.remote[s] -= 1;
+            }
+            let c = &mut self.ref_count[d * n + w];
+            if *c == 0 && part[w] != d {
+                self.remote[d] += 1;
+            }
+            *c += 1;
+        }
+        // Ownership flip: v stops being local to s (anyone in s still
+        // referencing it now gathers it) and becomes local to d.
+        if self.ref_count[s * n + v] > 0 {
+            self.remote[s] += 1;
+        }
+        if self.ref_count[d * n + v] > 0 {
+            self.remote[d] -= 1;
+        }
+        part[v] = d;
+    }
+
+    /// `(max-per-part, total)` gathered-row volume — the move-acceptance
+    /// key, compared lexicographically (max first, the §IV-A.8 metric).
+    fn score(&self) -> (usize, usize) {
+        (
+            self.remote.iter().copied().max().unwrap_or(0),
+            self.remote.iter().sum(),
+        )
+    }
+}
+
+/// Volume refinement: accept a move only when it strictly lowers the
+/// `(max-per-part, total)` gathered-row volume pair.
+fn refine_volume(
+    a: &Csr,
+    at: &Csr,
+    part: &mut [usize],
+    pinned: &[bool],
+    sizes: &mut [usize],
+    max_size: usize,
+    passes: usize,
+) {
+    let n = a.rows();
+    let p = sizes.len();
+    let mut ledger = VolumeLedger::new(a, part, p);
+    let mut cand: Vec<usize> = Vec::with_capacity(p);
+    for _ in 0..passes {
+        let mut moved = 0usize;
+        for v in 0..n {
+            if pinned[v] {
+                continue;
+            }
+            let cur = part[v];
+            if sizes[cur] <= 1 {
+                continue;
+            }
+            // Candidate destinations: the parts of v's in/out neighbors
+            // (a move elsewhere can only sever locality).
+            cand.clear();
+            for (w, _) in a.row_entries(v).chain(at.row_entries(v)) {
+                let q = part[w];
+                if q != cur && sizes[q] < max_size && !cand.contains(&q) {
+                    cand.push(q);
+                }
+            }
+            if cand.is_empty() {
+                continue;
+            }
+            let before = ledger.score();
+            let mut best: Option<(usize, (usize, usize))> = None;
+            for &d in &cand {
+                ledger.apply_move(a, part, v, d);
+                let score = ledger.score();
+                ledger.apply_move(a, part, v, cur);
+                if score < before && best.is_none_or(|(_, b)| score < b) {
+                    best = Some((d, score));
+                }
+            }
+            if let Some((d, _)) = best {
+                ledger.apply_move(a, part, v, d);
+                sizes[cur] -= 1;
+                sizes[d] += 1;
+                moved += 1;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+    debug_assert_eq!(
+        ledger.remote,
+        VolumeLedger::new(a, part, p).remote,
+        "volume ledger drifted from a from-scratch recount"
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::edgecut::{block_partition, evaluate_partition};
-    use crate::generate::{rmat_symmetric, RmatParams};
+    use crate::generate::{
+        erdos_renyi, permute_symmetric, planted_partition, rmat_symmetric, PlantedPartitionParams,
+        RmatParams,
+    };
+    use crate::relabel::apply_partition;
 
     #[test]
     fn produces_valid_assignment() {
@@ -262,6 +523,86 @@ mod tests {
         }
         for (q, &s) in sizes.iter().enumerate() {
             assert!(s <= cap, "part {q} size {s} exceeds cap {cap}");
+        }
+    }
+
+    /// Regression for the pinning path: with a threshold of 0 every
+    /// non-isolated vertex is a "hub", so spread-and-pin assigns nearly
+    /// the whole graph round-robin and must still respect the cap — and
+    /// with a disconnected graph the remainder fallback path must too.
+    #[test]
+    fn respects_balance_cap_when_pinning_heavy_or_disconnected() {
+        // Star + isolated vertices: vertex 0 is a hub; vertices 20..40
+        // are edgeless, so they take the disconnected-remainder path.
+        let mut coo = crate::coo::Coo::new(40, 40);
+        for leaf in 1..20 {
+            coo.push(0, leaf, 1.0);
+            coo.push(leaf, 0, 1.0);
+        }
+        let star = Csr::from_coo(coo);
+        let cases = [
+            (star, "star+isolated"),
+            (erdos_renyi(40, 0.4, 9), "sparse er (disconnected)"),
+        ];
+        for (g, name) in cases {
+            for p in [2usize, 3, 5, 8] {
+                for bf in [1.0f64, 1.05, 1.3] {
+                    for pin in [Some(0.0), Some(1.0), None] {
+                        for objective in [PartitionObjective::EdgeCut, PartitionObjective::Volume] {
+                            let cfg = PartitionConfig {
+                                num_parts: p,
+                                balance_factor: bf,
+                                pin_high_degree: pin,
+                                objective,
+                                ..Default::default()
+                            };
+                            let part = partition_greedy_bfs(&g, &cfg);
+                            let cap = (((g.rows() as f64 / p as f64) * bf).ceil() as usize).max(1);
+                            let mut sizes = vec![0usize; p];
+                            for &q in &part {
+                                sizes[q] += 1;
+                            }
+                            for (q, &s) in sizes.iter().enumerate() {
+                                assert!(
+                                    s <= cap,
+                                    "{name} p={p} bf={bf} pin={pin:?} {objective:?}: \
+                                     part {q} size {s} exceeds cap {cap}"
+                                );
+                                assert!(s > 0, "{name} p={p} bf={bf} pin={pin:?}: part {q} empty");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Regression for the seedless-part path: at `n` close to `p` (with
+    /// pinning consuming most vertices first) every part must still end
+    /// up with at least one vertex.
+    #[test]
+    fn every_part_nonempty_when_n_close_to_p() {
+        // Tight star: 9 vertices, the center is a hub under any
+        // threshold; p up to n exercises seed exhaustion.
+        let mut coo = crate::coo::Coo::new(9, 9);
+        for leaf in 1..9 {
+            coo.push(0, leaf, 1.0);
+            coo.push(leaf, 0, 1.0);
+        }
+        let g = Csr::from_coo(coo);
+        for p in [7usize, 8, 9] {
+            for pin in [Some(0.0), Some(0.5), None] {
+                let cfg = PartitionConfig {
+                    num_parts: p,
+                    balance_factor: 1.0,
+                    pin_high_degree: pin,
+                    ..Default::default()
+                };
+                let part = partition_greedy_bfs(&g, &cfg);
+                for q in 0..p {
+                    assert!(part.contains(&q), "n=9 p={p} pin={pin:?}: part {q} empty");
+                }
+            }
         }
     }
 
@@ -302,6 +643,205 @@ mod tests {
             smart.total_cut_edges,
             random.total_cut_edges
         );
+    }
+
+    /// A clustered, permuted graph with hubs — block baselines cannot see
+    /// the communities, hubs keep the max-cut interesting.
+    fn clustered(seed: u64) -> Csr {
+        let g = planted_partition(
+            192,
+            PlantedPartitionParams {
+                communities: 8,
+                degree_in: 8.0,
+                degree_out: 0.6,
+                hubs: 2,
+                hub_degree: 20,
+            },
+            seed,
+        );
+        let (g, _) = permute_symmetric(&g, seed ^ 0xC0FFEE);
+        g
+    }
+
+    /// The tentpole claim: the volume objective lowers the max-per-part
+    /// gathered-row count below both the block baseline and the edgecut
+    /// objective, and total volume below block.
+    #[test]
+    fn volume_objective_reduces_max_gathered_rows() {
+        let g = clustered(31);
+        let p = 8;
+        let cfg = |objective| PartitionConfig {
+            num_parts: p,
+            refinement_passes: 8,
+            objective,
+            seed: 3,
+            ..Default::default()
+        };
+        let vol = evaluate_partition(
+            &g,
+            &partition_greedy_bfs(&g, &cfg(PartitionObjective::Volume)),
+            p,
+        );
+        let edge = evaluate_partition(
+            &g,
+            &partition_greedy_bfs(&g, &cfg(PartitionObjective::EdgeCut)),
+            p,
+        );
+        let block = evaluate_partition(&g, &block_partition(g.rows(), p), p);
+        assert!(
+            vol.edgecut_max() < block.edgecut_max(),
+            "volume max {} not below block max {}",
+            vol.edgecut_max(),
+            block.edgecut_max()
+        );
+        assert!(
+            vol.edgecut_max() <= edge.edgecut_max(),
+            "volume max {} above edgecut-objective max {}",
+            vol.edgecut_max(),
+            edge.edgecut_max()
+        );
+        assert!(
+            vol.remote_rows_total() < block.remote_rows_total(),
+            "volume total {} not below block total {}",
+            vol.remote_rows_total(),
+            block.remote_rows_total()
+        );
+    }
+
+    /// The incremental ledger must agree with the from-scratch metric.
+    #[test]
+    fn volume_ledger_matches_evaluate_partition() {
+        for seed in [0u64, 1, 2] {
+            let g = rmat_symmetric(6, 4, RmatParams::default(), seed);
+            for p in [2usize, 3, 5] {
+                let part = block_partition(g.rows(), p);
+                let ledger = VolumeLedger::new(&g, &part, p);
+                let report = evaluate_partition(&g, &part, p);
+                assert_eq!(
+                    ledger.remote, report.remote_rows_per_part,
+                    "seed {seed} p={p}"
+                );
+                // ...and stays in agreement through a chain of moves.
+                let mut part = part;
+                let mut ledger = ledger;
+                for (v, d) in [(0usize, 1usize), (7, 0), (12, 1), (7, 2), (0, 0)] {
+                    let d = d % p;
+                    ledger.apply_move(&g, &mut part, v, d);
+                    let report = evaluate_partition(&g, &part, p);
+                    assert_eq!(
+                        ledger.remote, report.remote_rows_per_part,
+                        "seed {seed} p={p} after moving {v}->{d}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Proptest-style invariants sweep: seeds × part counts × generators
+    /// × objectives. Valid ids, nonempty parts, cap respected, and
+    /// `evaluate_partition` per-part reports invariant under relabeling.
+    #[test]
+    fn invariants_sweep() {
+        let graphs: Vec<(&str, Csr)> = vec![
+            ("er-sparse", erdos_renyi(48, 0.8, 4)),
+            ("er", erdos_renyi(48, 3.0, 5)),
+            ("rmat", rmat_symmetric(6, 3, RmatParams::default(), 6)),
+            (
+                "planted",
+                planted_partition(
+                    48,
+                    PlantedPartitionParams {
+                        communities: 4,
+                        degree_in: 6.0,
+                        degree_out: 1.0,
+                        hubs: 1,
+                        hub_degree: 10,
+                    },
+                    7,
+                ),
+            ),
+            ("edge-free", Csr::empty(16, 16)),
+        ];
+        for (name, g) in &graphs {
+            let n = g.rows();
+            for &p in &[2usize, 3, 7] {
+                if p > n {
+                    continue;
+                }
+                for seed in [0u64, 11] {
+                    for objective in [PartitionObjective::EdgeCut, PartitionObjective::Volume] {
+                        let cfg = PartitionConfig {
+                            num_parts: p,
+                            seed,
+                            objective,
+                            ..Default::default()
+                        };
+                        let part = partition_greedy_bfs(g, &cfg);
+                        let label = format!("{name} p={p} seed={seed} {objective:?}");
+                        assert_eq!(part.len(), n, "{label}: length");
+                        assert!(part.iter().all(|&q| q < p), "{label}: id range");
+                        let cap =
+                            (((n as f64 / p as f64) * cfg.balance_factor).ceil() as usize).max(1);
+                        let mut sizes = vec![0usize; p];
+                        for &q in &part {
+                            sizes[q] += 1;
+                        }
+                        for (q, &s) in sizes.iter().enumerate() {
+                            assert!(s > 0, "{label}: part {q} empty");
+                            assert!(s <= cap, "{label}: part {q} size {s} > cap {cap}");
+                        }
+                        // Relabeling invariance: same per-part reports on
+                        // the permuted graph with the permuted partition.
+                        let report = evaluate_partition(g, &part, p);
+                        let (rg, rl) = apply_partition(g, &part, p);
+                        let rpart = rl.part_of_new();
+                        assert_eq!(
+                            evaluate_partition(&rg, &rpart, p),
+                            report,
+                            "{label}: relabel"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pinned vertices must survive refinement in place, under both
+    /// objectives, even when moving them would pay.
+    #[test]
+    fn refine_never_moves_pinned() {
+        let g = rmat_symmetric(6, 4, RmatParams::default(), 8);
+        let at = g.transpose();
+        let n = g.rows();
+        let p = 4;
+        for objective in [PartitionObjective::EdgeCut, PartitionObjective::Volume] {
+            // Adversarial start: block partition, every third vertex pinned.
+            let mut part = block_partition(n, p);
+            let pinned: Vec<bool> = (0..n).map(|v| v % 3 == 0).collect();
+            let mut sizes = vec![0usize; p];
+            for &q in &part {
+                sizes[q] += 1;
+            }
+            let before = part.clone();
+            let max_size = n; // unconstrained: only pinning may hold a vertex
+            refine(
+                &g, &at, &mut part, &pinned, &mut sizes, max_size, 6, objective,
+            );
+            let mut moved_unpinned = 0usize;
+            for v in 0..n {
+                if pinned[v] {
+                    assert_eq!(part[v], before[v], "{objective:?}: pinned {v} moved");
+                } else if part[v] != before[v] {
+                    moved_unpinned += 1;
+                }
+            }
+            assert!(moved_unpinned > 0, "{objective:?}: refinement did nothing");
+            let mut check = vec![0usize; p];
+            for &q in &part {
+                check[q] += 1;
+            }
+            assert_eq!(check, sizes, "{objective:?}: sizes ledger drifted");
+        }
     }
 
     #[test]
